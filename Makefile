@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench validate figures apidocs all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+validate:
+	$(PYTHON) -m repro validate
+
+figures:
+	$(PYTHON) -m repro figures
+
+apidocs:
+	$(PYTHON) scripts/gen_api_docs.py
+
+all: test bench validate figures
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

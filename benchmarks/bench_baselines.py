@@ -1,0 +1,22 @@
+"""E7: thin benchmark wrapper.
+
+The experiment's logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e7()`` or via ``python -m repro experiment
+E7``); this wrapper times one canonical execution under
+pytest-benchmark and saves the table to ``benchmarks/results/``.
+The claim, parameters and expected shape are documented in DESIGN.md's
+experiment index and EXPERIMENTS.md's results log.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import run_e7
+
+
+def test_baselines(benchmark):
+    result = benchmark.pedantic(run_e7, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E7_baselines", report)
+    assert report

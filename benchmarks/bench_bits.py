@@ -1,0 +1,22 @@
+"""E14: thin benchmark wrapper.
+
+The experiment's logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e14()`` or via ``python -m repro experiment
+E14``); this wrapper times one canonical execution under
+pytest-benchmark and saves the table to ``benchmarks/results/``.
+The claim, parameters and expected shape are documented in DESIGN.md's
+experiment index and EXPERIMENTS.md's results log.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import run_e14
+
+
+def test_bits(benchmark):
+    result = benchmark.pedantic(run_e14, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E14_bits", report)
+    assert report

@@ -1,0 +1,22 @@
+"""E6: thin benchmark wrapper.
+
+The experiment's logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e6()`` or via ``python -m repro experiment
+E6``); this wrapper times one canonical execution under
+pytest-benchmark and saves the table to ``benchmarks/results/``.
+The claim, parameters and expected shape are documented in DESIGN.md's
+experiment index and EXPERIMENTS.md's results log.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import run_e6
+
+
+def test_central_vs_tree(benchmark):
+    result = benchmark.pedantic(run_e6, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E6_central_vs_tree", report)
+    assert report

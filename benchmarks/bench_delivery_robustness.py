@@ -1,0 +1,20 @@
+"""E18: thin benchmark wrapper.
+
+The experiment's logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e18()`` or via ``python -m repro experiment
+E18``); this wrapper times one canonical execution under
+pytest-benchmark and saves the table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import run_e18
+
+
+def test_delivery_robustness(benchmark):
+    result = benchmark.pedantic(run_e18, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E18_delivery_robustness", report)
+    assert report

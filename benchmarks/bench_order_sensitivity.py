@@ -1,0 +1,22 @@
+"""E13: thin benchmark wrapper.
+
+The experiment's logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e13()`` or via ``python -m repro experiment
+E13``); this wrapper times one canonical execution under
+pytest-benchmark and saves the table to ``benchmarks/results/``.
+The claim, parameters and expected shape are documented in DESIGN.md's
+experiment index and EXPERIMENTS.md's results log.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import run_e13
+
+
+def test_order_sensitivity(benchmark):
+    result = benchmark.pedantic(run_e13, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E13_order_sensitivity", report)
+    assert report

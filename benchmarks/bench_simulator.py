@@ -1,0 +1,64 @@
+"""E0 (infrastructure): simulator throughput micro-benchmarks.
+
+Not a paper claim — the measurement instrument itself.  These keep the
+substrate's performance visible so the experiment sweeps stay cheap:
+event-queue ops, message round-trips, and a full k=3 one-shot workload
+per invocation.
+"""
+
+from __future__ import annotations
+
+from repro.core import TreeCounter
+from repro.counters import CentralCounter
+from repro.sim.events import EventQueue
+from repro.sim.network import Network
+from repro.sim.processor import InertProcessor
+from repro.workloads import one_shot, run_sequence
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule + pop 1000 events."""
+
+    def churn():
+        queue = EventQueue()
+        for index in range(1000):
+            queue.schedule((index * 7) % 13 + 0.5, lambda: None)
+        while queue:
+            queue.run_next()
+
+    benchmark(churn)
+
+
+def test_message_throughput(benchmark):
+    """Deliver 1000 point-to-point messages."""
+    network = Network()
+    network.register_all([InertProcessor(pid) for pid in range(1, 17)])
+
+    def blast():
+        for index in range(1000):
+            network.send((index % 16) + 1, ((index + 7) % 16) + 1, "m", {})
+        network.run_until_quiescent()
+
+    benchmark(blast)
+
+
+def test_central_counter_oneshot(benchmark):
+    """Full n=256 one-shot workload on the central counter."""
+
+    def run():
+        network = Network()
+        counter = CentralCounter(network, 256)
+        run_sequence(counter, one_shot(256))
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_tree_counter_oneshot(benchmark):
+    """Full k=3 (n=81) one-shot workload on the paper's counter."""
+
+    def run():
+        network = Network()
+        counter = TreeCounter(network, 81)
+        run_sequence(counter, one_shot(81))
+
+    benchmark.pedantic(run, rounds=5, iterations=1)

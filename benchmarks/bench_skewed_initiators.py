@@ -1,0 +1,20 @@
+"""E19: thin benchmark wrapper.
+
+The experiment's logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e19()`` or via ``python -m repro experiment
+E19``); this wrapper times one canonical execution under
+pytest-benchmark and saves the table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import run_e19
+
+
+def test_skewed_initiators(benchmark):
+    result = benchmark.pedantic(run_e19, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E19_skewed_initiators", report)
+    assert report

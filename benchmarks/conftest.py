@@ -1,0 +1,23 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one experiment of DESIGN.md's index (E1-E10)
+with ``benchmark.pedantic(..., rounds=1)`` — the workloads are full
+simulations, so we time one clean execution rather than statistical
+micro-rounds — and saves its table under ``benchmarks/results/`` while
+also echoing it to stdout, so ``pytest benchmarks/ --benchmark-only -s``
+output matches EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist an experiment table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Counter shootout: every implementation, one workload, one table.
+
+Run:  python examples/counter_shootout.py [n]
+
+Drives the paper's one-shot workload (each processor increments exactly
+once, sequentially) through all six counter implementations and prints
+the bottleneck comparison the paper's introduction motivates — plus a
+concurrent round, where the related-work structures show their
+strengths.
+"""
+
+import sys
+
+from repro import Network, TreeCounter, one_shot, run_concurrent, run_sequence
+from repro.analysis import format_table
+from repro.counters import (
+    BitonicCountingNetwork,
+    CentralCounter,
+    CombiningTreeCounter,
+    DiffractingTreeCounter,
+    StaticTreeCounter,
+)
+from repro.lowerbound import lower_bound_k
+
+FACTORIES = [
+    CentralCounter,
+    StaticTreeCounter,
+    CombiningTreeCounter,
+    BitonicCountingNetwork,
+    DiffractingTreeCounter,
+    TreeCounter,
+]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+
+    rows = []
+    for factory in FACTORIES:
+        network = Network()
+        counter = factory(network, n)
+        result = run_sequence(counter, one_shot(n))
+        rows.append(
+            [
+                counter.name,
+                result.bottleneck_load(),
+                f"{result.bottleneck_load() / lower_bound_k(n):.1f}",
+                f"{result.average_messages_per_op():.2f}",
+                result.total_messages,
+            ]
+        )
+    print(
+        format_table(
+            ["counter", "bottleneck m_b", "m_b / k(n)", "msgs/op", "total"],
+            rows,
+            title=(
+                f"Sequential one-shot workload, n={n} "
+                f"(lower bound k(n) = {lower_bound_k(n):.2f})"
+            ),
+        )
+    )
+
+    rows = []
+    for factory in FACTORIES:
+        network = Network()
+        counter = factory(network, n)
+        result = run_concurrent(counter, [one_shot(n)])
+        rows.append(
+            [counter.name, result.bottleneck_load(), result.total_messages]
+        )
+    print()
+    print(
+        format_table(
+            ["counter", "bottleneck m_b", "total msgs"],
+            rows,
+            title=f"One fully concurrent batch of n={n} incs",
+        )
+    )
+    print(
+        "\nReading the tables: sequentially, only the paper's ww-tree stays"
+        "\nnear k(n); concurrently, combining/diffracting structures shine —"
+        "\nthe two regimes the paper distinguishes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A tour of quorum systems — the Hot Spot Lemma's family tree.
+
+Run:  python examples/quorum_tour.py [n]
+
+The paper's intersection argument comes from quorum theory.  This tour
+builds the classic constructions over n elements, verifies pairwise
+intersection, compares uniform vs LP-optimal load against the Naor–Wool
+1/√n floor, and runs the quorum-replicated counter over each system to
+show how abstract load becomes measured message bottlenecks.
+"""
+
+import math
+import sys
+
+from repro import Network, one_shot, run_sequence
+from repro.analysis import format_table
+from repro.quorum import (
+    CrumblingWall,
+    MaekawaGrid,
+    QuorumCounter,
+    RotatingMajorityQuorum,
+    SingletonQuorum,
+    TreePathQuorum,
+    WheelQuorum,
+    naor_wool_floor,
+    optimal_load,
+    uniform_load,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    side = math.isqrt(n)
+    if side * side != n:
+        n = side * side
+        print(f"(rounded n down to the square {n} for the Maekawa grid)\n")
+
+    systems = [
+        SingletonQuorum(n),
+        RotatingMajorityQuorum(n),
+        MaekawaGrid(n),
+        TreePathQuorum(n),
+        WheelQuorum(n),
+        CrumblingWall(n),
+    ]
+
+    rows = []
+    for system in systems:
+        analysis_uniform = uniform_load(system)
+        analysis_optimal = optimal_load(system)
+        hottest_pid, hottest_load = analysis_optimal.hottest()
+        rows.append(
+            [
+                type(system).__name__,
+                system.quorum_count(),
+                system.max_quorum_size(),
+                f"{analysis_uniform.system_load:.3f}",
+                f"{analysis_optimal.system_load:.3f}",
+                f"{naor_wool_floor(system):.3f}",
+                f"p{hottest_pid}@{hottest_load:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["system", "quorums", "max|Q|", "uniform", "optimal", "NW floor", "hottest"],
+            rows,
+            title=f"Quorum systems over n={n} (1/√n = {1 / math.sqrt(n):.3f})",
+        )
+    )
+
+    rows = []
+    for system in systems:
+        network = Network()
+        counter = QuorumCounter(network, n, system)
+        result = run_sequence(counter, one_shot(n))
+        rows.append(
+            [
+                type(system).__name__,
+                result.bottleneck_load(),
+                f"{result.average_messages_per_op():.1f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["system", "counter bottleneck", "msgs/op"],
+            rows,
+            title="The quorum counter over each system (one-shot workload)",
+        )
+    )
+    print(
+        "\nSmall quorums are not small load: tree paths have |Q| = log n "
+        "but load 1.0\n(the root is in every quorum) — the same distinction "
+        "the paper's bottleneck\nmeasure captures for counters."
+    )
+
+
+if __name__ == "__main__":
+    main()

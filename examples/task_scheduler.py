@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A distributed work queue on the paper's tree: priority scheduling.
+
+Run:  python examples/task_scheduler.py [n] [tasks]
+
+The paper's §2 notes its bottleneck argument covers "a priority queue";
+this example builds the obvious consumer: a cluster-wide task scheduler.
+Producers (random processors) submit tasks with deadlines; workers
+(other random processors) pull the most urgent task.  The queue lives on
+the same communication tree as the counter, so scheduling inherits the
+O(k) load bound — no dedicated scheduler machine, no hot spot.
+"""
+
+import random
+import sys
+
+from repro import Network
+from repro.analysis import LoadProfile, render_load_bars
+from repro.core import IntervalMode, TreeGeometry, TreePolicy
+from repro.datatypes import DELETE_MIN, INSERT, DistributedPriorityQueue, run_ops
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 81
+    tasks = int(sys.argv[2]) if len(sys.argv) > 2 else 150
+    rng = random.Random(2026)
+
+    geometry = TreeGeometry.for_processors(n)
+    policy = TreePolicy(
+        retire_threshold=4 * geometry.arity,
+        interval_mode=IntervalMode.WRAP,
+    )
+    network = Network()
+    queue = DistributedPriorityQueue(network, n, geometry=geometry, policy=policy)
+
+    # Phase 1: producers submit tasks (deadline, task id).
+    submissions = []
+    ops = []
+    for task_id in range(tasks):
+        producer = rng.randrange(1, n + 1)
+        deadline = rng.randrange(1, 10_000)
+        submissions.append((deadline, task_id))
+        ops.append((producer, (INSERT, (deadline, task_id))))
+    submit_result = run_ops(queue, ops)
+    print(f"{tasks} tasks submitted by random producers "
+          f"({submit_result.total_messages} messages)")
+
+    # Phase 2: workers drain the queue, most urgent first.
+    drain_ops = [(rng.randrange(1, n + 1), (DELETE_MIN,)) for _ in range(tasks)]
+    drain_result = run_ops(queue, drain_ops)
+    served = drain_result.replies()
+
+    assert served == sorted(submissions), "scheduler violated priority order!"
+    print(f"{tasks} tasks served strictly by deadline "
+          f"({drain_result.total_messages} messages)")
+    print(f"queue empty: {len(queue) == 0}\n")
+
+    profile = LoadProfile.from_trace(network.trace, population=n)
+    print(render_load_bars(profile, top=8))
+    print(f"\nhottest processor handled {profile.bottleneck_load} messages "
+          f"across {2 * tasks} scheduling ops")
+    print(f"mean load {profile.mean_load:.1f}; a dedicated scheduler host "
+          f"would have handled ~{4 * tasks} (ours: "
+          f"{profile.bottleneck_load / (4 * tasks):.0%} of that)")
+
+
+if __name__ == "__main__":
+    main()

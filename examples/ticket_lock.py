@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Distributed ticket lock: mutual exclusion built on the counter.
+
+Run:  python examples/ticket_lock.py [n] [rounds]
+
+"Counting is an essential ingredient in virtually any computation" —
+the classic proof is the ticket lock: to enter a critical section, a
+processor takes a ticket (one ``inc``); tickets are served in order, so
+the counter's values *are* the lock's FIFO queue.  If the counter has a
+bottleneck, the lock has a bottleneck — which is why the paper's O(k)
+counter matters to anyone building synchronization.
+
+This example runs a ticket-lock workload (every processor acquires the
+lock once per round) over the paper's counter and over the central
+counter, checks mutual exclusion and fairness, and compares the message
+load the two locks put on their hottest processor.
+"""
+
+import sys
+
+from repro import Network, TreeCounter, run_sequence
+from repro.analysis import format_table
+from repro.counters import CentralCounter
+from repro.core import IntervalMode, TreeGeometry, TreePolicy
+
+
+def acquire_all(counter_factory, n, rounds):
+    """Each processor takes one ticket per round; return the analysis."""
+    network = Network()
+    counter = counter_factory(network, n)
+    order = [pid for _ in range(rounds) for pid in range(1, n + 1)]
+    result = run_sequence(counter, order)
+
+    # Tickets are the returned values: service order = ticket order.
+    tickets = {}
+    for outcome in result.outcomes:
+        tickets.setdefault(outcome.initiator, []).append(outcome.value)
+
+    # Mutual exclusion: all tickets distinct (each value held once).
+    all_tickets = sorted(t for ts in tickets.values() for t in ts)
+    assert all_tickets == list(range(n * rounds)), "tickets collided!"
+
+    # Fairness: within one round, no processor is starved by more than
+    # the round width (every processor's i-th ticket is in round i).
+    for pid, ts in tickets.items():
+        for round_index, ticket in enumerate(ts):
+            assert round_index * n <= ticket < (round_index + 1) * n, (
+                f"processor {pid} starved: ticket {ticket} in round {round_index}"
+            )
+
+    return result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 81
+    rounds = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    def tree_factory(network, n_):
+        geometry = TreeGeometry.for_processors(n_)
+        policy = TreePolicy(
+            retire_threshold=4 * geometry.arity,
+            interval_mode=IntervalMode.WRAP,  # multi-round workload
+        )
+        return TreeCounter(network, n_, geometry=geometry, policy=policy)
+
+    rows = []
+    for label, factory in (
+        ("ticket lock on central counter", CentralCounter),
+        ("ticket lock on ww-tree counter", tree_factory),
+    ):
+        result = acquire_all(factory, n, rounds)
+        rows.append(
+            [
+                label,
+                result.bottleneck_load(),
+                f"{result.average_messages_per_op():.2f}",
+                result.total_messages,
+            ]
+        )
+    print(f"{n} processors x {rounds} rounds — mutual exclusion and "
+          "FIFO fairness verified for both locks\n")
+    print(
+        format_table(
+            ["lock", "hottest processor (msgs)", "msgs/acquire", "total msgs"],
+            rows,
+        )
+    )
+    print(
+        "\nSame lock semantics, same fairness — but the central ticket "
+        "dispenser is the\nlock's scalability ceiling, and the tree "
+        "counter removes it.  That is the paper's\npoint applied to the "
+        "most common counting consumer there is."
+    )
+
+
+if __name__ == "__main__":
+    main()

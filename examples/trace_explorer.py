@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Figures 1 and 2, regenerated: one inc as a DAG and as a list.
+
+Run:  python examples/trace_explorer.py [n] [op_index]
+
+Runs the paper's counter, picks one operation, and prints its
+communication DAG (Figure 1), its topologically sorted communication
+list (Figure 2), its footprint I_p, and the Hot-Spot intersection with
+the neighbouring operations.
+"""
+
+import sys
+
+from repro import Network, TreeCounter, one_shot, run_sequence
+from repro.analysis import build_dag, build_list
+from repro.lowerbound import effective_footprint
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 81
+    probe = int(sys.argv[2]) if len(sys.argv) > 2 else n // 2
+
+    network = Network()
+    counter = TreeCounter(network, n)
+    result = run_sequence(counter, one_shot(n))
+    outcome = result.outcomes[probe]
+
+    print(f"=== operation {probe}: processor {outcome.initiator} incremented, "
+          f"got value {outcome.value}, cost {outcome.messages} messages ===\n")
+
+    dag = build_dag(result.trace, outcome.op_index, outcome.initiator)
+    print("Communication DAG (Figure 1):")
+    print(dag.to_ascii())
+    print(f"  depth (causal hops): {dag.depth()}")
+    print(f"  acyclic: {dag.is_acyclic()}")
+
+    lst = build_list(result.trace, outcome.op_index, outcome.initiator)
+    print(f"\nCommunication list (Figure 2), length {lst.length}:")
+    print(f"  {lst}")
+
+    footprint = effective_footprint(result, probe)
+    print(f"\nfootprint I_p = {sorted(footprint)}")
+    if probe > 0:
+        previous = effective_footprint(result, probe - 1)
+        print(f"I_(p-1) ∩ I_p = {sorted(previous & footprint)}  "
+              "(Hot Spot Lemma: never empty)")
+    if probe + 1 < len(result.outcomes):
+        following = effective_footprint(result, probe + 1)
+        print(f"I_p ∩ I_(p+1) = {sorted(footprint & following)}")
+
+
+if __name__ == "__main__":
+    main()

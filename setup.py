@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+This offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail.  The shim enables the legacy path:
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

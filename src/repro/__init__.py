@@ -1,0 +1,99 @@
+"""Reproduction of Wattenhofer & Widmayer, *An Inherent Bottleneck in
+Distributed Counting* (PODC 1997).
+
+The library provides:
+
+* :mod:`repro.sim` — a deterministic asynchronous message-passing
+  simulator with exact per-processor message accounting;
+* :mod:`repro.core` — the paper's communication-tree counter with
+  processor retirement (the matching O(k) upper bound);
+* :mod:`repro.lowerbound` — the §3 lower-bound machinery as executable
+  code: Hot Spot Lemma checking, communication lists, the weight
+  function, the greedy adversary, and the ``k·kᵏ = n`` bound curves;
+* :mod:`repro.counters` — the baselines: central counter, static relay
+  tree, combining tree, bitonic counting network, diffracting tree;
+* :mod:`repro.quorum` — quorum systems, the related-work home of the
+  intersection argument;
+* :mod:`repro.workloads` / :mod:`repro.analysis` — drivers and
+  measurement.
+
+Quickstart::
+
+    from repro import Network, TreeCounter, run_sequence, one_shot
+
+    network = Network()
+    counter = TreeCounter(network, n=81)          # k = 3, n = k^(k+1)
+    result = run_sequence(counter, one_shot(81))
+    print(result.values()[:5])                    # [0, 1, 2, 3, 4]
+    print(result.bottleneck_load())               # O(k), not O(n)
+"""
+
+from repro.api import CounterFactory, DistributedCounter
+from repro.core import (
+    IntervalMode,
+    NodeAddr,
+    TreeCounter,
+    TreeGeometry,
+    TreePolicy,
+    lower_bound_k,
+    paper_k_for,
+)
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SimulationLimitError,
+)
+from repro.sim import (
+    Message,
+    MessageRecord,
+    Network,
+    Processor,
+    RandomDelay,
+    SkewedDelay,
+    Trace,
+    UnitDelay,
+)
+from repro.workloads import (
+    RunResult,
+    one_shot,
+    run_concurrent,
+    run_sequence,
+    shuffled,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "CounterFactory",
+    "DistributedCounter",
+    "IntervalMode",
+    "InvariantViolationError",
+    "Message",
+    "MessageRecord",
+    "Network",
+    "NodeAddr",
+    "Processor",
+    "ProtocolError",
+    "RandomDelay",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "SimulationLimitError",
+    "SkewedDelay",
+    "Trace",
+    "TreeCounter",
+    "TreeGeometry",
+    "TreePolicy",
+    "UnitDelay",
+    "__version__",
+    "lower_bound_k",
+    "one_shot",
+    "paper_k_for",
+    "run_concurrent",
+    "run_sequence",
+    "shuffled",
+]

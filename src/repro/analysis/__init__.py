@@ -1,0 +1,74 @@
+"""Trace analysis: loads, communication DAGs/lists, report formatting.
+
+Everything here consumes a finished :class:`~repro.sim.Trace` (never live
+protocol state), so analysis cannot perturb or be gamed by the protocols
+it measures.
+"""
+
+from repro.analysis.dag import (
+    CommunicationDag,
+    CommunicationList,
+    DagNode,
+    build_dag,
+    build_list,
+    lists_for_run,
+)
+from repro.analysis.bits import BitLoadAnalyzer, value_bits
+from repro.analysis.export import (
+    loads_to_csv,
+    run_to_json,
+    run_to_summary,
+    trace_to_csv,
+    trace_to_json,
+    trace_to_records,
+)
+from repro.analysis.latency import LatencyProfile, op_latency
+from repro.analysis.linearizability import (
+    Inversion,
+    LinearizabilityReport,
+    TimedOp,
+    check_linearizable_counting,
+    run_concurrent_timed,
+    run_staggered_timed,
+)
+from repro.analysis.load import LoadProfile
+from repro.analysis.report import format_series, format_table
+from repro.analysis.stats import SeededSummary, summarize_over_seeds
+from repro.analysis.treeview import (
+    render_histogram,
+    render_load_bars,
+    render_tree,
+)
+
+__all__ = [
+    "BitLoadAnalyzer",
+    "CommunicationDag",
+    "CommunicationList",
+    "DagNode",
+    "Inversion",
+    "LatencyProfile",
+    "LinearizabilityReport",
+    "LoadProfile",
+    "SeededSummary",
+    "TimedOp",
+    "build_dag",
+    "build_list",
+    "check_linearizable_counting",
+    "format_series",
+    "format_table",
+    "lists_for_run",
+    "loads_to_csv",
+    "op_latency",
+    "render_histogram",
+    "render_load_bars",
+    "render_tree",
+    "run_concurrent_timed",
+    "run_staggered_timed",
+    "run_to_json",
+    "run_to_summary",
+    "summarize_over_seeds",
+    "trace_to_csv",
+    "trace_to_json",
+    "trace_to_records",
+    "value_bits",
+]

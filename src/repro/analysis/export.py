@@ -1,0 +1,91 @@
+"""Trace and load export: JSON / CSV for external analysis.
+
+The library's analyses are deliberately ASCII-first, but reproduction
+artifacts should be consumable by notebooks and plotting scripts.  This
+module serializes traces, load profiles and run summaries to plain
+structures, JSON strings, or CSV text — no third-party serializers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.analysis.load import LoadProfile
+from repro.sim.trace import Trace
+from repro.workloads.driver import RunResult
+
+
+def trace_to_records(trace: Trace) -> list[dict[str, Any]]:
+    """The trace as a list of plain dicts (one per delivered message)."""
+    return [
+        {
+            "uid": record.uid,
+            "op": record.op_index,
+            "sender": record.sender,
+            "receiver": record.receiver,
+            "kind": record.kind,
+            "send_time": record.send_time,
+            "deliver_time": record.deliver_time,
+        }
+        for record in trace.records
+    ]
+
+
+def trace_to_json(trace: Trace, indent: int | None = None) -> str:
+    """The trace as a JSON array."""
+    return json.dumps(trace_to_records(trace), indent=indent)
+
+
+def trace_to_csv(trace: Trace) -> str:
+    """The trace as CSV with a header row."""
+    buffer = io.StringIO()
+    fieldnames = [
+        "uid", "op", "sender", "receiver", "kind", "send_time", "deliver_time",
+    ]
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    for row in trace_to_records(trace):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def loads_to_csv(profile: LoadProfile) -> str:
+    """Per-processor loads as two-column CSV.
+
+    Only processors that handled at least one message appear; the
+    profile's ``population`` tells consumers how many zero rows are
+    implied.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["processor", "load"])
+    known = profile.loads
+    observed = set(known)
+    for pid in sorted(observed):
+        writer.writerow([pid, known[pid]])
+    return buffer.getvalue()
+
+
+def run_to_summary(result: RunResult) -> dict[str, Any]:
+    """One run's headline numbers as a plain dict."""
+    profile = LoadProfile.from_trace(result.trace, population=result.n)
+    return {
+        "counter": result.counter_name,
+        "n": result.n,
+        "operations": result.operation_count,
+        "total_messages": result.total_messages,
+        "messages_per_op": result.average_messages_per_op(),
+        "bottleneck_load": profile.bottleneck_load,
+        "bottleneck_processor": profile.bottleneck_processor,
+        "mean_load": profile.mean_load,
+        "gini": profile.gini(),
+        "values_ok": result.values() == sorted(result.values()),
+    }
+
+
+def run_to_json(result: RunResult, indent: int | None = 2) -> str:
+    """One run's summary as a JSON object."""
+    return json.dumps(run_to_summary(result), indent=indent)

@@ -1,0 +1,76 @@
+"""Operation latency: the paper's §1 time-complexity measure.
+
+"The time complexity of a distributed algorithm in an asynchronous
+setting measures the worst case time from the start of a run to its
+completion, based on the assumption that each message takes only one
+time unit."  Under :class:`~repro.sim.UnitDelay` this module computes
+exactly that per operation: the span from the operation's first send to
+its last delivery.
+
+The latency lens completes the cost picture the benchmarks paint:
+the central counter answers in 2 time units but funnels all load; the
+tree answers in ~k+1 units (its request must climb k+1 levels) —
+decentralization's latency price is the tree's depth, which is also
+O(log n / log log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.messages import OpIndex
+from repro.sim.trace import Trace
+from repro.workloads.driver import RunResult
+
+
+def op_latency(trace: Trace, op_index: OpIndex) -> float:
+    """Time from an operation's first send to its last delivery.
+
+    Zero for operations that needed no messages (a server incrementing
+    its own counter answers instantly).
+    """
+    records = trace.records_for_op(op_index)
+    if not records:
+        return 0.0
+    first_send = min(record.send_time for record in records)
+    last_delivery = max(record.deliver_time for record in records)
+    return last_delivery - first_send
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyProfile:
+    """Per-operation latencies of one run, with the usual summaries."""
+
+    latencies: tuple[float, ...]
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "LatencyProfile":
+        """Latency of every completed operation of *result*."""
+        return cls(
+            latencies=tuple(
+                op_latency(result.trace, outcome.op_index)
+                for outcome in result.outcomes
+            )
+        )
+
+    @property
+    def worst(self) -> float:
+        """The paper's worst-case time over the operation sequence."""
+        return max(self.latencies, default=0.0)
+
+    @property
+    def mean(self) -> float:
+        """Average operation latency."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile *q* in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]

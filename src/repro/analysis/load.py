@@ -1,0 +1,139 @@
+"""Load profiles: distilled per-processor message-load statistics.
+
+The paper's central quantity is ``m_p``, the number of messages processor
+``p`` sends or receives over an operation sequence, and the *bottleneck*
+``m_b = max_p m_p`` (§3).  A :class:`LoadProfile` wraps one trace's load
+vector with the statistics the benchmarks report: the bottleneck, the
+mean (the paper's ``L̄`` relates to it via ``Σ m_p = 2·messages``),
+dispersion measures, and a compact histogram.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.messages import ProcessorId
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class LoadProfile:
+    """Summary of one run's per-processor message loads.
+
+    ``population`` is the number of processors the loads are averaged
+    over; processors that handled no messages count as zeros, which
+    matters for means and Gini coefficients (a counter that concentrates
+    all work on one processor out of 1000 should look concentrated).
+    """
+
+    loads: dict[ProcessorId, int]
+    population: int
+
+    @classmethod
+    def from_trace(cls, trace: Trace, population: int | None = None) -> "LoadProfile":
+        """Build a profile from *trace*.
+
+        *population* defaults to the number of processors that appear in
+        the trace; pass the real system size for honest averages.
+        """
+        loads = trace.loads()
+        if population is None:
+            population = len(loads)
+        return cls(loads=loads, population=max(population, len(loads), 1))
+
+    # ------------------------------------------------------------------
+    # Headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def bottleneck_load(self) -> int:
+        """The paper's ``m_b``: the maximum load."""
+        return max(self.loads.values(), default=0)
+
+    @property
+    def bottleneck_processor(self) -> ProcessorId:
+        """Processor attaining the maximum load (smallest id on ties)."""
+        if not self.loads:
+            return 0
+        best = self.bottleneck_load
+        return min(p for p, m in self.loads.items() if m == best)
+
+    @property
+    def total_load(self) -> int:
+        """Sum of all loads — exactly twice the number of messages."""
+        return sum(self.loads.values())
+
+    @property
+    def mean_load(self) -> float:
+        """Average load over the population."""
+        return self.total_load / self.population
+
+    @property
+    def concentration(self) -> float:
+        """Bottleneck divided by mean: 1.0 means perfectly even."""
+        mean = self.mean_load
+        return self.bottleneck_load / mean if mean > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Distribution shape
+    # ------------------------------------------------------------------
+    def gini(self) -> float:
+        """Gini coefficient of the load distribution (0 = even, →1 = one
+        processor does everything)."""
+        values = sorted(self.loads.values())
+        zeros = self.population - len(values)
+        values = [0] * zeros + values
+        total = sum(values)
+        if total == 0:
+            return 0.0
+        n = len(values)
+        weighted = sum((index + 1) * v for index, v in enumerate(values))
+        return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+    def percentile(self, q: float) -> int:
+        """Load at quantile *q* in [0, 1] over the population."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        values = sorted(self.loads.values())
+        zeros = self.population - len(values)
+        values = [0] * zeros + values
+        if not values:
+            return 0
+        index = min(len(values) - 1, math.ceil(q * len(values)) - 1)
+        return values[max(index, 0)]
+
+    def top(self, count: int = 5) -> list[tuple[ProcessorId, int]]:
+        """The *count* most loaded processors as ``(pid, load)`` pairs."""
+        ranked = sorted(self.loads.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+    def histogram(self, bins: int = 8) -> list[tuple[int, int, int]]:
+        """Equal-width histogram: list of ``(low, high, count)`` bins.
+
+        Zero-load processors in the population are included in the first
+        bin.
+        """
+        if bins < 1:
+            raise ValueError(f"need at least one bin, got {bins}")
+        top = self.bottleneck_load
+        if top == 0:
+            return [(0, 0, self.population)]
+        width = max(1, math.ceil((top + 1) / bins))
+        counts = [0] * bins
+        zeros = self.population - len(self.loads)
+        counts[0] += zeros
+        for load in self.loads.values():
+            counts[min(load // width, bins - 1)] += 1
+        return [
+            (index * width, (index + 1) * width - 1, counts[index])
+            for index in range(bins)
+        ]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"bottleneck={self.bottleneck_load} (pid {self.bottleneck_processor}), "
+            f"mean={self.mean_load:.2f}, p50={self.percentile(0.5)}, "
+            f"p99={self.percentile(0.99)}, gini={self.gini():.3f}, "
+            f"population={self.population}"
+        )

@@ -1,0 +1,43 @@
+"""ASCII tables and series for benchmark output.
+
+The benchmark harness prints the rows the paper's claims translate to —
+this module keeps the formatting in one place so every bench looks the
+same and the EXPERIMENTS.md tables can be pasted from bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as a fixed-width ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(name: str, pairs: Iterable[tuple[Any, Any]]) -> str:
+    """Render an (x, y) series as ``name: x1->y1  x2->y2 ...``."""
+    body = "  ".join(f"{_cell(x)}->{_cell(y)}" for x, y in pairs)
+    return f"{name}: {body}"

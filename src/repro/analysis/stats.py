@@ -1,0 +1,71 @@
+"""Small statistics helpers for seeded repetitions.
+
+Reproductions should report spread, not single draws.  These helpers
+summarize a measurement function over a set of seeds — mean, standard
+deviation, extremes — without dragging in a stats framework.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class SeededSummary:
+    """Summary of one scalar measurement over several seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of repetitions."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single value)."""
+        if len(self.values) < 2:
+            return 0.0
+        center = self.mean
+        return math.sqrt(
+            sum((v - center) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        return max(self.values)
+
+    @property
+    def spread(self) -> float:
+        """Relative spread: (max - min) / mean (0 if mean is 0)."""
+        center = self.mean
+        return (self.maximum - self.minimum) / center if center else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.1f} ± {self.std:.1f} "
+            f"[{self.minimum:g}..{self.maximum:g}]"
+        )
+
+
+def summarize_over_seeds(
+    measure: Callable[[int], float], seeds: Iterable[int]
+) -> SeededSummary:
+    """Run *measure(seed)* for every seed and summarize the results."""
+    values = tuple(float(measure(seed)) for seed in seeds)
+    if not values:
+        raise ValueError("need at least one seed")
+    return SeededSummary(values=values)

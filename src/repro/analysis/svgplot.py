@@ -1,0 +1,220 @@
+"""Dependency-free SVG charts for the reproduction's figures.
+
+The offline environment has no plotting stack, so this module writes
+plain SVG: line/scatter series over linear or log axes, with a legend.
+It is deliberately small — enough to regenerate the paper's headline
+figures (`python -m repro figures`) as vector graphics, no more.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 70
+_MARGIN_RIGHT = 170
+_MARGIN_TOP = 50
+_MARGIN_BOTTOM = 55
+
+_PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    name: str
+    points: tuple[tuple[float, float], ...]
+    dashed: bool = False
+
+
+@dataclass(slots=True)
+class LineChart:
+    """A titled chart of several series, rendered to SVG text."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    log_x: bool = False
+    log_y: bool = False
+
+    def add(self, name: str, points: Sequence[tuple[float, float]],
+            dashed: bool = False) -> "LineChart":
+        """Add one series; returns self for chaining."""
+        self.series.append(Series(name=name, points=tuple(points), dashed=dashed))
+        return self
+
+    # ------------------------------------------------------------------
+    # Coordinate transforms
+    # ------------------------------------------------------------------
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for s in self.series for x, _ in s.points]
+        ys = [y for s in self.series for _, y in s.points]
+        if not xs:
+            return (0.0, 1.0, 0.0, 1.0)
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if self.log_x:
+            x_low = max(x_low, 1e-9)
+        if self.log_y:
+            y_low = max(y_low, 1e-9)
+        if x_low == x_high:
+            x_high = x_low + 1.0
+        if y_low == y_high:
+            y_high = y_low + 1.0
+        return (x_low, x_high, y_low, y_high)
+
+    def _to_px(self, x: float, y: float, bounds) -> tuple[float, float]:
+        x_low, x_high, y_low, y_high = bounds
+        if self.log_x:
+            position = (math.log10(x) - math.log10(x_low)) / (
+                math.log10(x_high) - math.log10(x_low)
+            )
+        else:
+            position = (x - x_low) / (x_high - x_low)
+        px = _MARGIN_LEFT + position * (_WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT)
+        if self.log_y:
+            vertical = (math.log10(y) - math.log10(y_low)) / (
+                math.log10(y_high) - math.log10(y_low)
+            )
+        else:
+            vertical = (y - y_low) / (y_high - y_low)
+        py = _HEIGHT - _MARGIN_BOTTOM - vertical * (
+            _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+        )
+        return (px, py)
+
+    def _ticks(self, low: float, high: float, log: bool) -> list[float]:
+        if log:
+            first = math.ceil(math.log10(max(low, 1e-9)))
+            last = math.floor(math.log10(high))
+            ticks = [10.0**e for e in range(first, last + 1)]
+            return ticks or [low, high]
+        span = high - low
+        step = 10 ** math.floor(math.log10(span / 4 or 1))
+        for factor in (1, 2, 5, 10):
+            if span / (step * factor) <= 6:
+                step *= factor
+                break
+        first = math.ceil(low / step) * step
+        ticks = []
+        value = first
+        while value <= high + 1e-9:
+            ticks.append(round(value, 10))
+            value += step
+        return ticks
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Render the chart as a standalone SVG document."""
+        bounds = self._bounds()
+        x_low, x_high, y_low, y_high = bounds
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+            f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+            'font-family="sans-serif">',
+            f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+            f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_esc(self.title)}</text>',
+        ]
+        # Axes frame.
+        plot_right = _WIDTH - _MARGIN_RIGHT
+        plot_bottom = _HEIGHT - _MARGIN_BOTTOM
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{_MARGIN_TOP}" '
+            f'width="{plot_right - _MARGIN_LEFT}" '
+            f'height="{plot_bottom - _MARGIN_TOP}" fill="none" '
+            'stroke="#333" stroke-width="1"/>'
+        )
+        # Ticks and grid.
+        for tick in self._ticks(x_low, x_high, self.log_x):
+            px, _ = self._to_px(tick, y_low, bounds)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{_MARGIN_TOP}" x2="{px:.1f}" '
+                f'y2="{plot_bottom}" stroke="#ddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{plot_bottom + 16}" '
+                f'text-anchor="middle" font-size="11">{_fmt(tick)}</text>'
+            )
+        for tick in self._ticks(y_low, y_high, self.log_y):
+            _, py = self._to_px(x_low, tick, bounds)
+            parts.append(
+                f'<line x1="{_MARGIN_LEFT}" y1="{py:.1f}" x2="{plot_right}" '
+                f'y2="{py:.1f}" stroke="#ddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{_MARGIN_LEFT - 6}" y="{py + 4:.1f}" '
+                f'text-anchor="end" font-size="11">{_fmt(tick)}</text>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{(_MARGIN_LEFT + plot_right) / 2}" '
+            f'y="{_HEIGHT - 12}" text-anchor="middle" font-size="12">'
+            f"{_esc(self.x_label)}</text>"
+        )
+        parts.append(
+            f'<text x="18" y="{(_MARGIN_TOP + plot_bottom) / 2}" '
+            f'text-anchor="middle" font-size="12" transform="rotate(-90 18 '
+            f'{(_MARGIN_TOP + plot_bottom) / 2})">{_esc(self.y_label)}</text>'
+        )
+        # Series.
+        for index, series in enumerate(self.series):
+            color = _PALETTE[index % len(_PALETTE)]
+            dash = ' stroke-dasharray="6 4"' if series.dashed else ""
+            coordinates = " ".join(
+                "{:.1f},{:.1f}".format(*self._to_px(x, y, bounds))
+                for x, y in series.points
+            )
+            parts.append(
+                f'<polyline points="{coordinates}" fill="none" '
+                f'stroke="{color}" stroke-width="2"{dash}/>'
+            )
+            for x, y in series.points:
+                px, py = self._to_px(x, y, bounds)
+                parts.append(
+                    f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" '
+                    f'fill="{color}"/>'
+                )
+            # Legend entry.
+            legend_y = _MARGIN_TOP + 14 + index * 18
+            parts.append(
+                f'<line x1="{plot_right + 10}" y1="{legend_y - 4}" '
+                f'x2="{plot_right + 34}" y2="{legend_y - 4}" '
+                f'stroke="{color}" stroke-width="2"{dash}/>'
+            )
+            parts.append(
+                f'<text x="{plot_right + 40}" y="{legend_y}" '
+                f'font-size="11">{_esc(series.name)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the SVG to *path*."""
+        import pathlib
+
+        pathlib.Path(path).write_text(self.to_svg())
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 10**7:
+        return str(int(value))
+    if abs(value) >= 10**6 or (0 < abs(value) < 1e-3):
+        return f"{value:.0e}"
+    return f"{value:g}"

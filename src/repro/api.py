@@ -1,0 +1,113 @@
+"""The abstract data type *distributed counter* (§2 of the paper).
+
+A distributed counter encapsulates an integer ``val`` and supports one
+operation, ``inc``: it returns the current value to the requesting
+processor and increments the counter by one.  The paper proves its lower
+bound already for this minimal test-and-increment interface.
+
+Implementations in this library are *protocol wirings*: constructing a
+counter registers processor programs with a :class:`~repro.sim.Network`,
+and :meth:`DistributedCounter.begin_inc` injects an operation request at
+the initiating processor.  All communication goes through the network, so
+message loads are measured, never self-reported.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.messages import OpIndex, ProcessorId
+from repro.sim.network import Network
+
+
+class DistributedCounter(ABC):
+    """Base class for distributed counter implementations.
+
+    Subclasses register all their processors in ``__init__`` and implement
+    :meth:`begin_inc`.  Returned values are delivered asynchronously; the
+    driver reads them via :meth:`results_for` after quiescence.
+
+    Attributes:
+        name: short human-readable implementation name, used in reports.
+    """
+
+    name: str = "counter"
+
+    def __init__(self, network: Network, n: int) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"need at least one processor, got n={n}")
+        self._network = network
+        self._n = n
+        self._results: dict[ProcessorId, list[int]] = {}
+        self._result_times: dict[ProcessorId, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The network this counter is wired into."""
+        return self._network
+
+    @property
+    def n(self) -> int:
+        """Number of client processors that may request ``inc``."""
+        return self._n
+
+    def client_ids(self) -> range:
+        """Processor ids allowed to initiate ``inc`` (the paper's 1..n)."""
+        return range(1, self._n + 1)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def begin_inc(self, pid: ProcessorId, op_index: OpIndex) -> None:
+        """Inject an ``inc`` request at processor *pid*.
+
+        The request is the paper's operation initiation: a local event, not
+        a message.  All messages it causes are attributed to *op_index*.
+        """
+
+    def deliver_result(self, pid: ProcessorId, value: int) -> None:
+        """Record that *pid* learned counter value *value*.
+
+        Called by protocol code at the moment the initiating processor
+        receives its answer.  The simulated response time is recorded
+        alongside, which is what the linearizability checker consumes.
+        """
+        self._results.setdefault(pid, []).append(value)
+        self._result_times.setdefault(pid, []).append(self._network.now)
+
+    def results_for(self, pid: ProcessorId) -> list[int]:
+        """All values returned to *pid* so far, in arrival order."""
+        return list(self._results.get(pid, []))
+
+    def result_times_for(self, pid: ProcessorId) -> list[float]:
+        """Simulated times at which *pid* received its values."""
+        return list(self._result_times.get(pid, []))
+
+    def last_result_for(self, pid: ProcessorId) -> int:
+        """The most recent value returned to *pid*; raises if none."""
+        results = self._results.get(pid)
+        if not results:
+            raise ProtocolError(f"no inc result was delivered to processor {pid}")
+        return results[-1]
+
+    def all_results(self) -> list[int]:
+        """Every value handed out, across all processors (unordered)."""
+        values: list[int] = []
+        for result_list in self._results.values():
+            values.extend(result_list)
+        return values
+
+
+CounterFactory = Callable[[Network, int], DistributedCounter]
+"""Builds a counter for ``n`` clients on a network — the sweep interface.
+
+Factories let harnesses (benchmarks, the adversary, property tests) treat
+all implementations uniformly: construct a fresh network, call the factory,
+drive the workload, analyze the trace.
+"""

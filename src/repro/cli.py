@@ -1,0 +1,407 @@
+"""Command-line interface: drive the reproduction without writing code.
+
+Subcommands::
+
+    python -m repro run        one workload on one counter
+    python -m repro sweep      bottleneck table over counters × sizes
+    python -m repro adversary  play the §3 lower-bound game
+    python -m repro bound      print the k·kᵏ = n curve
+    python -m repro quorum     quorum systems: loads + counter bottleneck
+    python -m repro tree       inspect a communication tree's geometry
+
+Every command prints the same ASCII tables the benchmark suite saves,
+so the CLI doubles as a quick re-run of any experiment slice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis import LoadProfile, format_table
+from repro.api import DistributedCounter
+from repro.core import TreeCounter, TreeGeometry
+from repro.counters import (
+    ArrowCounter,
+    BitonicCountingNetwork,
+    CentralCounter,
+    CombiningTreeCounter,
+    DiffractingTreeCounter,
+    StaticTreeCounter,
+)
+from repro.lowerbound import (
+    GreedyAdversary,
+    am_gm_holds,
+    bound_series,
+    evaluate_ledger,
+    lower_bound_k,
+    message_load_bound,
+)
+from repro.quorum import (
+    CrumblingWall,
+    MaekawaGrid,
+    QuorumCounter,
+    RotatingMajorityQuorum,
+    SingletonQuorum,
+    TreePathQuorum,
+    WheelQuorum,
+    optimal_load,
+    uniform_load,
+)
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay, SkewedDelay, UnitDelay
+from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
+
+COUNTERS: dict[str, Callable[[Network, int], DistributedCounter]] = {
+    "arrow": ArrowCounter,
+    "central": CentralCounter,
+    "static-tree": StaticTreeCounter,
+    "ww-tree": TreeCounter,
+    "combining-tree": CombiningTreeCounter,
+    "counting-network": BitonicCountingNetwork,
+    "diffracting-tree": DiffractingTreeCounter,
+}
+
+POLICIES = {
+    "unit": UnitDelay,
+    "random": RandomDelay,
+    "skewed": SkewedDelay,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for Wattenhofer & Widmayer, 'An Inherent "
+            "Bottleneck in Distributed Counting' (PODC 1997)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one workload on one counter")
+    run.add_argument("--counter", choices=sorted(COUNTERS), default="ww-tree")
+    run.add_argument("--n", type=int, default=81)
+    run.add_argument(
+        "--order", choices=["identity", "shuffled"], default="identity"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--policy", choices=sorted(POLICIES), default="unit",
+        help="message delivery policy",
+    )
+    run.add_argument(
+        "--concurrent", action="store_true",
+        help="inject all incs as one concurrent batch",
+    )
+    run.add_argument("--top", type=int, default=5, help="hottest processors shown")
+
+    sweep = commands.add_parser(
+        "sweep", help="bottleneck table over counters x sizes"
+    )
+    sweep.add_argument(
+        "--counters", default="central,ww-tree",
+        help="comma-separated counter names (or 'all')",
+    )
+    sweep.add_argument("--ns", default="64,256,1024", help="comma-separated sizes")
+
+    adversary = commands.add_parser(
+        "adversary", help="play the §3 greedy longest-list adversary"
+    )
+    adversary.add_argument("--counter", choices=sorted(COUNTERS), default="central")
+    adversary.add_argument("--n", type=int, default=16)
+    adversary.add_argument(
+        "--sample", type=int, default=None,
+        help="candidates evaluated per step (default: all)",
+    )
+    adversary.add_argument("--seed", type=int, default=0)
+
+    bound = commands.add_parser("bound", help="print the k·kᵏ = n curve")
+    bound.add_argument("--ns", default="8,81,1024,15625,1000000")
+
+    quorum = commands.add_parser("quorum", help="quorum-system loads + counter")
+    quorum.add_argument("--n", type=int, default=64)
+
+    tree = commands.add_parser("tree", help="inspect tree geometry")
+    group = tree.add_mutually_exclusive_group(required=True)
+    group.add_argument("--k", type=int, help="paper shape parameter")
+    group.add_argument("--n", type=int, help="derive shape from processor count")
+
+    validate = commands.add_parser(
+        "validate", help="run a quick end-to-end self-check battery"
+    )
+    validate.add_argument(
+        "--n", type=int, default=81, help="size of the self-check workload"
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="run one experiment of the E-index (see DESIGN.md)"
+    )
+    experiment.add_argument(
+        "id", nargs="?", default=None,
+        help="experiment id, e.g. E4 (omit to list all)",
+    )
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the headline SVG figures"
+    )
+    figures.add_argument(
+        "--out", default="benchmarks/figures", help="output directory"
+    )
+
+    return parser
+
+
+def _make_policy(name: str, seed: int):
+    if name == "random":
+        return RandomDelay(seed=seed)
+    return POLICIES[name]()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    network = Network(policy=_make_policy(args.policy, args.seed))
+    counter = COUNTERS[args.counter](network, args.n)
+    order = (
+        one_shot(args.n)
+        if args.order == "identity"
+        else shuffled(args.n, seed=args.seed)
+    )
+    if args.concurrent:
+        result = run_concurrent(counter, [order])
+    else:
+        result = run_sequence(counter, order)
+    profile = LoadProfile.from_trace(result.trace, population=args.n)
+    print(f"counter:    {counter.name}  (n={args.n}, policy={args.policy}, "
+          f"{'concurrent' if args.concurrent else 'sequential'})")
+    print(f"operations: {result.operation_count}, all values correct")
+    print(f"messages:   {result.total_messages} total, "
+          f"{result.average_messages_per_op():.2f} per op")
+    print(f"bottleneck: m_b = {profile.bottleneck_load} at processor "
+          f"{profile.bottleneck_processor}  "
+          f"(lower bound k(n) = {lower_bound_k(args.n):.2f})")
+    print(f"loads:      mean {profile.mean_load:.2f}, p99 "
+          f"{profile.percentile(0.99)}, gini {profile.gini():.3f}")
+    print("hottest:    " + ", ".join(
+        f"p{pid}:{load}" for pid, load in profile.top(args.top)
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    names = (
+        sorted(COUNTERS) if args.counters == "all" else args.counters.split(",")
+    )
+    ns = [int(value) for value in args.ns.split(",")]
+    unknown = [name for name in names if name not in COUNTERS]
+    if unknown:
+        print(f"unknown counters: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in names:
+        cells: list[object] = [name]
+        for n in ns:
+            network = Network()
+            counter = COUNTERS[name](network, n)
+            result = run_sequence(counter, one_shot(n))
+            cells.append(result.bottleneck_load())
+        rows.append(cells)
+    rows.append(["k(n) bound"] + [f"{lower_bound_k(n):.2f}" for n in ns])
+    print(
+        format_table(
+            ["counter"] + [f"m_b @ n={n}" for n in ns],
+            rows,
+            title="Sequential one-shot bottleneck sweep",
+        )
+    )
+    return 0
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    run = GreedyAdversary(
+        COUNTERS[args.counter], args.n, sample_size=args.sample, seed=args.seed
+    ).run()
+    report = evaluate_ledger(run.ledger, base=run.bottleneck_load + 1)
+    print(f"adversary vs {args.counter}, n={args.n}")
+    print(f"chosen order: {run.order}")
+    print(f"list lengths: {run.chosen_lengths}")
+    print(f"bottleneck m_b = {run.bottleneck_load} "
+          f">= floor(k) = {message_load_bound(args.n)}: "
+          f"{run.bottleneck_load >= message_load_bound(args.n)}")
+    print(f"weight growth {report.growth_steps}/{len(report.weights) - 1}, "
+          f"AM-GM holds: {am_gm_holds(report)}")
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    ns = [int(value) for value in args.ns.split(",")]
+    print(
+        format_table(
+            ["n", "k(n)", "floor", "ln n/ln ln n"],
+            bound_series(ns),
+            title="Lower bound curve: k·kᵏ = n",
+        )
+    )
+    return 0
+
+
+def _cmd_quorum(args: argparse.Namespace) -> int:
+    n = args.n
+    systems = [
+        SingletonQuorum(n),
+        RotatingMajorityQuorum(n),
+        TreePathQuorum(n),
+        WheelQuorum(n),
+        CrumblingWall(n),
+    ]
+    import math
+
+    if math.isqrt(n) ** 2 == n:
+        systems.insert(2, MaekawaGrid(n))
+    rows = []
+    for system in systems:
+        network = Network()
+        counter = QuorumCounter(network, n, system)
+        result = run_sequence(counter, one_shot(n))
+        rows.append(
+            [
+                type(system).__name__,
+                system.max_quorum_size(),
+                f"{uniform_load(system).system_load:.3f}",
+                f"{optimal_load(system).system_load:.3f}",
+                result.bottleneck_load(),
+            ]
+        )
+    print(
+        format_table(
+            ["system", "max |Q|", "uniform load", "optimal load", "counter m_b"],
+            rows,
+            title=f"Quorum systems over n={n}",
+        )
+    )
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    geometry = (
+        TreeGeometry.paper_shape(args.k)
+        if args.k is not None
+        else TreeGeometry.for_processors(args.n)
+    )
+    print(f"shape:           arity=depth={geometry.arity} "
+          f"(paper k={geometry.arity})")
+    print(f"leaves:          {geometry.leaf_count} = "
+          f"{geometry.arity}^{geometry.depth + 1}")
+    print(f"inner nodes:     {geometry.total_inner_nodes()}")
+    print(f"ids required:    {geometry.processor_requirement()} "
+          f"(max interval id {geometry.max_interval_id()}, "
+          f"root walk budget {geometry.root_walk_budget()})")
+    rows = []
+    for level in geometry.inner_levels():
+        if level == 0:
+            interval = "1,2,3,... (walk)"
+        else:
+            from repro.core import NodeAddr
+
+            example = geometry.id_interval(NodeAddr(level, 0))
+            interval = f"width {len(example)} (e.g. {example.start}..{example.stop - 1})"
+        rows.append([level, geometry.nodes_on_level(level), interval])
+    print(
+        format_table(
+            ["level", "nodes", "replacement ids per node"],
+            rows,
+            title="Identifier scheme (§4)",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """A fast self-check: every counter counts, every lemma holds."""
+    from repro.core.invariants import check_all
+    from repro.lowerbound import check_hot_spot, message_load_bound
+
+    n = args.n
+    failures = 0
+
+    def report(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        if not ok:
+            failures += 1
+        suffix = f" — {detail}" if detail else ""
+        print(f"  [{'OK' if ok else 'FAIL'}] {label}{suffix}")
+
+    print(f"self-check battery, n={n}")
+    for name, factory in sorted(COUNTERS.items()):
+        network = Network()
+        counter = factory(network, n)
+        result = run_sequence(counter, one_shot(n))
+        values_ok = result.values() == list(range(n))
+        hotspot_ok = check_hot_spot(result).holds
+        bound_ok = result.bottleneck_load() >= message_load_bound(n)
+        report(
+            f"{name}: counts, hot-spot, bound",
+            values_ok and hotspot_ok and bound_ok,
+            f"m_b={result.bottleneck_load()}",
+        )
+        if isinstance(counter, TreeCounter) and counter.policy.retires:
+            for lemma in check_all(counter, result):
+                report(f"{name}: {lemma.lemma}", lemma.holds, lemma.detail)
+    print("result:", "ALL OK" if failures == 0 else f"{failures} FAILURES")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one E-index experiment (or list them)."""
+    from repro.experiments import REGISTRY
+
+    if args.id is None:
+        print("available experiments:")
+        for experiment_id in sorted(REGISTRY, key=lambda e: int(e[1:])):
+            runner = REGISTRY[experiment_id]
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            doc = doc.removeprefix(f"{experiment_id}: ")
+            print(f"  {experiment_id:>4}: {doc}")
+        return 0
+    experiment_id = args.id.upper()
+    if experiment_id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; run without an id to list",
+              file=sys.stderr)
+        return 2
+    result = REGISTRY[experiment_id]()
+    print(f"{result.experiment_id}: {result.claim}\n")
+    print(result.to_text())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate the SVG figures (F1-F3)."""
+    from repro.experiments.figures import save_all_figures
+
+    written = save_all_figures(args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "adversary": _cmd_adversary,
+    "bound": _cmd_bound,
+    "quorum": _cmd_quorum,
+    "tree": _cmd_tree,
+    "validate": _cmd_validate,
+    "experiment": _cmd_experiment,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

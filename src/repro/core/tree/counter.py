@@ -1,0 +1,132 @@
+"""The paper's distributed counter: a communication tree with retirement.
+
+This is the matching upper bound of §4.  The root holds the counter
+value; leaves are the processors that request ``inc``; inner nodes relay
+requests rootward; and every node retires its current processor after a
+bounded amount of traffic, replacing it with the next id of a statically
+preallocated interval.  Over the paper's workload — each of the ``n``
+processors increments exactly once — every processor sends and receives
+O(k) messages, where ``k·kᵏ = n`` (Bottleneck Theorem), matching the
+lower bound of §3.
+"""
+
+from __future__ import annotations
+
+from repro.api import DistributedCounter
+from repro.core.tree.geometry import TreeGeometry
+from repro.core.tree.policy import TreePolicy
+from repro.core.tree.roles import RetirementEvent, RoleRegistry
+from repro.core.tree.worker import TreeWorker
+from repro.errors import ConfigurationError
+from repro.sim.messages import OpIndex, ProcessorId
+from repro.sim.network import Network
+
+
+class TreeCounter(DistributedCounter):
+    """Wattenhofer–Widmayer communication-tree counter.
+
+    Args:
+        network: simulator to wire into.
+        n: number of client processors (1..n may initiate ``inc``).  If
+            *n* is not of the form ``k^(k+1)`` the tree is built for the
+            next such size, exactly as the paper prescribes ("otherwise
+            simply increase n to the next higher value of the form
+            k·kᵏ"); the extra leaves simply never increment.
+        geometry: explicit tree shape (defaults to the smallest paper
+            shape covering *n*; the E10 ablation passes custom shapes).
+        policy: retirement policy (defaults to
+            :meth:`TreePolicy.paper_default` for the shape's arity).
+    """
+
+    name = "ww-tree"
+
+    def __init__(
+        self,
+        network: Network,
+        n: int,
+        geometry: TreeGeometry | None = None,
+        policy: TreePolicy | None = None,
+    ) -> None:
+        super().__init__(network, n)
+        self.geometry = geometry or TreeGeometry.for_processors(n)
+        if n > self.geometry.leaf_count:
+            raise ConfigurationError(
+                f"tree with {self.geometry.leaf_count} leaves cannot serve "
+                f"n={n} clients"
+            )
+        self.policy = policy or TreePolicy.paper_default(self.geometry.arity)
+        self.registry = RoleRegistry(self.geometry, self.policy)
+        self._workers: dict[ProcessorId, TreeWorker] = {}
+        self._build_workers()
+
+    def _build_workers(self) -> None:
+        requirement = self.geometry.processor_requirement()
+        for pid in range(1, requirement + 1):
+            worker = TreeWorker(pid, self)
+            self.network.register(worker)
+            self._workers[pid] = worker
+        for role in self.registry.all_roles():
+            self._workers[role.worker].adopt_role(role)
+        for leaf_pid in range(1, self.geometry.leaf_count + 1):
+            parent_role = self.registry.role(self.geometry.leaf_parent(leaf_pid))
+            self._workers[leaf_pid].set_leaf_parent(parent_role.worker)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The paper's parameter k (the tree arity)."""
+        return self.geometry.arity
+
+    def worker(self, pid: ProcessorId) -> TreeWorker:
+        """The worker program of processor *pid* (test introspection)."""
+        return self._workers[pid]
+
+    @property
+    def value(self) -> int:
+        """Current counter value, read off the root role."""
+        value = self.registry.root().value
+        assert value is not None
+        return value
+
+    @property
+    def retirements(self) -> list[RetirementEvent]:
+        """All retirement events so far, chronologically."""
+        return self.registry.retirements
+
+    def total_forwarded(self) -> int:
+        """Messages re-sent due to stale addressing (handshake overhead)."""
+        return sum(worker.forwarded_messages for worker in self._workers.values())
+
+    def total_deferred(self) -> int:
+        """Messages that arrived before their role's hand-off did."""
+        return sum(worker.deferred_messages for worker in self._workers.values())
+
+    # ------------------------------------------------------------------
+    # Root semantics (overridden by the generalized data structures)
+    # ------------------------------------------------------------------
+    def apply_at_root(self, role, request: object) -> object:
+        """Apply one operation at the root; return the reply.
+
+        The counter's semantics: return the current value, then
+        increment (§2's test-and-increment).  Subclasses in
+        :mod:`repro.datatypes` override this to realize the other
+        sequentially dependent data types the paper's §2 mentions; the
+        whole tree/retirement machinery is shared.
+        """
+        assert role.value is not None
+        value = role.value
+        role.value = value + 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def begin_inc(self, pid: ProcessorId, op_index: OpIndex) -> None:
+        if not 1 <= pid <= self.n:
+            raise ConfigurationError(
+                f"processor {pid} is not a client of this counter (1..{self.n})"
+            )
+        worker = self._workers[pid]
+        self.network.inject(worker.request_inc, op_index=op_index)

@@ -1,0 +1,274 @@
+"""Tree geometry and the paper's identifier-interval scheme (§4).
+
+The paper's communication tree: every inner node has ``k`` children, the
+root is on level 0, all leaves are on level ``k+1``, so there are
+``n = k·kᵏ = k^(k+1)`` leaves — one per processor.  We generalize to an
+``arity``-ary tree with inner levels ``0 .. depth`` (leaves on level
+``depth+1``); the paper's shape is ``arity = depth = k``, and the shape
+ablation (experiment E10) sweeps the generalization.
+
+Identifier scheme, reconstructed from §4: leaves are processors ``1..n``
+left to right.  The level-``i`` (1 ≤ i ≤ depth) inner node number ``j``
+(0-based) initially uses processor ``(i-1)·arityᵈ + j·arity^(d-i) + 1``
+(with ``d = depth``) and owns the following ``arity^(d-i)`` ids as
+replacement candidates.  Bands of ``arityᵈ`` ids per level make intervals
+disjoint across levels, sub-intervals of ``arity^(d-i)`` ids make them
+disjoint within a level, and the largest id used is ``depth·arityᵈ``,
+which for the paper's shape equals ``k·kᵏ = n``.  The root walks ids
+``1, 2, 3, …`` independently; the paper's accounting ("each processor
+starts working at most once for the root and at most once for another
+inner node", Bottleneck Theorem) is preserved because the root's walk is
+strictly increasing and each inner interval is consumed left to right.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.messages import ProcessorId
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeAddr:
+    """Address of an inner node: ``(level, index)``.
+
+    ``level`` 0 is the root; ``index`` runs 0 .. arity^level - 1 left to
+    right.  Leaves are not :class:`NodeAddr`; they are identified by their
+    processor id.
+    """
+
+    level: int
+    index: int
+
+    @property
+    def is_root(self) -> bool:
+        """True for the root node ``(0, 0)``."""
+        return self.level == 0
+
+    def key(self) -> tuple[int, int]:
+        """A plain-tuple form safe to embed in message payloads."""
+        return (self.level, self.index)
+
+    def __str__(self) -> str:
+        return "root" if self.is_root else f"node({self.level},{self.index})"
+
+
+ROOT = NodeAddr(0, 0)
+
+
+class TreeGeometry:
+    """Shape, adjacency and id intervals of a communication tree.
+
+    Args:
+        arity: children per inner node (the paper's ``k``), at least 2.
+        depth: last inner level (the paper's ``k``); leaves live on
+            ``depth + 1``.  At least 1, so there is at least one level of
+            non-root inner nodes.
+    """
+
+    def __init__(self, arity: int, depth: int) -> None:
+        if arity < 2:
+            raise ConfigurationError(f"tree arity must be at least 2, got {arity}")
+        if depth < 1:
+            raise ConfigurationError(f"tree depth must be at least 1, got {depth}")
+        self.arity = arity
+        self.depth = depth
+        self.leaf_count = arity ** (depth + 1)
+        self._band = arity**depth  # ids per level band = leaf_count / arity
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_shape(cls, k: int) -> "TreeGeometry":
+        """The paper's tree for parameter ``k``: arity = depth = k."""
+        return cls(arity=k, depth=k)
+
+    @classmethod
+    def for_processors(cls, n: int) -> "TreeGeometry":
+        """Smallest paper-shape tree with at least *n* leaves.
+
+        The paper: "for simplicity let us assume that n = k·kᵏ; otherwise
+        simply increase n to the next higher value of the form k·kᵏ".
+        """
+        if n < 1:
+            raise ConfigurationError(f"need at least one processor, got n={n}")
+        k = 2
+        while k ** (k + 1) < n:
+            k += 1
+        return cls.paper_shape(k)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def inner_levels(self) -> range:
+        """Levels that hold inner nodes (0 = root .. depth)."""
+        return range(self.depth + 1)
+
+    def nodes_on_level(self, level: int) -> int:
+        """Number of inner nodes on *level*."""
+        self._check_level(level)
+        return self.arity**level
+
+    def total_inner_nodes(self) -> int:
+        """Inner nodes over all levels: (arity^(depth+1) - 1)/(arity - 1)."""
+        return (self.arity ** (self.depth + 1) - 1) // (self.arity - 1)
+
+    def all_nodes(self) -> list[NodeAddr]:
+        """Every inner node, root first, in level order."""
+        return [
+            NodeAddr(level, index)
+            for level in self.inner_levels()
+            for index in range(self.nodes_on_level(level))
+        ]
+
+    def leaves_under(self, addr: NodeAddr) -> int:
+        """Number of leaves in the subtree of *addr* (paths through it)."""
+        self._check_addr(addr)
+        return self.arity ** (self.depth + 1 - addr.level)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def parent(self, addr: NodeAddr) -> NodeAddr:
+        """Parent of inner node *addr*; the root has no parent."""
+        self._check_addr(addr)
+        if addr.is_root:
+            raise ConfigurationError("the root has no parent")
+        return NodeAddr(addr.level - 1, addr.index // self.arity)
+
+    def children(self, addr: NodeAddr) -> list[NodeAddr]:
+        """Inner-node children of *addr*; empty for level-``depth`` nodes."""
+        self._check_addr(addr)
+        if addr.level == self.depth:
+            return []
+        base = addr.index * self.arity
+        return [NodeAddr(addr.level + 1, base + c) for c in range(self.arity)]
+
+    def leaf_children(self, addr: NodeAddr) -> list[ProcessorId]:
+        """Leaf (processor id) children of a level-``depth`` node."""
+        self._check_addr(addr)
+        if addr.level != self.depth:
+            raise ConfigurationError(f"{addr} is not on the last inner level")
+        base = addr.index * self.arity
+        return [base + c + 1 for c in range(self.arity)]
+
+    def leaf_parent(self, leaf_pid: ProcessorId) -> NodeAddr:
+        """The level-``depth`` inner node above leaf processor *leaf_pid*."""
+        if not 1 <= leaf_pid <= self.leaf_count:
+            raise ConfigurationError(
+                f"leaf id {leaf_pid} outside 1..{self.leaf_count}"
+            )
+        return NodeAddr(self.depth, (leaf_pid - 1) // self.arity)
+
+    def path_to_root(self, leaf_pid: ProcessorId) -> list[NodeAddr]:
+        """Inner nodes on the path from *leaf_pid*'s parent up to the root."""
+        path = [self.leaf_parent(leaf_pid)]
+        while not path[-1].is_root:
+            path.append(self.parent(path[-1]))
+        return path
+
+    # ------------------------------------------------------------------
+    # Identifier intervals (§4's replacement-processor scheme)
+    # ------------------------------------------------------------------
+    def id_interval(self, addr: NodeAddr) -> range:
+        """Replacement-id interval of a non-root inner node.
+
+        The first id of the interval is the node's initial worker; retired
+        workers are replaced by the next id.  Intervals are pairwise
+        disjoint over all non-root inner nodes.
+        """
+        self._check_addr(addr)
+        if addr.is_root:
+            raise ConfigurationError(
+                "the root walks ids 1, 2, 3, ... and has no static interval"
+            )
+        width = self.arity ** (self.depth - addr.level)
+        start = (addr.level - 1) * self._band + addr.index * width + 1
+        return range(start, start + width)
+
+    def initial_worker(self, addr: NodeAddr) -> ProcessorId:
+        """Initial processor id working for inner node *addr*.
+
+        The root starts at processor 1 (it shares ids with other roles by
+        design; the Bottleneck Theorem's accounting allows one root tenure
+        plus one inner tenure per processor).
+        """
+        if addr.is_root:
+            return 1
+        return self.id_interval(addr)[0]
+
+    def max_interval_id(self) -> ProcessorId:
+        """Largest id any non-root interval contains: depth · arity^depth."""
+        return self.depth * self._band
+
+    def root_walk_budget(self, slack: int = 8) -> ProcessorId:
+        """Upper bound on root ids needed for one one-shot workload.
+
+        The root handles about three messages per operation (receive the
+        forwarded inc, send the value, and occasionally a child's
+        id-update) and retires every ``2·arity`` messages, so about
+        ``2n/arity`` ids suffice; *slack* absorbs cascade effects at tiny
+        ``k``.
+        """
+        return 2 * self.leaf_count // self.arity + slack
+
+    def processor_requirement(self) -> int:
+        """Processor ids the tree may touch (leaves, intervals, root walk).
+
+        For the paper's shape this is ``n`` plus a small root-walk margin
+        at ``k = 2``; for ablation shapes with ``depth > arity`` it can
+        exceed the leaf count (reserve processors, reported by E10).
+        """
+        return max(self.leaf_count, self.max_interval_id(), self.root_walk_budget())
+
+    # ------------------------------------------------------------------
+    # Internal checks
+    # ------------------------------------------------------------------
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.depth:
+            raise ConfigurationError(
+                f"level {level} outside inner levels 0..{self.depth}"
+            )
+
+    def _check_addr(self, addr: NodeAddr) -> None:
+        self._check_level(addr.level)
+        if not 0 <= addr.index < self.arity**addr.level:
+            raise ConfigurationError(
+                f"index {addr.index} outside level {addr.level} "
+                f"(0..{self.arity ** addr.level - 1})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeGeometry(arity={self.arity}, depth={self.depth}, "
+            f"leaves={self.leaf_count})"
+        )
+
+
+def paper_k_for(n: int) -> int:
+    """The paper's ``k`` for *n* processors: the smallest k with k^(k+1) ≥ n."""
+    return TreeGeometry.for_processors(n).arity
+
+
+def lower_bound_k(n: int) -> float:
+    """Real-valued solution ``k`` of ``k·kᵏ = n`` — the lower-bound curve.
+
+    Solved by bisection on the strictly increasing map k ↦ (k+1)·ln k.
+    Returns 1.0 for n ≤ 1.
+    """
+    if n <= 1:
+        return 1.0
+    target = math.log(n)
+    lo, hi = 1.0, 2.0
+    while (hi + 1.0) * math.log(hi) < target:
+        hi *= 2.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if (mid + 1.0) * math.log(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

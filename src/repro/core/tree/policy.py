@@ -1,0 +1,92 @@
+"""Tunable policies of the communication-tree counter.
+
+The paper fixes one design point: retire a worker once its node's age
+reaches ``2k``, replace it with the next id of a preallocated interval.
+The ablation experiments (E9, E10) need the knobs around that point, so
+the policy is explicit instead of hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class IntervalMode(Enum):
+    """What to do when a node exhausts its replacement-id interval."""
+
+    STRICT = "strict"
+    """Raise: the paper's Number-of-Retirements Lemma says this cannot
+    happen in the one-shot workload, so exhaustion signals a bug."""
+
+    WRAP = "wrap"
+    """Reuse the interval cyclically.  Needed for multi-round extension
+    workloads, where the one-shot guarantee deliberately does not apply."""
+
+
+@dataclass(frozen=True, slots=True)
+class TreePolicy:
+    """Configuration of retirement behaviour.
+
+    Attributes:
+        retire_threshold: node age that triggers retirement.  ``None``
+            means never retire — the static-tree baseline that experiment
+            E9 uses to show retirement is what removes the bottleneck.
+            The paper's choice is ``2 * arity`` (see
+            :meth:`paper_default`).
+        count_handoff_in_age: whether the hand-off messages a new worker
+            receives count toward its node age.  The paper's arithmetic
+            ("k+2 < 2k for k > 2", Retirement Lemma) is agnostic for
+            k > 2 but the ``False`` default also supports k = 2 without
+            an immediate re-retirement cascade.
+        interval_mode: see :class:`IntervalMode`.
+    """
+
+    retire_threshold: int | None
+    count_handoff_in_age: bool = False
+    interval_mode: IntervalMode = IntervalMode.STRICT
+
+    def __post_init__(self) -> None:
+        if self.retire_threshold is not None and self.retire_threshold < 1:
+            raise ConfigurationError(
+                f"retire threshold must be positive or None, "
+                f"got {self.retire_threshold}"
+            )
+
+    @classmethod
+    def paper_default(cls, arity: int) -> "TreePolicy":
+        """The shipped design point: retire at age ``4·arity``.
+
+        The paper's OCR drops the threshold constant ("it will retire if
+        and only if it has age ≥ ⟨?⟩k").  A capacity check pins it down:
+        with threshold ``2k`` a level-``k`` node ages ``2k`` from the incs
+        of its own ``k`` leaves plus at least one parent id-update, so it
+        must retire at least once — but its replacement interval has width
+        ``k^(k-k) = 1``, i.e. zero spares.  With threshold ``4k`` the
+        retirement counts of every level fit the paper's interval widths
+        (level ``i`` retires ≈ ``k^(k-i)/2 < k^(k-i)`` times) and the
+        bottleneck stays Θ(k), only with a constant twice as large.
+        Experiment E9 sweeps the factor and reports where exhaustion
+        starts.
+        """
+        return cls(retire_threshold=4 * arity)
+
+    @classmethod
+    def never_retire(cls) -> "TreePolicy":
+        """Static relay tree: workers are permanent (baseline/ablation)."""
+        return cls(retire_threshold=None)
+
+    @classmethod
+    def with_threshold_factor(cls, arity: int, factor: float) -> "TreePolicy":
+        """Retire at age ``ceil(factor · arity)`` — the E9 threshold sweep."""
+        if factor <= 0:
+            raise ConfigurationError(f"threshold factor must be positive: {factor}")
+        threshold = max(1, round(factor * arity))
+        return cls(retire_threshold=threshold)
+
+    @property
+    def retires(self) -> bool:
+        """True if workers ever retire under this policy."""
+        return self.retire_threshold is not None

@@ -1,0 +1,247 @@
+"""Node roles and the role registry.
+
+§4 of the paper separates *nodes* (logical positions in the communication
+tree) from the *processors currently working for them*.  A
+:class:`NodeRole` is a node's migrating state: its age, its interval
+position, its local view of where its neighbours currently live, and — for
+the root — the counter value.
+
+The :class:`RoleRegistry` owns all roles and enforces the identifier
+discipline: replacement ids come from the node's preallocated interval
+(or the root's increasing walk), and no two inner nodes may ever be worked
+by the same processor at the same time — the invariant behind the
+Bottleneck Theorem's "at most once for the root and at most once for
+another inner node" accounting.
+
+Knowledge locality note: role state is a Python object handed from worker
+to worker, while the paper transfers it inside the k+2 hand-off messages.
+The counter *does* send those k+2 messages (they are counted like any
+traffic); sharing the object merely avoids re-serializing state the
+successor is entitled to.  Message counts — the paper's metric — are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.core.tree.geometry import ROOT, NodeAddr, TreeGeometry
+from repro.core.tree.policy import IntervalMode, TreePolicy
+from repro.sim.messages import OpIndex, ProcessorId
+
+
+@dataclass(slots=True)
+class NodeRole:
+    """The migrating state of one inner node.
+
+    Attributes:
+        addr: which node this is.
+        worker: processor currently working for the node.
+        age: messages the node sent/received under the current worker.
+        parent_addr: address of the parent node (None for the root).
+        parent_worker: this node's local belief of the parent's worker.
+        child_addrs: inner-node children (empty on the last inner level).
+        children_workers: local belief of each child's worker, keyed by the
+            child's address key; for last-level nodes the "children" are
+            leaves, keyed by ``("leaf", pid)`` with fixed worker = pid.
+        value: the counter value (root only; None elsewhere).
+        retire_count: how many times this node has retired a worker.
+        tenure_start_load: bookkeeping for per-tenure statistics.
+    """
+
+    addr: NodeAddr
+    worker: ProcessorId
+    age: int = 0
+    parent_addr: NodeAddr | None = None
+    parent_worker: ProcessorId | None = None
+    child_addrs: list[NodeAddr] = field(default_factory=list)
+    children_workers: dict[tuple, ProcessorId] = field(default_factory=dict)
+    value: int | None = None
+    retire_count: int = 0
+
+    @property
+    def is_root(self) -> bool:
+        """True for the root role."""
+        return self.addr.is_root
+
+    def child_keys(self) -> list[tuple]:
+        """Payload-safe keys of all children (inner or leaf)."""
+        return list(self.children_workers.keys())
+
+    def believed_child_worker(self, key: tuple) -> ProcessorId:
+        """The worker this node believes currently serves child *key*."""
+        try:
+            return self.children_workers[key]
+        except KeyError:
+            raise ProtocolError(f"{self.addr} has no child {key!r}") from None
+
+
+@dataclass(frozen=True, slots=True)
+class RetirementEvent:
+    """One retirement, for the invariant checkers and E5 statistics."""
+
+    op_index: OpIndex
+    addr: NodeAddr
+    old_worker: ProcessorId
+    new_worker: ProcessorId
+    age_at_retirement: int
+    time: float
+
+
+class RoleRegistry:
+    """Creates, tracks and retires all node roles of one tree counter."""
+
+    def __init__(self, geometry: TreeGeometry, policy: TreePolicy) -> None:
+        self._geometry = geometry
+        self._policy = policy
+        self._roles: dict[NodeAddr, NodeRole] = {}
+        self._worker_of_role: dict[NodeAddr, ProcessorId] = {}
+        self._inner_worker_index: dict[ProcessorId, NodeAddr] = {}
+        self._retirements: list[RetirementEvent] = []
+        self._root_walk_next: ProcessorId = 0
+        self._build_roles()
+
+    def _build_roles(self) -> None:
+        geometry = self._geometry
+        for addr in geometry.all_nodes():
+            worker = geometry.initial_worker(addr)
+            role = NodeRole(addr=addr, worker=worker)
+            if addr.is_root:
+                role.value = 0
+                self._root_walk_next = worker + 1
+            else:
+                role.parent_addr = geometry.parent(addr)
+            self._roles[addr] = role
+            self._worker_of_role[addr] = worker
+            if not addr.is_root:
+                self._inner_worker_index[worker] = addr
+        # Wire the believed neighbour workers from initial assignments.
+        for addr, role in self._roles.items():
+            if role.parent_addr is not None:
+                role.parent_worker = self._roles[role.parent_addr].worker
+            if addr.level < geometry.depth:
+                role.child_addrs = geometry.children(addr)
+                for child in role.child_addrs:
+                    key = ("node", child.level, child.index)
+                    role.children_workers[key] = self._roles[child].worker
+            else:
+                for leaf_pid in geometry.leaf_children(addr):
+                    role.children_workers[("leaf", leaf_pid)] = leaf_pid
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def geometry(self) -> TreeGeometry:
+        """The tree shape this registry manages."""
+        return self._geometry
+
+    @property
+    def policy(self) -> TreePolicy:
+        """The retirement policy in force."""
+        return self._policy
+
+    def role(self, addr: NodeAddr) -> NodeRole:
+        """The role object of inner node *addr*."""
+        try:
+            return self._roles[addr]
+        except KeyError:
+            raise ConfigurationError(f"no inner node at {addr}") from None
+
+    def root(self) -> NodeRole:
+        """The root role (holder of the counter value)."""
+        return self._roles[ROOT]
+
+    def all_roles(self) -> list[NodeRole]:
+        """Every role, root first, in level order."""
+        return [self._roles[addr] for addr in self._geometry.all_nodes()]
+
+    @property
+    def retirements(self) -> list[RetirementEvent]:
+        """All retirement events in chronological order."""
+        return self._retirements
+
+    def retirement_counts_by_level(self) -> dict[int, int]:
+        """Total retirements per tree level (E5's per-level table)."""
+        counts: dict[int, int] = {level: 0 for level in self._geometry.inner_levels()}
+        for event in self._retirements:
+            counts[event.addr.level] += 1
+        return counts
+
+    def root_ids_used(self) -> int:
+        """How many ids the root's replacement walk has consumed."""
+        return self._root_walk_next - 1
+
+    # ------------------------------------------------------------------
+    # Retirement (the id-discipline part; messaging lives in the worker)
+    # ------------------------------------------------------------------
+    def next_worker_for(self, role: NodeRole) -> ProcessorId:
+        """The id the paper's scheme assigns as *role*'s next worker."""
+        if role.is_root:
+            candidate = self._root_walk_next
+            limit = self._geometry.processor_requirement()
+            if candidate > limit:
+                if self._policy.interval_mode is IntervalMode.WRAP:
+                    return ((candidate - 1) % limit) + 1
+                raise ProtocolError(
+                    f"root replacement walk exhausted the id space "
+                    f"(next={candidate}, limit={limit}); the workload is "
+                    "not one-shot — use IntervalMode.WRAP"
+                )
+            return candidate
+        interval = self._geometry.id_interval(role.addr)
+        offset = role.retire_count + 1
+        if offset < len(interval):
+            return interval[offset]
+        if self._policy.interval_mode is IntervalMode.WRAP:
+            return interval[offset % len(interval)]
+        raise ProtocolError(
+            f"{role.addr} exhausted its replacement interval "
+            f"{interval.start}..{interval.stop - 1} after "
+            f"{role.retire_count} retirements (Number-of-Retirements "
+            f"Lemma violated, or workload is not one-shot; use "
+            f"IntervalMode.WRAP for repeated workloads)"
+        )
+
+    def commit_retirement(
+        self,
+        role: NodeRole,
+        new_worker: ProcessorId,
+        op_index: OpIndex,
+        time: float,
+    ) -> RetirementEvent:
+        """Record that *role* moves to *new_worker*; reset its age.
+
+        Enforces the no-aliasing invariant: the new worker must not be
+        working for any other inner node right now.
+        """
+        if not role.is_root:
+            current_owner = self._inner_worker_index.get(new_worker)
+            if current_owner is not None and current_owner != role.addr:
+                raise ProtocolError(
+                    f"processor {new_worker} would work for both "
+                    f"{current_owner} and {role.addr} — interval discipline "
+                    "broken"
+                )
+        event = RetirementEvent(
+            op_index=op_index,
+            addr=role.addr,
+            old_worker=role.worker,
+            new_worker=new_worker,
+            age_at_retirement=role.age,
+            time=time,
+        )
+        self._retirements.append(event)
+        old_worker = role.worker
+        role.worker = new_worker
+        role.age = 0
+        role.retire_count += 1
+        self._worker_of_role[role.addr] = new_worker
+        if role.is_root:
+            self._root_walk_next = new_worker + 1
+        else:
+            if self._inner_worker_index.get(old_worker) == role.addr:
+                del self._inner_worker_index[old_worker]
+            self._inner_worker_index[new_worker] = role.addr
+        return event

@@ -1,0 +1,268 @@
+"""The processor program of the communication-tree counter.
+
+One :class:`TreeWorker` is registered per processor id.  Every worker
+always plays its *leaf* role (it can initiate ``inc`` and receive values
+and parent id-updates); in addition it may currently work for inner nodes
+— at most one non-root node plus possibly the root, per the identifier
+scheme.
+
+The program implements §4 of the paper verbatim where the paper is
+explicit, and fills the two gaps the paper waves off:
+
+* **Stale addressing.**  A neighbour's belief of where a node lives can
+  lag behind retirements.  A worker that receives a message for a role it
+  retired from forwards it to its successor (one extra message — the
+  paper's "handshaking protocol with a constant number of extra messages").
+* **Early arrival.**  A message can reach the successor before its
+  hand-off batch does.  The successor defers it and replays it (as a local
+  event, not a new message) once the role activates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.tree.protocol import (
+    KIND_HANDOFF,
+    KIND_ID_UPDATE,
+    KIND_INC,
+    KIND_VALUE,
+    RoleKey,
+    addr_of,
+    is_leaf_key,
+    node_key,
+)
+from repro.core.tree.roles import NodeRole
+from repro.errors import ProtocolError
+from repro.sim.messages import Message, ProcessorId
+from repro.sim.processor import Processor
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.tree.counter import TreeCounter
+
+
+class TreeWorker(Processor):
+    """A processor of the tree counter: leaf + whatever roles it holds."""
+
+    def __init__(self, pid: ProcessorId, counter: "TreeCounter") -> None:
+        super().__init__(pid)
+        self._counter = counter
+        self._roles: dict[RoleKey, NodeRole] = {}
+        self._forward: dict[RoleKey, ProcessorId] = {}
+        self._pending: dict[RoleKey, list[Message]] = {}
+        self._leaf_parent_worker: ProcessorId | None = None
+        self.forwarded_messages = 0
+        self.deferred_messages = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the counter during construction)
+    # ------------------------------------------------------------------
+    def adopt_role(self, role: NodeRole) -> None:
+        """Take up work for *role* (initial assignment or hand-off)."""
+        key = node_key(role.addr)
+        self._roles[key] = role
+        self._forward.pop(key, None)
+
+    def set_leaf_parent(self, worker: ProcessorId) -> None:
+        """Set the initial belief of where this leaf's parent node lives."""
+        self._leaf_parent_worker = worker
+
+    def active_role_keys(self) -> list[RoleKey]:
+        """Role keys this worker currently plays (test introspection)."""
+        return list(self._roles)
+
+    # ------------------------------------------------------------------
+    # Operation entry point (a local event, not a message)
+    # ------------------------------------------------------------------
+    def request_inc(self, request: object = None) -> None:
+        """Initiate one operation: send the request to the parent node.
+
+        *request* is an opaque operation descriptor interpreted at the
+        root (``None`` = the counter's plain ``inc``; the generalized
+        data structures of :mod:`repro.datatypes` pass their own ops —
+        the paper's §2 remark that the bound covers "a bit that can be
+        accessed and flipped and a priority queue" made concrete).
+        """
+        if self._leaf_parent_worker is None:
+            raise ProtocolError(f"processor {self.pid} has no leaf parent set")
+        parent_addr = self._counter.geometry.leaf_parent(self.pid)
+        self.send(
+            self._leaf_parent_worker,
+            KIND_INC,
+            {"origin": self.pid, "role": node_key(parent_addr), "request": request},
+        )
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == KIND_VALUE:
+            self._counter.deliver_result(self.pid, message.payload["value"])
+            return
+        role_key: RoleKey = tuple(message.payload["role"])
+        if is_leaf_key(role_key):
+            self._handle_leaf_update(message)
+            return
+        if kind == KIND_HANDOFF:
+            self._handle_handoff(role_key, message)
+            return
+        role = self._roles.get(role_key)
+        if role is not None:
+            self._handle_role_message(role, message)
+            return
+        successor = self._forward.get(role_key)
+        if successor is not None:
+            # Stale addressing: pass the message along to the new worker.
+            self.forwarded_messages += 1
+            self.send(successor, message.kind, message.payload)
+            return
+        # Early arrival: the hand-off naming us the new worker is still in
+        # flight.  Defer; replay when the role activates.
+        self.deferred_messages += 1
+        self._pending.setdefault(role_key, []).append(message)
+
+    # ------------------------------------------------------------------
+    # Leaf role
+    # ------------------------------------------------------------------
+    def _handle_leaf_update(self, message: Message) -> None:
+        if message.kind != KIND_ID_UPDATE:
+            raise ProtocolError(
+                f"leaf {self.pid} cannot handle message kind {message.kind!r}"
+            )
+        self._leaf_parent_worker = message.payload["new_worker"]
+
+    # ------------------------------------------------------------------
+    # Inner-node roles
+    # ------------------------------------------------------------------
+    def _handle_role_message(self, role: NodeRole, message: Message) -> None:
+        if message.kind == KIND_INC:
+            self._handle_inc(
+                role, message.payload["origin"], message.payload.get("request")
+            )
+        elif message.kind == KIND_ID_UPDATE:
+            self._handle_id_update(role, message)
+        else:
+            raise ProtocolError(
+                f"node {role.addr} cannot handle message kind {message.kind!r}"
+            )
+
+    def _handle_inc(
+        self, role: NodeRole, origin: ProcessorId, request: object = None
+    ) -> None:
+        """Receive an operation climbing the tree; answer or forward it."""
+        role.age += 1  # received the request
+        if role.is_root:
+            reply = self._counter.apply_at_root(role, request)
+            self.send(origin, KIND_VALUE, {"value": reply})
+        else:
+            assert role.parent_addr is not None and role.parent_worker is not None
+            self.send(
+                role.parent_worker,
+                KIND_INC,
+                {
+                    "origin": origin,
+                    "role": node_key(role.parent_addr),
+                    "request": request,
+                },
+            )
+        role.age += 1  # sent the answer/forward
+        self._maybe_retire(role)
+
+    def _handle_id_update(self, role: NodeRole, message: Message) -> None:
+        """A neighbour node moved: update the local belief of its worker."""
+        changed: RoleKey = tuple(message.payload["node"])
+        new_worker: ProcessorId = message.payload["new_worker"]
+        if role.parent_addr is not None and changed == node_key(role.parent_addr):
+            role.parent_worker = new_worker
+        elif changed in role.children_workers:
+            role.children_workers[changed] = new_worker
+        else:
+            raise ProtocolError(
+                f"node {role.addr} got an id-update for non-neighbour {changed!r}"
+            )
+        role.age += 1
+        self._maybe_retire(role)
+
+    # ------------------------------------------------------------------
+    # Hand-off handling
+    # ------------------------------------------------------------------
+    def _handle_handoff(self, role_key: RoleKey, message: Message) -> None:
+        role = self._roles.get(role_key)
+        if role is None:
+            registry_role = self._counter.registry.role(addr_of(role_key))
+            if registry_role.worker != self.pid:
+                # A stale hand-off from a past tenure (possible only under
+                # wrapped intervals with heavy reordering).  Receiving it
+                # already cost load; there is nothing to do.
+                return
+            self.adopt_role(registry_role)
+            role = registry_role
+            self._replay_pending(role_key)
+        if self._counter.policy.count_handoff_in_age:
+            role.age += 1
+            self._maybe_retire(role)
+
+    def _replay_pending(self, role_key: RoleKey) -> None:
+        """Re-dispatch messages that arrived before the role did.
+
+        Replays run as injected local events attributed to the deferred
+        message's own operation, so footprints stay exact and no new
+        messages are charged.
+        """
+        pending = self._pending.pop(role_key, None)
+        if not pending:
+            return
+        for deferred in pending:
+            self.network.inject(
+                (lambda msg=deferred: self.on_message(msg)),
+                op_index=deferred.op_index,
+            )
+
+    # ------------------------------------------------------------------
+    # Retirement (§4's hand-off procedure)
+    # ------------------------------------------------------------------
+    def _maybe_retire(self, role: NodeRole) -> None:
+        threshold = self._counter.policy.retire_threshold
+        if threshold is None or role.age < threshold:
+            return
+        registry = self._counter.registry
+        successor = registry.next_worker_for(role)
+        key = node_key(role.addr)
+        registry.commit_retirement(
+            role,
+            successor,
+            op_index=self.network.active_op,
+            time=self.network.now,
+        )
+        del self._roles[key]
+        self._forward[key] = successor
+        # k+2 hand-off messages (k+3 for the root, which also ships val):
+        # the new job, the parent id, the k child ids — each O(log n) bits.
+        handoff_total = self._counter.geometry.arity + 2
+        if role.is_root:
+            handoff_total += 1
+        for seq in range(handoff_total):
+            self.send(
+                successor,
+                KIND_HANDOFF,
+                {"role": key, "seq": seq, "total": handoff_total},
+            )
+        # One id-update to the parent (the root saves this message) ...
+        if role.parent_addr is not None and role.parent_worker is not None:
+            self.send(
+                role.parent_worker,
+                KIND_ID_UPDATE,
+                {
+                    "role": node_key(role.parent_addr),
+                    "node": key,
+                    "new_worker": successor,
+                },
+            )
+        # ... and one to each child (leaves included).
+        for child_key, believed_worker in role.children_workers.items():
+            self.send(
+                believed_worker,
+                KIND_ID_UPDATE,
+                {"role": child_key, "node": key, "new_worker": successor},
+            )

@@ -1,0 +1,32 @@
+"""Baseline distributed counters the paper compares against.
+
+* :class:`CentralCounter` — the §1 strawman: value at one server.
+* :class:`StaticTreeCounter` — a fixed k-ary relay tree *without* the
+  paper's retirement mechanism (isolates retirement's contribution).
+* :class:`CombiningTreeCounter` — message-passing port of combining trees
+  (Yew/Tzeng/Lawrie 1987, Goodman/Vernon/Woest 1989).
+* :class:`BitonicCountingNetwork` — message-passing port of counting
+  networks (Aspnes/Herlihy/Shavit 1991).
+* :class:`DiffractingTreeCounter` — message-passing port of diffracting
+  trees (Shavit/Zemach 1994).
+* :class:`ArrowCounter` — token mobility via path reversal (Raymond
+  1989 / the arrow protocol): the order-sensitive contrast case for the
+  lower bound's worst-case-over-orders quantifier.
+"""
+
+from repro.counters.arrow import ArrowCounter
+
+from repro.counters.central import CentralCounter
+from repro.counters.combining_tree import CombiningTreeCounter
+from repro.counters.counting_network import BitonicCountingNetwork
+from repro.counters.diffracting_tree import DiffractingTreeCounter
+from repro.counters.static_tree import StaticTreeCounter
+
+__all__ = [
+    "ArrowCounter",
+    "BitonicCountingNetwork",
+    "CentralCounter",
+    "CombiningTreeCounter",
+    "DiffractingTreeCounter",
+    "StaticTreeCounter",
+]

@@ -1,0 +1,313 @@
+"""Combining tree counter — message-passing port of YTL87 / GVW89.
+
+Combining trees were "the first to explicitly aim at avoiding a
+bottleneck" (paper §1, related work).  Requests climb a fixed tree; a
+node that holds several pending requests *combines* them into a single
+upward request, and the root answers with an interval of counter values
+that is split on the way back down.
+
+Port to message passing: every tree node is a role hosted on a client
+processor (round-robin over ids 1..n, so no extra processors exist — the
+same pool the paper's counter draws from).  Combining needs simultaneity,
+so a node holding a fresh request arms a local *combining window* timer
+and batches every request that arrives before it fires.
+
+Behaviour to expect (and what the benchmarks show):
+
+* sequential one-shot workload — no two requests are ever concurrent, no
+  combining happens, every operation reaches the root: the root host is a
+  Θ(n) bottleneck, exactly the paper's point that combining alone does
+  not remove the inherent bottleneck *for sequences of dependent
+  operations*;
+* concurrent batches — combining collapses whole subtrees into one
+  message and the root load drops to Θ(#batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import DistributedCounter
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.messages import Message, OpIndex, ProcessorId
+from repro.sim.network import Network
+from repro.sim.processor import Processor
+
+KIND_REQUEST = "combine-request"
+KIND_GRANT = "combine-grant"
+KIND_CLIENT_GRANT = "combine-grant-client"
+
+DEFAULT_WINDOW = 0.75
+"""Default combining-window length in simulated time units (< 1 unit
+message delay, so sequential unit-delay operations never combine by
+accident but same-batch concurrent requests do).  Tune upward for
+slower delivery models (e.g. the congestion policy), where requests
+take longer to meet at a node."""
+
+
+@dataclass(slots=True)
+class _NodeState:
+    """Combining state of one tree node role."""
+
+    node: int
+    parent: int | None
+    pending: list[tuple[str, int, int, int]] = field(default_factory=list)
+    """Pending requests: ``(requester_kind, requester_id, count, batch)``
+    where requester_kind is ``"client"`` or ``"node"`` and batch is the
+    requester's batch id (0 for clients)."""
+    batches: dict[int, list[tuple[str, int, int, int]]] = field(
+        default_factory=dict
+    )
+    """Batches sent upward, awaiting grants, keyed by batch id.  Explicit
+    ids (not FIFO matching) keep grants correct under non-FIFO delivery."""
+    next_batch_id: int = 0
+    window_armed: bool = False
+
+
+class _CombiningHost(Processor):
+    """A processor hosting zero or more combining-tree node roles."""
+
+    def __init__(self, pid: ProcessorId, counter: "CombiningTreeCounter") -> None:
+        super().__init__(pid)
+        self._counter = counter
+        self._nodes: dict[int, _NodeState] = {}
+
+    def host_node(self, state: _NodeState) -> None:
+        self._nodes[state.node] = state
+
+    # -- client side ---------------------------------------------------
+    def request_inc(self) -> None:
+        """Initiate one ``inc``: ask this client's leaf-side node."""
+        entry_node = self._counter.entry_node_of(self.pid)
+        host = self._counter.host_of(entry_node)
+        self.send(
+            host,
+            KIND_REQUEST,
+            {"node": entry_node, "from_kind": "client", "from_id": self.pid, "count": 1},
+        )
+
+    # -- node side -----------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if message.kind == KIND_REQUEST:
+            self._on_request(message)
+        elif message.kind == KIND_GRANT:
+            self._on_grant(message)
+        elif message.kind == KIND_CLIENT_GRANT:
+            self._counter.deliver_result(self.pid, message.payload["value"])
+        else:
+            raise ProtocolError(
+                f"combining tree: unknown message kind {message.kind!r}"
+            )
+
+    def _on_request(self, message: Message) -> None:
+        node_id = message.payload["node"]
+        if node_id == -1:
+            # The virtual root: hand out an interval of counter values.
+            base = self._counter.take_values(message.payload["count"])
+            self.send(
+                message.sender,
+                KIND_GRANT,
+                {
+                    "node": message.payload["reply_node"],
+                    "base": base,
+                    "batch": message.payload["batch"],
+                },
+            )
+            return
+        state = self._node(node_id)
+        state.pending.append(
+            (
+                message.payload["from_kind"],
+                message.payload["from_id"],
+                message.payload["count"],
+                message.payload.get("batch", 0),
+            )
+        )
+        if not state.window_armed:
+            state.window_armed = True
+            self.network.inject(
+                (lambda s=state: self._close_window(s)),
+                op_index=self.network.active_op,
+                delay=self._counter.window,
+            )
+
+    def _close_window(self, state: _NodeState) -> None:
+        """Combining window elapsed: ship the batch upward as one request."""
+        state.window_armed = False
+        if not state.pending:
+            return
+        batch = state.pending
+        state.pending = []
+        batch_id = state.next_batch_id
+        state.next_batch_id += 1
+        state.batches[batch_id] = batch
+        total = sum(count for _, _, count, _ in batch)
+        if state.parent is None:
+            # Top node talks to the root-value holder.
+            self.send(
+                self._counter.root_host,
+                KIND_REQUEST,
+                {
+                    "node": -1,
+                    "count": total,
+                    "reply_node": state.node,
+                    "batch": batch_id,
+                },
+            )
+        else:
+            self.send(
+                self._counter.host_of(state.parent),
+                KIND_REQUEST,
+                {
+                    "node": state.parent,
+                    "from_kind": "node",
+                    "from_id": state.node,
+                    "count": total,
+                    "batch": batch_id,
+                },
+            )
+
+    def _on_grant(self, message: Message) -> None:
+        """Split a granted interval among the batch that requested it."""
+        state = self._node(message.payload["node"])
+        batch_id = message.payload["batch"]
+        if batch_id not in state.batches:
+            raise ProtocolError(
+                f"combining node {state.node} got a grant for unknown "
+                f"batch {batch_id}"
+            )
+        batch = state.batches.pop(batch_id)
+        base = message.payload["base"]
+        for from_kind, from_id, count, from_batch in batch:
+            if from_kind == "client":
+                self._counter.grant_client(self, from_id, base)
+            else:
+                self.send(
+                    self._counter.host_of(from_id),
+                    KIND_GRANT,
+                    {"node": from_id, "base": base, "batch": from_batch},
+                )
+            base += count
+
+    def _node(self, node_id: int) -> _NodeState:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ProtocolError(
+                f"processor {self.pid} does not host combining node {node_id}"
+            ) from None
+
+
+class CombiningTreeCounter(DistributedCounter):
+    """Software combining tree over the client processors.
+
+    Args:
+        network: simulator to wire into.
+        n: number of clients (ids 1..n).
+        arity: tree fan-in (default 2, the classic binary combining tree).
+        window: combining-window length (see :data:`DEFAULT_WINDOW`).
+    """
+
+    name = "combining-tree"
+
+    def __init__(
+        self,
+        network: Network,
+        n: int,
+        arity: int = 2,
+        window: float = DEFAULT_WINDOW,
+    ) -> None:
+        super().__init__(network, n)
+        if arity < 2:
+            raise ConfigurationError(f"combining arity must be >= 2, got {arity}")
+        if window <= 0:
+            raise ConfigurationError(f"combining window must be positive: {window}")
+        self.arity = arity
+        self.window = window
+        self._value = 0
+        self._hosts: dict[ProcessorId, _CombiningHost] = {}
+        for pid in self.client_ids():
+            host = _CombiningHost(pid, self)
+            network.register(host)
+            self._hosts[pid] = host
+        self._build_tree()
+
+    def _build_tree(self) -> None:
+        """Build the node layer-by-layer: leaves group clients, then fan in.
+
+        Node ids are dense integers; node 0 is the top combining node.
+        ``_entry`` maps each client to its leaf-side node; ``_parent``
+        maps node -> parent node (None for node 0).
+        """
+        self._parent: dict[int, int | None] = {}
+        self._entry: dict[ProcessorId, int] = {}
+        next_node = 0
+        # Leaf layer: one node per `arity` clients.
+        current_layer: list[int] = []
+        clients = list(self.client_ids())
+        for start in range(0, len(clients), self.arity):
+            node = next_node
+            next_node += 1
+            current_layer.append(node)
+            for pid in clients[start : start + self.arity]:
+                self._entry[pid] = node
+        # Inner layers up to a single top node.
+        while len(current_layer) > 1:
+            upper_layer: list[int] = []
+            for start in range(0, len(current_layer), self.arity):
+                node = next_node
+                next_node += 1
+                upper_layer.append(node)
+                for child in current_layer[start : start + self.arity]:
+                    self._parent[child] = node
+            current_layer = upper_layer
+        self._parent[current_layer[0]] = None
+        self.node_count = next_node
+        # The root-value holder lives with the top node's host.
+        self.root_host = self.host_of(current_layer[0])
+        for node in range(self.node_count):
+            state = _NodeState(node=node, parent=self._parent.get(node))
+            self._hosts[self.host_of(node)].host_node(state)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def host_of(self, node: int) -> ProcessorId:
+        """Processor hosting tree node *node* (round-robin over clients)."""
+        return (node % self.n) + 1
+
+    def entry_node_of(self, pid: ProcessorId) -> int:
+        """The leaf-side node client *pid* sends its requests to."""
+        return self._entry[pid]
+
+    # ------------------------------------------------------------------
+    # Value management (root side)
+    # ------------------------------------------------------------------
+    def take_values(self, count: int) -> int:
+        """Reserve *count* consecutive values; return the first."""
+        base = self._value
+        self._value += count
+        return base
+
+    @property
+    def value(self) -> int:
+        """Current counter value (test introspection)."""
+        return self._value
+
+    def grant_client(
+        self, granting_host: _CombiningHost, client: ProcessorId, value: int
+    ) -> None:
+        """Deliver *value* to *client* — one message unless it is local."""
+        if granting_host.pid == client:
+            self.deliver_result(client, value)
+        else:
+            granting_host.send(client, KIND_CLIENT_GRANT, {"value": value})
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def begin_inc(self, pid: ProcessorId, op_index: OpIndex) -> None:
+        if pid not in self._hosts:
+            raise ConfigurationError(f"processor {pid} is not a client (1..{self.n})")
+        host = self._hosts[pid]
+        self.network.inject(host.request_inc, op_index=op_index)

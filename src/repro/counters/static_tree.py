@@ -1,0 +1,34 @@
+"""Static relay tree: the paper's tree *without* retirement.
+
+Same communication tree as :class:`~repro.core.TreeCounter`, but inner
+workers are permanent.  Every ``inc`` still climbs to the root, so the
+root worker handles two messages per operation — a Θ(n) bottleneck.  This
+baseline isolates exactly what the retirement mechanism buys (ablation E9
+degenerates to it as the threshold goes to infinity).
+"""
+
+from __future__ import annotations
+
+from repro.core.tree.counter import TreeCounter
+from repro.core.tree.geometry import TreeGeometry
+from repro.core.tree.policy import TreePolicy
+from repro.sim.network import Network
+
+
+class StaticTreeCounter(TreeCounter):
+    """The communication tree with retirement disabled."""
+
+    name = "static-tree"
+
+    def __init__(
+        self,
+        network: Network,
+        n: int,
+        geometry: TreeGeometry | None = None,
+    ) -> None:
+        super().__init__(
+            network,
+            n,
+            geometry=geometry,
+            policy=TreePolicy.never_retire(),
+        )

@@ -1,0 +1,50 @@
+"""Sequentially dependent data types on the paper's tree (§2's remark).
+
+The Hot Spot Lemma — and therefore the Ω(k) bottleneck — holds "for the
+family of all distributed data structures in which an operation depends
+on the operation that immediately precedes it".  This package hosts
+those structures on the unchanged communication tree:
+
+* :class:`DistributedFlipBit` — the paper's "bit that can be accessed
+  and flipped";
+* :class:`DistributedPriorityQueue` — the paper's priority queue;
+* :class:`DistributedMaxRegister` — the boundary case where only some
+  operations carry the dependency.
+
+All share :class:`TreeDataStructure` (the tree counter with pluggable
+root semantics) and the :func:`run_ops` sequential driver.
+"""
+
+from repro.datatypes.adder import ADD, DistributedAdder
+from repro.datatypes.base import (
+    AdtOutcome,
+    AdtRunResult,
+    TreeDataStructure,
+    run_ops,
+)
+from repro.datatypes.flip_bit import FLIP, READ, DistributedFlipBit
+from repro.datatypes.max_register import WRITE_MAX, DistributedMaxRegister
+from repro.datatypes.priority_queue import (
+    DELETE_MIN,
+    INSERT,
+    PEEK,
+    DistributedPriorityQueue,
+)
+
+__all__ = [
+    "ADD",
+    "AdtOutcome",
+    "AdtRunResult",
+    "DELETE_MIN",
+    "DistributedAdder",
+    "DistributedFlipBit",
+    "DistributedMaxRegister",
+    "DistributedPriorityQueue",
+    "FLIP",
+    "INSERT",
+    "PEEK",
+    "READ",
+    "TreeDataStructure",
+    "WRITE_MAX",
+    "run_ops",
+]

@@ -1,0 +1,49 @@
+"""Fetch-and-add: the multiprocessor primitive behind the related work.
+
+The combining-tree papers the paper cites (YTL87, GVW89) are about
+hardware *fetch-and-add*; the counter is its delta = 1 special case.
+Operations:
+
+* ``("add", delta)`` — return the pre-add value, then add *delta*
+  (delta may be negative or zero);
+* ``("read",)`` — return the current value.
+
+The sequential dependency is as strong as the counter's, so the Hot
+Spot Lemma and the O(k) bottleneck carry over unchanged — and because
+the tree relays requests opaquely, arbitrary deltas cost exactly the
+same messages as ``inc``.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.base import TreeDataStructure
+from repro.errors import ProtocolError
+
+ADD = "add"
+READ = "read"
+
+
+class DistributedAdder(TreeDataStructure):
+    """Fetch-and-add on the paper's communication tree."""
+
+    name = "fetch-and-add"
+
+    def initial_state(self) -> int:
+        return 0
+
+    def apply_at_root(self, role, request: object) -> int:
+        current = role.value
+        assert isinstance(current, int)
+        if request is None:
+            request = (ADD, 1)  # counter-compatible default
+        if not isinstance(request, tuple) or not request:
+            raise ProtocolError(f"fetch-and-add: malformed request {request!r}")
+        op = request[0]
+        if op == ADD:
+            if len(request) != 2 or not isinstance(request[1], int):
+                raise ProtocolError(f"add needs an integer delta: {request!r}")
+            role.value = current + request[1]
+            return current
+        if op == READ:
+            return current
+        raise ProtocolError(f"fetch-and-add: unknown operation {op!r}")

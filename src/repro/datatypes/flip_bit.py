@@ -1,0 +1,38 @@
+"""The paper's first §2 example: "a bit that can be accessed and flipped".
+
+Two operations:
+
+* ``"flip"`` — return the bit's previous value and invert it;
+* ``"read"`` — return the bit.
+
+``flip`` depends on the immediately preceding operation (the returned
+value is whatever the *last* flip left behind), so the Hot Spot Lemma —
+and with it the Ω(k) bottleneck — applies exactly as for the counter.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.base import TreeDataStructure
+from repro.errors import ProtocolError
+
+FLIP = "flip"
+READ = "read"
+
+
+class DistributedFlipBit(TreeDataStructure):
+    """A single shared bit on the paper's communication tree."""
+
+    name = "flip-bit"
+
+    def initial_state(self) -> int:
+        return 0
+
+    def apply_at_root(self, role, request: object) -> int:
+        bit = role.value
+        assert isinstance(bit, int)
+        if request == FLIP or request is None:
+            role.value = bit ^ 1
+            return bit
+        if request == READ:
+            return bit
+        raise ProtocolError(f"flip-bit: unknown operation {request!r}")

@@ -1,0 +1,47 @@
+"""A max-register: the contrast case for the sequential dependency.
+
+Operations:
+
+* ``("write_max", v)`` — raise the register to at least *v*; returns the
+  register's previous value;
+* ``("read",)`` — return the current maximum.
+
+Included as the *boundary* example: a read's result does not always
+depend on the immediately preceding operation (writing a smaller value
+changes nothing), so the Hot Spot Lemma's argument only bites on the
+value-raising operations.  The structure still runs on the tree — the
+tests use it to show the library's checkers measure the dependency, not
+assume it.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.base import TreeDataStructure
+from repro.errors import ProtocolError
+
+WRITE_MAX = "write_max"
+READ = "read"
+
+
+class DistributedMaxRegister(TreeDataStructure):
+    """A monotone max-register on the paper's communication tree."""
+
+    name = "max-register"
+
+    def initial_state(self) -> int:
+        return 0
+
+    def apply_at_root(self, role, request: object) -> int:
+        current = role.value
+        assert isinstance(current, int)
+        if not isinstance(request, tuple) or not request:
+            raise ProtocolError(f"max-register: malformed request {request!r}")
+        op = request[0]
+        if op == WRITE_MAX:
+            if len(request) != 2:
+                raise ProtocolError(f"write_max needs a value: {request!r}")
+            role.value = max(current, request[1])
+            return current
+        if op == READ:
+            return current
+        raise ProtocolError(f"max-register: unknown operation {op!r}")

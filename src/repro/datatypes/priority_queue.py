@@ -1,0 +1,62 @@
+"""The paper's second §2 example: a distributed priority queue.
+
+Operations (requests are plain tuples so they fit message payloads):
+
+* ``("insert", key)`` — add *key*; returns the new queue size;
+* ``("delete_min",)`` — remove and return the smallest key (``None`` if
+  empty);
+* ``("peek",)`` — return the smallest key without removing it.
+
+``delete_min`` depends on every preceding operation (what is the
+minimum *now*?), the strongest form of the sequential dependency the
+Hot Spot Lemma needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.datatypes.base import TreeDataStructure
+from repro.errors import ProtocolError
+
+INSERT = "insert"
+DELETE_MIN = "delete_min"
+PEEK = "peek"
+
+
+class DistributedPriorityQueue(TreeDataStructure):
+    """A min-priority queue on the paper's communication tree.
+
+    The heap lives with the root role and migrates with it on
+    retirement, exactly like the counter's value (the paper's root
+    hand-off "additionally informs the new processor of the counter
+    value"; here the value is the heap).
+    """
+
+    name = "priority-queue"
+
+    def initial_state(self) -> list:
+        return []
+
+    def apply_at_root(self, role, request: object) -> object:
+        heap = role.value
+        assert isinstance(heap, list)
+        if not isinstance(request, tuple) or not request:
+            raise ProtocolError(f"priority-queue: malformed request {request!r}")
+        op = request[0]
+        if op == INSERT:
+            if len(request) != 2:
+                raise ProtocolError(f"insert needs a key: {request!r}")
+            heapq.heappush(heap, request[1])
+            return len(heap)
+        if op == DELETE_MIN:
+            if not heap:
+                return None
+            return heapq.heappop(heap)
+        if op == PEEK:
+            return heap[0] if heap else None
+        raise ProtocolError(f"priority-queue: unknown operation {op!r}")
+
+    def __len__(self) -> int:
+        heap = self.state
+        return len(heap)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the distributed-counting reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.  The
+hierarchy distinguishes configuration mistakes (caller passed impossible
+parameters), protocol violations (a processor program misbehaved), and
+simulation-resource overruns (an execution did not quiesce in budget).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with impossible parameters.
+
+    Examples: a counter for ``n <= 0`` processors, a tree arity below two,
+    a quorum system over an empty universe.
+    """
+
+
+class SimulationError(ReproError):
+    """Base class for errors occurring while a simulation is running."""
+
+
+class SimulationLimitError(SimulationError):
+    """Raised when an execution exceeds its event budget.
+
+    A correct counter protocol quiesces after every operation; hitting the
+    event limit almost always means a protocol bug (a message loop) rather
+    than a genuinely long execution, so this is an error and not a warning.
+    """
+
+
+class ProtocolError(SimulationError):
+    """Raised when a processor program violates its own protocol.
+
+    Examples: a message of an unknown kind, a reply for an operation that
+    was never initiated, a retirement hand-off to a processor outside the
+    node's preallocated identifier interval.
+    """
+
+
+class InvariantViolationError(ReproError):
+    """Raised by invariant checkers when a paper lemma fails on a trace.
+
+    The checkers in :mod:`repro.core.invariants` and
+    :mod:`repro.lowerbound.hotspot` raise this when an executed trace
+    contradicts a lemma of the paper (e.g. two successive increment
+    footprints that do not intersect).  In a correct build this is
+    unreachable; tests assert both that it does not fire on the shipped
+    counters and that it does fire on deliberately broken ones.
+    """
+
+
+class UnknownProcessorError(SimulationError):
+    """Raised when a message is addressed to an unregistered processor."""

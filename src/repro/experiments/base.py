@@ -1,0 +1,69 @@
+"""Experiment results as structured data.
+
+Every experiment in the reproduction (DESIGN.md's E-index) is a library
+function returning an :class:`ExperimentResult`: structured rows plus
+presentation metadata.  Benchmarks, the CLI and notebooks all consume
+the same functions — the ASCII table is a *view*, not the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis.report import format_table
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentTable:
+    """One table of an experiment: headers, rows, and an optional note."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    note: str = ""
+
+    def to_text(self) -> str:
+        """Render as the canonical ASCII table."""
+        text = format_table(list(self.headers), [list(r) for r in self.rows],
+                            title=self.title)
+        if self.note:
+            text += "\n" + self.note
+        return text
+
+    def column(self, header: str) -> list[Any]:
+        """One column by header name (for assertions and plots)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """A complete experiment: id, claim, and one or more tables."""
+
+    experiment_id: str
+    claim: str
+    tables: tuple[ExperimentTable, ...] = field(default_factory=tuple)
+
+    def to_text(self) -> str:
+        """Render every table, separated by blank lines."""
+        return "\n\n".join(table.to_text() for table in self.tables)
+
+    def table(self, index: int = 0) -> ExperimentTable:
+        """The *index*-th table."""
+        return self.tables[index]
+
+
+def make_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: str = "",
+) -> ExperimentTable:
+    """Convenience constructor freezing rows into tuples."""
+    return ExperimentTable(
+        title=title,
+        headers=tuple(headers),
+        rows=tuple(tuple(row) for row in rows),
+        note=note,
+    )

@@ -1,0 +1,236 @@
+"""E6, E7, E13, E17: cross-counter comparisons.
+
+* E6: message-optimal (central) vs bottleneck-optimal (tree).
+* E7: all baselines against the k(n) curve, sequential and concurrent.
+* E13: order sensitivity (the arrow counter) — why the theorem
+  quantifies over orders.
+* E17: completion time under store-and-forward congestion.
+"""
+
+from __future__ import annotations
+
+from repro.core import IntervalMode, TreeCounter, TreeGeometry, TreePolicy
+from repro.counters import (
+    ArrowCounter,
+    BitonicCountingNetwork,
+    CentralCounter,
+    CombiningTreeCounter,
+    DiffractingTreeCounter,
+    StaticTreeCounter,
+)
+from repro.experiments.base import ExperimentResult, make_table
+from repro.lowerbound import GreedyAdversary, lower_bound_k
+from repro.sim import CongestedDelay, Network
+from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
+
+BASELINES = (
+    ("central", CentralCounter),
+    ("static-tree", StaticTreeCounter),
+    ("combining-tree", CombiningTreeCounter),
+    ("counting-network", BitonicCountingNetwork),
+    ("diffracting-tree", DiffractingTreeCounter),
+    ("ww-tree", TreeCounter),
+)
+
+
+def _sequential_bottleneck(factory, n):
+    network = Network()
+    counter = factory(network, n)
+    return run_sequence(counter, one_shot(n))
+
+
+def run_e6(ns: tuple[int, ...] = (8, 27, 81, 256, 1024, 3125)) -> ExperimentResult:
+    """E6: the §1 trade-off, with its crossover."""
+    from repro.analysis import LatencyProfile
+
+    rows = []
+    crossover = None
+    for n in ns:
+        central = _sequential_bottleneck(CentralCounter, n)
+        tree = _sequential_bottleneck(TreeCounter, n)
+        ratio = central.bottleneck_load() / tree.bottleneck_load()
+        if crossover is None and ratio > 1.0:
+            crossover = n
+        rows.append(
+            [
+                n,
+                f"{lower_bound_k(n):.2f}",
+                central.bottleneck_load(),
+                f"{central.average_messages_per_op():.2f}",
+                f"{LatencyProfile.from_run(central).worst:.0f}",
+                tree.bottleneck_load(),
+                f"{tree.average_messages_per_op():.2f}",
+                f"{LatencyProfile.from_run(tree).worst:.0f}",
+                f"{ratio:.2f}x",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E6",
+        claim="the central counter is message optimal but its server is a "
+        "Θ(n) bottleneck; the tree wins from the crossover on",
+        tables=(
+            make_table(
+                "E6: message-optimal (central) vs bottleneck-optimal (tree)",
+                [
+                    "n", "k(n)", "central m_b", "central msgs/op",
+                    "central worst latency", "tree m_b", "tree msgs/op",
+                    "tree worst latency", "central/tree m_b",
+                ],
+                rows,
+                note=(
+                    f"crossover (tree wins) at n = {crossover}.  The tree "
+                    "pays ~3k messages and ~k+2 time units\nper op (plus "
+                    "bounded retirement bursts) to cut the bottleneck from "
+                    "2(n-1) to ~18.5k."
+                ),
+            ),
+        ),
+    )
+
+
+def run_e7(
+    ns: tuple[int, ...] = (64, 256, 1024), concurrent_n: int = 256
+) -> ExperimentResult:
+    """E7: baseline sweep (sequential regime) + one concurrent batch."""
+    sequential_rows = []
+    for name, factory in BASELINES:
+        cells: list[object] = [name]
+        for n in ns:
+            cells.append(_sequential_bottleneck(factory, n).bottleneck_load())
+        cells.append(f"{cells[-1] / cells[1]:.1f}x")
+        sequential_rows.append(cells)
+    sequential_rows.append(
+        ["k(n) lower bound"]
+        + [f"{lower_bound_k(n):.2f}" for n in ns]
+        + [f"{lower_bound_k(ns[-1]) / lower_bound_k(ns[0]):.1f}x"]
+    )
+    concurrent_rows = []
+    for name, factory in BASELINES:
+        sequential = _sequential_bottleneck(factory, concurrent_n)
+        network = Network()
+        counter = factory(network, concurrent_n)
+        concurrent = run_concurrent(counter, [one_shot(concurrent_n)])
+        concurrent_rows.append(
+            [
+                name,
+                sequential.bottleneck_load(),
+                concurrent.bottleneck_load(),
+                f"{sequential.bottleneck_load() / concurrent.bottleneck_load():.1f}x",
+                concurrent.total_messages,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E7",
+        claim="only the paper's counter tracks k(n) sequentially; "
+        "combining/diffracting structures shine under concurrency instead",
+        tables=(
+            make_table(
+                "E7a: sequential one-shot bottleneck (the lower bound's regime)",
+                ["counter"] + [f"m_b @ n={n}" for n in ns]
+                + [f"growth {ns[0]}->{ns[-1]}"],
+                sequential_rows,
+            ),
+            make_table(
+                f"E7b: one fully concurrent batch of n={concurrent_n} incs",
+                [
+                    "counter", "sequential m_b", "concurrent m_b",
+                    "relief", "concurrent msgs",
+                ],
+                concurrent_rows,
+            ),
+        ),
+    )
+
+
+def run_e13(n: int = 64, adversary_n: int = 16) -> ExperimentResult:
+    """E13: bottleneck vs operation order on the arrow counter."""
+
+    def wrap_tree(network, n_):
+        geometry = TreeGeometry.for_processors(n_)
+        policy = TreePolicy(
+            retire_threshold=4 * geometry.arity, interval_mode=IntervalMode.WRAP
+        )
+        return TreeCounter(network, n_, geometry=geometry, policy=policy)
+
+    ping_pong = [1 if i % 2 == 0 else n for i in range(n)]
+    orders = [
+        ("identity", one_shot(n)),
+        ("shuffled", shuffled(n, seed=1)),
+        ("ping-pong", ping_pong),
+    ]
+    rows = []
+    for name, factory in (
+        ("arrow", ArrowCounter),
+        ("ww-tree (wrap)", wrap_tree),
+        ("central", CentralCounter),
+    ):
+        cells: list[object] = [name]
+        for _, order in orders:
+            network = Network()
+            counter = factory(network, n)
+            cells.append(run_sequence(counter, list(order)).bottleneck_load())
+        cells.append(GreedyAdversary(factory, adversary_n).run().bottleneck_load)
+        rows.append(cells)
+    return ExperimentResult(
+        experiment_id="E13",
+        claim="the theorem's ∃-order quantifier is necessary: the arrow "
+        "counter is cheap on friendly orders and Θ(n) on adversarial ones",
+        tables=(
+            make_table(
+                f"E13: bottleneck vs operation order (n={n}, "
+                f"k(n) = {lower_bound_k(n):.2f})",
+                ["counter"] + [f"m_b {name}" for name, _ in orders]
+                + [f"adversary (n={adversary_n})"],
+                rows,
+            ),
+        ),
+    )
+
+
+def run_e17(n: int = 256) -> ExperimentResult:
+    """E17: wall-clock completion under unit-service congestion."""
+    factories = (
+        ("central", CentralCounter),
+        ("combining-tree", lambda net, n_: CombiningTreeCounter(net, n_, window=3.0)),
+        ("counting-network", BitonicCountingNetwork),
+        (
+            "diffracting-tree",
+            lambda net, n_: DiffractingTreeCounter(net, n_, prism_wait=3.0),
+        ),
+        ("ww-tree", TreeCounter),
+    )
+    rows = []
+    for name, factory in factories:
+        network = Network(policy=CongestedDelay(latency=1.0, service=1.0))
+        counter = factory(network, n)
+        result = run_concurrent(counter, [one_shot(n)])
+        max_received = max(
+            network.trace.received_by(p)
+            for p in range(1, network.processor_count + 1)
+        )
+        rows.append(
+            [
+                name,
+                f"{network.now:.0f}",
+                max_received,
+                f"{network.now / max_received:.2f}",
+                result.total_messages,
+                result.bottleneck_load(),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E17",
+        claim="completion time of a concurrent batch is gated by the "
+        "hottest receiver's load",
+        tables=(
+            make_table(
+                f"E17: one concurrent batch of n={n} incs under unit-service "
+                "congestion",
+                [
+                    "counter", "completion time", "max receive load",
+                    "time / load", "total msgs", "m_b",
+                ],
+                rows,
+            ),
+        ),
+    )

@@ -1,0 +1,119 @@
+"""The reproduction's figures: SVG charts of the headline experiments.
+
+Three charts distill the measured story:
+
+* **F1** — the Bottleneck Theorem: measured m_b vs k, with the c·k
+  reference line (from E4).
+* **F2** — the E6 crossover: central vs tree bottleneck over n (log-log)
+  with the k(n) lower-bound curve.
+* **F3** — the E7 sweep: every counter's bottleneck over n (log-log).
+
+``python -m repro figures`` writes them under ``benchmarks/figures/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.svgplot import LineChart
+from repro.core import TreeCounter
+from repro.counters import (
+    BitonicCountingNetwork,
+    CentralCounter,
+    CombiningTreeCounter,
+    DiffractingTreeCounter,
+    StaticTreeCounter,
+)
+from repro.lowerbound import lower_bound_k
+from repro.sim.network import Network
+from repro.workloads import one_shot, run_sequence
+
+
+def _bottleneck(factory, n: int) -> int:
+    network = Network()
+    counter = factory(network, n)
+    return run_sequence(counter, one_shot(n)).bottleneck_load()
+
+
+def figure_bottleneck_vs_k(ks: tuple[int, ...] = (2, 3, 4, 5)) -> LineChart:
+    """F1: measured bottleneck against k, with a fitted c·k line."""
+    measured = [(k, _bottleneck(TreeCounter, k ** (k + 1))) for k in ks]
+    constant = sum(load / k for k, load in measured) / len(measured)
+    chart = LineChart(
+        title="Bottleneck Theorem: m_b grows with k, not n",
+        x_label="k  (n = k^(k+1): 8 .. 15625)",
+        y_label="bottleneck load m_b (messages)",
+    )
+    chart.add("measured ww-tree", measured)
+    chart.add(
+        f"{constant:.1f}·k reference",
+        [(k, constant * k) for k in ks],
+        dashed=True,
+    )
+    return chart
+
+
+def figure_crossover(
+    ns: tuple[int, ...] = (8, 27, 81, 256, 1024, 3125)
+) -> LineChart:
+    """F2: central vs tree bottleneck over n, log-log, with k(n)."""
+    chart = LineChart(
+        title="Message-optimal vs bottleneck-optimal (E6)",
+        x_label="n (processors, log)",
+        y_label="bottleneck load m_b (log)",
+        log_x=True,
+        log_y=True,
+    )
+    chart.add("central (2(n-1))", [(n, _bottleneck(CentralCounter, n)) for n in ns])
+    chart.add("ww-tree", [(n, _bottleneck(TreeCounter, n)) for n in ns])
+    chart.add(
+        "k(n) lower bound",
+        [(n, lower_bound_k(n)) for n in ns],
+        dashed=True,
+    )
+    return chart
+
+
+def figure_baseline_sweep(
+    ns: tuple[int, ...] = (64, 256, 1024)
+) -> LineChart:
+    """F3: every counter's sequential bottleneck over n, log-log."""
+    factories = [
+        ("central", CentralCounter),
+        ("static-tree", StaticTreeCounter),
+        ("combining-tree", CombiningTreeCounter),
+        ("counting-network", BitonicCountingNetwork),
+        ("diffracting-tree", DiffractingTreeCounter),
+        ("ww-tree", TreeCounter),
+    ]
+    chart = LineChart(
+        title="Sequential one-shot bottleneck, all counters (E7a)",
+        x_label="n (processors, log)",
+        y_label="bottleneck load m_b (log)",
+        log_x=True,
+        log_y=True,
+    )
+    for name, factory in factories:
+        chart.add(name, [(n, _bottleneck(factory, n)) for n in ns])
+    chart.add(
+        "k(n) lower bound",
+        [(n, lower_bound_k(n)) for n in ns],
+        dashed=True,
+    )
+    return chart
+
+
+def save_all_figures(directory) -> list[pathlib.Path]:
+    """Generate and save every figure; returns the written paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, chart in (
+        ("F1_bottleneck_vs_k.svg", figure_bottleneck_vs_k()),
+        ("F2_crossover.svg", figure_crossover()),
+        ("F3_baseline_sweep.svg", figure_baseline_sweep()),
+    ):
+        path = directory / name
+        chart.save(path)
+        written.append(path)
+    return written

@@ -1,0 +1,120 @@
+"""E3 and E16: the §3 lower bound, played and calibrated.
+
+* E3: the greedy longest-list adversary vs real counters, the weight
+  function's growth, the AM–GM step, and the bound curve.
+* E16: the exhaustive worst-case order (symmetry-pruned) vs the greedy
+  construction at small n.
+"""
+
+from __future__ import annotations
+
+from repro.core import TreeCounter
+from repro.counters import ArrowCounter, CentralCounter, StaticTreeCounter
+from repro.experiments.base import ExperimentResult, make_table
+from repro.lowerbound import (
+    ExactAdversary,
+    GreedyAdversary,
+    am_gm_holds,
+    bound_series,
+    evaluate_ledger,
+    lower_bound_k,
+    message_load_bound,
+)
+
+DEFAULT_E3_GAMES = (
+    ("central", CentralCounter, 16),
+    ("central", CentralCounter, 32),
+    ("static-tree", StaticTreeCounter, 16),
+    ("ww-tree", TreeCounter, 8),
+    ("ww-tree", TreeCounter, 27),
+)
+
+DEFAULT_E16_GAMES = (
+    ("central", CentralCounter, 7),
+    ("static-tree", StaticTreeCounter, 7),
+    ("ww-tree", TreeCounter, 6),
+    ("arrow", ArrowCounter, 6),
+)
+
+
+def run_e3(
+    games=DEFAULT_E3_GAMES,
+    curve_ns: tuple[int, ...] = (8, 81, 1024, 15625, 10**6, 10**9, 10**12),
+) -> ExperimentResult:
+    """E3: the adversarial game plus the k·kᵏ = n curve."""
+    rows = []
+    for name, factory, n in games:
+        run = GreedyAdversary(factory, n).run()
+        report = evaluate_ledger(run.ledger, base=run.bottleneck_load + 1)
+        rows.append(
+            [
+                name,
+                n,
+                f"{lower_bound_k(n):.2f}",
+                message_load_bound(n),
+                run.bottleneck_load,
+                "yes" if run.bottleneck_load >= message_load_bound(n) else "NO",
+                f"{report.growth_steps}/{len(report.weights) - 1}",
+                "yes" if am_gm_holds(report) else "NO",
+            ]
+        )
+    games_table = make_table(
+        "E3a: greedy adversary vs real counters (the §3 game)",
+        [
+            "counter", "n", "k(n)", "⌊k⌋", "adversarial m_b",
+            "m_b ≥ ⌊k⌋", "weight growth", "AM-GM holds",
+        ],
+        rows,
+    )
+    curve_table = make_table(
+        "E3b: the lower-bound curve k·kᵏ = n and its asymptote",
+        ["n", "k(n)", "⌊k(n)⌋", "ln n / ln ln n"],
+        bound_series(list(curve_ns)),
+    )
+    return ExperimentResult(
+        experiment_id="E3",
+        claim="some processor handles ≥ k messages, k·kᵏ = n, under the "
+        "greedy longest-list order",
+        tables=(games_table, curve_table),
+    )
+
+
+def run_e16(games=DEFAULT_E16_GAMES) -> ExperimentResult:
+    """E16: exhaustive worst case vs the greedy construction."""
+    rows = []
+    for name, factory, n in games:
+        exact = ExactAdversary(factory, n).run()
+        greedy = GreedyAdversary(factory, n).run()
+        ratio = greedy.bottleneck_load / exact.worst_bottleneck
+        rows.append(
+            [
+                name,
+                n,
+                message_load_bound(n),
+                exact.worst_bottleneck,
+                greedy.bottleneck_load,
+                f"{100 * ratio:.0f}%",
+                exact.orders_explored,
+                exact.orders_pruned_by_symmetry,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E16",
+        claim="the greedy construction recovers (nearly) the exhaustive "
+        "worst case over orders",
+        tables=(
+            make_table(
+                "E16: exhaustive worst-case order vs the §3 greedy construction",
+                [
+                    "counter", "n", "⌊k(n)⌋", "exact worst m_b", "greedy m_b",
+                    "greedy/exact", "orders explored", "pruned",
+                ],
+                rows,
+                note=(
+                    "Both adversaries clear the theorem's floor everywhere; "
+                    "greedy recovers most of the\nexhaustive worst case — "
+                    "all of it where every op looks the same (central)."
+                ),
+            ),
+        ),
+    )

@@ -1,0 +1,152 @@
+"""E18 and E19: robustness of the measurements and the excluded regime.
+
+* E18 — delivery robustness: the paper's quantities are message counts,
+  which should barely move under different asynchronous schedules.
+  Measured: bottleneck mean ± std over random-delay seeds per counter.
+* E19 — skewed initiators: the paper restricts its lower bound to one
+  inc per processor because "the amount of achievable distribution is
+  limited if many operations are initiated by a single processor".
+  Measured: bottleneck under Zipf-skewed initiator sequences as the
+  skew grows, split into the hottest *initiator's* own load vs the
+  hottest *non-initiator* — showing the residual bottleneck is the
+  workload's, not the structure's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import summarize_over_seeds
+from repro.core import IntervalMode, TreeCounter, TreeGeometry, TreePolicy
+from repro.counters import (
+    ArrowCounter,
+    BitonicCountingNetwork,
+    CentralCounter,
+    CombiningTreeCounter,
+    DiffractingTreeCounter,
+    StaticTreeCounter,
+)
+from repro.experiments.base import ExperimentResult, make_table
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay
+from repro.workloads import one_shot, run_sequence, zipf_sequence
+
+ROBUSTNESS_FACTORIES = (
+    ("central", CentralCounter),
+    ("static-tree", StaticTreeCounter),
+    ("ww-tree", TreeCounter),
+    ("combining-tree", CombiningTreeCounter),
+    ("counting-network", BitonicCountingNetwork),
+    ("diffracting-tree", DiffractingTreeCounter),
+    ("arrow", ArrowCounter),
+)
+
+
+def run_e18(n: int = 81, seeds: tuple[int, ...] = tuple(range(8))) -> ExperimentResult:
+    """E18: bottleneck spread over random-delivery seeds."""
+    rows = []
+    for name, factory in ROBUSTNESS_FACTORIES:
+
+        def measure(seed: int, factory=factory) -> float:
+            network = Network(policy=RandomDelay(seed=seed))
+            counter = factory(network, n)
+            return run_sequence(counter, one_shot(n)).bottleneck_load()
+
+        summary = summarize_over_seeds(measure, seeds)
+        rows.append(
+            [
+                name,
+                f"{summary.mean:.1f}",
+                f"{summary.std:.1f}",
+                int(summary.minimum),
+                int(summary.maximum),
+                f"{100 * summary.spread:.1f}%",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E18",
+        claim="message-count measurements are robust to asynchronous "
+        "schedule choice",
+        tables=(
+            make_table(
+                f"E18: one-shot bottleneck over {len(seeds)} random-delay "
+                f"seeds (n={n})",
+                ["counter", "mean m_b", "std", "min", "max", "spread"],
+                rows,
+                note=(
+                    "Sequential operations make message counts schedule-"
+                    "independent for every\nprotocol except the ww-tree, "
+                    "whose few-percent spread is exactly its\nretirement "
+                    "handshake (which forwarded/deferred messages occur "
+                    "depends on\narrival order) — the overhead the paper "
+                    "allows as 'a constant number of\nextra messages'."
+                ),
+            ),
+        ),
+    )
+
+
+def run_e19(
+    n: int = 81,
+    length: int = 243,
+    skews: tuple[float, ...] = (0.0, 0.8, 1.4, 2.2),
+) -> ExperimentResult:
+    """E19: Zipf-skewed initiators — the regime the paper excludes."""
+    geometry = TreeGeometry.for_processors(n)
+    policy = TreePolicy(
+        retire_threshold=4 * geometry.arity, interval_mode=IntervalMode.WRAP
+    )
+    rows = []
+    for skew in skews:
+        if skew == 0.0:
+            order = [(i % n) + 1 for i in range(length)]
+        else:
+            order = zipf_sequence(n, length=length, skew=skew, seed=1)
+        network = Network()
+        counter = TreeCounter(network, n, geometry=geometry, policy=policy)
+        result = run_sequence(counter, order)
+        initiators = set(order)
+        hottest_initiator = max(
+            result.trace.load(pid) for pid in initiators
+        )
+        non_initiators = [
+            pid
+            for pid in range(1, geometry.processor_requirement() + 1)
+            if pid not in initiators
+        ]
+        hottest_other = max(
+            (result.trace.load(pid) for pid in non_initiators), default=0
+        )
+        top_share = max(order.count(pid) for pid in initiators) / length
+        rows.append(
+            [
+                f"{skew:.1f}",
+                f"{100 * top_share:.0f}%",
+                result.bottleneck_load(),
+                hottest_initiator,
+                hottest_other,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E19",
+        claim="with skewed initiators the residual bottleneck is the "
+        "initiator itself — the workload's hot spot, not the structure's",
+        tables=(
+            make_table(
+                f"E19: ww-tree under Zipf-skewed initiators (n={n}, "
+                f"{length} ops, wrap mode)",
+                [
+                    "zipf skew",
+                    "top initiator share",
+                    "bottleneck m_b",
+                    "hottest initiator load",
+                    "hottest non-initiator load",
+                ],
+                rows,
+                note=(
+                    "As skew grows, the hottest *initiator* (who must send "
+                    "and receive its own ops'\nmessages) dominates while "
+                    "non-initiating workers stay flat — the paper's reason "
+                    "for\nstating the bound at one inc per processor."
+                ),
+            ),
+        ),
+    )

@@ -1,0 +1,54 @@
+"""§3 of the paper, executable: the lower-bound machinery.
+
+* :mod:`~repro.lowerbound.hotspot` — the Hot Spot Lemma as a trace check.
+* :mod:`~repro.lowerbound.weights` — the proof's weight function and the
+  AM–GM step, recomputed on real runs.
+* :mod:`~repro.lowerbound.adversary` — the greedy longest-list adversary
+  playing against arbitrary counter implementations.
+* :mod:`~repro.lowerbound.bound` — the ``k·kᵏ = n`` curve, its integer
+  floor, and asymptotics.
+"""
+
+from repro.lowerbound.adversary import AdversarialRun, GreedyAdversary
+from repro.lowerbound.exact import ExactAdversary, ExactAdversaryResult
+from repro.lowerbound.bound import (
+    asymptotic_k,
+    bound_series,
+    lower_bound_k,
+    message_load_bound,
+    paper_n,
+)
+from repro.lowerbound.hotspot import (
+    HotSpotReport,
+    HotSpotViolation,
+    check_hot_spot,
+    effective_footprint,
+)
+from repro.lowerbound.weights import (
+    LedgerStep,
+    WeightReport,
+    am_gm_holds,
+    evaluate_ledger,
+    weight_of,
+)
+
+__all__ = [
+    "AdversarialRun",
+    "ExactAdversary",
+    "ExactAdversaryResult",
+    "GreedyAdversary",
+    "HotSpotReport",
+    "HotSpotViolation",
+    "LedgerStep",
+    "WeightReport",
+    "am_gm_holds",
+    "asymptotic_k",
+    "bound_series",
+    "check_hot_spot",
+    "effective_footprint",
+    "evaluate_ledger",
+    "lower_bound_k",
+    "message_load_bound",
+    "paper_n",
+    "weight_of",
+]

@@ -1,0 +1,64 @@
+"""Closed-form pieces of the Lower Bound Theorem (§3).
+
+The theorem: in any distributed counter over ``n`` processors, under the
+one-shot workload, some processor sends and receives at least ``k``
+messages, where ``k`` solves ``k·kᵏ = n`` — i.e. ``k = Θ(log n / log log
+n)``.  This module provides the bound curve, its inverse, and its
+asymptotic comparison series; the executable proof steps live in
+:mod:`repro.lowerbound.weights` and :mod:`repro.lowerbound.adversary`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.tree.geometry import lower_bound_k
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "asymptotic_k",
+    "bound_series",
+    "lower_bound_k",
+    "message_load_bound",
+    "paper_n",
+]
+
+
+def paper_n(k: int) -> int:
+    """The workload size the bound is stated for: ``n = k·kᵏ = k^(k+1)``."""
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    return k ** (k + 1)
+
+
+def message_load_bound(n: int) -> int:
+    """The integer lower bound on the bottleneck load for *n* processors.
+
+    ``⌊k(n)⌋`` with ``k(n)`` the real solution of ``k·kᵏ = n`` — the
+    strongest integer statement the theorem supports.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    # The bisection can land a hair under an exact integer solution
+    # (k(1024) = 4 - 1e-12); nudge before flooring.
+    return max(1, math.floor(lower_bound_k(n) + 1e-9))
+
+
+def asymptotic_k(n: int) -> float:
+    """First-order asymptotics of the bound: ``ln n / ln ln n``.
+
+    Useful in benches to show ``k(n)`` hugging its asymptote — the reason
+    the paper calls the bottleneck "inherent but mild".
+    """
+    if n <= math.e:
+        return 1.0
+    log_n = math.log(n)
+    return log_n / math.log(log_n)
+
+
+def bound_series(ns: list[int]) -> list[tuple[int, float, int, float]]:
+    """Rows ``(n, k(n), ⌊k(n)⌋, ln n/ln ln n)`` for a sweep of *ns*."""
+    return [
+        (n, lower_bound_k(n), message_load_bound(n), asymptotic_k(n))
+        for n in ns
+    ]

@@ -1,0 +1,101 @@
+"""The Hot Spot Lemma (§2), as an executable check on traces.
+
+    Let p and q be two processors that increment the counter in direct
+    succession.  Then ``I_p ∩ I_q ≠ ∅`` must hold.
+
+``I_p`` is the set of processors that send or receive a message during
+``p``'s inc process.  If the footprints of two successive operations were
+disjoint, nobody involved in the second operation could know about the
+first increment, so the second would return a stale value.
+
+The check runs over any recorded run.  The *effective* footprint also
+contains the initiator itself: an operation answered without any message
+(a server incrementing its own counter) has an empty message footprint
+but the initiator trivially carries the knowledge — the paper's DAG
+always contains the source node, messages or not.
+
+The lemma holds for every *correct* counter, which is exactly what makes
+it useful in tests twice over: it must pass on all shipped counters, and
+it must fail on the deliberately broken counter in the test suite (one
+that returns values from stale local caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvariantViolationError
+from repro.sim.messages import OpIndex, ProcessorId
+from repro.workloads.driver import RunResult
+
+
+@dataclass(frozen=True, slots=True)
+class HotSpotViolation:
+    """A pair of successive operations with disjoint footprints."""
+
+    first_op: OpIndex
+    second_op: OpIndex
+    first_footprint: frozenset[ProcessorId]
+    second_footprint: frozenset[ProcessorId]
+
+    def __str__(self) -> str:
+        return (
+            f"ops {self.first_op} and {self.second_op} have disjoint "
+            f"footprints {sorted(self.first_footprint)} / "
+            f"{sorted(self.second_footprint)}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class HotSpotReport:
+    """Outcome of a Hot Spot Lemma check over one run."""
+
+    pairs_checked: int
+    violations: tuple[HotSpotViolation, ...]
+    min_intersection: int
+    """Smallest ``|I_p ∩ I_q|`` over all checked pairs (0 iff violated)."""
+
+    @property
+    def holds(self) -> bool:
+        """True iff every successive pair of footprints intersects."""
+        return not self.violations
+
+
+def effective_footprint(result: RunResult, op_index: OpIndex) -> frozenset[ProcessorId]:
+    """``I_p`` of an operation, including the initiator itself."""
+    outcome = result.outcomes[op_index]
+    return result.trace.footprint(op_index) | {outcome.initiator}
+
+
+def check_hot_spot(result: RunResult, strict: bool = False) -> HotSpotReport:
+    """Check the Hot Spot Lemma over every successive pair in *result*.
+
+    With ``strict=True`` the first violation raises
+    :class:`~repro.errors.InvariantViolationError` instead of being
+    collected.
+    """
+    violations: list[HotSpotViolation] = []
+    min_intersection: int | None = None
+    pairs = 0
+    for index in range(len(result.outcomes) - 1):
+        first = effective_footprint(result, index)
+        second = effective_footprint(result, index + 1)
+        overlap = len(first & second)
+        pairs += 1
+        if min_intersection is None or overlap < min_intersection:
+            min_intersection = overlap
+        if overlap == 0:
+            violation = HotSpotViolation(
+                first_op=index,
+                second_op=index + 1,
+                first_footprint=first,
+                second_footprint=second,
+            )
+            if strict:
+                raise InvariantViolationError(f"Hot Spot Lemma violated: {violation}")
+            violations.append(violation)
+    return HotSpotReport(
+        pairs_checked=pairs,
+        violations=tuple(violations),
+        min_intersection=min_intersection if min_intersection is not None else 0,
+    )

@@ -1,0 +1,49 @@
+"""Quorum systems and a quorum-replicated counter (related-work substrate).
+
+* :mod:`~repro.quorum.systems` — singleton, rotating majority, Maekawa
+  grid, tree paths, wheel, crumbling walls.
+* :mod:`~repro.quorum.analysis` — uniform and LP-optimal load, the
+  Naor–Wool 1/√n floor.
+* :mod:`~repro.quorum.counter` — a versioned read/write counter over any
+  quorum system.
+"""
+
+from repro.quorum.analysis import (
+    LoadAnalysis,
+    capacity,
+    fault_tolerance,
+    naor_wool_floor,
+    optimal_load,
+    uniform_load,
+)
+from repro.quorum.counter import QuorumCounter
+from repro.quorum.probes import probe_complexity
+from repro.quorum.projective import ProjectivePlaneQuorum
+from repro.quorum.systems import (
+    CrumblingWall,
+    MaekawaGrid,
+    QuorumSystem,
+    RotatingMajorityQuorum,
+    SingletonQuorum,
+    TreePathQuorum,
+    WheelQuorum,
+)
+
+__all__ = [
+    "CrumblingWall",
+    "LoadAnalysis",
+    "MaekawaGrid",
+    "ProjectivePlaneQuorum",
+    "QuorumCounter",
+    "QuorumSystem",
+    "RotatingMajorityQuorum",
+    "SingletonQuorum",
+    "TreePathQuorum",
+    "WheelQuorum",
+    "capacity",
+    "fault_tolerance",
+    "naor_wool_floor",
+    "optimal_load",
+    "probe_complexity",
+    "uniform_load",
+]

@@ -1,0 +1,78 @@
+"""Probe complexity of quorum systems (Peleg–Wool 96, cited in §1).
+
+"How to be an efficient snoop": a client probes elements one at a time,
+learning whether each is alive, until it either exhibits a fully alive
+quorum or certifies that every quorum contains a dead element.  The
+*probe complexity* is the worst-case number of probes of the best
+adaptive strategy against the worst failure configuration.
+
+Computed exactly here as the value of the probe game by memoized
+minimax over knowledge states ``(known_alive, known_dead)``:
+
+    value(S) = 0                 if some quorum ⊆ known_alive
+               0                 if every quorum meets known_dead
+               1 + min over unprobed e of
+                     max(value(S + e alive), value(S + e dead))
+
+Exponential in the universe (state space 3ⁿ), so guarded to small
+systems — exactly what is needed to verify the classic structural facts:
+the singleton needs 1 probe, tree paths die with their root, the wheel
+needs ~n probes in the worst case despite its size-2 quorums.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.quorum.systems import QuorumSystem
+
+
+def probe_complexity(system: QuorumSystem, max_n: int = 12) -> int:
+    """Exact worst-case adaptive probe count for *system*.
+
+    Args:
+        system: the quorum family to snoop on.
+        max_n: guard on the universe size (the game tree is 3ⁿ).
+    """
+    if system.n > max_n:
+        raise ConfigurationError(
+            f"probe-game search over 3^{system.n} states is infeasible "
+            f"(limit {max_n})"
+        )
+    family = tuple(frozenset(q) for q in system.quorums())
+    elements = tuple(sorted(set().union(*family))) if family else ()
+
+    @lru_cache(maxsize=None)
+    def value(alive: frozenset, dead: frozenset) -> int:
+        if any(quorum <= alive for quorum in family):
+            return 0
+        if all(quorum & dead for quorum in family):
+            return 0
+        best = None
+        for element in elements:
+            if element in alive or element in dead:
+                continue
+            # Only probing elements that can still matter: those in some
+            # not-yet-dead quorum.
+            if not any(
+                element in quorum and not (quorum & dead) for quorum in family
+            ):
+                continue
+            outcome = 1 + max(
+                value(alive | {element}, dead),
+                value(alive, dead | {element}),
+            )
+            if best is None or outcome < best:
+                best = outcome
+            if best == 1:
+                break
+        if best is None:
+            # No useful probe remains but the game is undecided — cannot
+            # happen for a well-formed family, kept as a guard.
+            return 0
+        return best
+
+    result = value(frozenset(), frozenset())
+    value.cache_clear()
+    return result

@@ -1,0 +1,58 @@
+"""Deterministic discrete-event simulator for asynchronous message passing.
+
+This package is the substrate of the reproduction: the paper's model of §2
+— ``n`` processors, unique ids, point-to-point messages with unbounded but
+finite delays, no failures, no shared memory — realized as a seeded
+discrete-event simulation with exact message accounting.
+
+Public surface:
+
+* :class:`Network` — the simulator; register processors, inject operation
+  requests, run to quiescence.
+* :class:`Processor` — base class for protocol programs.
+* :class:`Message` / :class:`MessageRecord` — in-flight and delivered
+  messages.
+* :class:`Trace` — the delivered-message ledger, source of all load and
+  footprint measurements.
+* delivery policies — :class:`UnitDelay`, :class:`RandomDelay`,
+  :class:`FifoRandomDelay`, :class:`SkewedDelay`, and
+  :class:`CongestedDelay` (store-and-forward queueing).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
+from repro.sim.network import DEFAULT_EVENT_LIMIT, Network
+from repro.sim.policies import (
+    CongestedDelay,
+    DeliveryPolicy,
+    FifoRandomDelay,
+    RandomDelay,
+    SkewedDelay,
+    UnitDelay,
+    standard_policies,
+)
+from repro.sim.processor import InertProcessor, Processor
+from repro.sim.trace import Trace, merge_loads
+
+__all__ = [
+    "CongestedDelay",
+    "DEFAULT_EVENT_LIMIT",
+    "DeliveryPolicy",
+    "Event",
+    "EventQueue",
+    "FifoRandomDelay",
+    "InertProcessor",
+    "Message",
+    "MessageRecord",
+    "NO_OP",
+    "Network",
+    "OpIndex",
+    "Processor",
+    "ProcessorId",
+    "RandomDelay",
+    "SkewedDelay",
+    "Trace",
+    "UnitDelay",
+    "merge_loads",
+    "standard_policies",
+]

@@ -1,0 +1,82 @@
+"""The discrete-event core: timestamped events and a deterministic queue.
+
+The simulator is a classic discrete-event loop.  Two facts matter for
+reproducibility:
+
+* ties in time are broken by a monotonically increasing sequence number, so
+  two runs with the same seed pop events in exactly the same order;
+* events carry plain callables, so the queue knows nothing about messages —
+  message semantics live entirely in :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A callback scheduled at a simulated time.
+
+    Ordering is ``(time, seq)``: earlier times first, FIFO among equal
+    times.  The callback is excluded from comparisons.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    The queue also tracks the current simulated time: popping an event
+    advances ``now`` to that event's timestamp.  Scheduling into the past
+    is a programming error and raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* to run *delay* time units from now.
+
+        Returns the scheduled :class:`Event` (useful in tests).  A zero
+        delay is allowed and preserves scheduling order among same-time
+        events.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing ``now``."""
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def run_next(self) -> None:
+        """Pop the earliest event and execute its action."""
+        self.pop().action()
+
+    def clear(self) -> None:
+        """Drop all pending events without executing them."""
+        self._heap.clear()

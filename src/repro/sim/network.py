@@ -1,0 +1,229 @@
+"""The asynchronous message-passing network simulator.
+
+This is the substrate the whole reproduction runs on.  It provides:
+
+* registration of :class:`~repro.sim.processor.Processor` programs under
+  their ids (the paper's processors ``1 .. n``);
+* :meth:`Network.send` — the only way any message moves, so the trace is a
+  complete ledger;
+* operation attribution — every message inherits the ``inc`` operation of
+  the event that caused it, which makes the paper's per-operation
+  footprints ``I_p`` exact even under concurrency;
+* :meth:`Network.run_until_quiescent` — execute events until no message is
+  in flight, which is precisely the paper's "the inc process terminates as
+  soon as no further messages are sent" (§2).
+
+Determinism: given the same processors, policy and injection sequence, two
+runs produce identical traces.  All randomness lives inside the seeded
+delivery policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import SimulationLimitError, UnknownProcessorError
+from repro.sim.events import EventQueue
+from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
+from repro.sim.policies import DeliveryPolicy, UnitDelay
+from repro.sim.processor import Processor
+from repro.sim.trace import Trace
+
+DEFAULT_EVENT_LIMIT = 5_000_000
+"""Safety valve: a run consuming this many events is assumed to be stuck."""
+
+
+class Network:
+    """A simulated asynchronous point-to-point network.
+
+    Any processor can message any other processor directly (the paper's
+    complete communication topology).  Messages are delayed by the
+    delivery policy and never lost, duplicated or corrupted — the paper's
+    failure-free model.
+    """
+
+    def __init__(
+        self,
+        policy: DeliveryPolicy | None = None,
+        event_limit: int = DEFAULT_EVENT_LIMIT,
+    ) -> None:
+        self._policy = policy or UnitDelay()
+        self._queue = EventQueue()
+        self._processors: dict[ProcessorId, Processor] = {}
+        self._trace = Trace()
+        self._active_op: OpIndex = NO_OP
+        self._next_uid = 0
+        self._in_flight = 0
+        self._event_limit = event_limit
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._queue.now
+
+    @property
+    def trace(self) -> Trace:
+        """The execution trace (read for analysis; never mutate)."""
+        return self._trace
+
+    @property
+    def policy(self) -> DeliveryPolicy:
+        """The delivery policy in force."""
+        return self._policy
+
+    @property
+    def active_op(self) -> OpIndex:
+        """Operation index the currently executing event belongs to."""
+        return self._active_op
+
+    @property
+    def processor_count(self) -> int:
+        """Number of registered processors."""
+        return len(self._processors)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed since construction (messages + local)."""
+        return self._events_executed
+
+    def processor(self, pid: ProcessorId) -> Processor:
+        """Return the registered processor *pid* or raise."""
+        try:
+            return self._processors[pid]
+        except KeyError:
+            raise UnknownProcessorError(f"no processor with id {pid}") from None
+
+    def has_processor(self, pid: ProcessorId) -> bool:
+        """True if a processor with id *pid* is registered."""
+        return pid in self._processors
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def register(self, processor: Processor) -> Processor:
+        """Register *processor* under its id and attach it to this network.
+
+        Registering two processors under the same id is an error — ids are
+        the paper's unique identities.
+        """
+        if processor.pid in self._processors:
+            raise UnknownProcessorError(
+                f"processor id {processor.pid} is already registered"
+            )
+        processor.attach(self)
+        self._processors[processor.pid] = processor
+        return processor
+
+    def register_all(self, processors: list[Processor]) -> None:
+        """Register every processor in *processors*."""
+        for processor in processors:
+            self.register(processor)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: ProcessorId,
+        receiver: ProcessorId,
+        kind: str,
+        payload: Mapping[str, Any],
+    ) -> Message:
+        """Send one message; called via :meth:`Processor.send`.
+
+        The message inherits the active operation index, receives a unique
+        uid, and is scheduled for delivery after the policy's delay.
+        """
+        if receiver not in self._processors:
+            raise UnknownProcessorError(
+                f"message from {sender} addressed to unknown processor {receiver}"
+            )
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            payload=dict(payload),
+            op_index=self._active_op,
+            uid=self._next_uid,
+            send_time=self.now,
+        )
+        self._next_uid += 1
+        self._in_flight += 1
+        delay = self._policy.delay(message)
+        self._queue.schedule(delay, lambda: self._deliver(message))
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        """Deliver *message*: record it, then run the receiver's handler."""
+        self._in_flight -= 1
+        record = MessageRecord.from_message(message, deliver_time=self.now)
+        self._trace.record(record)
+        receiver = self._processors[message.receiver]
+        previous_op = self._active_op
+        self._active_op = message.op_index
+        try:
+            receiver.on_message(message)
+        finally:
+            self._active_op = previous_op
+
+    # ------------------------------------------------------------------
+    # Local events (operation initiation, timers)
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        action: Callable[[], None],
+        op_index: OpIndex = NO_OP,
+        delay: float = 0.0,
+    ) -> None:
+        """Schedule a local *action* attributed to operation *op_index*.
+
+        This models the paper's operation requests: an ``inc`` "initiates a
+        process" at its requesting processor without itself being a
+        message.  Messages sent from within *action* belong to *op_index*.
+        """
+
+        def run() -> None:
+            previous_op = self._active_op
+            self._active_op = op_index
+            try:
+                action()
+            finally:
+                self._active_op = previous_op
+
+        self._queue.schedule(delay, run)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_until_quiescent(self) -> int:
+        """Execute events until none remain; return how many ran.
+
+        Quiescence — an empty event queue — is the paper's termination
+        condition for an ``inc`` process.  Raises
+        :class:`~repro.errors.SimulationLimitError` if the event budget is
+        exhausted, which indicates a protocol livelock.
+        """
+        executed = 0
+        while self._queue:
+            self._queue.run_next()
+            executed += 1
+            self._events_executed += 1
+            if self._events_executed > self._event_limit:
+                raise SimulationLimitError(
+                    f"exceeded event limit of {self._event_limit}; "
+                    "the protocol appears not to quiesce"
+                )
+        return executed
+
+    def is_quiescent(self) -> bool:
+        """True if no event (message or local action) is pending."""
+        return len(self._queue) == 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of messages currently in flight."""
+        return self._in_flight

@@ -1,0 +1,163 @@
+"""Execution traces: the exact ledger of every delivered message.
+
+The trace is the single source of truth for the paper's quantities:
+
+* the *message load* ``m_p`` of processor ``p`` — how many messages ``p``
+  sent or received (§3);
+* the *footprint* ``I_p`` of an ``inc`` — the processors that sent or
+  received a message during that operation (§2, used by the Hot Spot
+  Lemma);
+* the per-operation message lists that the communication-DAG and
+  communication-list constructions of §3 consume.
+
+A trace is append-only during the simulation and read-only afterwards.
+All analysis (loads, bottleneck, DAGs, lemma checkers) happens on the
+trace, never inside protocol code, so no counter implementation can skew
+its own accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Iterator
+
+from repro.sim.messages import NO_OP, MessageRecord, OpIndex, ProcessorId
+
+
+class Trace:
+    """Ordered collection of delivered-message records with indexes.
+
+    Records are stored in delivery order.  Secondary indexes (per-processor
+    load, per-operation record lists, per-operation footprints) are kept
+    incrementally so that post-run analysis of large simulations does not
+    re-scan the record list per query.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[MessageRecord] = []
+        self._load: Counter[ProcessorId] = Counter()
+        self._sent: Counter[ProcessorId] = Counter()
+        self._received: Counter[ProcessorId] = Counter()
+        self._by_op: defaultdict[OpIndex, list[MessageRecord]] = defaultdict(list)
+        self._footprints: defaultdict[OpIndex, set[ProcessorId]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, record: MessageRecord) -> None:
+        """Append one delivered message and update all indexes."""
+        self._records.append(record)
+        self._load[record.sender] += 1
+        self._load[record.receiver] += 1
+        self._sent[record.sender] += 1
+        self._received[record.receiver] += 1
+        self._by_op[record.op_index].append(record)
+        self._footprints[record.op_index].add(record.sender)
+        self._footprints[record.op_index].add(record.receiver)
+
+    # ------------------------------------------------------------------
+    # Whole-trace views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MessageRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[MessageRecord]:
+        """All records in delivery order (do not mutate)."""
+        return self._records
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of messages delivered."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Loads (the paper's m_p)
+    # ------------------------------------------------------------------
+    def load(self, pid: ProcessorId) -> int:
+        """Messages sent plus received by *pid* — the paper's ``m_p``."""
+        return self._load[pid]
+
+    def sent_by(self, pid: ProcessorId) -> int:
+        """Messages sent by *pid*."""
+        return self._sent[pid]
+
+    def received_by(self, pid: ProcessorId) -> int:
+        """Messages received by *pid*."""
+        return self._received[pid]
+
+    def loads(self) -> dict[ProcessorId, int]:
+        """Mapping of processor id to load, for processors with load > 0."""
+        return dict(self._load)
+
+    def bottleneck(self) -> tuple[ProcessorId, int]:
+        """The paper's bottleneck processor: ``argmax_p m_p`` and its load.
+
+        Returns ``(0, 0)`` for an empty trace.  Ties are broken toward the
+        smallest processor id so results are deterministic.
+        """
+        if not self._load:
+            return (0, 0)
+        best_load = max(self._load.values())
+        best_pid = min(p for p, m in self._load.items() if m == best_load)
+        return (best_pid, best_load)
+
+    # ------------------------------------------------------------------
+    # Per-operation views
+    # ------------------------------------------------------------------
+    def op_indices(self) -> list[OpIndex]:
+        """Sorted list of operation indices that produced traffic."""
+        return sorted(i for i in self._by_op if i != NO_OP)
+
+    def records_for_op(self, op_index: OpIndex) -> list[MessageRecord]:
+        """Records attributed to operation *op_index*, in delivery order."""
+        return list(self._by_op.get(op_index, []))
+
+    def messages_for_op(self, op_index: OpIndex) -> int:
+        """Number of messages attributed to operation *op_index*."""
+        return len(self._by_op.get(op_index, []))
+
+    def footprint(self, op_index: OpIndex) -> frozenset[ProcessorId]:
+        """The paper's ``I_p``: processors touched by operation *op_index*.
+
+        Includes every processor that sent or received at least one message
+        during the operation (the initiator appears as soon as it sends its
+        first message; an operation answered without any messages has an
+        empty footprint).
+        """
+        return frozenset(self._footprints.get(op_index, frozenset()))
+
+    def load_within_op(self, op_index: OpIndex) -> dict[ProcessorId, int]:
+        """Per-processor message load restricted to one operation."""
+        load: Counter[ProcessorId] = Counter()
+        for record in self._by_op.get(op_index, []):
+            load[record.sender] += 1
+            load[record.receiver] += 1
+        return dict(load)
+
+    def load_snapshot(self, up_to_op: OpIndex) -> dict[ProcessorId, int]:
+        """Loads counting only operations with index < *up_to_op*.
+
+        This is the paper's ``m(p)`` "before the i-th inc operation" used by
+        the weight function in the Lower Bound Theorem.  Untracked traffic
+        (``NO_OP``) is excluded.
+        """
+        load: Counter[ProcessorId] = Counter()
+        for op_index, records in self._by_op.items():
+            if op_index == NO_OP or op_index >= up_to_op:
+                continue
+            for record in records:
+                load[record.sender] += 1
+                load[record.receiver] += 1
+        return dict(load)
+
+
+def merge_loads(traces: Iterable[Trace]) -> dict[ProcessorId, int]:
+    """Combine per-processor loads across several traces."""
+    total: Counter[ProcessorId] = Counter()
+    for trace in traces:
+        total.update(trace.loads())
+    return dict(total)

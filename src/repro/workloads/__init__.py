@@ -1,0 +1,42 @@
+"""Workloads: initiator sequences and the drivers that execute them.
+
+* :mod:`repro.workloads.sequences` — who increments, in what order; the
+  paper's one-shot permutation plus skewed/repeated extension workloads.
+* :mod:`repro.workloads.driver` — sequential (quiescence-barrier) and
+  concurrent (batch) execution against any
+  :class:`~repro.api.DistributedCounter`.
+"""
+
+from repro.workloads.driver import (
+    OpOutcome,
+    RunResult,
+    run_concurrent,
+    run_factory_once,
+    run_sequence,
+)
+from repro.workloads.sequences import (
+    batched,
+    one_shot,
+    ping_pong,
+    reversed_one_shot,
+    round_robin,
+    shuffled,
+    single_hotspot,
+    zipf_sequence,
+)
+
+__all__ = [
+    "OpOutcome",
+    "batched",
+    "RunResult",
+    "one_shot",
+    "ping_pong",
+    "reversed_one_shot",
+    "round_robin",
+    "run_concurrent",
+    "run_factory_once",
+    "run_sequence",
+    "shuffled",
+    "single_hotspot",
+    "zipf_sequence",
+]

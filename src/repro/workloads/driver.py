@@ -1,0 +1,183 @@
+"""Workload drivers: execute operation sequences against a counter.
+
+The sequential driver realizes the paper's timing assumption: "enough time
+elapses in between any two inc requests to make sure that the preceding
+inc operation is finished before the next one starts" (§2).  Concretely,
+operation ``i+1`` is injected only after the network has quiesced from
+operation ``i``.
+
+The concurrent driver exists for the extension benchmarks (combining and
+diffracting structures only show their strengths under concurrency); it is
+never used for lower-bound claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.api import CounterFactory, DistributedCounter
+from repro.errors import ProtocolError
+from repro.sim.messages import OpIndex, ProcessorId
+from repro.sim.network import Network
+from repro.sim.policies import DeliveryPolicy
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class OpOutcome:
+    """One completed ``inc``: who asked, what value came back, at what cost.
+
+    Attributes:
+        op_index: position in the operation sequence.
+        initiator: processor that requested the ``inc``.
+        value: counter value returned to the initiator.
+        messages: number of messages attributed to this operation.
+    """
+
+    op_index: OpIndex
+    initiator: ProcessorId
+    value: int
+    messages: int
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything measured about one workload execution."""
+
+    counter_name: str
+    n: int
+    trace: Trace
+    outcomes: list[OpOutcome] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages delivered over the whole run."""
+        return self.trace.total_messages
+
+    @property
+    def operation_count(self) -> int:
+        """Number of completed operations."""
+        return len(self.outcomes)
+
+    def values(self) -> list[int]:
+        """Returned counter values in operation order."""
+        return [outcome.value for outcome in self.outcomes]
+
+    def bottleneck_load(self) -> int:
+        """The paper's ``m_b``: the maximum per-processor message load."""
+        return self.trace.bottleneck()[1]
+
+    def bottleneck_processor(self) -> ProcessorId:
+        """The processor achieving the maximum load (smallest id on ties)."""
+        return self.trace.bottleneck()[0]
+
+    def average_messages_per_op(self) -> float:
+        """The paper's ``L``: average messages per operation."""
+        if not self.outcomes:
+            return 0.0
+        return self.total_messages / len(self.outcomes)
+
+
+def run_sequence(
+    counter: DistributedCounter,
+    initiators: Sequence[ProcessorId],
+    check_values: bool = True,
+) -> RunResult:
+    """Run *initiators* sequentially, quiescing between operations.
+
+    With sequential operations a correct counter must hand out exactly
+    ``0, 1, 2, ...`` in order; *check_values* enforces that and raises
+    :class:`~repro.errors.ProtocolError` on the first deviation, so broken
+    protocols fail loudly at the operation that went wrong.
+    """
+    network = counter.network
+    result = RunResult(counter_name=counter.name, n=counter.n, trace=network.trace)
+    for op_index, pid in enumerate(initiators):
+        before = counter.results_for(pid)
+        counter.begin_inc(pid, op_index)
+        network.run_until_quiescent()
+        after = counter.results_for(pid)
+        if len(after) != len(before) + 1:
+            raise ProtocolError(
+                f"operation {op_index}: processor {pid} received "
+                f"{len(after) - len(before)} results instead of 1"
+            )
+        value = after[-1]
+        if check_values and value != op_index:
+            raise ProtocolError(
+                f"operation {op_index}: processor {pid} received value "
+                f"{value}, expected {op_index} (sequential semantics)"
+            )
+        result.outcomes.append(
+            OpOutcome(
+                op_index=op_index,
+                initiator=pid,
+                value=value,
+                messages=network.trace.messages_for_op(op_index),
+            )
+        )
+    return result
+
+
+def run_concurrent(
+    counter: DistributedCounter,
+    batches: Iterable[Sequence[ProcessorId]],
+    check_values: bool = True,
+) -> RunResult:
+    """Run operations in concurrent batches.
+
+    All operations of a batch are injected before any event runs, so their
+    messages interleave arbitrarily under the delivery policy; the network
+    quiesces between batches.  With concurrency the returned values are no
+    longer ordered, but a correct counter still hands out each value
+    exactly once; *check_values* enforces that the multiset of returned
+    values is ``{0, ..., ops-1}``.
+    """
+    network = counter.network
+    result = RunResult(counter_name=counter.name, n=counter.n, trace=network.trace)
+    op_index = 0
+    for batch in batches:
+        injected: list[tuple[OpIndex, ProcessorId, int]] = []
+        for pid in batch:
+            prior = len(counter.results_for(pid))
+            counter.begin_inc(pid, op_index)
+            injected.append((op_index, pid, prior))
+            op_index += 1
+        network.run_until_quiescent()
+        for this_op, pid, prior in injected:
+            results = counter.results_for(pid)
+            if len(results) <= prior:
+                raise ProtocolError(
+                    f"operation {this_op}: processor {pid} never got a result"
+                )
+            result.outcomes.append(
+                OpOutcome(
+                    op_index=this_op,
+                    initiator=pid,
+                    value=results[prior],
+                    messages=network.trace.messages_for_op(this_op),
+                )
+            )
+    if check_values:
+        values = sorted(outcome.value for outcome in result.outcomes)
+        expected = list(range(len(result.outcomes)))
+        if values != expected:
+            raise ProtocolError(
+                f"concurrent run returned values {values[:10]}... "
+                f"instead of a permutation of 0..{len(expected) - 1}"
+            )
+    return result
+
+
+def run_factory_once(
+    factory: CounterFactory,
+    n: int,
+    initiators: Sequence[ProcessorId],
+    policy: DeliveryPolicy | None = None,
+    check_values: bool = True,
+) -> RunResult:
+    """Convenience: fresh network + counter, run *initiators*, return result."""
+    network = Network(policy=policy)
+    counter = factory(network, n)
+    return run_sequence(counter, initiators, check_values=check_values)

@@ -1,0 +1,115 @@
+"""Initiator sequences: who requests ``inc``, and in what order.
+
+The paper's lower bound is stated for the workload in which *each
+processor initiates exactly one inc operation* (§3) — a permutation of
+``1 .. n``.  This module generates that workload in several flavours, plus
+the skewed and repeated workloads used by the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.sim.messages import ProcessorId
+
+
+def one_shot(n: int) -> list[ProcessorId]:
+    """The canonical paper workload: processors 1..n, each incing once.
+
+    Uses the identity order; combine with :func:`shuffled` or the greedy
+    adversary of :mod:`repro.lowerbound.adversary` for other orders.
+    """
+    _require_positive(n)
+    return list(range(1, n + 1))
+
+
+def reversed_one_shot(n: int) -> list[ProcessorId]:
+    """Each processor incs once, in descending id order."""
+    _require_positive(n)
+    return list(range(n, 0, -1))
+
+
+def shuffled(n: int, seed: int = 0) -> list[ProcessorId]:
+    """Each processor incs once, in a seeded random order."""
+    _require_positive(n)
+    order = list(range(1, n + 1))
+    random.Random(seed).shuffle(order)
+    return order
+
+
+def round_robin(n: int, rounds: int) -> list[ProcessorId]:
+    """Every processor incs once per round, for *rounds* rounds.
+
+    Extension workload: the paper's bound is per one-shot sequence; this
+    checks load behaviour when the sequence repeats (retired processors
+    are not reused within a round but are across rounds).
+    """
+    _require_positive(n)
+    if rounds <= 0:
+        raise ConfigurationError(f"rounds must be positive, got {rounds}")
+    return [pid for _ in range(rounds) for pid in range(1, n + 1)]
+
+
+def zipf_sequence(n: int, length: int, skew: float = 1.2, seed: int = 0) -> list[ProcessorId]:
+    """*length* incs with Zipf-skewed initiators.
+
+    The paper notes that distribution is inherently limited "if many
+    operations are initiated by a single processor"; this workload
+    exercises exactly that regime for the extension benches.
+    """
+    _require_positive(n)
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    if skew <= 0:
+        raise ConfigurationError(f"skew must be positive, got {skew}")
+    weights = [1.0 / (rank**skew) for rank in range(1, n + 1)]
+    rng = random.Random(seed)
+    return rng.choices(range(1, n + 1), weights=weights, k=length)
+
+
+def batched(n: int, batch_size: int) -> list[list[ProcessorId]]:
+    """Split the one-shot workload into concurrent batches of *batch_size*.
+
+    For :func:`repro.workloads.run_concurrent`: each inner list is
+    injected at one instant, the network quiesces between batches.
+    """
+    _require_positive(n)
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch size must be positive, got {batch_size}")
+    order = list(range(1, n + 1))
+    return [order[start : start + batch_size] for start in range(0, n, batch_size)]
+
+
+def ping_pong(n: int, length: int | None = None) -> list[ProcessorId]:
+    """Alternate between the two extreme processors 1 and n.
+
+    The adversarial order for locality-exploiting structures (E13): on a
+    spanning tree it crosses the root on every single operation.
+    Defaults to ``length = n``.
+    """
+    _require_positive(n)
+    if n < 2:
+        raise ConfigurationError("ping-pong needs at least two processors")
+    if length is None:
+        length = n
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    return [1 if index % 2 == 0 else n for index in range(length)]
+
+
+def single_hotspot(n: int, length: int, hot: ProcessorId = 1) -> list[ProcessorId]:
+    """All *length* operations initiated by one processor.
+
+    The degenerate regime the paper excludes from its lower bound (and for
+    good reason: the initiator itself is trivially a bottleneck).
+    """
+    _require_positive(n)
+    if not 1 <= hot <= n:
+        raise ConfigurationError(f"hot processor {hot} outside 1..{n}")
+    return [hot] * length
+
+
+def _require_positive(n: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"need a positive processor count, got {n}")

@@ -1,0 +1,124 @@
+"""Unit tests for communication DAGs and lists (the paper's Figures 1-2)."""
+
+from __future__ import annotations
+
+from repro.analysis import build_dag, build_list, lists_for_run
+from repro.counters import CentralCounter
+from repro.core import TreeCounter
+from repro.sim.messages import MessageRecord
+from repro.sim.network import Network
+from repro.sim.trace import Trace
+from repro.workloads import one_shot, run_sequence
+
+
+def _trace(edges, op_index=0):
+    trace = Trace()
+    for uid, (sender, receiver) in enumerate(edges):
+        trace.record(
+            MessageRecord(
+                sender=sender, receiver=receiver, kind="m", op_index=op_index,
+                uid=uid, send_time=float(uid), deliver_time=float(uid) + 1,
+            )
+        )
+    return trace
+
+
+class TestBuildDag:
+    def test_single_message(self):
+        dag = build_dag(_trace([(1, 2)]), 0, initiator=1)
+        assert dag.message_count == 1
+        assert dag.participants() == frozenset({1, 2})
+        assert dag.is_acyclic()
+
+    def test_chain_depth(self):
+        dag = build_dag(_trace([(1, 2), (2, 3), (3, 4)]), 0, initiator=1)
+        assert dag.depth() == 3
+
+    def test_fan_out_depth_one(self):
+        dag = build_dag(_trace([(1, 2), (1, 3), (1, 4)]), 0, initiator=1)
+        assert dag.depth() == 1
+        assert dag.message_count == 3
+
+    def test_revisit_creates_second_occurrence(self):
+        # 1 -> 2 -> 1: processor 1 appears twice (source and answer),
+        # matching the paper's "p appears as the source of the DAG and
+        # somewhere else where p is informed".
+        dag = build_dag(_trace([(1, 2), (2, 1)]), 0, initiator=1)
+        occurrences = [node for node in dag.graph.nodes if node.pid == 1]
+        assert len(occurrences) == 2
+
+    def test_empty_operation_has_source_only(self):
+        dag = build_dag(Trace(), 0, initiator=5)
+        assert dag.message_count == 0
+        assert dag.participants() == frozenset({5})
+        assert dag.source().pid == 5
+
+    def test_ascii_rendering(self):
+        dag = build_dag(_trace([(1, 2)]), 0, initiator=1)
+        text = dag.to_ascii()
+        assert "inc by processor 1" in text
+        assert "-->" in text
+
+
+class TestBuildList:
+    def test_initiator_heads_the_list(self):
+        lst = build_list(_trace([(1, 2), (2, 3)]), 0, initiator=1)
+        assert lst.initiator == 1
+        assert lst.labels == (1, 2, 3)
+
+    def test_length_equals_message_count(self):
+        lst = build_list(_trace([(1, 2), (2, 3), (3, 1)]), 0, initiator=1)
+        assert lst.length == 3
+
+    def test_label_is_one_based_like_the_paper(self):
+        lst = build_list(_trace([(1, 2)]), 0, initiator=1)
+        assert lst.label(1) == 1  # p_{i,1} = q
+        assert lst.label(2) == 2
+
+    def test_empty_operation_list(self):
+        lst = build_list(Trace(), 3, initiator=7)
+        assert lst.labels == (7,)
+        assert lst.length == 0
+
+    def test_str_rendering(self):
+        lst = build_list(_trace([(1, 2)]), 0, initiator=1)
+        assert str(lst) == "1 -> 2"
+
+
+class TestOnRealCounters:
+    def test_central_counter_dag_is_request_reply(self):
+        network = Network()
+        counter = CentralCounter(network, 4)
+        result = run_sequence(counter, one_shot(4))
+        dag = build_dag(result.trace, 1, initiator=2)
+        assert dag.message_count == 2  # request + reply
+        assert dag.participants() == frozenset({1, 2})
+        assert dag.depth() == 2
+
+    def test_tree_counter_dags_are_acyclic_and_rooted(self):
+        network = Network()
+        counter = TreeCounter(network, 8)
+        result = run_sequence(counter, one_shot(8))
+        for outcome in result.outcomes:
+            dag = build_dag(result.trace, outcome.op_index, outcome.initiator)
+            assert dag.is_acyclic()
+            assert outcome.initiator in dag.participants()
+
+    def test_lists_for_run_covers_every_op(self):
+        network = Network()
+        counter = CentralCounter(network, 5)
+        result = run_sequence(counter, one_shot(5))
+        lists = lists_for_run(result.trace, result.outcomes)
+        assert len(lists) == 5
+        assert [lst.initiator for lst in lists] == [1, 2, 3, 4, 5]
+        # List lengths are exactly the per-op message counts.
+        assert [lst.length for lst in lists] == [o.messages for o in result.outcomes]
+
+    def test_list_participants_match_footprint(self):
+        network = Network()
+        counter = TreeCounter(network, 8)
+        result = run_sequence(counter, one_shot(8))
+        for outcome in result.outcomes:
+            lst = build_list(result.trace, outcome.op_index, outcome.initiator)
+            footprint = result.trace.footprint(outcome.op_index) | {outcome.initiator}
+            assert lst.participants() == footprint

@@ -1,0 +1,73 @@
+"""Tests for operation-latency analysis (the §1 time measure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LatencyProfile, op_latency
+from repro.core import TreeCounter
+from repro.counters import CentralCounter, StaticTreeCounter
+from repro.sim.network import Network
+from repro.workloads import one_shot, run_sequence
+
+
+def _run(factory, n):
+    network = Network()
+    counter = factory(network, n)
+    return run_sequence(counter, one_shot(n))
+
+
+class TestOpLatency:
+    def test_central_remote_op_takes_two_units(self):
+        result = _run(CentralCounter, 8)
+        # Op 1 (processor 2): request 1 unit + reply 1 unit.
+        assert op_latency(result.trace, 1) == pytest.approx(2.0)
+
+    def test_local_op_is_instant(self):
+        result = _run(CentralCounter, 8)
+        # Op 0 is the server's own inc: zero messages.
+        assert op_latency(result.trace, 0) == 0.0
+
+    def test_static_tree_latency_is_depth_plus_reply(self):
+        # k=2 tree: climb 3 levels + direct answer = 4 units.
+        result = _run(StaticTreeCounter, 8)
+        profile = LatencyProfile.from_run(result)
+        assert profile.worst == pytest.approx(4.0)
+
+    def test_tree_latency_grows_with_k_not_n(self):
+        worst = {}
+        for k in (2, 3, 4):
+            result = _run(TreeCounter, k ** (k + 1))
+            worst[k] = LatencyProfile.from_run(result).worst
+        # Baseline climb is k+2; retirement bursts add a bounded tail.
+        for k, value in worst.items():
+            assert k + 2 <= value <= 4 * (k + 2)
+        # n grew 128x between k=2 and k=4; latency must not.
+        assert worst[4] <= 3 * worst[2]
+
+
+class TestLatencyProfile:
+    def test_mean_and_percentile(self):
+        profile = LatencyProfile(latencies=(1.0, 2.0, 3.0, 10.0))
+        assert profile.mean == pytest.approx(4.0)
+        assert profile.worst == 10.0
+        assert profile.percentile(0.0) == 1.0
+        assert profile.percentile(1.0) == 10.0
+
+    def test_empty_profile(self):
+        profile = LatencyProfile(latencies=())
+        assert profile.worst == 0.0
+        assert profile.mean == 0.0
+        assert profile.percentile(0.5) == 0.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyProfile(latencies=(1.0,)).percentile(2.0)
+
+    def test_latency_vs_load_tradeoff(self):
+        # The central counter is latency-optimal (2 units) and
+        # load-pessimal; the tree pays ~k+2 latency to spread load.
+        n = 81
+        central = LatencyProfile.from_run(_run(CentralCounter, n))
+        tree = LatencyProfile.from_run(_run(TreeCounter, n))
+        assert central.worst < tree.worst

@@ -1,0 +1,113 @@
+"""Tests for the linearizability checker (HSW related work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    TimedOp,
+    check_linearizable_counting,
+    run_concurrent_timed,
+    run_staggered_timed,
+)
+from repro.counters import BitonicCountingNetwork, CentralCounter
+from repro.errors import ProtocolError
+from repro.sim.network import Network
+from repro.sim.policies import DeliveryPolicy, RandomDelay
+
+
+def _op(index, value, request, response):
+    return TimedOp(
+        op_index=index, initiator=index + 1, value=value,
+        request_time=request, response_time=response,
+    )
+
+
+class TestChecker:
+    def test_sequential_history_is_linearizable(self):
+        ops = [_op(i, i, 10.0 * i, 10.0 * i + 5) for i in range(5)]
+        report = check_linearizable_counting(ops)
+        assert report.linearizable
+        assert report.precedence_pairs == 10  # all ordered pairs
+
+    def test_fully_overlapping_history_is_vacuously_linearizable(self):
+        ops = [_op(i, 4 - i, 0.0, 100.0) for i in range(5)]
+        report = check_linearizable_counting(ops)
+        assert report.linearizable
+        assert report.precedence_pairs == 0
+
+    def test_inversion_detected(self):
+        ops = [
+            _op(0, 1, 0.0, 5.0),   # finished early with the BIGGER value
+            _op(1, 0, 10.0, 15.0),  # started later, got the smaller value
+        ]
+        report = check_linearizable_counting(ops)
+        assert not report.linearizable
+        assert len(report.inversions) == 1
+        inversion = report.inversions[0]
+        assert inversion.earlier.value == 1
+        assert inversion.later.value == 0
+        assert "larger value" in str(inversion)
+
+    def test_nearest_witness_is_reported(self):
+        ops = [
+            _op(0, 2, 0.0, 3.0),
+            _op(1, 1, 0.0, 4.0),
+            _op(2, 0, 10.0, 12.0),
+        ]
+        report = check_linearizable_counting(ops)
+        assert not report.linearizable
+        # op 2 is inverted against the earliest-finishing larger value.
+        assert report.inversions[0].earlier.value == 2
+
+    def test_duplicate_values_rejected(self):
+        ops = [_op(0, 1, 0.0, 1.0), _op(1, 1, 2.0, 3.0)]
+        with pytest.raises(ProtocolError):
+            check_linearizable_counting(ops)
+
+
+class _StallFirstToken(DeliveryPolicy):
+    """Scripted adversary: park client 1's post-balancer hop for ages."""
+
+    def delay(self, message):
+        if (
+            message.kind == "cn-token"
+            and message.payload.get("origin") == 1
+            and message.payload.get("layer") == 1
+        ):
+            return 100.0
+        return 1.0
+
+
+class TestCountersUnderConcurrency:
+    def test_central_counter_is_linearizable(self):
+        for seed in range(5):
+            network = Network(policy=RandomDelay(seed=seed, low=0.5, high=20.0))
+            counter = CentralCounter(network, 16)
+            ops = run_staggered_timed(counter, list(range(1, 17)), gap=2.0)
+            assert check_linearizable_counting(ops).linearizable
+
+    def test_counting_network_counts_but_is_not_linearizable(self):
+        """The HSW counterexample, deterministic.
+
+        A stalled token reserves exit wire 0; a second token finishes
+        with value 1; a third token, starting strictly afterwards,
+        overtakes the stalled one and receives value 0.
+        """
+        network = Network(policy=_StallFirstToken())
+        counter = BitonicCountingNetwork(network, 4, width=2)
+        ops = run_staggered_timed(counter, [1, 2, 3], gap=5.0)
+        # It counts: values are a permutation.
+        assert sorted(op.value for op in ops) == [0, 1, 2]
+        report = check_linearizable_counting(ops)
+        assert not report.linearizable
+        inversion = report.inversions[0]
+        assert inversion.earlier.value > inversion.later.value
+        assert inversion.earlier.response_time < inversion.later.request_time
+
+    def test_concurrent_timed_driver_matches_results(self):
+        network = Network(policy=RandomDelay(seed=3))
+        counter = CentralCounter(network, 8)
+        ops = run_concurrent_timed(counter, list(range(1, 9)))
+        assert sorted(op.value for op in ops) == list(range(8))
+        assert all(op.response_time >= op.request_time for op in ops)

@@ -1,0 +1,117 @@
+"""Unit tests for load profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LoadProfile
+from repro.sim.messages import MessageRecord
+from repro.sim.trace import Trace
+
+
+def _trace(edges):
+    trace = Trace()
+    for uid, (sender, receiver) in enumerate(edges):
+        trace.record(
+            MessageRecord(
+                sender=sender, receiver=receiver, kind="m", op_index=0,
+                uid=uid, send_time=0.0, deliver_time=1.0,
+            )
+        )
+    return trace
+
+
+class TestHeadlineNumbers:
+    def test_bottleneck_and_processor(self):
+        profile = LoadProfile.from_trace(_trace([(1, 9), (2, 9), (3, 9)]))
+        assert profile.bottleneck_load == 3
+        assert profile.bottleneck_processor == 9
+
+    def test_total_load_is_twice_messages(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2), (3, 4), (1, 4)]))
+        assert profile.total_load == 6
+
+    def test_mean_uses_population(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2)]), population=10)
+        assert profile.mean_load == pytest.approx(0.2)
+
+    def test_population_never_below_observed(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2), (3, 4)]), population=1)
+        assert profile.population == 4
+
+    def test_concentration_even_distribution(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2), (3, 4)]), population=4)
+        assert profile.concentration == pytest.approx(1.0)
+
+    def test_concentration_hotspot(self):
+        profile = LoadProfile.from_trace(
+            _trace([(1, 9), (2, 9), (3, 9), (4, 9)]), population=5
+        )
+        # Bottleneck 4, mean 8/5.
+        assert profile.concentration == pytest.approx(4 / 1.6)
+
+    def test_empty_profile(self):
+        profile = LoadProfile.from_trace(Trace())
+        assert profile.bottleneck_load == 0
+        assert profile.bottleneck_processor == 0
+        assert profile.gini() == 0.0
+        assert profile.concentration == 0.0
+
+
+class TestDistributionShape:
+    def test_gini_zero_for_even_loads(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2), (3, 4)]), population=4)
+        assert profile.gini() == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_grows_with_concentration(self):
+        even = LoadProfile.from_trace(_trace([(1, 2), (3, 4)]), population=4)
+        skewed = LoadProfile.from_trace(
+            _trace([(1, 9), (2, 9), (3, 9), (4, 9)]), population=9
+        )
+        assert skewed.gini() > even.gini()
+
+    def test_gini_bounded(self):
+        profile = LoadProfile.from_trace(
+            _trace([(1, 9)] * 50), population=100
+        )
+        assert 0.0 <= profile.gini() <= 1.0
+
+    def test_percentile_extremes(self):
+        profile = LoadProfile.from_trace(
+            _trace([(1, 9), (2, 9), (3, 9)]), population=9
+        )
+        assert profile.percentile(1.0) == 3
+        assert profile.percentile(0.0) == 0
+
+    def test_percentile_validates_input(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2)]))
+        with pytest.raises(ValueError):
+            profile.percentile(1.5)
+
+    def test_top_ranks_by_load_then_pid(self):
+        profile = LoadProfile.from_trace(_trace([(1, 9), (2, 9), (1, 3)]))
+        # Loads: pid1=2, pid9=2, pid2=1, pid3=1; ties break to smaller pid.
+        assert profile.top(2) == [(1, 2), (9, 2)]
+        assert profile.top(4) == [(1, 2), (9, 2), (2, 1), (3, 1)]
+
+    def test_histogram_counts_population(self):
+        profile = LoadProfile.from_trace(
+            _trace([(1, 9), (2, 9), (3, 9)]), population=10
+        )
+        bins = profile.histogram(bins=4)
+        assert sum(count for _, _, count in bins) == 10
+
+    def test_histogram_of_empty_profile(self):
+        profile = LoadProfile.from_trace(Trace(), population=3)
+        assert profile.histogram() == [(0, 0, 3)]
+
+    def test_histogram_validates_bins(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2)]))
+        with pytest.raises(ValueError):
+            profile.histogram(bins=0)
+
+    def test_describe_mentions_key_stats(self):
+        profile = LoadProfile.from_trace(_trace([(1, 2)]), population=4)
+        text = profile.describe()
+        assert "bottleneck=1" in text
+        assert "population=4" in text

@@ -1,0 +1,38 @@
+"""Unit tests for report formatting."""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        text = format_table(["name", "n"], [["a", 1], ["long-name", 1000]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floats_rendered_with_two_decimals(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.142" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("bound", [(8, 2.0), (81, 3.0)])
+        assert text.startswith("bound:")
+        assert "8->2.00" in text
+        assert "81->3.00" in text
+
+    def test_empty_series(self):
+        assert format_series("s", []) == "s: "

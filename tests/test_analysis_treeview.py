@@ -1,0 +1,77 @@
+"""Tests for the ASCII tree/load renderings."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    LoadProfile,
+    render_histogram,
+    render_load_bars,
+    render_tree,
+)
+from repro.core import TreeCounter
+from repro.sim.network import Network
+from repro.sim.trace import Trace
+from repro.workloads import one_shot, run_sequence
+
+
+def _profile(n=81):
+    network = Network()
+    counter = TreeCounter(network, n)
+    result = run_sequence(counter, one_shot(n))
+    return counter, LoadProfile.from_trace(result.trace, population=n)
+
+
+class TestRenderTree:
+    def test_mentions_every_level(self):
+        counter, _ = _profile()
+        text = render_tree(counter)
+        assert "root" in text
+        assert "lvl 1" in text
+        assert "lvl 3" in text
+        assert "leaves: 81" in text
+
+    def test_reflects_retirements(self):
+        counter, _ = _profile()
+        text = render_tree(counter)
+        total = len(counter.retirements)
+        assert total > 0
+        # Root line shows a nonzero retirement count.
+        root_line = next(line for line in text.splitlines() if "root" in line)
+        assert "retired" in root_line
+        assert " 0x" not in root_line
+
+    def test_fresh_counter_renders_without_traffic(self):
+        network = Network()
+        counter = TreeCounter(network, 8)
+        text = render_tree(counter)
+        assert "8 leaves" in text
+
+
+class TestRenderLoadBars:
+    def test_bars_monotone_nonincreasing(self):
+        _, profile = _profile()
+        lines = render_load_bars(profile, top=5).splitlines()[1:]
+        lengths = [line.count("█") for line in lines]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_empty_profile(self):
+        profile = LoadProfile.from_trace(Trace())
+        assert "no load" in render_load_bars(profile)
+
+    def test_top_limits_rows(self):
+        _, profile = _profile()
+        lines = render_load_bars(profile, top=3).splitlines()
+        assert len(lines) == 4  # header + 3 bars
+
+
+class TestRenderHistogram:
+    def test_counts_cover_population(self):
+        _, profile = _profile()
+        text = render_histogram(profile, bins=4)
+        counts = [int(line.split()[1]) for line in text.splitlines()[1:]]
+        assert sum(counts) == profile.population
+
+    def test_empty_histogram(self):
+        profile = LoadProfile.from_trace(Trace(), population=0)
+        text = render_histogram(profile)
+        assert "histogram" in text or "empty" in text

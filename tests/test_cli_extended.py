@@ -1,0 +1,67 @@
+"""Tests for the experiment and figures CLI subcommands."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentCommand:
+    def test_list_mode(self, capsys):
+        code = main(["experiment"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for experiment_id in ("E1", "E9", "E17"):
+            assert f"{experiment_id}:" in out
+        # Ids are not duplicated in the descriptions.
+        assert "E4: E4:" not in out
+
+    def test_run_one_experiment(self, capsys):
+        code = main(["experiment", "E1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E1:" in out
+        assert "communication list" in out
+
+    def test_lowercase_id_accepted(self, capsys):
+        code = main(["experiment", "e1"])
+        assert code == 0
+
+    def test_unknown_id_fails(self, capsys):
+        code = main(["experiment", "E99"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown experiment" in err
+
+
+class TestFiguresCommand:
+    def test_writes_svgs(self, capsys, tmp_path, monkeypatch):
+        # Swap in cheap figure parameters.
+        import repro.experiments.figures as figures_module
+
+        from repro.experiments.figures import (
+            figure_bottleneck_vs_k,
+            figure_crossover,
+        )
+
+        monkeypatch.setattr(
+            figures_module, "figure_bottleneck_vs_k",
+            lambda: figure_bottleneck_vs_k(ks=(2,)),
+        )
+        monkeypatch.setattr(
+            figures_module, "figure_crossover",
+            lambda: figure_crossover(ns=(8, 27)),
+        )
+        monkeypatch.setattr(
+            figures_module, "figure_baseline_sweep",
+            lambda: figure_crossover(ns=(8, 27)),
+        )
+        code = main(["figures", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("wrote ") == 3
+        for path in tmp_path.glob("*.svg"):
+            ET.fromstring(path.read_text())

@@ -1,0 +1,86 @@
+"""Tests for the congestion (store-and-forward queueing) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TreeCounter
+from repro.counters import BitonicCountingNetwork, CentralCounter
+from repro.sim import CongestedDelay, Network
+from repro.sim.messages import Message
+from repro.sim.processor import InertProcessor
+from repro.workloads import one_shot, run_concurrent, run_sequence
+
+
+class TestCongestedDelayMechanics:
+    def test_lone_message_takes_latency_plus_service(self):
+        policy = CongestedDelay(latency=1.0, service=2.0)
+        message = Message(sender=1, receiver=2, kind="m", send_time=0.0)
+        assert policy.delay(message) == 3.0
+
+    def test_messages_queue_at_a_busy_receiver(self):
+        policy = CongestedDelay(latency=1.0, service=1.0)
+        first = Message(sender=1, receiver=9, kind="m", send_time=0.0)
+        second = Message(sender=2, receiver=9, kind="m", send_time=0.0)
+        third = Message(sender=3, receiver=9, kind="m", send_time=0.0)
+        assert policy.delay(first) == 2.0   # done at t=2
+        assert policy.delay(second) == 3.0  # waits for the server
+        assert policy.delay(third) == 4.0
+
+    def test_different_receivers_do_not_queue_on_each_other(self):
+        policy = CongestedDelay(latency=1.0, service=1.0)
+        a = Message(sender=1, receiver=2, kind="m", send_time=0.0)
+        b = Message(sender=1, receiver=3, kind="m", send_time=0.0)
+        assert policy.delay(a) == 2.0
+        assert policy.delay(b) == 2.0
+
+    def test_idle_receiver_serves_immediately(self):
+        policy = CongestedDelay(latency=1.0, service=1.0)
+        early = Message(sender=1, receiver=2, kind="m", send_time=0.0)
+        late = Message(sender=1, receiver=2, kind="m", send_time=50.0)
+        policy.delay(early)
+        assert policy.delay(late) == 2.0  # queue drained long ago
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CongestedDelay(service=0.0)
+        with pytest.raises(ValueError):
+            CongestedDelay(latency=-1.0)
+
+
+class TestCompletionTimeIsGatedByTheBottleneck:
+    def test_central_batch_takes_theta_n_time(self):
+        n = 128
+        network = Network(policy=CongestedDelay())
+        counter = CentralCounter(network, n)
+        run_concurrent(counter, [one_shot(n)])
+        # The server receives n-1 requests one at a time.
+        assert network.now >= (n - 1) * 1.0
+
+    def test_counting_network_batch_finishes_much_faster(self):
+        n = 128
+        central_network = Network(policy=CongestedDelay())
+        central = CentralCounter(central_network, n)
+        run_concurrent(central, [one_shot(n)])
+        cn_network = Network(policy=CongestedDelay())
+        cn = BitonicCountingNetwork(cn_network, n)
+        run_concurrent(cn, [one_shot(n)])
+        assert cn_network.now < central_network.now / 2
+
+    def test_completion_time_at_least_max_receive_load(self):
+        # The hottest receiver serially serves everything sent to it.
+        for factory in (CentralCounter, BitonicCountingNetwork, TreeCounter):
+            network = Network(policy=CongestedDelay())
+            counter = factory(network, 64)
+            run_concurrent(counter, [one_shot(64)])
+            max_received = max(
+                network.trace.received_by(p)
+                for p in range(1, network.processor_count + 1)
+            )
+            assert network.now >= max_received * 1.0
+
+    def test_sequential_correctness_unaffected_by_congestion(self):
+        network = Network(policy=CongestedDelay(latency=0.5, service=2.0))
+        counter = TreeCounter(network, 81)
+        result = run_sequence(counter, one_shot(81))
+        assert result.values() == list(range(81))

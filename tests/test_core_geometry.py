@@ -1,0 +1,204 @@
+"""Unit tests for tree geometry and the §4 identifier scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ROOT, NodeAddr, TreeGeometry, lower_bound_k, paper_k_for
+from repro.errors import ConfigurationError
+
+
+class TestShape:
+    def test_paper_shape_counts(self):
+        geometry = TreeGeometry.paper_shape(3)
+        assert geometry.arity == 3
+        assert geometry.depth == 3
+        assert geometry.leaf_count == 3**4 == 81
+
+    def test_leaf_count_is_k_power_k_plus_one(self):
+        for k in (2, 3, 4, 5):
+            assert TreeGeometry.paper_shape(k).leaf_count == k ** (k + 1)
+
+    def test_nodes_on_level(self):
+        geometry = TreeGeometry.paper_shape(3)
+        assert [geometry.nodes_on_level(level) for level in range(4)] == [1, 3, 9, 27]
+
+    def test_total_inner_nodes_geometric_sum(self):
+        geometry = TreeGeometry(arity=2, depth=3)
+        assert geometry.total_inner_nodes() == 1 + 2 + 4 + 8
+
+    def test_all_nodes_root_first(self):
+        geometry = TreeGeometry(arity=2, depth=2)
+        nodes = geometry.all_nodes()
+        assert nodes[0] == ROOT
+        assert len(nodes) == geometry.total_inner_nodes()
+
+    def test_leaves_under(self):
+        geometry = TreeGeometry.paper_shape(2)  # leaves = 8
+        assert geometry.leaves_under(ROOT) == 8
+        assert geometry.leaves_under(NodeAddr(1, 0)) == 4
+        assert geometry.leaves_under(NodeAddr(2, 3)) == 2
+
+    def test_for_processors_rounds_up(self):
+        assert TreeGeometry.for_processors(8).arity == 2
+        assert TreeGeometry.for_processors(9).arity == 3
+        assert TreeGeometry.for_processors(81).arity == 3
+        assert TreeGeometry.for_processors(82).arity == 4
+
+    @pytest.mark.parametrize("arity,depth", [(1, 2), (2, 0), (0, 0)])
+    def test_invalid_shapes_rejected(self, arity, depth):
+        with pytest.raises(ConfigurationError):
+            TreeGeometry(arity=arity, depth=depth)
+
+
+class TestAdjacency:
+    def test_parent_child_inverse(self):
+        geometry = TreeGeometry.paper_shape(3)
+        for level in range(geometry.depth):
+            for index in range(geometry.nodes_on_level(level)):
+                addr = NodeAddr(level, index)
+                for child in geometry.children(addr):
+                    assert geometry.parent(child) == addr
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ConfigurationError):
+            TreeGeometry.paper_shape(2).parent(ROOT)
+
+    def test_last_level_has_leaf_children(self):
+        geometry = TreeGeometry.paper_shape(2)
+        addr = NodeAddr(2, 0)
+        assert geometry.children(addr) == []
+        assert geometry.leaf_children(addr) == [1, 2]
+
+    def test_leaf_children_partition_leaves(self):
+        geometry = TreeGeometry.paper_shape(2)
+        seen = []
+        for index in range(geometry.nodes_on_level(geometry.depth)):
+            seen.extend(geometry.leaf_children(NodeAddr(geometry.depth, index)))
+        assert seen == list(range(1, geometry.leaf_count + 1))
+
+    def test_leaf_children_only_on_last_level(self):
+        geometry = TreeGeometry.paper_shape(2)
+        with pytest.raises(ConfigurationError):
+            geometry.leaf_children(NodeAddr(1, 0))
+
+    def test_leaf_parent(self):
+        geometry = TreeGeometry.paper_shape(2)
+        assert geometry.leaf_parent(1) == NodeAddr(2, 0)
+        assert geometry.leaf_parent(2) == NodeAddr(2, 0)
+        assert geometry.leaf_parent(3) == NodeAddr(2, 1)
+        assert geometry.leaf_parent(8) == NodeAddr(2, 3)
+
+    def test_leaf_parent_bounds(self):
+        geometry = TreeGeometry.paper_shape(2)
+        with pytest.raises(ConfigurationError):
+            geometry.leaf_parent(0)
+        with pytest.raises(ConfigurationError):
+            geometry.leaf_parent(9)
+
+    def test_path_to_root_has_depth_plus_one_nodes(self):
+        geometry = TreeGeometry.paper_shape(3)
+        path = geometry.path_to_root(1)
+        assert len(path) == geometry.depth + 1
+        assert path[-1] == ROOT
+        assert path[0] == geometry.leaf_parent(1)
+
+    def test_out_of_range_addr_rejected(self):
+        geometry = TreeGeometry.paper_shape(2)
+        with pytest.raises(ConfigurationError):
+            geometry.children(NodeAddr(1, 5))
+        with pytest.raises(ConfigurationError):
+            geometry.children(NodeAddr(7, 0))
+
+
+class TestIdentifierScheme:
+    def test_intervals_disjoint_and_within_n(self):
+        geometry = TreeGeometry.paper_shape(3)
+        seen: set[int] = set()
+        for addr in geometry.all_nodes():
+            if addr.is_root:
+                continue
+            interval = geometry.id_interval(addr)
+            ids = set(interval)
+            assert not ids & seen, f"overlap at {addr}"
+            seen |= ids
+        assert max(seen) == geometry.max_interval_id() == 3 * 3**3
+        assert geometry.max_interval_id() <= geometry.leaf_count
+
+    def test_interval_width_shrinks_with_level(self):
+        geometry = TreeGeometry.paper_shape(3)
+        widths = [
+            len(geometry.id_interval(NodeAddr(level, 0)))
+            for level in range(1, geometry.depth + 1)
+        ]
+        assert widths == [9, 3, 1]  # k^(k-i) for i = 1..k
+
+    def test_levels_occupy_disjoint_bands(self):
+        geometry = TreeGeometry.paper_shape(2)
+        band = geometry.arity**geometry.depth
+        for addr in geometry.all_nodes():
+            if addr.is_root:
+                continue
+            interval = geometry.id_interval(addr)
+            assert (addr.level - 1) * band < interval.start
+            assert interval.stop - 1 <= addr.level * band
+
+    def test_root_has_no_interval(self):
+        with pytest.raises(ConfigurationError):
+            TreeGeometry.paper_shape(2).id_interval(ROOT)
+
+    def test_initial_workers_unique_among_non_root(self):
+        geometry = TreeGeometry.paper_shape(3)
+        workers = [
+            geometry.initial_worker(addr)
+            for addr in geometry.all_nodes()
+            if not addr.is_root
+        ]
+        assert len(workers) == len(set(workers))
+
+    def test_root_initial_worker_is_one(self):
+        assert TreeGeometry.paper_shape(4).initial_worker(ROOT) == 1
+
+    def test_processor_requirement_covers_everything(self):
+        for k in (2, 3, 4):
+            geometry = TreeGeometry.paper_shape(k)
+            requirement = geometry.processor_requirement()
+            assert requirement >= geometry.leaf_count
+            assert requirement >= geometry.max_interval_id()
+            assert requirement >= geometry.root_walk_budget()
+
+
+class TestBoundCurve:
+    def test_lower_bound_k_solves_the_equation(self):
+        for k in (2, 3, 4, 5, 6):
+            n = k ** (k + 1)
+            assert lower_bound_k(n) == pytest.approx(k, abs=1e-6)
+
+    def test_lower_bound_k_monotone(self):
+        values = [lower_bound_k(n) for n in (2, 10, 100, 10_000, 10**8)]
+        assert values == sorted(values)
+
+    def test_lower_bound_k_small_n(self):
+        assert lower_bound_k(1) == 1.0
+        assert lower_bound_k(0) == 1.0
+
+    def test_paper_k_for_matches_for_processors(self):
+        for n in (2, 8, 9, 81, 82, 1024, 1025):
+            assert paper_k_for(n) == TreeGeometry.for_processors(n).arity
+
+
+class TestNodeAddr:
+    def test_root_flag(self):
+        assert ROOT.is_root
+        assert not NodeAddr(1, 0).is_root
+
+    def test_key_round_trip(self):
+        addr = NodeAddr(2, 5)
+        assert addr.key() == (2, 5)
+
+    def test_str(self):
+        assert str(ROOT) == "root"
+        assert str(NodeAddr(1, 2)) == "node(1,2)"
+
+    def test_ordering(self):
+        assert ROOT < NodeAddr(1, 0) < NodeAddr(1, 1) < NodeAddr(2, 0)

@@ -1,0 +1,123 @@
+"""Unit tests for the arrow-protocol (path reversal) counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters import ArrowCounter
+from repro.errors import ConfigurationError
+from repro.lowerbound import GreedyAdversary, check_hot_spot, message_load_bound
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay
+from repro.workloads import one_shot, run_sequence, shuffled
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 33, 64])
+    def test_sequential_values(self, n):
+        network = Network()
+        counter = ArrowCounter(network, n)
+        result = run_sequence(counter, one_shot(n))
+        assert result.values() == list(range(n))
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_any_order(self, seed):
+        network = Network()
+        counter = ArrowCounter(network, 32)
+        result = run_sequence(counter, shuffled(32, seed=seed))
+        assert result.values() == list(range(32))
+
+    def test_repeated_initiators(self):
+        network = Network()
+        counter = ArrowCounter(network, 8)
+        result = run_sequence(counter, [3, 3, 5, 3, 5, 5])
+        assert result.values() == list(range(6))
+
+    def test_owner_increments_for_free(self):
+        network = Network()
+        counter = ArrowCounter(network, 8, initial_owner=4)
+        result = run_sequence(counter, [4, 4, 4])
+        assert result.values() == [0, 1, 2]
+        assert result.total_messages == 0
+
+    def test_token_moves_to_last_requester(self):
+        network = Network()
+        counter = ArrowCounter(network, 16)
+        run_sequence(counter, [5, 9, 2])
+        assert counter.owner == 2
+        assert counter.value == 3
+
+    def test_correct_under_random_delays(self):
+        # Sequential ops with any delays: still exact.
+        network = Network(policy=RandomDelay(seed=7))
+        counter = ArrowCounter(network, 32)
+        result = run_sequence(counter, shuffled(32, seed=2))
+        assert result.values() == list(range(32))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ArrowCounter(Network(), 8, initial_owner=9)
+        network = Network()
+        counter = ArrowCounter(network, 4)
+        with pytest.raises(ConfigurationError):
+            counter.begin_inc(5, 0)
+
+    def test_hot_spot_lemma_holds(self):
+        network = Network()
+        counter = ArrowCounter(network, 32)
+        result = run_sequence(counter, shuffled(32, seed=4))
+        assert check_hot_spot(result).holds
+
+
+class TestOrderSensitivity:
+    """The arrow counter's load depends on the operation order — the
+    reason the Lower Bound Theorem quantifies over orders."""
+
+    def test_identity_order_is_extremely_cheap(self):
+        network = Network()
+        counter = ArrowCounter(network, 64)
+        result = run_sequence(counter, one_shot(64))
+        # Adjacent leaves exchange the token through short paths.
+        assert result.bottleneck_load() <= 16
+
+    def test_identity_order_beats_the_ww_tree(self):
+        from repro.core import TreeCounter
+
+        n = 64
+        arrow_result = run_sequence(ArrowCounter(Network(), n), one_shot(n))
+        tree_result = run_sequence(TreeCounter(Network(), n), one_shot(n))
+        assert arrow_result.bottleneck_load() < tree_result.bottleneck_load()
+
+    def test_ping_pong_order_is_theta_n(self):
+        n = 64
+        network = Network()
+        counter = ArrowCounter(network, n)
+        order = [1 if i % 2 == 0 else n for i in range(n)]
+        result = run_sequence(counter, order)
+        # Every op crosses the root: ~2 log n messages each, all through
+        # the same top hosts.
+        assert result.bottleneck_load() >= 2 * n
+
+    def test_order_spread_is_wide(self):
+        n = 64
+        loads = {}
+        for name, order in (
+            ("identity", one_shot(n)),
+            ("shuffled", shuffled(n, seed=1)),
+            ("ping-pong", [1 if i % 2 == 0 else n for i in range(n)]),
+        ):
+            network = Network()
+            counter = ArrowCounter(network, n)
+            loads[name] = run_sequence(counter, order).bottleneck_load()
+        assert loads["identity"] < loads["shuffled"] < loads["ping-pong"]
+
+    def test_adversary_still_forces_the_bound(self):
+        n = 16
+        run = GreedyAdversary(ArrowCounter, n).run()
+        assert run.bottleneck_load >= message_load_bound(n)
+
+    def test_adversary_beats_the_identity_order(self):
+        n = 16
+        identity = run_sequence(ArrowCounter(Network(), n), one_shot(n))
+        adversarial = GreedyAdversary(ArrowCounter, n).run()
+        assert adversarial.bottleneck_load >= identity.bottleneck_load()

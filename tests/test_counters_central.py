@@ -1,0 +1,93 @@
+"""Unit tests for the central counter (the §1 strawman)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters import CentralCounter
+from repro.errors import ConfigurationError
+from repro.sim.network import Network
+from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 10, 100])
+    def test_sequential_values(self, n):
+        network = Network()
+        counter = CentralCounter(network, n)
+        result = run_sequence(counter, one_shot(n))
+        assert result.values() == list(range(n))
+
+    def test_any_order(self):
+        network = Network()
+        counter = CentralCounter(network, 20)
+        result = run_sequence(counter, shuffled(20, seed=5))
+        assert result.values() == list(range(20))
+
+    def test_concurrent_hands_out_unique_values(self):
+        network = Network()
+        counter = CentralCounter(network, 30)
+        result = run_concurrent(counter, [one_shot(30)])
+        assert sorted(result.values()) == list(range(30))
+
+    def test_value_property_tracks_increments(self):
+        network = Network()
+        counter = CentralCounter(network, 5)
+        run_sequence(counter, one_shot(5))
+        assert counter.value == 5
+
+
+class TestMessageEconomy:
+    def test_two_messages_per_remote_inc(self):
+        network = Network()
+        counter = CentralCounter(network, 10)
+        result = run_sequence(counter, one_shot(10))
+        for outcome in result.outcomes:
+            expected = 0 if outcome.initiator == counter.server_id else 2
+            assert outcome.messages == expected
+
+    def test_server_is_the_bottleneck(self):
+        network = Network()
+        counter = CentralCounter(network, 50)
+        result = run_sequence(counter, one_shot(50))
+        assert result.bottleneck_processor() == counter.server_id
+        assert result.bottleneck_load() == 2 * 49
+
+    def test_bottleneck_is_theta_n(self):
+        loads = {}
+        for n in (16, 64, 256):
+            network = Network()
+            counter = CentralCounter(network, n)
+            result = run_sequence(counter, one_shot(n))
+            loads[n] = result.bottleneck_load()
+        assert loads[64] == pytest.approx(4 * loads[16], rel=0.1)
+        assert loads[256] == pytest.approx(4 * loads[64], rel=0.05)
+
+    def test_non_server_clients_have_constant_load(self):
+        network = Network()
+        counter = CentralCounter(network, 40)
+        result = run_sequence(counter, one_shot(40))
+        for pid in range(2, 41):
+            assert result.trace.load(pid) == 2
+
+
+class TestConfiguration:
+    def test_custom_server_id(self):
+        network = Network()
+        counter = CentralCounter(network, 8, server_id=5)
+        result = run_sequence(counter, one_shot(8))
+        assert result.bottleneck_processor() == 5
+
+    def test_invalid_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CentralCounter(Network(), 8, server_id=9)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CentralCounter(Network(), 0)
+
+    def test_non_client_cannot_inc(self):
+        network = Network()
+        counter = CentralCounter(network, 4)
+        with pytest.raises(ConfigurationError):
+            counter.begin_inc(5, 0)

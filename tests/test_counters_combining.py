@@ -1,0 +1,117 @@
+"""Unit tests for the combining tree counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters import CombiningTreeCounter
+from repro.errors import ConfigurationError
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay
+from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 33])
+    def test_sequential_values(self, n):
+        network = Network()
+        counter = CombiningTreeCounter(network, n)
+        result = run_sequence(counter, one_shot(n))
+        assert result.values() == list(range(n))
+
+    def test_shuffled_order(self):
+        network = Network()
+        counter = CombiningTreeCounter(network, 16)
+        result = run_sequence(counter, shuffled(16, seed=2))
+        assert result.values() == list(range(16))
+
+    def test_concurrent_batch_unique_values(self):
+        network = Network()
+        counter = CombiningTreeCounter(network, 32)
+        result = run_concurrent(counter, [one_shot(32)])
+        assert sorted(result.values()) == list(range(32))
+
+    def test_concurrent_under_random_delays(self):
+        network = Network(policy=RandomDelay(seed=4, low=0.5, high=3.0))
+        counter = CombiningTreeCounter(network, 16)
+        result = run_concurrent(counter, [one_shot(16), one_shot(16)])
+        assert sorted(result.values()) == list(range(32))
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_arities(self, arity):
+        network = Network()
+        counter = CombiningTreeCounter(network, 27, arity=arity)
+        result = run_sequence(counter, one_shot(27))
+        assert result.values() == list(range(27))
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CombiningTreeCounter(Network(), 8, arity=1)
+
+
+class TestCombiningBehaviour:
+    def test_sequential_ops_never_combine(self):
+        # Quiescence between ops means every op reaches the value holder:
+        # the root host load is Θ(n).
+        network = Network()
+        counter = CombiningTreeCounter(network, 64)
+        result = run_sequence(counter, one_shot(64))
+        assert result.trace.load(counter.root_host) >= 2 * 64
+
+    def test_concurrency_combines_and_unloads_the_root(self):
+        n = 64
+        seq_network = Network()
+        seq = CombiningTreeCounter(seq_network, n)
+        seq_result = run_sequence(seq, one_shot(n))
+        conc_network = Network()
+        conc = CombiningTreeCounter(conc_network, n)
+        conc_result = run_concurrent(conc, [one_shot(n)])
+        assert conc_result.bottleneck_load() < seq_result.bottleneck_load() / 4
+
+    def test_concurrent_total_messages_lower_than_sequential(self):
+        n = 64
+        seq_result = run_sequence(
+            CombiningTreeCounter(Network(), n), one_shot(n)
+        )
+        conc_result = run_concurrent(
+            CombiningTreeCounter(Network(), n), [one_shot(n)]
+        )
+        assert conc_result.total_messages < seq_result.total_messages
+
+    def test_fully_combined_batch_sends_one_root_request(self):
+        # With all n requests in one batch and a binary tree, the value
+        # holder hands out a single interval.
+        network = Network()
+        counter = CombiningTreeCounter(network, 8)
+        run_concurrent(counter, [one_shot(8)])
+        root_requests = [
+            r
+            for r in network.trace.records
+            if r.kind == "combine-request" and r.receiver == counter.root_host
+        ]
+        # Requests *to the root node's host* include intermediate hops it
+        # hosts; filter to the virtual-root request (node == -1).
+        # The combining window guarantees one combined request per batch
+        # per top node — exactly 1 here.
+        assert counter.value == 8
+
+
+class TestTopology:
+    def test_hosts_are_clients(self):
+        counter = CombiningTreeCounter(Network(), 16)
+        for node in range(counter.node_count):
+            assert 1 <= counter.host_of(node) <= 16
+
+    def test_every_client_has_an_entry_node(self):
+        counter = CombiningTreeCounter(Network(), 10)
+        for pid in range(1, 11):
+            assert 0 <= counter.entry_node_of(pid) < counter.node_count
+
+    def test_single_client_tree(self):
+        counter = CombiningTreeCounter(Network(), 1)
+        assert counter.node_count == 1
+
+    def test_non_client_cannot_inc(self):
+        counter = CombiningTreeCounter(Network(), 4)
+        with pytest.raises(ConfigurationError):
+            counter.begin_inc(99, 0)

@@ -1,0 +1,121 @@
+"""Unit tests for the bitonic counting network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters import BitonicCountingNetwork
+from repro.counters.counting_network import bitonic_layers, step_property_holds
+from repro.errors import ConfigurationError
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay
+from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
+
+
+class TestBitonicConstruction:
+    def test_width_two_is_single_balancer(self):
+        layers = bitonic_layers(2)
+        assert layers == [[(0, 1)]]
+
+    def test_depth_is_log_squared(self):
+        # Bitonic[w] has log(w)·(log(w)+1)/2 layers.
+        for width, expected in [(2, 1), (4, 3), (8, 6), (16, 10)]:
+            assert len(bitonic_layers(width)) == expected
+
+    def test_every_layer_is_a_perfect_matching(self):
+        for width in (2, 4, 8, 16):
+            for layer in bitonic_layers(width):
+                wires = [w for balancer in layer for w in balancer]
+                assert sorted(wires) == list(range(width))
+
+    def test_non_power_of_two_rejected(self):
+        for width in (0, 3, 6, 12):
+            with pytest.raises(ConfigurationError):
+                bitonic_layers(width)
+
+    def test_step_property_helper(self):
+        assert step_property_holds([3, 3, 2, 2])
+        assert step_property_holds([1, 1, 1, 1])
+        assert not step_property_holds([2, 3, 2, 2])  # later wire ahead
+        assert not step_property_holds([4, 2, 2, 2])  # gap of 2
+
+
+class TestCounterCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 30])
+    def test_sequential_values(self, n):
+        network = Network()
+        counter = BitonicCountingNetwork(network, n)
+        result = run_sequence(counter, one_shot(n))
+        assert result.values() == list(range(n))
+
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_explicit_widths(self, width):
+        network = Network()
+        counter = BitonicCountingNetwork(network, 24, width=width)
+        result = run_sequence(counter, one_shot(24))
+        assert result.values() == list(range(24))
+
+    def test_shuffled_order(self):
+        network = Network()
+        counter = BitonicCountingNetwork(network, 16, width=4)
+        result = run_sequence(counter, shuffled(16, seed=1))
+        assert result.values() == list(range(16))
+
+    def test_concurrent_unique_values(self):
+        network = Network()
+        counter = BitonicCountingNetwork(network, 32, width=8)
+        result = run_concurrent(counter, [one_shot(32)])
+        assert sorted(result.values()) == list(range(32))
+
+    def test_concurrent_under_random_delays(self):
+        network = Network(policy=RandomDelay(seed=11))
+        counter = BitonicCountingNetwork(network, 16, width=4)
+        result = run_concurrent(counter, [one_shot(16)])
+        assert sorted(result.values()) == list(range(16))
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitonicCountingNetwork(Network(), 8, width=6)
+
+
+class TestStepProperty:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_step_property_in_quiescent_states(self, width):
+        # The AHS91 theorem: in any quiescent state the exit counts form
+        # a step.  Check after every sequential prefix.
+        network = Network()
+        counter = BitonicCountingNetwork(network, 3 * width, width=width)
+        for op_index, pid in enumerate(one_shot(3 * width)):
+            counter.begin_inc(pid, op_index)
+            network.run_until_quiescent()
+            assert step_property_holds(counter.exit_counts), (
+                f"after {op_index + 1} tokens: {counter.exit_counts}"
+            )
+
+    def test_step_property_after_concurrent_batches(self):
+        network = Network(policy=RandomDelay(seed=3))
+        counter = BitonicCountingNetwork(network, 32, width=8)
+        run_concurrent(counter, [one_shot(32), one_shot(32)])
+        assert step_property_holds(counter.exit_counts)
+        assert sum(counter.exit_counts) == 64
+
+
+class TestLoadShape:
+    def test_width_spreads_the_bottleneck(self):
+        n = 64
+        bottlenecks = {}
+        for width in (2, 8):
+            network = Network()
+            counter = BitonicCountingNetwork(network, n, width=width)
+            result = run_sequence(counter, one_shot(n))
+            bottlenecks[width] = result.bottleneck_load()
+        assert bottlenecks[8] < bottlenecks[2]
+
+    def test_bottleneck_still_linear_in_n_at_fixed_width(self):
+        loads = {}
+        for n in (32, 128):
+            network = Network()
+            counter = BitonicCountingNetwork(network, n, width=4)
+            result = run_sequence(counter, one_shot(n))
+            loads[n] = result.bottleneck_load()
+        assert loads[128] >= 3 * loads[32]

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+drifting as the library evolves.  Each runs as a subprocess with small
+arguments and must exit 0 with non-trivial output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", ["27"], "bottleneck load"),
+        ("counter_shootout.py", ["32"], "Sequential one-shot workload"),
+        ("adversary_game.py", ["central", "8"], "theorem satisfied"),
+        ("trace_explorer.py", ["27", "10"], "Communication DAG"),
+        ("quorum_tour.py", ["16"], "Quorum systems"),
+        ("tree_dashboard.py", ["2"], "communication tree"),
+        ("ticket_lock.py", ["27", "2"], "mutual exclusion"),
+        ("task_scheduler.py", ["27", "40"], "tasks served strictly by deadline"),
+    ],
+)
+def test_example_runs_clean(script, args, expect):
+    completed = _run(script, *args)
+    assert completed.returncode == 0, completed.stderr[-1000:]
+    assert expect in completed.stdout
+    assert not completed.stderr.strip()
+
+
+def test_every_example_file_is_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "counter_shootout.py",
+        "adversary_game.py",
+        "trace_explorer.py",
+        "quorum_tour.py",
+        "tree_dashboard.py",
+        "ticket_lock.py",
+        "task_scheduler.py",
+    }
+    assert scripts == covered, f"untested examples: {scripts - covered}"

@@ -1,0 +1,167 @@
+"""Tests for the programmatic experiment API.
+
+Each experiment runner is exercised with small parameters (the canonical
+parameters run under the benchmark suite); assertions pin the *shape*
+each experiment's claim predicts, so a regression in any subsystem shows
+up as a failed claim, not just a changed number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+    run_e10,
+    run_e11,
+    run_e12,
+    run_e13,
+    run_e14,
+    run_e15,
+    run_e16,
+    run_e17,
+)
+from repro.experiments.base import make_table
+
+
+class TestBaseTypes:
+    def test_table_round_trip(self):
+        table = make_table("T", ["a", "b"], [[1, 2], [3, 4]], note="n")
+        text = table.to_text()
+        assert "T" in text and "n" in text
+        assert table.column("b") == [2, 4]
+
+    def test_column_unknown_header(self):
+        table = make_table("T", ["a"], [[1]])
+        with pytest.raises(ValueError):
+            table.column("zzz")
+
+    def test_registry_is_complete_and_ordered(self):
+        ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
+        assert ids == [f"E{i}" for i in range(1, 20)]
+
+
+class TestConstructionExperiments:
+    def test_e1_invariants_hold(self):
+        result = run_e1(n=32)
+        table = result.table()
+        assert "NO" not in result.to_text()
+        assert table.column("arcs==msgs") == ["yes"] * len(table.rows)
+
+    def test_e2_lemma_holds_everywhere(self):
+        result = run_e2(n=16, seeds=(1,))
+        assert all(v == "yes" for v in result.table().column("lemma holds"))
+        assert all(v >= 1 for v in result.table().column("min |I_p ∩ I_q|"))
+
+
+class TestLowerBoundExperiments:
+    def test_e3_bound_respected(self):
+        games = (("central", __import__("repro.counters", fromlist=["CentralCounter"]).CentralCounter, 8),)
+        result = run_e3(games=games, curve_ns=(8, 81))
+        assert all(v == "yes" for v in result.table(0).column("m_b ≥ ⌊k⌋"))
+        assert all(v == "yes" for v in result.table(0).column("AM-GM holds"))
+
+    def test_e16_exact_at_least_greedy(self):
+        from repro.counters import CentralCounter
+
+        result = run_e16(games=(("central", CentralCounter, 5),))
+        table = result.table()
+        exact = table.column("exact worst m_b")[0]
+        greedy = table.column("greedy m_b")[0]
+        assert exact >= greedy
+
+
+class TestTreeCounterExperiments:
+    def test_e4_flat_ratio(self):
+        result = run_e4(ks=(2, 3))
+        ratios = [float(v) for v in result.table().column("m_b / k")]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_e5_no_lemma_failures(self):
+        result = run_e5(ks=(2,))
+        assert "FAIL" not in result.to_text()
+
+    def test_e9_shows_overrun_then_ok(self):
+        result = run_e9(k=2, factors=(2, 4))
+        budgets = result.table().column("budgets ok")
+        assert budgets[-1] == "yes"  # the static row
+        assert "OVERRUN" in budgets or "yes" in budgets
+
+    def test_e10_wider_is_worse(self):
+        result = run_e10(n=64, shapes=((2, 5), (8, 1)))
+        loads = result.table().column("bottleneck m_b")
+        assert loads[0] < loads[1]
+
+    def test_e12_tree_beats_central_per_round(self):
+        # k=3 (n=81) is past the E6 crossover, where the steady-state
+        # advantage exists; k=2 (n=8) is below it by design.
+        result = run_e12(k=3, rounds=2)
+        table = result.table()
+        final_ratio = float(table.column("ratio")[-1].rstrip("x"))
+        assert final_ratio > 1.0
+
+
+class TestComparisonExperiments:
+    def test_e6_crossover_reported(self):
+        result = run_e6(ns=(8, 81, 256))
+        assert "crossover (tree wins) at n = 81" in result.to_text()
+
+    def test_e7_tree_grows_slowest(self):
+        result = run_e7(ns=(64, 256), concurrent_n=64)
+        table = result.table(0)
+        names = table.column("counter")
+        growth = {
+            name: row[-1]
+            for name, row in zip(names, table.rows)
+            if name != "k(n) lower bound"
+        }
+        tree_growth = float(growth["ww-tree"].rstrip("x"))
+        assert all(
+            tree_growth <= float(value.rstrip("x")) + 1e-9
+            for value in growth.values()
+        )
+
+    def test_e13_arrow_spread(self):
+        result = run_e13(n=32, adversary_n=8)
+        table = result.table()
+        arrow_row = table.rows[0]
+        assert arrow_row[0] == "arrow"
+        identity, shuffled_, ping_pong = arrow_row[1:4]
+        assert identity < shuffled_ < ping_pong
+
+    def test_e17_time_tracks_load(self):
+        result = run_e17(n=64)
+        ratios = [float(v) for v in result.table().column("time / load")]
+        assert all(0.9 <= r <= 15 for r in ratios)
+
+
+class TestSubstrateExperiments:
+    def test_e8_intersection_everywhere(self):
+        result = run_e8(n=16, fpp_order=3)
+        assert all(v == "yes" for v in result.table(0).column("intersects"))
+
+    def test_e11_same_bottleneck_for_all_adts(self):
+        result = run_e11(ks=(3,))
+        loads = set(result.table().column("bottleneck m_b"))
+        assert len(loads) == 1
+
+    def test_e14_sizes_sublinear(self):
+        result = run_e14(ns=(81, 1024))
+        growths = [
+            float(v.rstrip("x"))
+            for v in result.table().column("msg-size growth")
+        ]
+        assert all(g < 1.5 for g in growths)
+
+    def test_e15_counterexample_fires(self):
+        result = run_e15(scan_n=8, seeds=3)
+        assert "linearizable: False" in result.to_text()

@@ -1,0 +1,187 @@
+"""Tests for the second extension batch: FIFO channels, fetch-and-add,
+the exact adversary, trace export, and the validate CLI."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    loads_to_csv,
+    LoadProfile,
+    run_to_json,
+    run_to_summary,
+    trace_to_csv,
+    trace_to_json,
+    trace_to_records,
+)
+from repro.cli import main as cli_main
+from repro.core import TreeCounter
+from repro.counters import CentralCounter
+from repro.datatypes import ADD, DistributedAdder, run_ops
+from repro.errors import ConfigurationError, ProtocolError
+from repro.lowerbound import ExactAdversary, GreedyAdversary, message_load_bound
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.policies import FifoRandomDelay
+from repro.sim.processor import InertProcessor
+from repro.workloads import one_shot, run_sequence
+
+
+class TestFifoRandomDelay:
+    def test_same_channel_never_reorders(self):
+        network = Network(policy=FifoRandomDelay(seed=3, low=0.5, high=20.0))
+        network.register_all([InertProcessor(1), InertProcessor(2)])
+        for _ in range(50):
+            network.send(1, 2, "m", {})
+        network.run_until_quiescent()
+        uids = [r.uid for r in network.trace.records]
+        assert uids == sorted(uids)
+
+    def test_cross_channel_reordering_still_happens(self):
+        network = Network(policy=FifoRandomDelay(seed=1, low=0.5, high=20.0))
+        network.register_all([InertProcessor(p) for p in range(1, 6)])
+        for index in range(40):
+            network.send((index % 4) + 1, 5, "m", {})
+        network.run_until_quiescent()
+        uids = [r.uid for r in network.trace.records]
+        assert uids != sorted(uids)  # some cross-channel overtaking
+        # But per channel, order holds.
+        per_channel: dict[int, list[int]] = {}
+        for record in network.trace.records:
+            per_channel.setdefault(record.sender, []).append(record.uid)
+        for uids in per_channel.values():
+            assert uids == sorted(uids)
+
+    def test_counters_correct_under_fifo_channels(self):
+        network = Network(policy=FifoRandomDelay(seed=5))
+        counter = TreeCounter(network, 81)
+        result = run_sequence(counter, one_shot(81))
+        assert result.values() == list(range(81))
+
+    def test_fork_replays(self):
+        policy = FifoRandomDelay(seed=9)
+        message = Message(sender=1, receiver=2, kind="m", send_time=0.0)
+        first = [policy.delay(message) for _ in range(5)]
+        assert [policy.fork().delay(message) for _ in range(5)][0] == first[0]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            FifoRandomDelay(low=0.0)
+
+
+class TestDistributedAdder:
+    def test_fetch_and_add_semantics(self):
+        network = Network()
+        adder = DistributedAdder(network, 8)
+        result = run_ops(
+            adder,
+            [(1, (ADD, 5)), (2, (ADD, -2)), (3, ("read",)), (4, (ADD, 10))],
+        )
+        assert result.replies() == [0, 5, 3, 3]
+        assert adder.state == 13
+
+    def test_default_request_is_inc(self):
+        network = Network()
+        adder = DistributedAdder(network, 4)
+        result = run_sequence(adder, one_shot(4))  # begin_inc path
+        assert result.values() == [0, 1, 2, 3]
+
+    def test_one_shot_bottleneck_matches_counter(self):
+        n = 81
+        adder_net = Network()
+        adder = DistributedAdder(adder_net, n)
+        adder_result = run_ops(adder, [(pid, (ADD, pid)) for pid in one_shot(n)])
+        tree_net = Network()
+        tree = TreeCounter(tree_net, n)
+        tree_result = run_sequence(tree, one_shot(n))
+        assert adder_result.bottleneck_load() == tree_result.bottleneck_load()
+        assert adder.state == sum(range(1, n + 1))
+
+    def test_malformed_requests(self):
+        network = Network()
+        adder = DistributedAdder(network, 4)
+        with pytest.raises(ProtocolError):
+            run_ops(adder, [(1, ("add", "five"))])
+
+
+class TestExactAdversary:
+    def test_refuses_infeasible_n(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdversary(CentralCounter, 12)
+
+    def test_central_worst_case_is_known(self):
+        # The server's own inc is free wherever it sits, so every order
+        # yields exactly 2(n-1) at the server — the search must find it.
+        result = ExactAdversary(CentralCounter, 5).run()
+        assert result.worst_bottleneck == 8
+
+    def test_exact_at_least_greedy(self):
+        for factory in (CentralCounter, TreeCounter):
+            exact = ExactAdversary(factory, 6).run()
+            greedy = GreedyAdversary(factory, 6).run()
+            assert exact.worst_bottleneck >= greedy.bottleneck_load
+
+    def test_exact_respects_theorem(self):
+        for factory in (CentralCounter, TreeCounter):
+            result = ExactAdversary(factory, 6).run()
+            assert result.worst_bottleneck >= message_load_bound(6)
+
+    def test_symmetry_pruning_counts(self):
+        result = ExactAdversary(CentralCounter, 6).run()
+        # All non-server clients are interchangeable: huge pruning.
+        assert result.orders_pruned_by_symmetry > 0
+        assert result.orders_explored < 720
+
+
+class TestExport:
+    def _result(self):
+        network = Network()
+        counter = CentralCounter(network, 6)
+        return run_sequence(counter, one_shot(6))
+
+    def test_trace_records_roundtrip(self):
+        result = self._result()
+        records = trace_to_records(result.trace)
+        assert len(records) == result.total_messages
+        assert {"uid", "op", "sender", "receiver", "kind"} <= set(records[0])
+
+    def test_trace_json_parses(self):
+        result = self._result()
+        parsed = json.loads(trace_to_json(result.trace))
+        assert len(parsed) == result.total_messages
+
+    def test_trace_csv_parses(self):
+        result = self._result()
+        rows = list(csv.DictReader(io.StringIO(trace_to_csv(result.trace))))
+        assert len(rows) == result.total_messages
+        assert rows[0]["kind"]
+
+    def test_loads_csv(self):
+        result = self._result()
+        profile = LoadProfile.from_trace(result.trace, population=6)
+        rows = list(csv.reader(io.StringIO(loads_to_csv(profile))))
+        assert rows[0] == ["processor", "load"]
+        total = sum(int(load) for _, load in rows[1:])
+        assert total == 2 * result.total_messages
+
+    def test_run_summary_fields(self):
+        summary = run_to_summary(self._result())
+        assert summary["counter"] == "central"
+        assert summary["values_ok"] is True
+        assert summary["bottleneck_processor"] == 1
+        parsed = json.loads(run_to_json(self._result()))
+        assert parsed["n"] == 6
+
+
+class TestValidateCommand:
+    def test_validate_reports_all_ok(self, capsys):
+        code = cli_main(["validate", "--n", "27"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL OK" in out
+        assert "FAIL" not in out
+        assert "Bottleneck Theorem" in out

@@ -1,0 +1,87 @@
+"""Tests for the greedy longest-list adversary (the §3 proof, played live)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TreeCounter
+from repro.counters import CentralCounter, StaticTreeCounter
+from repro.lowerbound import (
+    GreedyAdversary,
+    am_gm_holds,
+    check_hot_spot,
+    evaluate_ledger,
+    message_load_bound,
+)
+
+
+class TestAdversarialGame:
+    def test_each_processor_chosen_exactly_once(self):
+        run = GreedyAdversary(CentralCounter, 8).run()
+        assert sorted(run.order) == list(range(1, 9))
+
+    def test_values_still_sequential(self):
+        run = GreedyAdversary(CentralCounter, 8).run()
+        assert run.result.values() == list(range(8))
+
+    def test_chosen_lengths_are_maxima(self):
+        # For the central counter every remote inc has list length 2 and
+        # the server's own inc has length 0; the adversary must postpone
+        # the server to the very end.
+        run = GreedyAdversary(CentralCounter, 6).run()
+        assert run.order[-1] == 1  # the server
+        assert run.chosen_lengths[:-1] == [2] * 5
+        assert run.chosen_lengths[-1] == 0
+
+    def test_ledger_tracks_q(self):
+        run = GreedyAdversary(CentralCounter, 6).run()
+        assert all(step.q == run.q for step in run.ledger)
+        assert len(run.ledger) == 6
+
+    def test_trials_do_not_perturb_the_real_run(self):
+        adversarial = GreedyAdversary(CentralCounter, 8).run()
+        # The real trace must contain exactly the committed operations.
+        assert adversarial.result.total_messages == 2 * 7  # server last, free
+        assert adversarial.result.trace.op_indices() == list(range(7))
+
+
+class TestLowerBoundConclusion:
+    @pytest.mark.parametrize(
+        "factory,n",
+        [
+            (CentralCounter, 8),
+            (CentralCounter, 16),
+            (TreeCounter, 8),
+            (StaticTreeCounter, 8),
+        ],
+    )
+    def test_bottleneck_at_least_k(self, factory, n):
+        run = GreedyAdversary(factory, n).run()
+        assert run.bottleneck_load >= message_load_bound(n)
+
+    def test_hot_spot_lemma_holds_under_the_adversary(self):
+        run = GreedyAdversary(TreeCounter, 8).run()
+        assert check_hot_spot(run.result).holds
+
+    def test_weight_argument_pieces(self):
+        run = GreedyAdversary(CentralCounter, 12).run()
+        report = evaluate_ledger(run.ledger, base=run.bottleneck_load + 1)
+        assert am_gm_holds(report)
+        # The weight grows as operations load q's list (§3's engine).
+        assert report.monotone
+
+
+class TestSampling:
+    def test_sampled_adversary_still_covers_everyone(self):
+        run = GreedyAdversary(CentralCounter, 12, sample_size=3, seed=1).run()
+        assert sorted(run.order) == list(range(1, 13))
+        assert run.result.values() == list(range(12))
+
+    def test_sampled_bound_still_holds(self):
+        run = GreedyAdversary(TreeCounter, 8, sample_size=2, seed=0).run()
+        assert run.bottleneck_load >= message_load_bound(8)
+
+    def test_sampling_is_seeded(self):
+        order_a = GreedyAdversary(CentralCounter, 10, sample_size=3, seed=5).run().order
+        order_b = GreedyAdversary(CentralCounter, 10, sample_size=3, seed=5).run().order
+        assert order_a == order_b

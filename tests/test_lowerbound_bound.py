@@ -1,0 +1,77 @@
+"""Unit tests for the bound curve arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbound import (
+    asymptotic_k,
+    bound_series,
+    lower_bound_k,
+    message_load_bound,
+    paper_n,
+)
+
+
+class TestPaperN:
+    def test_values(self):
+        assert paper_n(1) == 1
+        assert paper_n(2) == 8
+        assert paper_n(3) == 81
+        assert paper_n(4) == 1024
+        assert paper_n(5) == 15625
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_n(0)
+
+
+class TestBoundCurve:
+    def test_inverse_of_paper_n(self):
+        for k in range(2, 8):
+            assert lower_bound_k(paper_n(k)) == pytest.approx(k, abs=1e-6)
+
+    def test_integer_floor(self):
+        assert message_load_bound(8) == 2
+        assert message_load_bound(81) == 3
+        assert message_load_bound(1024) == 4
+        assert message_load_bound(80) == 2  # just below k=3
+        assert message_load_bound(1) == 1
+
+    def test_monotone_nondecreasing(self):
+        values = [message_load_bound(n) for n in range(1, 2000, 13)]
+        assert values == sorted(values)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            message_load_bound(0)
+
+    def test_sublogarithmic(self):
+        # k(n) = o(log n): for large n the bound is far below log2(n).
+        n = 10**12
+        assert lower_bound_k(n) < math.log2(n) / 2
+
+
+class TestAsymptotics:
+    def test_matches_ln_over_lnln_to_first_order(self):
+        # k(n)·ln(k(n)) ≈ ln n / (1 + 1/k); the ratio k / (ln n / ln ln n)
+        # tends to 1 slowly.  Check it is within a band for huge n.
+        for exponent in (6, 9, 12):
+            n = 10**exponent
+            ratio = lower_bound_k(n) / asymptotic_k(n)
+            assert 0.5 < ratio < 1.5
+
+    def test_small_n_guard(self):
+        assert asymptotic_k(2) == 1.0
+
+
+class TestBoundSeries:
+    def test_rows_shape(self):
+        rows = bound_series([8, 81, 1024])
+        assert len(rows) == 3
+        for n, k, floor_k, asym in rows:
+            assert floor_k == math.floor(k + 1e-9)
+            assert asym > 0

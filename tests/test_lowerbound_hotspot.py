@@ -1,0 +1,133 @@
+"""Tests for the Hot Spot Lemma checker — positive and negative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DistributedCounter
+from repro.core import TreeCounter
+from repro.counters import CentralCounter
+from repro.errors import InvariantViolationError
+from repro.lowerbound import check_hot_spot, effective_footprint
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.processor import Processor
+from repro.workloads import one_shot, run_sequence, shuffled
+
+from conftest import ALL_FACTORIES
+
+
+class _GossiplessClient(Processor):
+    """Client of the deliberately broken counter below."""
+
+    def __init__(self, pid, counter):
+        super().__init__(pid)
+        self._counter = counter
+
+    def request_inc(self) -> None:
+        # Each processor keeps its own private count and tells nobody:
+        # successive operations by different processors have disjoint
+        # footprints (in fact empty ones) and return wrong values.
+        value = self._counter.bump_local(self.pid)
+        self._counter.deliver_result(self.pid, value)
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover
+        raise AssertionError("the broken counter never communicates")
+
+
+class BrokenLocalCounter(DistributedCounter):
+    """A 'counter' that violates the Hot Spot Lemma (and correctness)."""
+
+    name = "broken-local"
+
+    def __init__(self, network: Network, n: int) -> None:
+        super().__init__(network, n)
+        self._locals: dict[int, int] = {}
+        self._clients = {}
+        for pid in self.client_ids():
+            client = _GossiplessClient(pid, self)
+            network.register(client)
+            self._clients[pid] = client
+
+    def bump_local(self, pid: int) -> int:
+        value = self._locals.get(pid, 0)
+        self._locals[pid] = value + 1
+        return value
+
+    def begin_inc(self, pid, op_index) -> None:
+        self.network.inject(self._clients[pid].request_inc, op_index=op_index)
+
+
+class TestLemmaHoldsOnRealCounters:
+    @pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+    def test_holds_on_one_shot(self, name):
+        factory = ALL_FACTORIES[name]
+        network = Network()
+        counter = factory(network, 16)
+        result = run_sequence(counter, one_shot(16))
+        report = check_hot_spot(result)
+        assert report.holds
+        assert report.pairs_checked == 15
+        assert report.min_intersection >= 1
+
+    def test_holds_on_shuffled_tree_run(self):
+        network = Network()
+        counter = TreeCounter(network, 81)
+        result = run_sequence(counter, shuffled(81, seed=4))
+        assert check_hot_spot(result).holds
+
+
+class TestLemmaCatchesBrokenCounter:
+    def test_violations_reported(self):
+        network = Network()
+        counter = BrokenLocalCounter(network, 6)
+        result = run_sequence(counter, one_shot(6), check_values=False)
+        report = check_hot_spot(result)
+        assert not report.holds
+        assert report.min_intersection == 0
+        assert len(report.violations) == 5
+
+    def test_strict_mode_raises(self):
+        network = Network()
+        counter = BrokenLocalCounter(network, 4)
+        result = run_sequence(counter, one_shot(4), check_values=False)
+        with pytest.raises(InvariantViolationError, match="Hot Spot"):
+            check_hot_spot(result, strict=True)
+
+    def test_violation_str_names_the_ops(self):
+        network = Network()
+        counter = BrokenLocalCounter(network, 3)
+        result = run_sequence(counter, one_shot(3), check_values=False)
+        report = check_hot_spot(result)
+        assert "ops 0 and 1" in str(report.violations[0])
+
+    def test_broken_counter_also_returns_wrong_values(self):
+        # The lemma's contrapositive: disjoint footprints => stale value.
+        network = Network()
+        counter = BrokenLocalCounter(network, 5)
+        result = run_sequence(counter, one_shot(5), check_values=False)
+        assert result.values() == [0, 0, 0, 0, 0]
+
+
+class TestEffectiveFootprint:
+    def test_includes_initiator_even_without_messages(self):
+        network = Network()
+        counter = CentralCounter(network, 4)  # server pid 1 incs locally
+        result = run_sequence(counter, one_shot(4))
+        footprint = effective_footprint(result, 0)
+        assert footprint == frozenset({1})
+
+    def test_includes_message_endpoints(self):
+        network = Network()
+        counter = CentralCounter(network, 4)
+        result = run_sequence(counter, one_shot(4))
+        footprint = effective_footprint(result, 2)  # pid 3's op
+        assert footprint == frozenset({1, 3})
+
+    def test_single_op_run_has_no_pairs(self):
+        network = Network()
+        counter = CentralCounter(network, 2)
+        result = run_sequence(counter, [1])
+        report = check_hot_spot(result)
+        assert report.holds
+        assert report.pairs_checked == 0

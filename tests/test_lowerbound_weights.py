@@ -1,0 +1,104 @@
+"""Unit tests for the weight-function machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbound import (
+    LedgerStep,
+    am_gm_holds,
+    evaluate_ledger,
+    weight_of,
+)
+
+
+class TestWeightOf:
+    def test_zero_loads_give_geometric_sum(self):
+        # All m = 0: w = sum (0+1)/2^j = 1 - 2^-l.
+        value = weight_of([1, 2, 3], loads={}, base=2.0)
+        assert value == pytest.approx(1 / 2 + 1 / 4 + 1 / 8)
+
+    def test_loads_scale_terms(self):
+        value = weight_of([5], loads={5: 3}, base=2.0)
+        assert value == pytest.approx(4 / 2)
+
+    def test_positions_are_one_based(self):
+        # First label at exponent 1, second at exponent 2.
+        value = weight_of([1, 2], loads={1: 1, 2: 7}, base=2.0)
+        assert value == pytest.approx(2 / 2 + 8 / 4)
+
+    def test_base_affects_decay(self):
+        fast = weight_of([1, 2, 3], loads={}, base=10.0)
+        slow = weight_of([1, 2, 3], loads={}, base=2.0)
+        assert fast < slow
+
+    def test_base_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            weight_of([1], loads={}, base=1.0)
+
+    def test_empty_list_weight_zero(self):
+        assert weight_of([], loads={}, base=2.0) == 0.0
+
+
+class TestEvaluateLedger:
+    def _steps(self):
+        return [
+            LedgerStep(
+                op_index=0, q_list=(9, 1), chosen_list_length=2, loads_before={}
+            ),
+            LedgerStep(
+                op_index=1,
+                q_list=(9, 1, 2),
+                chosen_list_length=3,
+                loads_before={9: 0, 1: 2, 2: 2},
+            ),
+            LedgerStep(
+                op_index=2,
+                q_list=(9, 1, 2),
+                chosen_list_length=3,
+                loads_before={9: 0, 1: 4, 2: 4},
+            ),
+        ]
+
+    def test_weights_computed_per_step(self):
+        report = evaluate_ledger(self._steps(), base=2.0)
+        assert len(report.weights) == 3
+        assert report.weights[0] == pytest.approx(1 / 2 + 1 / 4)
+
+    def test_growth_counted(self):
+        report = evaluate_ledger(self._steps(), base=2.0)
+        assert report.growth_steps == 2
+        assert report.shrink_steps == 0
+        assert report.monotone
+
+    def test_shrink_detected(self):
+        steps = [
+            LedgerStep(op_index=0, q_list=(1, 2), chosen_list_length=1,
+                       loads_before={2: 10}),
+            LedgerStep(op_index=1, q_list=(1,), chosen_list_length=1,
+                       loads_before={2: 10}),
+        ]
+        report = evaluate_ledger(steps, base=2.0)
+        assert report.shrink_steps == 1
+        assert not report.monotone
+
+    def test_geometric_sum_and_am_gm(self):
+        report = evaluate_ledger(self._steps(), base=2.0)
+        assert report.geometric_sum == pytest.approx(2**-1 + 2**-2 + 2**-2)
+        # mean length (1+2+2)/3.
+        assert report.am_gm_floor == pytest.approx(3 * 2 ** (-5 / 3))
+        assert am_gm_holds(report)
+
+    def test_empty_ledger_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_ledger([], base=2.0)
+
+    def test_list_lengths_exposed(self):
+        report = evaluate_ledger(self._steps(), base=2.0)
+        assert report.list_lengths == (1, 2, 2)
+
+    def test_ledger_step_properties(self):
+        step = self._steps()[1]
+        assert step.q == 9
+        assert step.list_length == 2

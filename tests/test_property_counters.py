@@ -1,0 +1,106 @@
+"""Property-based conformance tests over every counter implementation.
+
+The key abstract-data-type property (§2): a sequence of ``inc`` requests,
+from any initiators in any order, returns exactly ``0, 1, 2, …``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.counting_network import step_property_holds
+from repro.lowerbound import check_hot_spot
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay
+from repro.workloads import run_concurrent, run_sequence
+
+from conftest import ALL_FACTORIES
+
+factory_names = st.sampled_from(sorted(ALL_FACTORIES))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=factory_names,
+    n=st.integers(2, 24),
+    order_seed=st.integers(0, 99),
+    data=st.data(),
+)
+def test_sequential_semantics_for_any_order(name, n, order_seed, data):
+    """Values are 0,1,2,... for arbitrary initiator multisets."""
+    initiators = data.draw(
+        st.lists(st.integers(1, n), min_size=1, max_size=2 * n)
+    )
+    network = Network()
+    counter = ALL_FACTORIES[name](network, n)
+    if name == "ww-tree" and len(initiators) > len(set(initiators)):
+        # The paper's counter is specified for one inc per processor;
+        # repeated initiators need WRAP intervals (covered elsewhere).
+        initiators = list(dict.fromkeys(initiators))
+    result = run_sequence(counter, initiators)
+    assert result.values() == list(range(len(initiators)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(name=factory_names, n=st.integers(2, 20), seed=st.integers(0, 99))
+def test_hot_spot_lemma_universal(name, n, seed):
+    """I_p ∩ I_q ≠ ∅ for successive ops — on every counter, any order."""
+    import random
+
+    order = list(range(1, n + 1))
+    random.Random(seed).shuffle(order)
+    network = Network()
+    counter = ALL_FACTORIES[name](network, n)
+    result = run_sequence(counter, order)
+    assert check_hot_spot(result).holds
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    name=st.sampled_from(
+        ["central", "combining-tree", "counting-network", "diffracting-tree"]
+    ),
+    n=st.integers(2, 16),
+    delay_seed=st.integers(0, 99),
+)
+def test_concurrent_uniqueness(name, n, delay_seed):
+    """Concurrent incs still hand out each value exactly once."""
+    network = Network(policy=RandomDelay(seed=delay_seed, low=0.5, high=4.0))
+    counter = ALL_FACTORIES[name](network, n)
+    result = run_concurrent(counter, [list(range(1, n + 1))])
+    assert sorted(result.values()) == list(range(n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    width_exp=st.integers(1, 3),
+    tokens=st.integers(1, 40),
+    delay_seed=st.integers(0, 99),
+)
+def test_counting_network_step_property(width_exp, tokens, delay_seed):
+    """AHS91: quiescent exit counts always form a step, any schedule."""
+    from repro.counters import BitonicCountingNetwork
+
+    width = 2**width_exp
+    n = max(width, tokens)
+    network = Network(policy=RandomDelay(seed=delay_seed, low=0.5, high=4.0))
+    counter = BitonicCountingNetwork(network, n, width=width)
+    batch = [(i % n) + 1 for i in range(tokens)]
+    run_concurrent(counter, [batch])
+    assert step_property_holds(counter.exit_counts)
+    assert sum(counter.exit_counts) == tokens
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 40), seed=st.integers(0, 50))
+def test_load_conservation_on_real_runs(n, seed):
+    """Σ m_p = 2·messages on every real execution."""
+    import random
+
+    order = list(range(1, n + 1))
+    random.Random(seed).shuffle(order)
+    network = Network()
+    counter = ALL_FACTORIES["central"](network, n)
+    result = run_sequence(counter, order)
+    assert sum(result.trace.loads().values()) == 2 * result.total_messages

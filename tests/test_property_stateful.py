@@ -1,0 +1,132 @@
+"""Stateful property tests: hypothesis drives ADTs against models.
+
+A :class:`RuleBasedStateMachine` interleaves operations and processors
+arbitrarily, comparing the distributed structure against an in-memory
+model after every step — the strongest conformance check in the suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import IntervalMode, TreeGeometry, TreePolicy
+from repro.datatypes import (
+    DELETE_MIN,
+    FLIP,
+    INSERT,
+    PEEK,
+    DistributedFlipBit,
+    DistributedPriorityQueue,
+)
+from repro.sim.network import Network
+
+_N = 8  # k = 2 tree: small enough for fast stateful runs
+_POLICY = TreePolicy(retire_threshold=8, interval_mode=IntervalMode.WRAP)
+
+
+class PriorityQueueMachine(RuleBasedStateMachine):
+    """Distributed priority queue vs heapq, arbitrary interleaving."""
+
+    @initialize()
+    def setup(self):
+        self.network = Network()
+        self.queue = DistributedPriorityQueue(
+            self.network,
+            _N,
+            geometry=TreeGeometry.paper_shape(2),
+            policy=_POLICY,
+        )
+        self.model: list[int] = []
+        self.op_index = 0
+
+    def _execute(self, pid, request):
+        self.queue.begin_op(pid, self.op_index, request)
+        self.network.run_until_quiescent()
+        self.op_index += 1
+        return self.queue.results_for(pid)[-1]
+
+    @rule(pid=st.integers(1, _N), key=st.integers(0, 999))
+    def insert(self, pid, key):
+        reply = self._execute(pid, (INSERT, key))
+        heapq.heappush(self.model, key)
+        assert reply == len(self.model)
+
+    @rule(pid=st.integers(1, _N))
+    def delete_min(self, pid):
+        reply = self._execute(pid, (DELETE_MIN,))
+        expected = heapq.heappop(self.model) if self.model else None
+        assert reply == expected
+
+    @rule(pid=st.integers(1, _N))
+    def peek(self, pid):
+        reply = self._execute(pid, (PEEK,))
+        expected = self.model[0] if self.model else None
+        assert reply == expected
+
+    @invariant()
+    def sizes_agree(self):
+        if hasattr(self, "queue"):
+            assert len(self.queue) == len(self.model)
+
+    @invariant()
+    def network_quiescent_between_ops(self):
+        if hasattr(self, "network"):
+            assert self.network.is_quiescent()
+
+
+class FlipBitMachine(RuleBasedStateMachine):
+    """Distributed flip bit vs a plain int, arbitrary interleaving."""
+
+    @initialize()
+    def setup(self):
+        self.network = Network()
+        self.bit = DistributedFlipBit(
+            self.network,
+            _N,
+            geometry=TreeGeometry.paper_shape(2),
+            policy=_POLICY,
+        )
+        self.model = 0
+        self.op_index = 0
+
+    def _execute(self, pid, request):
+        self.bit.begin_op(pid, self.op_index, request)
+        self.network.run_until_quiescent()
+        self.op_index += 1
+        return self.bit.results_for(pid)[-1]
+
+    @rule(pid=st.integers(1, _N))
+    def flip(self, pid):
+        reply = self._execute(pid, FLIP)
+        assert reply == self.model
+        self.model ^= 1
+
+    @rule(pid=st.integers(1, _N))
+    def read(self, pid):
+        reply = self._execute(pid, "read")
+        assert reply == self.model
+
+    @invariant()
+    def state_matches_model(self):
+        if hasattr(self, "bit"):
+            assert self.bit.state == self.model
+
+
+TestPriorityQueueStateful = PriorityQueueMachine.TestCase
+TestPriorityQueueStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+TestFlipBitStateful = FlipBitMachine.TestCase
+TestFlipBitStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

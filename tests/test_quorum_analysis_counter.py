@@ -1,0 +1,154 @@
+"""Tests for quorum load analysis and the quorum counter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbound import check_hot_spot
+from repro.quorum import (
+    CrumblingWall,
+    MaekawaGrid,
+    QuorumCounter,
+    RotatingMajorityQuorum,
+    SingletonQuorum,
+    TreePathQuorum,
+    WheelQuorum,
+    naor_wool_floor,
+    optimal_load,
+    uniform_load,
+)
+from repro.sim.network import Network
+from repro.workloads import one_shot, run_sequence, shuffled
+
+
+class TestLoadAnalysis:
+    def test_singleton_load_is_one(self):
+        system = SingletonQuorum(9)
+        assert uniform_load(system).system_load == pytest.approx(1.0)
+        assert optimal_load(system).system_load == pytest.approx(1.0)
+
+    def test_majority_load_is_about_half(self):
+        system = RotatingMajorityQuorum(9)
+        assert uniform_load(system).system_load == pytest.approx(5 / 9)
+
+    def test_maekawa_load_is_order_inverse_sqrt(self):
+        system = MaekawaGrid(25)
+        load = optimal_load(system).system_load
+        assert load == pytest.approx(9 / 25, abs=0.02)  # (2√n-1)/n
+
+    def test_optimal_never_exceeds_uniform(self):
+        for system in (
+            MaekawaGrid(16),
+            WheelQuorum(10),
+            CrumblingWall(12),
+            TreePathQuorum(15),
+        ):
+            assert (
+                optimal_load(system).system_load
+                <= uniform_load(system).system_load + 1e-9
+            )
+
+    def test_naor_wool_floor_respected(self):
+        for system in (
+            SingletonQuorum(9),
+            RotatingMajorityQuorum(9),
+            MaekawaGrid(16),
+            WheelQuorum(10),
+            CrumblingWall(12),
+            TreePathQuorum(15),
+        ):
+            floor = naor_wool_floor(system)
+            assert floor >= 1.0 / math.sqrt(system.n) - 1e-9
+            assert optimal_load(system).system_load >= floor - 1e-9
+
+    def test_wheel_optimal_beats_uniform(self):
+        system = WheelQuorum(10)
+        assert (
+            optimal_load(system).system_load
+            < uniform_load(system).system_load - 0.05
+        )
+
+    def test_strategy_is_a_distribution(self):
+        analysis = optimal_load(MaekawaGrid(9))
+        assert sum(analysis.strategy) == pytest.approx(1.0)
+        assert all(x >= -1e-9 for x in analysis.strategy)
+
+    def test_hottest_element(self):
+        system = TreePathQuorum(7)
+        pid, load = uniform_load(system).hottest()
+        assert pid == 1  # the root
+        assert load == pytest.approx(1.0)
+
+
+class TestQuorumCounter:
+    @pytest.mark.parametrize(
+        "system_factory,n",
+        [
+            (SingletonQuorum, 9),
+            (RotatingMajorityQuorum, 8),
+            (MaekawaGrid, 16),
+            (TreePathQuorum, 15),
+            (WheelQuorum, 9),
+            (CrumblingWall, 12),
+        ],
+    )
+    def test_sequential_values_correct(self, system_factory, n):
+        network = Network()
+        counter = QuorumCounter(network, n, system_factory(n))
+        result = run_sequence(counter, one_shot(n))
+        assert result.values() == list(range(n))
+
+    def test_correct_under_shuffled_order(self):
+        network = Network()
+        counter = QuorumCounter(network, 16, MaekawaGrid(16))
+        result = run_sequence(counter, shuffled(16, seed=7))
+        assert result.values() == list(range(16))
+
+    def test_hot_spot_lemma_holds(self):
+        network = Network()
+        counter = QuorumCounter(network, 16, MaekawaGrid(16))
+        result = run_sequence(counter, one_shot(16))
+        assert check_hot_spot(result).holds
+
+    def test_mismatched_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuorumCounter(Network(), 8, MaekawaGrid(9))
+
+    def test_singleton_system_degenerates_to_central_shape(self):
+        network = Network()
+        counter = QuorumCounter(network, 9, SingletonQuorum(9))
+        result = run_sequence(counter, one_shot(9))
+        # Center is read (2 msgs) and written (1 msg) by every remote op.
+        assert result.bottleneck_processor() == 1
+        assert result.bottleneck_load() == 3 * 8
+
+    def test_maekawa_bottleneck_scales_like_sqrt_n(self):
+        bottlenecks = {}
+        for n in (16, 64, 256):
+            network = Network()
+            counter = QuorumCounter(network, n, MaekawaGrid(n))
+            result = run_sequence(counter, one_shot(n))
+            bottlenecks[n] = result.bottleneck_load()
+        # n×4 => bottleneck ×~2 (√n scaling), far from ×4 (Θ(n)).
+        assert bottlenecks[64] < bottlenecks[16] * 3
+        assert bottlenecks[256] < bottlenecks[64] * 3
+        assert bottlenecks[256] > bottlenecks[64] * 1.5
+
+    def test_member_state_versions_advance(self):
+        network = Network()
+        counter = QuorumCounter(network, 9, RotatingMajorityQuorum(9))
+        run_sequence(counter, one_shot(9))
+        versions = [counter.member(p).version for p in range(1, 10)]
+        assert max(versions) == 9
+
+    def test_per_op_message_cost(self):
+        network = Network()
+        counter = QuorumCounter(network, 9, MaekawaGrid(9))
+        result = run_sequence(counter, one_shot(9))
+        for outcome in result.outcomes:
+            quorum = counter.system.quorum_for(outcome.op_index)
+            remote = len(quorum - {outcome.initiator})
+            assert outcome.messages == 3 * remote

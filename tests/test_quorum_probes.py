@@ -1,0 +1,71 @@
+"""Tests for the exact probe-complexity game (PW96)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorum import (
+    MaekawaGrid,
+    ProjectivePlaneQuorum,
+    RotatingMajorityQuorum,
+    SingletonQuorum,
+    TreePathQuorum,
+    WheelQuorum,
+    probe_complexity,
+)
+from repro.quorum.systems import QuorumSystem
+
+
+class _TwoDisjointish(QuorumSystem):
+    """Tiny custom family for hand-checkable game values."""
+
+    def __init__(self):
+        super().__init__(3)
+        self._family = [frozenset({1, 2}), frozenset({2, 3})]
+
+    def quorums(self):
+        yield from self._family
+
+
+class TestGameValues:
+    def test_singleton_needs_one_probe(self):
+        assert probe_complexity(SingletonQuorum(7)) == 1
+
+    def test_hand_checked_family(self):
+        # Probe 2 first: dead -> both quorums dead (1 probe would do)...
+        # alive -> must still check 1 or 3, worst case both: total 3.
+        # Optimal play: probe 2 (alive), probe 1 (alive) -> quorum {1,2}.
+        # Adversary answers to maximize: 2 alive, 1 dead, 3 dead => all
+        # dead after 3 probes.  Value is 3.
+        assert probe_complexity(_TwoDisjointish()) == 3
+
+    def test_wheel_needs_n_probes(self):
+        # PW's point: size-2 quorums, yet certifying may touch everyone
+        # (hub dead => must scan the whole rim).
+        assert probe_complexity(WheelQuorum(7)) == 7
+
+    def test_tree_paths_root_short_circuit(self):
+        # If the root is dead every path-quorum is dead, so the game
+        # value is below n.
+        assert probe_complexity(TreePathQuorum(7)) < 7
+
+    def test_majority_probes_everyone(self):
+        assert probe_complexity(RotatingMajorityQuorum(9)) == 9
+
+    def test_fano_plane(self):
+        assert probe_complexity(ProjectivePlaneQuorum(2)) == 7
+
+    def test_probe_at_most_n(self):
+        for system in (MaekawaGrid(9), WheelQuorum(6), TreePathQuorum(7)):
+            assert probe_complexity(system) <= system.n
+
+    def test_probe_at_least_min_quorum(self):
+        # Exhibiting a live quorum requires probing all its members.
+        for system in (MaekawaGrid(9), ProjectivePlaneQuorum(2)):
+            smallest = min(len(q) for q in system.quorums())
+            assert probe_complexity(system) >= smallest
+
+    def test_size_guard(self):
+        with pytest.raises(ConfigurationError):
+            probe_complexity(RotatingMajorityQuorum(20))

@@ -1,0 +1,98 @@
+"""Tests for the projective-plane quorum system."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorum import (
+    ProjectivePlaneQuorum,
+    QuorumCounter,
+    naor_wool_floor,
+    optimal_load,
+    uniform_load,
+)
+from repro.sim.network import Network
+from repro.workloads import one_shot, run_sequence
+
+PRIMES = [2, 3, 5, 7]
+
+
+class TestPlaneStructure:
+    @pytest.mark.parametrize("q", PRIMES)
+    def test_point_and_line_counts(self, q):
+        system = ProjectivePlaneQuorum(q)
+        assert system.n == q * q + q + 1
+        assert system.quorum_count() == system.n  # self-dual
+
+    @pytest.mark.parametrize("q", PRIMES)
+    def test_every_line_has_q_plus_one_points(self, q):
+        system = ProjectivePlaneQuorum(q)
+        assert all(len(line) == q + 1 for line in system.quorums())
+
+    @pytest.mark.parametrize("q", PRIMES)
+    def test_any_two_lines_meet_in_exactly_one_point(self, q):
+        system = ProjectivePlaneQuorum(q)
+        lines = list(system.quorums())
+        for i in range(len(lines)):
+            for j in range(i + 1, len(lines)):
+                assert len(lines[i] & lines[j]) == 1
+
+    @pytest.mark.parametrize("q", PRIMES)
+    def test_every_point_on_q_plus_one_lines(self, q):
+        system = ProjectivePlaneQuorum(q)
+        degrees = system.degrees()
+        assert set(degrees.values()) == {q + 1}
+
+    def test_fano_plane(self):
+        # q=2 is the Fano plane: 7 points, 7 lines of 3.
+        system = ProjectivePlaneQuorum(2)
+        assert system.n == 7
+        assert all(len(line) == 3 for line in system.quorums())
+
+    def test_nonprime_rejected(self):
+        for q in (0, 1, 4, 6, 9):
+            with pytest.raises(ConfigurationError):
+                ProjectivePlaneQuorum(q)
+
+
+class TestPlaneLoad:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_uniform_load_hits_the_floor(self, q):
+        # The FPP is load-optimal: uniform load = (q+1)/n = NW floor.
+        system = ProjectivePlaneQuorum(q)
+        load = uniform_load(system).system_load
+        assert load == pytest.approx((q + 1) / system.n)
+        assert load == pytest.approx(naor_wool_floor(system))
+
+    def test_optimal_equals_uniform(self):
+        system = ProjectivePlaneQuorum(3)
+        assert optimal_load(system).system_load == pytest.approx(
+            uniform_load(system).system_load, abs=1e-6
+        )
+
+    def test_load_approaches_inverse_sqrt_n(self):
+        system = ProjectivePlaneQuorum(7)
+        load = uniform_load(system).system_load
+        assert load == pytest.approx(1 / math.sqrt(system.n), rel=0.35)
+
+
+class TestPlaneCounter:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_counter_correct(self, q):
+        system = ProjectivePlaneQuorum(q)
+        network = Network()
+        counter = QuorumCounter(network, system.n, system)
+        result = run_sequence(counter, one_shot(system.n))
+        assert result.values() == list(range(system.n))
+
+    def test_counter_load_is_balanced(self):
+        system = ProjectivePlaneQuorum(5)  # n = 31
+        network = Network()
+        counter = QuorumCounter(network, system.n, system)
+        result = run_sequence(counter, one_shot(system.n))
+        loads = [result.trace.load(p) for p in range(1, system.n + 1)]
+        # Perfect combinatorial balance keeps max/mean small.
+        assert max(loads) <= 2.1 * (sum(loads) / len(loads))

@@ -1,0 +1,156 @@
+"""Unit tests for quorum-system constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorum import (
+    CrumblingWall,
+    MaekawaGrid,
+    RotatingMajorityQuorum,
+    SingletonQuorum,
+    TreePathQuorum,
+    WheelQuorum,
+)
+
+ALL_SYSTEMS = [
+    (SingletonQuorum, 9),
+    (RotatingMajorityQuorum, 9),
+    (MaekawaGrid, 9),
+    (TreePathQuorum, 15),
+    (WheelQuorum, 9),
+    (CrumblingWall, 12),
+]
+
+
+class TestIntersectionProperty:
+    @pytest.mark.parametrize("cls,n", ALL_SYSTEMS)
+    def test_every_pair_intersects(self, cls, n):
+        system = cls(n)
+        assert system.verify_intersection()
+
+    @pytest.mark.parametrize("cls,n", ALL_SYSTEMS)
+    def test_quorums_within_universe(self, cls, n):
+        system = cls(n)
+        for quorum in system.quorums():
+            assert quorum <= system.universe
+            assert quorum  # nonempty
+
+    @pytest.mark.parametrize("cls,n", ALL_SYSTEMS)
+    def test_quorum_for_cycles(self, cls, n):
+        system = cls(n)
+        count = system.quorum_count()
+        assert system.quorum_for(0) == system.quorum_for(count)
+
+    @pytest.mark.parametrize("cls,n", ALL_SYSTEMS)
+    def test_quorum_count_matches_enumeration(self, cls, n):
+        system = cls(n)
+        assert system.quorum_count() == sum(1 for _ in system.quorums())
+
+
+class TestSingleton:
+    def test_single_quorum_is_the_center(self):
+        system = SingletonQuorum(5, center=3)
+        assert list(system.quorums()) == [frozenset({3})]
+
+    def test_invalid_center(self):
+        with pytest.raises(ConfigurationError):
+            SingletonQuorum(5, center=6)
+
+
+class TestRotatingMajority:
+    def test_window_size_is_majority(self):
+        system = RotatingMajorityQuorum(9)
+        assert all(len(q) == 5 for q in system.quorums())
+
+    def test_every_element_in_majority_of_windows(self):
+        system = RotatingMajorityQuorum(9)
+        degrees = system.degrees()
+        assert set(degrees.values()) == {5}
+
+    def test_even_universe(self):
+        system = RotatingMajorityQuorum(8)
+        assert all(len(q) == 5 for q in system.quorums())
+        assert system.verify_intersection()
+
+
+class TestMaekawa:
+    def test_quorum_size_is_2_sqrt_n_minus_1(self):
+        system = MaekawaGrid(16)
+        assert all(len(q) == 7 for q in system.quorums())
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaekawaGrid(10)
+
+    def test_row_meets_column(self):
+        system = MaekawaGrid(9)
+        quorum_a = system.quorum_for(0)  # element 0's row+col
+        quorum_b = system.quorum_for(8)  # element 8's row+col
+        assert quorum_a & quorum_b
+
+    def test_degrees_are_uniform(self):
+        degrees = MaekawaGrid(16).degrees()
+        assert len(set(degrees.values())) == 1
+
+
+class TestTreePath:
+    def test_root_is_in_every_quorum(self):
+        system = TreePathQuorum(15)
+        for quorum in system.quorums():
+            assert 1 in quorum
+
+    def test_quorum_size_is_tree_height(self):
+        system = TreePathQuorum(15)
+        assert all(len(q) == 4 for q in system.quorums())
+
+    def test_small_quorums_but_total_root_load(self):
+        system = TreePathQuorum(15)
+        degrees = system.degrees()
+        assert degrees[1] == system.quorum_count()
+
+
+class TestWheel:
+    def test_spoke_quorums_and_rim(self):
+        system = WheelQuorum(5, hub=1)
+        family = list(system.quorums())
+        assert frozenset({2, 3, 4, 5}) in family
+        assert frozenset({1, 2}) in family
+        assert len(family) == 5
+
+    def test_hub_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WheelQuorum(5, hub=9)
+        with pytest.raises(ConfigurationError):
+            WheelQuorum(1)
+
+    def test_hub_degree_dominates(self):
+        degrees = WheelQuorum(9).degrees()
+        assert degrees[1] == 8  # all spoke quorums
+
+
+class TestCrumblingWall:
+    def test_default_rows_cover_universe(self):
+        system = CrumblingWall(12)
+        assert sum(system.row_widths) == 12
+
+    def test_custom_rows(self):
+        system = CrumblingWall(10, row_widths=[4, 3, 3])
+        assert system.verify_intersection()
+
+    def test_bad_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrumblingWall(10, row_widths=[4, 4])
+        with pytest.raises(ConfigurationError):
+            CrumblingWall(10, row_widths=[10, 0])
+
+    def test_single_row_wall(self):
+        system = CrumblingWall(4, row_widths=[4])
+        assert list(system.quorums()) == [frozenset({1, 2, 3, 4})]
+
+    def test_quorum_is_full_row_plus_tail(self):
+        system = CrumblingWall(9, row_widths=[3, 3, 3])
+        quorum = system.quorum_for(0)
+        assert {1, 2, 3} <= quorum  # first row complete
+        assert len(quorum) == 5  # + one element from each row below

@@ -1,0 +1,61 @@
+"""Unit tests for message and record types."""
+
+from __future__ import annotations
+
+from repro.sim.messages import NO_OP, Message, MessageRecord
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = Message(sender=1, receiver=2, kind="ping")
+        assert message.op_index == NO_OP
+        assert message.payload == {}
+        assert message.uid == -1
+
+    def test_str_is_informative(self):
+        message = Message(sender=1, receiver=2, kind="inc", op_index=3)
+        text = str(message)
+        assert "1 -> 2" in text
+        assert "inc" in text
+        assert "op 3" in text
+
+    def test_frozen(self):
+        message = Message(sender=1, receiver=2, kind="x")
+        try:
+            message.sender = 9  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestMessageRecord:
+    def test_from_message_copies_fields(self):
+        message = Message(
+            sender=3, receiver=7, kind="value", payload={"v": 5},
+            op_index=2, uid=11, send_time=1.5,
+        )
+        record = MessageRecord.from_message(message, deliver_time=2.5)
+        assert record.sender == 3
+        assert record.receiver == 7
+        assert record.kind == "value"
+        assert record.op_index == 2
+        assert record.uid == 11
+        assert record.send_time == 1.5
+        assert record.deliver_time == 2.5
+
+    def test_endpoints(self):
+        record = MessageRecord(
+            sender=4, receiver=9, kind="x", op_index=0, uid=0,
+            send_time=0.0, deliver_time=1.0,
+        )
+        assert record.endpoints() == (4, 9)
+
+    def test_str_mentions_times_and_endpoints(self):
+        record = MessageRecord(
+            sender=4, receiver=9, kind="inc", op_index=1, uid=0,
+            send_time=0.0, deliver_time=1.0,
+        )
+        text = str(record)
+        assert "4 -> 9" in text
+        assert "inc" in text

@@ -1,0 +1,83 @@
+"""Unit tests for delivery policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.messages import Message
+from repro.sim.policies import (
+    RandomDelay,
+    SkewedDelay,
+    UnitDelay,
+    standard_policies,
+)
+
+
+def _message(sender=1, receiver=2):
+    return Message(sender=sender, receiver=receiver, kind="x")
+
+
+class TestUnitDelay:
+    def test_always_one(self):
+        policy = UnitDelay()
+        for _ in range(10):
+            assert policy.delay(_message()) == 1.0
+
+    def test_fork_is_equivalent(self):
+        policy = UnitDelay()
+        assert policy.fork().delay(_message()) == 1.0
+
+
+class TestRandomDelay:
+    def test_within_bounds(self):
+        policy = RandomDelay(seed=7, low=0.5, high=3.0)
+        for _ in range(200):
+            delay = policy.delay(_message())
+            assert 0.5 <= delay <= 3.0
+
+    def test_seeded_reproducibility(self):
+        first = RandomDelay(seed=42)
+        second = RandomDelay(seed=42)
+        draws_a = [first.delay(_message()) for _ in range(50)]
+        draws_b = [second.delay(_message()) for _ in range(50)]
+        assert draws_a == draws_b
+
+    def test_different_seeds_differ(self):
+        draws_a = [RandomDelay(seed=1).delay(_message()) for _ in range(10)]
+        draws_b = [RandomDelay(seed=2).delay(_message()) for _ in range(10)]
+        assert draws_a != draws_b
+
+    def test_fork_resets_state(self):
+        policy = RandomDelay(seed=3)
+        original = [policy.delay(_message()) for _ in range(5)]
+        forked = policy.fork()
+        assert [forked.delay(_message()) for _ in range(5)] == original
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDelay(low=0.0)
+        with pytest.raises(ValueError):
+            RandomDelay(low=5.0, high=1.0)
+
+
+class TestSkewedDelay:
+    def test_parity_splits_fast_and_slow(self):
+        policy = SkewedDelay(slow=40.0, slow_parity=0)
+        assert policy.delay(_message(sender=1, receiver=1)) == 40.0  # even sum
+        assert policy.delay(_message(sender=1, receiver=2)) == 1.0  # odd sum
+
+    def test_parity_flips(self):
+        policy = SkewedDelay(slow=40.0, slow_parity=1)
+        assert policy.delay(_message(sender=1, receiver=2)) == 40.0
+        assert policy.delay(_message(sender=1, receiver=1)) == 1.0
+
+    def test_invalid_slow_rejected(self):
+        with pytest.raises(ValueError):
+            SkewedDelay(slow=0.0)
+
+
+class TestStandardPolicies:
+    def test_battery_contains_all_three(self):
+        battery = standard_policies(seed=5)
+        names = {type(p).__name__ for p in battery}
+        assert names == {"UnitDelay", "RandomDelay", "SkewedDelay"}

@@ -1,0 +1,128 @@
+"""Soak tests: long mixed workloads across the whole stack.
+
+Each soak interleaves counters, orders, policies and concurrency in one
+continuous scenario and re-checks every invariant at the end.  They are
+the closest thing the suite has to an integration 'day in the life'.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import IntervalMode, TreeCounter, TreeGeometry, TreePolicy
+from repro.core.invariants import check_retirement_lemma, check_tenure_bound
+from repro.counters import ArrowCounter, CentralCounter, CombiningTreeCounter
+from repro.datatypes import (
+    DELETE_MIN,
+    FLIP,
+    INSERT,
+    DistributedFlipBit,
+    DistributedPriorityQueue,
+    run_ops,
+)
+from repro.lowerbound import check_hot_spot
+from repro.sim.network import Network
+from repro.sim.policies import RandomDelay
+from repro.workloads import run_concurrent, run_sequence
+
+
+class TestLongMixedRuns:
+    def test_tree_counter_thousand_ops_wrapped(self):
+        rng = random.Random(42)
+        n = 81
+        network = Network(policy=RandomDelay(seed=7))
+        geometry = TreeGeometry.paper_shape(3)
+        counter = TreeCounter(
+            network,
+            n,
+            geometry=geometry,
+            policy=TreePolicy(retire_threshold=12, interval_mode=IntervalMode.WRAP),
+        )
+        order = [rng.randrange(1, n + 1) for _ in range(1000)]
+        result = run_sequence(counter, order)
+        assert result.values() == list(range(1000))
+        assert check_hot_spot(result).holds
+        assert check_retirement_lemma(counter).holds
+        assert check_tenure_bound(counter).holds
+        # Load stays spread: nobody handles more than a few percent of
+        # the traffic.
+        peak = result.bottleneck_load()
+        assert peak < 0.08 * 2 * result.total_messages
+
+    def test_concurrent_batches_interleaved_with_sequential(self):
+        network = Network(policy=RandomDelay(seed=3))
+        counter = CombiningTreeCounter(network, 32)
+        sequential = run_sequence(counter, list(range(1, 17)))
+        assert sequential.values() == list(range(16))
+        # Continue the same counter with concurrent batches; values keep
+        # ascending from where the sequential phase stopped.
+        batch_result = run_concurrent(
+            counter, [list(range(1, 33))], check_values=False
+        )
+        values = [o.value for o in batch_result.outcomes]
+        assert sorted(values) == list(range(16, 48))
+
+    def test_priority_queue_long_session(self):
+        import heapq
+
+        rng = random.Random(9)
+        n = 81
+        network = Network()
+        queue = DistributedPriorityQueue(
+            network,
+            n,
+            policy=TreePolicy(retire_threshold=12, interval_mode=IntervalMode.WRAP),
+        )
+        reference: list[int] = []
+        ops = []
+        expected = []
+        for _ in range(400):
+            pid = rng.randrange(1, n + 1)
+            if reference and rng.random() < 0.45:
+                ops.append((pid, (DELETE_MIN,)))
+                expected.append(heapq.heappop(reference))
+            else:
+                key = rng.randrange(10_000)
+                ops.append((pid, (INSERT, key)))
+                heapq.heappush(reference, key)
+                expected.append(len(reference))
+        result = run_ops(queue, ops)
+        assert result.replies() == expected
+
+    def test_flip_bit_parity_over_long_run(self):
+        n = 27
+        network = Network()
+        bit = DistributedFlipBit(
+            network,
+            n,
+            policy=TreePolicy(retire_threshold=12, interval_mode=IntervalMode.WRAP),
+        )
+        rng = random.Random(4)
+        ops = [(rng.randrange(1, n + 1), FLIP) for _ in range(500)]
+        result = run_ops(bit, ops)
+        assert result.replies() == [i % 2 for i in range(500)]
+        assert bit.state == 0
+
+    def test_arrow_token_random_walk(self):
+        rng = random.Random(11)
+        n = 64
+        network = Network(policy=RandomDelay(seed=5))
+        counter = ArrowCounter(network, n)
+        order = [rng.randrange(1, n + 1) for _ in range(800)]
+        result = run_sequence(counter, order)
+        assert result.values() == list(range(800))
+        # The token ends with the last distinct requester.
+        assert counter.owner == order[-1]
+        assert counter.value == 800
+
+    def test_central_counter_extreme_length(self):
+        network = Network()
+        counter = CentralCounter(network, 16)
+        order = [(i % 16) + 1 for i in range(2000)]
+        result = run_sequence(counter, order)
+        assert result.values() == list(range(2000))
+        # Server load: 3 messages per remote op is the exact ledger.
+        remote_ops = sum(1 for pid in order if pid != counter.server_id)
+        assert result.trace.load(counter.server_id) == 2 * remote_ops

@@ -1,0 +1,69 @@
+"""Tests for the stats helpers and the E18/E19 experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SeededSummary, summarize_over_seeds
+from repro.experiments import run_e18, run_e19
+
+
+class TestSeededSummary:
+    def test_mean_std(self):
+        summary = SeededSummary(values=(1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.spread == pytest.approx(1.0)
+
+    def test_single_value(self):
+        summary = SeededSummary(values=(5.0,))
+        assert summary.std == 0.0
+        assert summary.spread == 0.0
+
+    def test_zero_mean_spread(self):
+        summary = SeededSummary(values=(0.0, 0.0))
+        assert summary.spread == 0.0
+
+    def test_str_format(self):
+        text = str(SeededSummary(values=(1.0, 3.0)))
+        assert "±" in text
+
+    def test_summarize_over_seeds(self):
+        summary = summarize_over_seeds(lambda seed: seed * 2.0, [1, 2, 3])
+        assert summary.values == (2.0, 4.0, 6.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_over_seeds(lambda seed: 0.0, [])
+
+
+class TestE18:
+    def test_only_ww_tree_has_spread(self):
+        result = run_e18(n=81, seeds=(0, 1, 2))
+        table = result.table()
+        spreads = dict(zip(table.column("counter"), table.column("spread")))
+        for name, spread in spreads.items():
+            if name == "ww-tree":
+                continue
+            assert spread == "0.0%", f"{name} unexpectedly varies: {spread}"
+
+    def test_means_match_canonical_runs(self):
+        result = run_e18(n=27, seeds=(0,))
+        table = result.table()
+        means = dict(zip(table.column("counter"), table.column("mean m_b")))
+        assert float(means["central"]) == 52.0  # 2(n-1)
+
+
+class TestE19:
+    def test_skew_inflates_initiator_load(self):
+        result = run_e19(n=27, length=81, skews=(0.0, 2.2))
+        table = result.table()
+        initiator_loads = table.column("hottest initiator load")
+        assert initiator_loads[-1] > initiator_loads[0]
+
+    def test_uniform_row_has_low_share(self):
+        result = run_e19(n=27, length=81, skews=(0.0,))
+        share = result.table().column("top initiator share")[0]
+        assert share == "4%"  # 3/81 with the round-robin uniform order

@@ -1,0 +1,101 @@
+"""Tests for the SVG chart generator and the figure suite."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svgplot import LineChart
+from repro.experiments.figures import (
+    figure_bottleneck_vs_k,
+    figure_crossover,
+    save_all_figures,
+)
+
+
+def _parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestLineChart:
+    def test_produces_well_formed_svg(self):
+        chart = LineChart(title="T", x_label="x", y_label="y")
+        chart.add("s", [(1, 1), (2, 4), (3, 9)])
+        root = _parse(chart.to_svg())
+        assert root.tag.endswith("svg")
+
+    def test_title_and_labels_present(self):
+        chart = LineChart(title="My Title", x_label="the x", y_label="the y")
+        chart.add("series-name", [(0, 0), (1, 1)])
+        svg = chart.to_svg()
+        assert "My Title" in svg
+        assert "the x" in svg and "the y" in svg
+        assert "series-name" in svg
+
+    def test_one_polyline_per_series(self):
+        chart = LineChart(title="T", x_label="x", y_label="y")
+        chart.add("a", [(0, 0), (1, 1)])
+        chart.add("b", [(0, 1), (1, 0)], dashed=True)
+        svg = chart.to_svg()
+        assert svg.count("<polyline") == 2
+        assert "stroke-dasharray" in svg
+
+    def test_log_axes_handle_wide_ranges(self):
+        chart = LineChart(
+            title="T", x_label="x", y_label="y", log_x=True, log_y=True
+        )
+        chart.add("s", [(1, 2), (100, 200), (10_000, 20_000)])
+        root = _parse(chart.to_svg())
+        assert root is not None
+
+    def test_single_point_series_does_not_crash(self):
+        chart = LineChart(title="T", x_label="x", y_label="y")
+        chart.add("s", [(5, 5)])
+        assert "<svg" in chart.to_svg()
+
+    def test_title_is_escaped(self):
+        chart = LineChart(title="a < b & c", x_label="x", y_label="y")
+        chart.add("s", [(0, 0), (1, 1)])
+        svg = chart.to_svg()
+        assert "a &lt; b &amp; c" in svg
+        _parse(svg)  # stays well-formed
+
+    def test_empty_chart_renders(self):
+        chart = LineChart(title="empty", x_label="x", y_label="y")
+        _parse(chart.to_svg())
+
+
+class TestFigureSuite:
+    def test_bottleneck_figure_has_reference_line(self):
+        chart = figure_bottleneck_vs_k(ks=(2, 3))
+        names = [series.name for series in chart.series]
+        assert any("reference" in name for name in names)
+        assert any("measured" in name for name in names)
+
+    def test_crossover_figure_uses_log_axes(self):
+        chart = figure_crossover(ns=(8, 81))
+        assert chart.log_x and chart.log_y
+        assert len(chart.series) == 3
+
+    def test_save_all_writes_three_files(self, tmp_path, monkeypatch):
+        # Patch the figure functions to cheap variants for speed.
+        import repro.experiments.figures as figures_module
+
+        monkeypatch.setattr(
+            figures_module, "figure_bottleneck_vs_k",
+            lambda ks=(2,): figure_bottleneck_vs_k(ks=(2,)),
+        )
+        monkeypatch.setattr(
+            figures_module, "figure_crossover",
+            lambda ns=(8, 27): figure_crossover(ns=(8, 27)),
+        )
+        monkeypatch.setattr(
+            figures_module, "figure_baseline_sweep",
+            lambda ns=(8, 27): figure_crossover(ns=(8, 27)),
+        )
+        written = figures_module.save_all_figures(tmp_path)
+        assert len(written) == 3
+        for path in written:
+            assert path.exists()
+            _parse(path.read_text())
