@@ -13,7 +13,14 @@ from repro.counters import CentralCounter
 from repro.sim.events import EventQueue
 from repro.sim.network import Network
 from repro.sim.processor import InertProcessor
+from repro.sim.trace import TraceLevel
 from repro.workloads import one_shot, run_sequence
+
+
+def _blast_network(trace_level: TraceLevel) -> Network:
+    network = Network(trace_level=trace_level)
+    network.register_all([InertProcessor(pid) for pid in range(1, 17)])
+    return network
 
 
 def test_event_queue_throughput(benchmark):
@@ -30,9 +37,32 @@ def test_event_queue_throughput(benchmark):
 
 
 def test_message_throughput(benchmark):
-    """Deliver 1000 point-to-point messages."""
-    network = Network()
-    network.register_all([InertProcessor(pid) for pid in range(1, 17)])
+    """Deliver 1000 point-to-point messages under FULL tracing."""
+    network = _blast_network(TraceLevel.FULL)
+
+    def blast():
+        for index in range(1000):
+            network.send((index % 16) + 1, ((index + 7) % 16) + 1, "m", {})
+        network.run_until_quiescent()
+
+    benchmark(blast)
+
+
+def test_message_throughput_loads(benchmark):
+    """Deliver 1000 point-to-point messages under LOADS tracing."""
+    network = _blast_network(TraceLevel.LOADS)
+
+    def blast():
+        for index in range(1000):
+            network.send((index % 16) + 1, ((index + 7) % 16) + 1, "m", {})
+        network.run_until_quiescent()
+
+    benchmark(blast)
+
+
+def test_message_throughput_off(benchmark):
+    """Deliver 1000 point-to-point messages with tracing OFF."""
+    network = _blast_network(TraceLevel.OFF)
 
     def blast():
         for index in range(1000):

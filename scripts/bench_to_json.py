@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Measure the simulator substrate and emit ``BENCH_simulator.json``.
+
+Times the hot paths directly (no pytest-benchmark dependency at run
+time) so CI and developers get one comparable artifact:
+
+* event-queue schedule+pop throughput;
+* message delivery throughput at every :class:`TraceLevel`, with the
+  speedup over the seed's FULL-tracing baseline;
+* wall time of a small E7-style sweep, serial vs parallel.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_to_json.py [-o BENCH_simulator.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.events import EventQueue  # noqa: E402
+from repro.sim.network import Network  # noqa: E402
+from repro.sim.processor import InertProcessor  # noqa: E402
+from repro.sim.trace import TraceLevel  # noqa: E402
+from repro.workloads import SweepPoint, SweepRunner  # noqa: E402
+
+SEED_FULL_MSGS_PER_S = 140_877
+"""messages/s of ``test_message_throughput`` measured at the seed commit
+(FULL tracing, pre-optimization) on the reference machine — the
+denominator for the speedup ratios below."""
+
+
+def _best_rate(work, units: int, repeats: int = 30) -> float:
+    """Best-of-*repeats* throughput in units/second (median of top 5)."""
+    rates = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work()
+        elapsed = time.perf_counter() - start
+        rates.append(units / elapsed)
+    return statistics.median(sorted(rates)[-5:])
+
+
+def bench_event_queue(events: int = 1000) -> float:
+    """Mirror of ``test_event_queue_throughput`` in bench_simulator.py."""
+
+    def churn():
+        queue = EventQueue()
+        for index in range(events):
+            queue.schedule((index * 7) % 13 + 0.5, lambda: None)
+        while queue:
+            queue.run_next()
+
+    return _best_rate(churn, 2 * events)  # schedule + pop each count
+
+
+def bench_messages(level: TraceLevel, messages: int = 1000) -> float:
+    """Mirror of ``test_message_throughput*`` in bench_simulator.py.
+
+    The blast size matches the benchmark suite (and the seed baseline
+    measurement) so the speedup ratios are apples to apples.
+    """
+    network = Network(trace_level=level)
+    network.register_all([InertProcessor(pid) for pid in range(1, 17)])
+
+    def blast():
+        send = network.send
+        for index in range(messages):
+            send((index % 16) + 1, ((index + 7) % 16) + 1, "m", {})
+        network.run_until_quiescent()
+
+    return _best_rate(blast, messages)
+
+
+def bench_sweep(workers: int) -> float:
+    points = [
+        SweepPoint(counter=counter, n=n)
+        for counter in ("central", "static-tree", "ww-tree")
+        for n in (256, 1024)
+    ]
+    start = time.perf_counter()
+    SweepRunner(workers=workers).run(points)
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_simulator.json",
+        help="output path (default: ./BENCH_simulator.json)",
+    )
+    args = parser.parse_args(argv)
+
+    full = bench_messages(TraceLevel.FULL)
+    loads = bench_messages(TraceLevel.LOADS)
+    off = bench_messages(TraceLevel.OFF)
+    serial_s = bench_sweep(workers=1)
+    parallel_s = bench_sweep(workers=4)
+    report = {
+        "benchmark": "simulator substrate",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": multiprocessing.cpu_count(),
+        "event_queue_ops_per_s": round(bench_event_queue()),
+        "messages_per_s": {
+            "full": round(full),
+            "loads": round(loads),
+            "off": round(off),
+        },
+        "seed_reference": {
+            "full_msgs_per_s": SEED_FULL_MSGS_PER_S,
+            "note": "seed-commit FULL-tracing throughput; ratio target "
+            "for LOADS is >= 5x",
+        },
+        "speedup_vs_seed_full": {
+            "full": round(full / SEED_FULL_MSGS_PER_S, 2),
+            "loads": round(loads / SEED_FULL_MSGS_PER_S, 2),
+            "off": round(off / SEED_FULL_MSGS_PER_S, 2),
+        },
+        "sweep_wall_time_s": {
+            "grid": "3 counters x n in (256, 1024), one-shot",
+            "note": "parallel only wins with >1 cpu; outputs are "
+            "identical either way",
+            "serial": round(serial_s, 3),
+            "parallel_4_workers": round(parallel_s, 3),
+        },
+    }
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

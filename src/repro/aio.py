@@ -85,8 +85,10 @@ async def run_sequence_async(
     with the simulation.
     """
     network = counter.network
+    trace = network.trace
+    counts_kept = trace.keeps_loads
     runner = AsyncRunner(network, time_scale=time_scale)
-    result = RunResult(counter_name=counter.name, n=counter.n, trace=network.trace)
+    result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
     for op_index, pid in enumerate(initiators):
         before = counter.results_for(pid)
         counter.begin_inc(pid, op_index)
@@ -107,7 +109,7 @@ async def run_sequence_async(
                 op_index=op_index,
                 initiator=pid,
                 value=value,
-                messages=network.trace.messages_for_op(op_index),
+                messages=trace.messages_for_op(op_index) if counts_kept else -1,
             )
         )
     return result
@@ -120,8 +122,10 @@ async def run_concurrent_async(
 ) -> RunResult:
     """Inject *batch* concurrently, await quiescence, collect results."""
     network = counter.network
+    trace = network.trace
+    counts_kept = trace.keeps_loads
     runner = AsyncRunner(network, time_scale=time_scale)
-    result = RunResult(counter_name=counter.name, n=counter.n, trace=network.trace)
+    result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
     prior = {pid: len(counter.results_for(pid)) for pid in set(batch)}
     seen: dict[ProcessorId, int] = dict(prior)
     for op_index, pid in enumerate(batch):
@@ -138,7 +142,7 @@ async def run_concurrent_async(
                 op_index=op_index,
                 initiator=pid,
                 value=replies[position],
-                messages=network.trace.messages_for_op(op_index),
+                messages=trace.messages_for_op(op_index) if counts_kept else -1,
             )
         )
     return result

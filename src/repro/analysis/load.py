@@ -36,6 +36,10 @@ class LoadProfile:
 
         *population* defaults to the number of processors that appear in
         the trace; pass the real system size for honest averages.
+
+        Works at any trace level that keeps load counters (``FULL`` or
+        ``LOADS``); an ``OFF`` trace raises
+        :class:`~repro.errors.TraceCapabilityError`.
         """
         loads = trace.loads()
         if population is None:

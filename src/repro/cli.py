@@ -105,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated counter names (or 'all')",
     )
     sweep.add_argument("--ns", default="64,256,1024", help="comma-separated sizes")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep grid (default: serial)",
+    )
 
     adversary = commands.add_parser(
         "adversary", help="play the §3 greedy longest-list adversary"
@@ -148,6 +152,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument(
         "--out", default="benchmarks/figures", help="output directory"
+    )
+    figures.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for figure simulations (default: serial)",
     )
 
     return parser
@@ -197,15 +205,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown counters: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    from repro.workloads import SweepPoint, SweepRunner
+
+    runner = SweepRunner(workers=args.workers)
+    points = [SweepPoint(counter=name, n=n) for name in names for n in ns]
+    loads = runner.bottlenecks(points)
     rows = []
-    for name in names:
-        cells: list[object] = [name]
-        for n in ns:
-            network = Network()
-            counter = COUNTERS[name](network, n)
-            result = run_sequence(counter, one_shot(n))
-            cells.append(result.bottleneck_load())
-        rows.append(cells)
+    for index, name in enumerate(names):
+        start = index * len(ns)
+        rows.append([name, *loads[start : start + len(ns)]])
     rows.append(["k(n) bound"] + [f"{lower_bound_k(n):.2f}" for n in ns])
     print(
         format_table(
@@ -377,8 +385,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate the SVG figures (F1-F3)."""
     from repro.experiments.figures import save_all_figures
+    from repro.workloads import SweepRunner
 
-    written = save_all_figures(args.out)
+    written = save_all_figures(args.out, runner=SweepRunner(workers=args.workers))
     for path in written:
         print(f"wrote {path}")
     return 0

@@ -58,3 +58,23 @@ class InvariantViolationError(ReproError):
 
 class UnknownProcessorError(SimulationError):
     """Raised when a message is addressed to an unregistered processor."""
+
+
+class DuplicateProcessorError(SimulationError):
+    """Raised when two processors are registered under the same id.
+
+    Ids are the paper's unique identities; a second registration is
+    always a wiring bug in the caller, never a recoverable condition.
+    """
+
+
+class TraceCapabilityError(SimulationError):
+    """Raised when an analysis needs trace data that was not captured.
+
+    The simulator supports tiered tracing
+    (:class:`~repro.sim.trace.TraceLevel`): ``FULL`` keeps every
+    delivered-message record, ``LOADS`` keeps only columnar counters, and
+    ``OFF`` keeps nothing.  Querying a view the chosen level did not
+    capture (e.g. ``records_for_op`` on a ``LOADS`` trace) raises this
+    error naming the level required — rerun the simulation at that level.
+    """

@@ -21,7 +21,14 @@ from repro.counters import (
 from repro.experiments.base import ExperimentResult, make_table
 from repro.lowerbound import GreedyAdversary, lower_bound_k
 from repro.sim import CongestedDelay, Network
-from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
+from repro.workloads import (
+    SweepPoint,
+    SweepRunner,
+    one_shot,
+    run_concurrent,
+    run_sequence,
+    shuffled,
+)
 
 BASELINES = (
     ("central", CentralCounter),
@@ -89,14 +96,35 @@ def run_e6(ns: tuple[int, ...] = (8, 27, 81, 256, 1024, 3125)) -> ExperimentResu
 
 
 def run_e7(
-    ns: tuple[int, ...] = (64, 256, 1024), concurrent_n: int = 256
+    ns: tuple[int, ...] = (64, 256, 1024),
+    concurrent_n: int = 256,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
-    """E7: baseline sweep (sequential regime) + one concurrent batch."""
+    """E7: baseline sweep (sequential regime) + one concurrent batch.
+
+    The whole grid runs through *runner* (serial by default); pass a
+    parallel or cached :class:`~repro.workloads.SweepRunner` to fan it
+    out — the tables are identical either way.
+    """
+    if runner is None:
+        runner = SweepRunner()
+    names = [name for name, _ in BASELINES]
+    sequential_ns = tuple(ns) if concurrent_n in ns else tuple(ns) + (concurrent_n,)
+    points = [
+        SweepPoint(counter=name, n=n) for name in names for n in sequential_ns
+    ] + [
+        SweepPoint(counter=name, n=concurrent_n, workload="one-shot-concurrent")
+        for name in names
+    ]
+    outcomes = {
+        (point.counter, point.n, point.workload): outcome
+        for point, outcome in zip(points, runner.run(points))
+    }
     sequential_rows = []
-    for name, factory in BASELINES:
+    for name in names:
         cells: list[object] = [name]
         for n in ns:
-            cells.append(_sequential_bottleneck(factory, n).bottleneck_load())
+            cells.append(outcomes[(name, n, "one-shot")].bottleneck_load)
         cells.append(f"{cells[-1] / cells[1]:.1f}x")
         sequential_rows.append(cells)
     sequential_rows.append(
@@ -105,17 +133,15 @@ def run_e7(
         + [f"{lower_bound_k(ns[-1]) / lower_bound_k(ns[0]):.1f}x"]
     )
     concurrent_rows = []
-    for name, factory in BASELINES:
-        sequential = _sequential_bottleneck(factory, concurrent_n)
-        network = Network()
-        counter = factory(network, concurrent_n)
-        concurrent = run_concurrent(counter, [one_shot(concurrent_n)])
+    for name in names:
+        sequential = outcomes[(name, concurrent_n, "one-shot")]
+        concurrent = outcomes[(name, concurrent_n, "one-shot-concurrent")]
         concurrent_rows.append(
             [
                 name,
-                sequential.bottleneck_load(),
-                concurrent.bottleneck_load(),
-                f"{sequential.bottleneck_load() / concurrent.bottleneck_load():.1f}x",
+                sequential.bottleneck_load,
+                concurrent.bottleneck_load,
+                f"{sequential.bottleneck_load / concurrent.bottleneck_load:.1f}x",
                 concurrent.total_messages,
             ]
         )

@@ -16,28 +16,28 @@ from __future__ import annotations
 import pathlib
 
 from repro.analysis.svgplot import LineChart
-from repro.core import TreeCounter
-from repro.counters import (
-    BitonicCountingNetwork,
-    CentralCounter,
-    CombiningTreeCounter,
-    DiffractingTreeCounter,
-    StaticTreeCounter,
-)
 from repro.lowerbound import lower_bound_k
-from repro.sim.network import Network
-from repro.workloads import one_shot, run_sequence
+from repro.workloads import SweepPoint, SweepRunner
 
 
-def _bottleneck(factory, n: int) -> int:
-    network = Network()
-    counter = factory(network, n)
-    return run_sequence(counter, one_shot(n)).bottleneck_load()
+def _bottlenecks(
+    runner: SweepRunner | None, grid: list[tuple[str, int]]
+) -> list[int]:
+    """Bottleneck load of each ``(counter, n)`` grid point, in order."""
+    if runner is None:
+        runner = SweepRunner()
+    return runner.bottlenecks(
+        [SweepPoint(counter=name, n=n) for name, n in grid]
+    )
 
 
-def figure_bottleneck_vs_k(ks: tuple[int, ...] = (2, 3, 4, 5)) -> LineChart:
+def figure_bottleneck_vs_k(
+    ks: tuple[int, ...] = (2, 3, 4, 5),
+    runner: SweepRunner | None = None,
+) -> LineChart:
     """F1: measured bottleneck against k, with a fitted c·k line."""
-    measured = [(k, _bottleneck(TreeCounter, k ** (k + 1))) for k in ks]
+    loads = _bottlenecks(runner, [("ww-tree", k ** (k + 1)) for k in ks])
+    measured = list(zip(ks, loads))
     constant = sum(load / k for k, load in measured) / len(measured)
     chart = LineChart(
         title="Bottleneck Theorem: m_b grows with k, not n",
@@ -54,7 +54,8 @@ def figure_bottleneck_vs_k(ks: tuple[int, ...] = (2, 3, 4, 5)) -> LineChart:
 
 
 def figure_crossover(
-    ns: tuple[int, ...] = (8, 27, 81, 256, 1024, 3125)
+    ns: tuple[int, ...] = (8, 27, 81, 256, 1024, 3125),
+    runner: SweepRunner | None = None,
 ) -> LineChart:
     """F2: central vs tree bottleneck over n, log-log, with k(n)."""
     chart = LineChart(
@@ -64,8 +65,10 @@ def figure_crossover(
         log_x=True,
         log_y=True,
     )
-    chart.add("central (2(n-1))", [(n, _bottleneck(CentralCounter, n)) for n in ns])
-    chart.add("ww-tree", [(n, _bottleneck(TreeCounter, n)) for n in ns])
+    counters = ("central", "ww-tree")
+    loads = _bottlenecks(runner, [(c, n) for c in counters for n in ns])
+    chart.add("central (2(n-1))", list(zip(ns, loads[: len(ns)])))
+    chart.add("ww-tree", list(zip(ns, loads[len(ns) :])))
     chart.add(
         "k(n) lower bound",
         [(n, lower_bound_k(n)) for n in ns],
@@ -75,17 +78,18 @@ def figure_crossover(
 
 
 def figure_baseline_sweep(
-    ns: tuple[int, ...] = (64, 256, 1024)
+    ns: tuple[int, ...] = (64, 256, 1024),
+    runner: SweepRunner | None = None,
 ) -> LineChart:
     """F3: every counter's sequential bottleneck over n, log-log."""
-    factories = [
-        ("central", CentralCounter),
-        ("static-tree", StaticTreeCounter),
-        ("combining-tree", CombiningTreeCounter),
-        ("counting-network", BitonicCountingNetwork),
-        ("diffracting-tree", DiffractingTreeCounter),
-        ("ww-tree", TreeCounter),
-    ]
+    counters = (
+        "central",
+        "static-tree",
+        "combining-tree",
+        "counting-network",
+        "diffracting-tree",
+        "ww-tree",
+    )
     chart = LineChart(
         title="Sequential one-shot bottleneck, all counters (E7a)",
         x_label="n (processors, log)",
@@ -93,8 +97,10 @@ def figure_baseline_sweep(
         log_x=True,
         log_y=True,
     )
-    for name, factory in factories:
-        chart.add(name, [(n, _bottleneck(factory, n)) for n in ns])
+    loads = _bottlenecks(runner, [(c, n) for c in counters for n in ns])
+    for index, name in enumerate(counters):
+        start = index * len(ns)
+        chart.add(name, list(zip(ns, loads[start : start + len(ns)])))
     chart.add(
         "k(n) lower bound",
         [(n, lower_bound_k(n)) for n in ns],
@@ -103,15 +109,22 @@ def figure_baseline_sweep(
     return chart
 
 
-def save_all_figures(directory) -> list[pathlib.Path]:
-    """Generate and save every figure; returns the written paths."""
+def save_all_figures(
+    directory, runner: SweepRunner | None = None
+) -> list[pathlib.Path]:
+    """Generate and save every figure; returns the written paths.
+
+    All simulations run through *runner*, so a parallel
+    :class:`~repro.workloads.SweepRunner` spreads figure generation over
+    worker processes without changing a byte of the output.
+    """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     for name, chart in (
-        ("F1_bottleneck_vs_k.svg", figure_bottleneck_vs_k()),
-        ("F2_crossover.svg", figure_crossover()),
-        ("F3_baseline_sweep.svg", figure_baseline_sweep()),
+        ("F1_bottleneck_vs_k.svg", figure_bottleneck_vs_k(runner=runner)),
+        ("F2_crossover.svg", figure_crossover(runner=runner)),
+        ("F3_baseline_sweep.svg", figure_baseline_sweep(runner=runner)),
     ):
         path = directory / name
         chart.save(path)

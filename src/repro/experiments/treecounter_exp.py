@@ -18,29 +18,38 @@ from repro.counters import CentralCounter
 from repro.errors import SimulationLimitError
 from repro.experiments.base import ExperimentResult, ExperimentTable, make_table
 from repro.sim.network import Network
-from repro.workloads import one_shot, run_sequence
+from repro.workloads import SweepPoint, SweepRunner, one_shot, run_sequence
 
 
-def run_e4(ks: tuple[int, ...] = (2, 3, 4, 5)) -> ExperimentResult:
-    """E4: the headline O(k) sweep."""
+def run_e4(
+    ks: tuple[int, ...] = (2, 3, 4, 5),
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
+    """E4: the headline O(k) sweep.
+
+    The grid runs through *runner* (serial by default); a parallel
+    :class:`~repro.workloads.SweepRunner` produces the same table.
+    """
+    if runner is None:
+        runner = SweepRunner()
+    points = [SweepPoint(counter="ww-tree", n=k ** (k + 1)) for k in ks]
     rows = []
-    for k in ks:
+    for k, outcome in zip(ks, runner.run(points)):
         n = k ** (k + 1)
-        network = Network()
-        counter = TreeCounter(network, n)
-        result = run_sequence(counter, one_shot(n))
-        profile = LoadProfile.from_trace(result.trace, population=n)
+        profile = LoadProfile(
+            loads=outcome.loads, population=max(n, len(outcome.loads), 1)
+        )
         rows.append(
             [
                 k,
                 n,
-                result.bottleneck_load(),
-                f"{result.bottleneck_load() / k:.1f}",
+                outcome.bottleneck_load,
+                f"{outcome.bottleneck_load / k:.1f}",
                 f"{profile.mean_load:.2f}",
-                f"{result.average_messages_per_op():.2f}",
-                len(counter.retirements),
-                counter.registry.root_ids_used(),
-                counter.total_forwarded(),
+                f"{outcome.messages_per_op:.2f}",
+                outcome.extras["retirements"],
+                outcome.extras["root_ids_used"],
+                outcome.extras["forwarded"],
             ]
         )
     return ExperimentResult(

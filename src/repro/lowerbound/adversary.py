@@ -93,6 +93,9 @@ class GreedyAdversary:
 
     def run(self) -> AdversarialRun:
         """Play the full n-step adversarial game; return the run + ledger."""
+        # Always a FULL-tracing network: the adversary's list
+        # reconstruction and weight function need the record history that
+        # the fast trace levels do not keep.
         network = Network(policy=self._policy)
         counter = self._factory(network, self._n)
         remaining = list(range(1, self._n + 1))

@@ -68,6 +68,8 @@ class ExactAdversary:
 
     def run(self) -> ExactAdversaryResult:
         """Explore the order tree; return the worst order found."""
+        # FULL tracing on purpose: branch evaluation reads record history,
+        # which the fast trace levels do not keep.
         network = Network(policy=self._policy)
         counter = self._factory(network, self._n)
         best = {

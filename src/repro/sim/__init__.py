@@ -12,8 +12,9 @@ Public surface:
 * :class:`Processor` — base class for protocol programs.
 * :class:`Message` / :class:`MessageRecord` — in-flight and delivered
   messages.
-* :class:`Trace` — the delivered-message ledger, source of all load and
-  footprint measurements.
+* :class:`Trace` / :class:`TraceLevel` — the delivered-message ledger,
+  source of all load and footprint measurements, with tiered fidelity
+  (``FULL`` records, ``LOADS`` counters only, ``OFF`` nothing).
 * delivery policies — :class:`UnitDelay`, :class:`RandomDelay`,
   :class:`FifoRandomDelay`, :class:`SkewedDelay`, and
   :class:`CongestedDelay` (store-and-forward queueing).
@@ -32,7 +33,7 @@ from repro.sim.policies import (
     standard_policies,
 )
 from repro.sim.processor import InertProcessor, Processor
-from repro.sim.trace import Trace, merge_loads
+from repro.sim.trace import Trace, TraceLevel, merge_loads
 
 __all__ = [
     "CongestedDelay",
@@ -52,6 +53,7 @@ __all__ = [
     "RandomDelay",
     "SkewedDelay",
     "Trace",
+    "TraceLevel",
     "UnitDelay",
     "merge_loads",
     "standard_policies",

@@ -7,6 +7,18 @@ reproducibility:
   two runs with the same seed pop events in exactly the same order;
 * events carry plain callables, so the queue knows nothing about messages —
   message semantics live entirely in :mod:`repro.sim.network`.
+
+Internally the heap stores plain ``(time, seq, action, arg)`` tuples
+rather than :class:`Event` objects: tuple allocation and comparison are
+the per-event cost of the whole simulator, and ``seq`` is unique, so the
+comparison never reaches the callable.  :class:`Event` remains the public
+view type returned by :meth:`EventQueue.schedule` and
+:meth:`EventQueue.pop`.
+
+The ``arg`` slot is the zero-overhead delivery path: the network
+schedules ``(deliver, message)`` directly instead of wrapping a closure
+per message.  Entries scheduled through the plain :meth:`EventQueue.schedule`
+API carry a sentinel and are invoked with no argument.
 """
 
 from __future__ import annotations
@@ -14,7 +26,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
+
+_NO_ARG = object()
+"""Sentinel marking a heap entry whose action takes no argument."""
 
 
 @dataclass(order=True, slots=True)
@@ -31,15 +46,17 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects.
+    """A deterministic min-heap of scheduled actions.
 
     The queue also tracks the current simulated time: popping an event
     advances ``now`` to that event's timestamp.  Scheduling into the past
     is a programming error and raises ``ValueError``.
     """
 
+    __slots__ = ("_heap", "_counter", "_now")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._counter = itertools.count()
         self._now = 0.0
 
@@ -63,20 +80,81 @@ class EventQueue:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=next(self._counter), action=action)
-        heapq.heappush(self._heap, event)
-        return event
+        time = self._now + delay
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (time, seq, action, _NO_ARG))
+        return Event(time=time, seq=seq, action=action)
+
+    def schedule_call(self, delay: float, action: Callable[[Any], None], arg: Any) -> None:
+        """Fast path: schedule ``action(arg)`` without wrapping a closure.
+
+        This is what the network uses for message delivery — the message
+        rides in the heap entry itself, so a send allocates no lambda and
+        no :class:`Event` object.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._counter), action, arg)
+        )
 
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing ``now``."""
-        event = heapq.heappop(self._heap)
-        self._now = event.time
-        return event
+        time, seq, action, arg = heapq.heappop(self._heap)
+        self._now = time
+        if arg is not _NO_ARG:
+            action = _bind(action, arg)
+        return Event(time=time, seq=seq, action=action)
 
     def run_next(self) -> None:
         """Pop the earliest event and execute its action."""
-        self.pop().action()
+        time, _, action, arg = heapq.heappop(self._heap)
+        self._now = time
+        if arg is _NO_ARG:
+            action()
+        else:
+            action(arg)
+
+    def run_many(self, limit: int) -> int:
+        """Execute up to *limit* events in a tight loop; return how many ran.
+
+        This is the simulator's inner loop: locals for the heap and pop
+        function, one time-advance per event, no per-event bookkeeping
+        beyond the counter.  Callers (e.g.
+        :meth:`~repro.sim.network.Network.run_until_quiescent`) batch
+        their event-limit accounting around it.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        ran = 0
+        while heap and ran < limit:
+            time, _, action, arg = pop(heap)
+            self._now = time
+            ran += 1
+            if arg is no_arg:
+                action()
+            else:
+                action(arg)
+        return ran
 
     def clear(self) -> None:
-        """Drop all pending events without executing them."""
+        """Drop all pending events and reset the queue to its initial state.
+
+        Simulated time returns to zero and the tie-break counter restarts,
+        so a cleared queue is indistinguishable from a fresh one — a
+        cleared-then-reused queue must not report the stale time of a
+        schedule it abandoned.
+        """
         self._heap.clear()
+        self._counter = itertools.count()
+        self._now = 0.0
+
+
+def _bind(action: Callable[[Any], None], arg: Any) -> Callable[[], None]:
+    """Adapt an argument-carrying entry to the no-argument Event view."""
+
+    def call() -> None:
+        action(arg)
+
+    return call

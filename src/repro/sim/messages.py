@@ -4,13 +4,20 @@ The paper's cost measure is the *message load*: the number of messages a
 processor sends or receives (§3, "Definitions").  Everything in this module
 exists to make that quantity exact and auditable — each network-level send
 produces exactly one :class:`Message` and, once delivered, exactly one
-:class:`MessageRecord` in the trace.
+:class:`MessageRecord` in the trace (at trace levels that keep records).
+
+Both types are :class:`typing.NamedTuple` subclasses rather than frozen
+dataclasses: the simulator constructs one of each per delivered message,
+and tuple allocation is several times cheaper than a frozen dataclass's
+``object.__setattr__`` chain.  They remain immutable — assigning to a
+field raises :class:`AttributeError` — and keep keyword construction,
+defaults, equality and reprs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from types import MappingProxyType
+from typing import Any, Mapping, NamedTuple
 
 ProcessorId = int
 """Processors are identified by the integers ``1 .. n`` as in the paper."""
@@ -21,9 +28,12 @@ OpIndex = int
 NO_OP: OpIndex = -1
 """Sentinel op index for traffic outside any tracked operation."""
 
+_EMPTY_PAYLOAD: Mapping[str, Any] = MappingProxyType({})
+"""Shared immutable default payload (a mapping proxy, so it cannot be
+mutated through the default)."""
 
-@dataclass(frozen=True, slots=True)
-class Message:
+
+class Message(NamedTuple):
     """A single point-to-point message in flight.
 
     Attributes:
@@ -39,7 +49,7 @@ class Message:
     sender: ProcessorId
     receiver: ProcessorId
     kind: str
-    payload: Mapping[str, Any] = field(default_factory=dict)
+    payload: Mapping[str, Any] = _EMPTY_PAYLOAD
     op_index: OpIndex = NO_OP
     uid: int = -1
     send_time: float = 0.0
@@ -51,8 +61,7 @@ class Message:
         )
 
 
-@dataclass(frozen=True, slots=True)
-class MessageRecord:
+class MessageRecord(NamedTuple):
     """A delivered message, as recorded in the execution trace.
 
     Identical to :class:`Message` plus the delivery time.  Records are what

@@ -16,21 +16,43 @@ This is the substrate the whole reproduction runs on.  It provides:
 Determinism: given the same processors, policy and injection sequence, two
 runs produce identical traces.  All randomness lives inside the seeded
 delivery policy.
+
+Performance: message delivery is the hot path of every experiment, so the
+network specializes it per :class:`~repro.sim.trace.TraceLevel` at
+construction time — the delivery handler, the policy's ``delay`` method
+and the constant-delay shortcut are pre-bound once, a send schedules a
+``(deliver, message)`` heap entry instead of a closure, and
+:meth:`run_until_quiescent` checks the event limit per batch rather than
+per event.  ``FULL`` tracing keeps the exact historical behavior;
+``LOADS`` skips record materialization and payload copies; ``OFF`` skips
+tracing entirely.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Mapping
 
-from repro.errors import SimulationLimitError, UnknownProcessorError
+from repro.errors import (
+    DuplicateProcessorError,
+    SimulationLimitError,
+    UnknownProcessorError,
+)
 from repro.sim.events import EventQueue
 from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
 from repro.sim.policies import DeliveryPolicy, UnitDelay
 from repro.sim.processor import Processor
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceLevel
 
 DEFAULT_EVENT_LIMIT = 5_000_000
 """Safety valve: a run consuming this many events is assumed to be stuck."""
+
+_LIMIT_CHECK_BATCH = 4096
+"""How many events run between event-limit checks in the drain loop."""
+
+_tuple_new = tuple.__new__
+"""Direct tuple allocation for Message/MessageRecord on the hot path —
+skips the NamedTuple's Python-level ``__new__`` wrapper."""
 
 
 class Network:
@@ -40,22 +62,55 @@ class Network:
     complete communication topology).  Messages are delayed by the
     delivery policy and never lost, duplicated or corrupted — the paper's
     failure-free model.
+
+    Args:
+        policy: delivery policy deciding per-message delays
+            (default :class:`~repro.sim.policies.UnitDelay`).
+        event_limit: livelock safety valve for
+            :meth:`run_until_quiescent`.
+        trace_level: tracing fidelity — ``FULL`` (default, every record),
+            ``LOADS`` (columnar counters only) or ``OFF`` (no tracing).
+            Accepts a :class:`~repro.sim.trace.TraceLevel` or its name.
     """
 
     def __init__(
         self,
         policy: DeliveryPolicy | None = None,
         event_limit: int = DEFAULT_EVENT_LIMIT,
+        trace_level: TraceLevel | str = TraceLevel.FULL,
     ) -> None:
+        trace_level = TraceLevel.coerce(trace_level)
         self._policy = policy or UnitDelay()
         self._queue = EventQueue()
         self._processors: dict[ProcessorId, Processor] = {}
-        self._trace = Trace()
+        self._trace = Trace(level=trace_level)
+        self._trace_level = trace_level
         self._active_op: OpIndex = NO_OP
         self._next_uid = 0
         self._in_flight = 0
         self._event_limit = event_limit
         self._events_executed = 0
+        # Hot-path pre-binding: one attribute lookup per send/delivery
+        # instead of a chain of them.  `constant_delay` lets constant
+        # policies (UnitDelay) skip the per-message delay() call.
+        self._policy_delay: Callable[[Message], float] = self._policy.delay
+        self._constant_delay: float | None = getattr(
+            self._policy, "constant_delay", None
+        )
+        self._copy_payloads = trace_level is TraceLevel.FULL
+        if trace_level is TraceLevel.FULL:
+            self._deliver: Callable[[Message], None] = self._deliver_full
+        elif trace_level is TraceLevel.LOADS:
+            self._deliver = self._deliver_loads
+        else:
+            self._deliver = self._deliver_off
+        # Aliases of the trace's counter dicts for the LOADS delivery
+        # handler — the dicts are shared objects, so the trace sees every
+        # update (and deepcopy keeps them shared via its memo).
+        self._sent_counts = self._trace._sent
+        self._received_counts = self._trace._received
+        self._op_counts = self._trace._op_counts
+        self._footprints = self._trace._footprints
 
     # ------------------------------------------------------------------
     # Introspection
@@ -69,6 +124,11 @@ class Network:
     def trace(self) -> Trace:
         """The execution trace (read for analysis; never mutate)."""
         return self._trace
+
+    @property
+    def trace_level(self) -> TraceLevel:
+        """The tracing fidelity this network was constructed with."""
+        return self._trace_level
 
     @property
     def policy(self) -> DeliveryPolicy:
@@ -111,7 +171,7 @@ class Network:
         the paper's unique identities.
         """
         if processor.pid in self._processors:
-            raise UnknownProcessorError(
+            raise DuplicateProcessorError(
                 f"processor id {processor.pid} is already registered"
             )
         processor.attach(self)
@@ -137,34 +197,105 @@ class Network:
 
         The message inherits the active operation index, receives a unique
         uid, and is scheduled for delivery after the policy's delay.
+        Under ``FULL`` tracing the payload is defensively copied (records
+        outlive the send); the fast tiers pass the caller's mapping
+        through.
         """
         if receiver not in self._processors:
             raise UnknownProcessorError(
                 f"message from {sender} addressed to unknown processor {receiver}"
             )
-        message = Message(
-            sender=sender,
-            receiver=receiver,
-            kind=kind,
-            payload=dict(payload),
-            op_index=self._active_op,
-            uid=self._next_uid,
-            send_time=self.now,
+        queue = self._queue
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        if self._copy_payloads:
+            payload = dict(payload)
+        now = queue._now
+        message = _tuple_new(
+            Message, (sender, receiver, kind, payload, self._active_op, uid, now)
         )
-        self._next_uid += 1
         self._in_flight += 1
-        delay = self._policy.delay(message)
-        self._queue.schedule(delay, lambda: self._deliver(message))
+        delay = self._constant_delay
+        if delay is None:
+            delay = self._policy_delay(message)
+            if delay < 0:
+                raise ValueError(
+                    f"policy {self._policy!r} returned negative delay {delay}"
+                )
+        # Inlined EventQueue.schedule_call: one send is one heap entry,
+        # with the message riding in the entry instead of a closure.
+        heappush(
+            queue._heap, (now + delay, next(queue._counter), self._deliver, message)
+        )
         return message
 
-    def _deliver(self, message: Message) -> None:
-        """Deliver *message*: record it, then run the receiver's handler."""
+    def _deliver_full(self, message: Message) -> None:
+        """Deliver under ``FULL`` tracing: record, then run the handler."""
         self._in_flight -= 1
-        record = MessageRecord.from_message(message, deliver_time=self.now)
-        self._trace.record(record)
-        receiver = self._processors[message.receiver]
+        sender, pid, kind, _, op_index, uid, send_time = message
+        self._trace.record(
+            _tuple_new(
+                MessageRecord,
+                (sender, pid, kind, op_index, uid, send_time, self._queue._now),
+            )
+        )
+        receiver = self._processors[pid]
         previous_op = self._active_op
-        self._active_op = message.op_index
+        if op_index == previous_op:
+            receiver.on_message(message)
+            return
+        self._active_op = op_index
+        try:
+            receiver.on_message(message)
+        finally:
+            self._active_op = previous_op
+
+    def _deliver_loads(self, message: Message) -> None:
+        """Deliver under ``LOADS`` tracing: counters only, no record.
+
+        The counter updates are :meth:`Trace.count` inlined onto the
+        pre-bound dicts — they are the entire cost of LOADS tracing, so
+        they run without a method call.  Keep in sync with
+        :meth:`repro.sim.trace.Trace.count`.
+        """
+        self._in_flight -= 1
+        # Message tuple layout: (sender, receiver, kind, payload, op_index,
+        # uid, send_time) — indexed access skips the descriptor lookups.
+        sender = message[0]
+        pid = message[1]
+        op_index = message[4]
+        self._trace._total += 1
+        self._sent_counts[sender] += 1
+        self._received_counts[pid] += 1
+        if op_index != NO_OP:
+            self._op_counts[op_index] += 1
+            footprint = self._footprints.get(op_index)
+            if footprint is None:
+                self._footprints[op_index] = {sender, pid}
+            else:
+                footprint.add(sender)
+                footprint.add(pid)
+        receiver = self._processors[pid]
+        previous_op = self._active_op
+        if op_index == previous_op:
+            receiver.on_message(message)
+            return
+        self._active_op = op_index
+        try:
+            receiver.on_message(message)
+        finally:
+            self._active_op = previous_op
+
+    def _deliver_off(self, message: Message) -> None:
+        """Deliver under ``OFF`` tracing: run the handler, keep nothing."""
+        self._in_flight -= 1
+        receiver = self._processors[message[1]]
+        op_index = message[4]
+        previous_op = self._active_op
+        if op_index == previous_op:
+            receiver.on_message(message)
+            return
+        self._active_op = op_index
         try:
             receiver.on_message(message)
         finally:
@@ -205,14 +336,21 @@ class Network:
         Quiescence — an empty event queue — is the paper's termination
         condition for an ``inc`` process.  Raises
         :class:`~repro.errors.SimulationLimitError` if the event budget is
-        exhausted, which indicates a protocol livelock.
+        exhausted, which indicates a protocol livelock.  The budget is
+        checked once per batch of events (sized so the check never runs
+        past the limit by more than one event) rather than per event.
         """
+        queue = self._queue
+        limit = self._event_limit
         executed = 0
-        while self._queue:
-            self._queue.run_next()
-            executed += 1
-            self._events_executed += 1
-            if self._events_executed > self._event_limit:
+        while queue:
+            batch = limit - self._events_executed + 1
+            if batch > _LIMIT_CHECK_BATCH:
+                batch = _LIMIT_CHECK_BATCH
+            ran = queue.run_many(batch)
+            executed += ran
+            self._events_executed += ran
+            if self._events_executed > limit:
                 raise SimulationLimitError(
                     f"exceeded event limit of {self._event_limit}; "
                     "the protocol appears not to quiesce"

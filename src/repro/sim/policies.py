@@ -24,6 +24,12 @@ from repro.sim.messages import Message
 class DeliveryPolicy(ABC):
     """Strategy deciding the network delay of each message."""
 
+    constant_delay: float | None = None
+    """If not ``None``, every message takes exactly this delay and the
+    network may skip the per-message :meth:`delay` call entirely (the
+    simulator's send fast path).  Policies whose delay depends on the
+    message or on internal state must leave this ``None``."""
+
     @abstractmethod
     def delay(self, message: Message) -> float:
         """Return the in-flight delay (> 0) for *message*."""
@@ -43,6 +49,8 @@ class UnitDelay(DeliveryPolicy):
     This is the synchronous-looking schedule most papers use for time
     complexity; with tie-breaking by send order it yields FIFO channels.
     """
+
+    constant_delay = 1.0
 
     def delay(self, message: Message) -> float:
         return 1.0

@@ -1,4 +1,4 @@
-"""Execution traces: the exact ledger of every delivered message.
+"""Execution traces: the ledger of delivered messages, at a chosen fidelity.
 
 The trace is the single source of truth for the paper's quantities:
 
@@ -14,84 +14,212 @@ A trace is append-only during the simulation and read-only afterwards.
 All analysis (loads, bottleneck, DAGs, lemma checkers) happens on the
 trace, never inside protocol code, so no counter implementation can skew
 its own accounting.
+
+Tracing is tiered by :class:`TraceLevel` because record keeping dominates
+the simulator's per-message cost at scale:
+
+* ``FULL`` — every delivered message becomes a
+  :class:`~repro.sim.messages.MessageRecord`, with per-operation record
+  lists.  Required by DAG/list reconstruction, latency profiles,
+  linearizability checks, ``load_snapshot`` and the lower-bound
+  adversaries.
+* ``LOADS`` — columnar counters only: per-processor sent/received (hence
+  ``m_p``), per-operation message counts and footprints, total messages.
+  No record list.  Sufficient for every load/bottleneck measurement.
+* ``OFF`` — nothing is kept; the simulator runs at full speed as a pure
+  executor.
+
+Querying a view the level did not capture raises
+:class:`~repro.errors.TraceCapabilityError` naming the level required.
+Under ``LOADS``, untracked traffic (``NO_OP``) still counts toward loads
+and totals but is not entered in the per-operation views — by definition
+it belongs to no tracked operation.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import Counter, defaultdict
 from typing import Iterable, Iterator
 
+from repro.errors import TraceCapabilityError
 from repro.sim.messages import NO_OP, MessageRecord, OpIndex, ProcessorId
 
 
-class Trace:
-    """Ordered collection of delivered-message records with indexes.
+class TraceLevel(enum.Enum):
+    """How much of an execution the trace retains (fidelity vs speed)."""
 
-    Records are stored in delivery order.  Secondary indexes (per-processor
-    load, per-operation record lists, per-operation footprints) are kept
-    incrementally so that post-run analysis of large simulations does not
-    re-scan the record list per query.
+    FULL = "full"
+    """Keep every delivered-message record plus all columnar counters."""
+
+    LOADS = "loads"
+    """Keep columnar counters only: loads, per-op counts, footprints."""
+
+    OFF = "off"
+    """Keep nothing; the trace answers no queries."""
+
+    @classmethod
+    def coerce(cls, value: "TraceLevel | str") -> "TraceLevel":
+        """Accept a :class:`TraceLevel` or its case-insensitive name/value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown trace level {value!r}; "
+                f"expected one of {[level.value for level in cls]}"
+            ) from None
+
+
+class Trace:
+    """Delivered-message ledger with incrementally maintained indexes.
+
+    At ``FULL`` level records are stored in delivery order with secondary
+    indexes (per-processor load, per-operation record lists, per-operation
+    footprints) kept incrementally, so post-run analysis of large
+    simulations does not re-scan the record list per query.  At ``LOADS``
+    level only the columnar counters exist; at ``OFF`` nothing does.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, level: TraceLevel = TraceLevel.FULL) -> None:
+        self._level = level
+        self._total = 0
         self._records: list[MessageRecord] = []
-        self._load: Counter[ProcessorId] = Counter()
-        self._sent: Counter[ProcessorId] = Counter()
-        self._received: Counter[ProcessorId] = Counter()
+        self._sent: defaultdict[ProcessorId, int] = defaultdict(int)
+        self._received: defaultdict[ProcessorId, int] = defaultdict(int)
+        self._op_counts: defaultdict[OpIndex, int] = defaultdict(int)
         self._by_op: defaultdict[OpIndex, list[MessageRecord]] = defaultdict(list)
-        self._footprints: defaultdict[OpIndex, set[ProcessorId]] = defaultdict(set)
+        self._footprints: dict[OpIndex, set[ProcessorId]] = {}
+
+    # ------------------------------------------------------------------
+    # Level introspection
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> TraceLevel:
+        """The fidelity this trace was captured at."""
+        return self._level
+
+    @property
+    def keeps_records(self) -> bool:
+        """True if per-message records are retained (``FULL`` only)."""
+        return self._level is TraceLevel.FULL
+
+    @property
+    def keeps_loads(self) -> bool:
+        """True if load counters are retained (``FULL`` or ``LOADS``)."""
+        return self._level is not TraceLevel.OFF
+
+    def _require_records(self, what: str) -> None:
+        if self._level is not TraceLevel.FULL:
+            raise TraceCapabilityError(
+                f"{what} needs per-message records, but this trace was "
+                f"captured at TraceLevel.{self._level.name}; rerun the "
+                "simulation with trace_level=TraceLevel.FULL"
+            )
+
+    def _require_loads(self, what: str) -> None:
+        if self._level is TraceLevel.OFF:
+            raise TraceCapabilityError(
+                f"{what} needs load counters, but this trace was captured "
+                "at TraceLevel.OFF; rerun the simulation with "
+                "trace_level=TraceLevel.LOADS or TraceLevel.FULL"
+            )
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record(self, record: MessageRecord) -> None:
-        """Append one delivered message and update all indexes."""
-        self._records.append(record)
-        self._load[record.sender] += 1
-        self._load[record.receiver] += 1
+        """Append one delivered message, updating the level's indexes."""
+        level = self._level
+        if level is not TraceLevel.FULL:
+            if level is TraceLevel.LOADS:
+                self.count(record.sender, record.receiver, record.op_index)
+            return
+        self._total += 1
         self._sent[record.sender] += 1
         self._received[record.receiver] += 1
-        self._by_op[record.op_index].append(record)
-        self._footprints[record.op_index].add(record.sender)
-        self._footprints[record.op_index].add(record.receiver)
+        op_index = record.op_index
+        self._records.append(record)
+        self._by_op[op_index].append(record)
+        self._op_counts[op_index] += 1
+        footprint = self._footprints.get(op_index)
+        if footprint is None:
+            self._footprints[op_index] = {record.sender, record.receiver}
+        else:
+            footprint.add(record.sender)
+            footprint.add(record.receiver)
+
+    def count(
+        self, sender: ProcessorId, receiver: ProcessorId, op_index: OpIndex
+    ) -> None:
+        """Count one delivered message without materializing a record.
+
+        This is the ``LOADS`` fast path used by the network's delivery
+        loop: columnar counter updates only.  ``NO_OP`` traffic counts
+        toward loads and totals but not the per-operation views.
+        """
+        self._total += 1
+        self._sent[sender] += 1
+        self._received[receiver] += 1
+        if op_index != NO_OP:
+            self._op_counts[op_index] += 1
+            footprint = self._footprints.get(op_index)
+            if footprint is None:
+                self._footprints[op_index] = {sender, receiver}
+            else:
+                footprint.add(sender)
+                footprint.add(receiver)
 
     # ------------------------------------------------------------------
     # Whole-trace views
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._records)
+        self._require_loads("len(trace)")
+        return self._total
 
     def __iter__(self) -> Iterator[MessageRecord]:
+        self._require_records("iterating a trace")
         return iter(self._records)
 
     @property
     def records(self) -> list[MessageRecord]:
-        """All records in delivery order (do not mutate)."""
+        """All records in delivery order (do not mutate); ``FULL`` only."""
+        self._require_records("Trace.records")
         return self._records
 
     @property
     def total_messages(self) -> int:
         """Total number of messages delivered."""
-        return len(self._records)
+        self._require_loads("Trace.total_messages")
+        return self._total
 
     # ------------------------------------------------------------------
     # Loads (the paper's m_p)
     # ------------------------------------------------------------------
     def load(self, pid: ProcessorId) -> int:
         """Messages sent plus received by *pid* — the paper's ``m_p``."""
-        return self._load[pid]
+        self._require_loads("Trace.load")
+        return self._sent.get(pid, 0) + self._received.get(pid, 0)
 
     def sent_by(self, pid: ProcessorId) -> int:
         """Messages sent by *pid*."""
-        return self._sent[pid]
+        self._require_loads("Trace.sent_by")
+        return self._sent.get(pid, 0)
 
     def received_by(self, pid: ProcessorId) -> int:
         """Messages received by *pid*."""
-        return self._received[pid]
+        self._require_loads("Trace.received_by")
+        return self._received.get(pid, 0)
 
     def loads(self) -> dict[ProcessorId, int]:
         """Mapping of processor id to load, for processors with load > 0."""
-        return dict(self._load)
+        self._require_loads("Trace.loads")
+        merged = dict(self._sent)
+        get = merged.get
+        for pid, count in self._received.items():
+            merged[pid] = get(pid, 0) + count
+        return merged
 
     def bottleneck(self) -> tuple[ProcessorId, int]:
         """The paper's bottleneck processor: ``argmax_p m_p`` and its load.
@@ -99,10 +227,11 @@ class Trace:
         Returns ``(0, 0)`` for an empty trace.  Ties are broken toward the
         smallest processor id so results are deterministic.
         """
-        if not self._load:
+        loads = self.loads()
+        if not loads:
             return (0, 0)
-        best_load = max(self._load.values())
-        best_pid = min(p for p, m in self._load.items() if m == best_load)
+        best_load = max(loads.values())
+        best_pid = min(p for p, m in loads.items() if m == best_load)
         return (best_pid, best_load)
 
     # ------------------------------------------------------------------
@@ -110,15 +239,18 @@ class Trace:
     # ------------------------------------------------------------------
     def op_indices(self) -> list[OpIndex]:
         """Sorted list of operation indices that produced traffic."""
-        return sorted(i for i in self._by_op if i != NO_OP)
+        self._require_loads("Trace.op_indices")
+        return sorted(i for i in self._op_counts if i != NO_OP)
 
     def records_for_op(self, op_index: OpIndex) -> list[MessageRecord]:
         """Records attributed to operation *op_index*, in delivery order."""
+        self._require_records("Trace.records_for_op")
         return list(self._by_op.get(op_index, []))
 
     def messages_for_op(self, op_index: OpIndex) -> int:
         """Number of messages attributed to operation *op_index*."""
-        return len(self._by_op.get(op_index, []))
+        self._require_loads("Trace.messages_for_op")
+        return self._op_counts.get(op_index, 0)
 
     def footprint(self, op_index: OpIndex) -> frozenset[ProcessorId]:
         """The paper's ``I_p``: processors touched by operation *op_index*.
@@ -128,10 +260,12 @@ class Trace:
         first message; an operation answered without any messages has an
         empty footprint).
         """
+        self._require_loads("Trace.footprint")
         return frozenset(self._footprints.get(op_index, frozenset()))
 
     def load_within_op(self, op_index: OpIndex) -> dict[ProcessorId, int]:
         """Per-processor message load restricted to one operation."""
+        self._require_records("Trace.load_within_op")
         load: Counter[ProcessorId] = Counter()
         for record in self._by_op.get(op_index, []):
             load[record.sender] += 1
@@ -145,6 +279,7 @@ class Trace:
         the weight function in the Lower Bound Theorem.  Untracked traffic
         (``NO_OP``) is excluded.
         """
+        self._require_records("Trace.load_snapshot")
         load: Counter[ProcessorId] = Counter()
         for op_index, records in self._by_op.items():
             if op_index == NO_OP or op_index >= up_to_op:

@@ -5,6 +5,8 @@
 * :mod:`repro.workloads.driver` — sequential (quiescence-barrier) and
   concurrent (batch) execution against any
   :class:`~repro.api.DistributedCounter`.
+* :mod:`repro.workloads.sweep` — parallel, cacheable execution of whole
+  experiment grids (counter × n × seed × policy).
 """
 
 from repro.workloads.driver import (
@@ -13,6 +15,12 @@ from repro.workloads.driver import (
     run_concurrent,
     run_factory_once,
     run_sequence,
+)
+from repro.workloads.sweep import (
+    SweepOutcome,
+    SweepPoint,
+    SweepRunner,
+    execute_point,
 )
 from repro.workloads.sequences import (
     batched,
@@ -27,8 +35,12 @@ from repro.workloads.sequences import (
 
 __all__ = [
     "OpOutcome",
-    "batched",
     "RunResult",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRunner",
+    "batched",
+    "execute_point",
     "one_shot",
     "ping_pong",
     "reversed_one_shot",

@@ -21,7 +21,7 @@ from repro.errors import ProtocolError
 from repro.sim.messages import OpIndex, ProcessorId
 from repro.sim.network import Network
 from repro.sim.policies import DeliveryPolicy
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceLevel
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,7 +32,9 @@ class OpOutcome:
         op_index: position in the operation sequence.
         initiator: processor that requested the ``inc``.
         value: counter value returned to the initiator.
-        messages: number of messages attributed to this operation.
+        messages: number of messages attributed to this operation, or
+            ``-1`` when the network traced at
+            :attr:`~repro.sim.trace.TraceLevel.OFF` and kept no counts.
     """
 
     op_index: OpIndex
@@ -92,7 +94,9 @@ def run_sequence(
     protocols fail loudly at the operation that went wrong.
     """
     network = counter.network
-    result = RunResult(counter_name=counter.name, n=counter.n, trace=network.trace)
+    trace = network.trace
+    counts_kept = trace.keeps_loads
+    result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
     for op_index, pid in enumerate(initiators):
         before = counter.results_for(pid)
         counter.begin_inc(pid, op_index)
@@ -114,7 +118,7 @@ def run_sequence(
                 op_index=op_index,
                 initiator=pid,
                 value=value,
-                messages=network.trace.messages_for_op(op_index),
+                messages=trace.messages_for_op(op_index) if counts_kept else -1,
             )
         )
     return result
@@ -135,7 +139,9 @@ def run_concurrent(
     values is ``{0, ..., ops-1}``.
     """
     network = counter.network
-    result = RunResult(counter_name=counter.name, n=counter.n, trace=network.trace)
+    trace = network.trace
+    counts_kept = trace.keeps_loads
+    result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
     op_index = 0
     for batch in batches:
         injected: list[tuple[OpIndex, ProcessorId, int]] = []
@@ -156,7 +162,7 @@ def run_concurrent(
                     op_index=this_op,
                     initiator=pid,
                     value=results[prior],
-                    messages=network.trace.messages_for_op(this_op),
+                    messages=trace.messages_for_op(this_op) if counts_kept else -1,
                 )
             )
     if check_values:
@@ -176,8 +182,13 @@ def run_factory_once(
     initiators: Sequence[ProcessorId],
     policy: DeliveryPolicy | None = None,
     check_values: bool = True,
+    trace_level: TraceLevel | str = TraceLevel.FULL,
 ) -> RunResult:
-    """Convenience: fresh network + counter, run *initiators*, return result."""
-    network = Network(policy=policy)
+    """Convenience: fresh network + counter, run *initiators*, return result.
+
+    *trace_level* selects the tracing fidelity; loads-only analysis is
+    much faster with :attr:`~repro.sim.trace.TraceLevel.LOADS`.
+    """
+    network = Network(policy=policy, trace_level=trace_level)
     counter = factory(network, n)
     return run_sequence(counter, initiators, check_values=check_values)

@@ -1,0 +1,331 @@
+"""Parallel experiment sweeps: fan grid points across worker processes.
+
+Every experiment in the reproduction is a grid of independent simulations
+— counter × n × seed × policy — and each simulation is deterministic
+given its configuration.  That makes sweeps embarrassingly parallel and
+cacheable: a :class:`SweepPoint` names one simulation by value, a worker
+process re-creates it from scratch, and the resulting
+:class:`SweepOutcome` depends on nothing but the point.  Serial and
+parallel execution therefore produce identical results (a property the
+test suite asserts), so experiment tables and figures are byte-identical
+however they were computed.
+
+Points are named by registry keys (counter name, policy name, workload
+name) rather than live objects so they pickle cleanly across process
+boundaries and hash stably for the on-disk result cache.
+
+Typical use::
+
+    from repro.workloads import SweepPoint, SweepRunner
+
+    points = [SweepPoint(counter="ww-tree", n=n) for n in (64, 256, 1024)]
+    outcomes = SweepRunner(workers=4).run(points)
+    bottlenecks = {o.point.n: o.bottleneck_load for o in outcomes}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.messages import ProcessorId
+from repro.sim.network import Network
+from repro.sim.policies import (
+    CongestedDelay,
+    DeliveryPolicy,
+    FifoRandomDelay,
+    RandomDelay,
+    SkewedDelay,
+    UnitDelay,
+)
+from repro.sim.trace import TraceLevel
+
+_CACHE_SCHEMA = "sweep-v1"
+"""Version tag mixed into every config hash; bump when outcome semantics
+change so stale cache entries are never reused."""
+
+
+def _counter_factories() -> dict[str, Callable[[Network, int], Any]]:
+    # Imported lazily: repro.counters/core import the sim layer, and this
+    # module is imported by repro.workloads which the experiments use.
+    from repro.core import TreeCounter
+    from repro.counters import (
+        ArrowCounter,
+        BitonicCountingNetwork,
+        CentralCounter,
+        CombiningTreeCounter,
+        DiffractingTreeCounter,
+        StaticTreeCounter,
+    )
+
+    return {
+        "arrow": ArrowCounter,
+        "central": CentralCounter,
+        "static-tree": StaticTreeCounter,
+        "ww-tree": TreeCounter,
+        "combining-tree": CombiningTreeCounter,
+        "counting-network": BitonicCountingNetwork,
+        "diffracting-tree": DiffractingTreeCounter,
+    }
+
+
+def _make_policy(name: str, seed: int) -> DeliveryPolicy:
+    if name == "unit":
+        return UnitDelay()
+    if name == "random":
+        return RandomDelay(seed=seed)
+    if name == "fifo-random":
+        return FifoRandomDelay(seed=seed)
+    if name == "skewed":
+        return SkewedDelay()
+    if name == "congested":
+        return CongestedDelay()
+    raise ConfigurationError(f"unknown delivery policy {name!r}")
+
+
+POLICY_NAMES = ("unit", "random", "fifo-random", "skewed", "congested")
+"""Delivery policies a :class:`SweepPoint` may name."""
+
+WORKLOAD_NAMES = ("one-shot", "one-shot-concurrent", "shuffled")
+"""Workloads a :class:`SweepPoint` may name."""
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One grid point of a sweep: a simulation named entirely by value.
+
+    Attributes:
+        counter: registry key of the counter construction (``"central"``,
+            ``"ww-tree"``, ...).
+        n: number of processors.
+        seed: seed for seeded delivery policies (ignored by the
+            deterministic ones) and for the ``"shuffled"`` workload.
+        policy: delivery-policy name from :data:`POLICY_NAMES`.
+        workload: workload name from :data:`WORKLOAD_NAMES` —
+            ``"one-shot"`` is the paper's sequential permutation,
+            ``"one-shot-concurrent"`` injects it as one batch,
+            ``"shuffled"`` is a seeded random order.
+        trace_level: tracing fidelity name; sweeps default to ``"loads"``
+            because message counts are delay- and level-invariant, so the
+            outcome is identical to a ``FULL`` run.
+    """
+
+    counter: str
+    n: int
+    seed: int = 0
+    policy: str = "unit"
+    workload: str = "one-shot"
+    trace_level: str = "loads"
+
+    def config_hash(self) -> str:
+        """Stable hex digest naming this configuration (cache key)."""
+        blob = json.dumps(
+            {"schema": _CACHE_SCHEMA, **asdict(self)}, sort_keys=True
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class SweepOutcome:
+    """Everything a sweep measures about one grid point.
+
+    ``loads`` is the full per-processor load vector (the paper's ``m_p``),
+    so any load statistic can be derived without rerunning.  ``extras``
+    carries counter-specific measurements (retirements, root ids used,
+    forwarded messages for the ww-tree).
+    """
+
+    point: SweepPoint
+    bottleneck_processor: ProcessorId
+    bottleneck_load: int
+    total_messages: int
+    operations: int
+    loads: dict[ProcessorId, int] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def messages_per_op(self) -> float:
+        """The paper's ``L``: average messages per operation."""
+        if not self.operations:
+            return 0.0
+        return self.total_messages / self.operations
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-JSON form (cache file payload)."""
+        return {
+            "point": asdict(self.point),
+            "bottleneck_processor": self.bottleneck_processor,
+            "bottleneck_load": self.bottleneck_load,
+            "total_messages": self.total_messages,
+            "operations": self.operations,
+            "loads": {str(pid): load for pid, load in self.loads.items()},
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "SweepOutcome":
+        """Inverse of :meth:`to_json` (JSON string keys become ints)."""
+        return cls(
+            point=SweepPoint(**payload["point"]),
+            bottleneck_processor=payload["bottleneck_processor"],
+            bottleneck_load=payload["bottleneck_load"],
+            total_messages=payload["total_messages"],
+            operations=payload["operations"],
+            loads={int(pid): load for pid, load in payload["loads"].items()},
+            extras=dict(payload.get("extras", {})),
+        )
+
+
+def execute_point(point: SweepPoint) -> SweepOutcome:
+    """Run one grid point from scratch and measure it.
+
+    Module-level (hence picklable) so worker processes can import it; the
+    simulation is rebuilt from the point alone, which is what makes
+    serial and parallel sweeps identical.
+    """
+    from repro.workloads.driver import run_concurrent, run_sequence
+    from repro.workloads.sequences import one_shot, shuffled
+
+    factories = _counter_factories()
+    try:
+        factory = factories[point.counter]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown counter {point.counter!r}; "
+            f"expected one of {sorted(factories)}"
+        ) from None
+    network = Network(
+        policy=_make_policy(point.policy, point.seed),
+        trace_level=TraceLevel.coerce(point.trace_level),
+    )
+    counter = factory(network, point.n)
+    if point.workload == "one-shot":
+        result = run_sequence(counter, one_shot(point.n))
+    elif point.workload == "one-shot-concurrent":
+        result = run_concurrent(counter, [one_shot(point.n)])
+    elif point.workload == "shuffled":
+        result = run_sequence(counter, shuffled(point.n, seed=point.seed))
+    else:
+        raise ConfigurationError(
+            f"unknown workload {point.workload!r}; "
+            f"expected one of {WORKLOAD_NAMES}"
+        )
+    trace = network.trace
+    bottleneck_pid, bottleneck_load = trace.bottleneck()
+    extras: dict[str, Any] = {}
+    retirements = getattr(counter, "retirements", None)
+    if retirements is not None:
+        extras["retirements"] = len(retirements)
+    registry = getattr(counter, "registry", None)
+    if registry is not None and hasattr(registry, "root_ids_used"):
+        extras["root_ids_used"] = registry.root_ids_used()
+    if hasattr(counter, "total_forwarded"):
+        extras["forwarded"] = counter.total_forwarded()
+    return SweepOutcome(
+        point=point,
+        bottleneck_processor=bottleneck_pid,
+        bottleneck_load=bottleneck_load,
+        total_messages=trace.total_messages,
+        operations=result.operation_count,
+        loads=trace.loads(),
+        extras=extras,
+    )
+
+
+class SweepRunner:
+    """Executes sweep grids, optionally in parallel and/or cached.
+
+    Args:
+        workers: worker processes; ``1`` (default) runs serially in
+            process, ``None`` uses every available core.
+        cache_dir: directory for on-disk result caching keyed by
+            :meth:`SweepPoint.config_hash`; ``None`` disables caching.
+
+    Results are returned in input order regardless of worker scheduling,
+    and are identical for any worker count (each point is recomputed from
+    its configuration alone).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        cache_dir: str | pathlib.Path | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+
+    @property
+    def workers(self) -> int | None:
+        """Configured worker-process count (``None`` = all cores)."""
+        return self._workers
+
+    def run(self, points: Sequence[SweepPoint]) -> list[SweepOutcome]:
+        """Execute every point (cache-aware); outcomes in input order."""
+        outcomes: list[SweepOutcome | None] = [None] * len(points)
+        missing: list[int] = []
+        for index, point in enumerate(points):
+            cached = self._cache_load(point)
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                missing.append(index)
+        if missing:
+            fresh = self._execute([points[i] for i in missing])
+            for index, outcome in zip(missing, fresh):
+                self._cache_store(outcome)
+                outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def bottlenecks(self, points: Sequence[SweepPoint]) -> list[int]:
+        """Shorthand: the bottleneck load of each point, in input order."""
+        return [outcome.bottleneck_load for outcome in self.run(points)]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, points: list[SweepPoint]) -> list[SweepOutcome]:
+        workers = self._workers
+        if workers == 1 or len(points) <= 1:
+            return [execute_point(point) for point in points]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        pool_size = workers or multiprocessing.cpu_count()
+        pool_size = min(pool_size, len(points))
+        with context.Pool(processes=pool_size) as pool:
+            return pool.map(execute_point, points)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, point: SweepPoint) -> pathlib.Path | None:
+        if self._cache_dir is None:
+            return None
+        return self._cache_dir / f"{point.config_hash()}.json"
+
+    def _cache_load(self, point: SweepPoint) -> SweepOutcome | None:
+        path = self._cache_path(point)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):  # corrupt entry: recompute
+            return None
+        return SweepOutcome.from_json(payload)
+
+    def _cache_store(self, outcome: SweepOutcome) -> None:
+        path = self._cache_path(outcome.point)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(outcome.to_json(), sort_keys=True))
+        tmp.replace(path)

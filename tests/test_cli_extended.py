@@ -49,15 +49,15 @@ class TestFiguresCommand:
 
         monkeypatch.setattr(
             figures_module, "figure_bottleneck_vs_k",
-            lambda: figure_bottleneck_vs_k(ks=(2,)),
+            lambda runner=None: figure_bottleneck_vs_k(ks=(2,)),
         )
         monkeypatch.setattr(
             figures_module, "figure_crossover",
-            lambda: figure_crossover(ns=(8, 27)),
+            lambda runner=None: figure_crossover(ns=(8, 27)),
         )
         monkeypatch.setattr(
             figures_module, "figure_baseline_sweep",
-            lambda: figure_crossover(ns=(8, 27)),
+            lambda runner=None: figure_crossover(ns=(8, 27)),
         )
         code = main(["figures", "--out", str(tmp_path)])
         out = capsys.readouterr().out

@@ -45,6 +45,19 @@ class TestEventQueueBasics:
         assert not queue
         assert fired == []
 
+    def test_clear_resets_simulated_time(self):
+        queue = EventQueue()
+        queue.schedule(3.0, lambda: None)
+        queue.run_next()
+        assert queue.now == 3.0
+        queue.schedule(1.0, lambda: None)
+        queue.clear()
+        assert queue.now == 0.0
+        # The reused queue starts a fresh timeline, not the abandoned one.
+        queue.schedule(2.0, lambda: None)
+        queue.run_next()
+        assert queue.now == 2.0
+
 
 class TestEventOrdering:
     def test_pops_in_time_order(self):

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import (
+    DuplicateProcessorError,
     SimulationError,
     SimulationLimitError,
     UnknownProcessorError,
@@ -51,7 +52,7 @@ class TestRegistration:
 
     def test_duplicate_id_rejected(self, network):
         network.register(InertProcessor(1))
-        with pytest.raises(UnknownProcessorError):
+        with pytest.raises(DuplicateProcessorError):
             network.register(InertProcessor(1))
 
     def test_unknown_lookup_raises(self, network):

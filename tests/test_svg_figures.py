@@ -84,15 +84,15 @@ class TestFigureSuite:
 
         monkeypatch.setattr(
             figures_module, "figure_bottleneck_vs_k",
-            lambda ks=(2,): figure_bottleneck_vs_k(ks=(2,)),
+            lambda ks=(2,), runner=None: figure_bottleneck_vs_k(ks=(2,)),
         )
         monkeypatch.setattr(
             figures_module, "figure_crossover",
-            lambda ns=(8, 27): figure_crossover(ns=(8, 27)),
+            lambda ns=(8, 27), runner=None: figure_crossover(ns=(8, 27)),
         )
         monkeypatch.setattr(
             figures_module, "figure_baseline_sweep",
-            lambda ns=(8, 27): figure_crossover(ns=(8, 27)),
+            lambda ns=(8, 27), runner=None: figure_crossover(ns=(8, 27)),
         )
         written = figures_module.save_all_figures(tmp_path)
         assert len(written) == 3
