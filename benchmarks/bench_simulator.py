@@ -8,8 +8,7 @@ per invocation.
 
 from __future__ import annotations
 
-from repro.core import TreeCounter
-from repro.counters import CentralCounter
+from repro.registry import parse_spec
 from repro.sim.events import EventQueue
 from repro.sim.network import Network
 from repro.sim.processor import InertProcessor
@@ -74,10 +73,11 @@ def test_message_throughput_off(benchmark):
 
 def test_central_counter_oneshot(benchmark):
     """Full n=256 one-shot workload on the central counter."""
+    ref = parse_spec("central")
 
     def run():
         network = Network()
-        counter = CentralCounter(network, 256)
+        counter = ref.build(network, 256)
         run_sequence(counter, one_shot(256))
 
     benchmark.pedantic(run, rounds=5, iterations=1)
@@ -85,10 +85,39 @@ def test_central_counter_oneshot(benchmark):
 
 def test_tree_counter_oneshot(benchmark):
     """Full k=3 (n=81) one-shot workload on the paper's counter."""
+    ref = parse_spec("ww-tree")
 
     def run():
         network = Network()
-        counter = TreeCounter(network, 81)
+        counter = ref.build(network, 81)
         run_sequence(counter, one_shot(81))
 
     benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_registry_spec_resolution(benchmark):
+    """Parse + canonicalize every registered spec (the sweep hot path)."""
+    from repro.registry import registered_names
+
+    specs = [
+        *registered_names(),
+        "combining-tree?arity=4&window=3.0",
+        "ww-tree?interval_mode=wrap",
+        "diffracting-tree?prism_size=8&seed=7",
+    ]
+
+    def resolve():
+        for text in specs:
+            parse_spec(text).canonical
+
+    benchmark(resolve)
+
+
+def test_registry_session_construction(benchmark):
+    """RunSession assembly (policy + network + counter) for the ww-tree."""
+    from repro.registry import RunSession
+
+    def build():
+        RunSession("ww-tree", 81)
+
+    benchmark(build)

@@ -13,8 +13,6 @@ ledger, and checks the theorem's conclusion m_b ≥ ⌊k(n)⌋.
 
 import sys
 
-from repro import TreeCounter
-from repro.counters import CentralCounter, StaticTreeCounter
 from repro.lowerbound import (
     GreedyAdversary,
     am_gm_holds,
@@ -24,9 +22,9 @@ from repro.lowerbound import (
 )
 
 COUNTERS = {
-    "central": CentralCounter,
-    "tree": TreeCounter,
-    "static": StaticTreeCounter,
+    "central": "central",
+    "tree": "ww-tree",
+    "static": "static-tree",
 }
 
 

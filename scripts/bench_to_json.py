@@ -7,6 +7,7 @@ time) so CI and developers get one comparable artifact:
 * event-queue schedule+pop throughput;
 * message delivery throughput at every :class:`TraceLevel`, with the
   speedup over the seed's FULL-tracing baseline;
+* counter-registry spec resolution and RunSession construction rates;
 * wall time of a small E7-style sweep, serial vs parallel.
 
 Usage::
@@ -27,6 +28,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.registry import RunSession, parse_spec, registered_names  # noqa: E402
 from repro.sim.events import EventQueue  # noqa: E402
 from repro.sim.network import Network  # noqa: E402
 from repro.sim.processor import InertProcessor  # noqa: E402
@@ -81,6 +83,33 @@ def bench_messages(level: TraceLevel, messages: int = 1000) -> float:
     return _best_rate(blast, messages)
 
 
+def bench_spec_resolution() -> float:
+    """Mirror of ``test_registry_spec_resolution`` in bench_simulator.py."""
+    specs = [
+        *registered_names(),
+        "combining-tree?arity=4&window=3.0",
+        "ww-tree?interval_mode=wrap",
+        "diffracting-tree?prism_size=8&seed=7",
+    ]
+
+    def resolve():
+        for text in specs:
+            parse_spec(text).canonical
+
+    return _best_rate(resolve, len(specs))
+
+
+def bench_session_construction(n: int = 81) -> float:
+    """Mirror of ``test_registry_session_construction``: sessions/s."""
+    sessions = 20
+
+    def build():
+        for _ in range(sessions):
+            RunSession("ww-tree", n)
+
+    return _best_rate(build, sessions, repeats=10)
+
+
 def bench_sweep(workers: int) -> float:
     points = [
         SweepPoint(counter=counter, n=n)
@@ -115,6 +144,12 @@ def main(argv: list[str] | None = None) -> int:
             "full": round(full),
             "loads": round(loads),
             "off": round(off),
+        },
+        "registry": {
+            "spec_resolutions_per_s": round(bench_spec_resolution()),
+            "ww_tree_sessions_per_s": round(bench_session_construction()),
+            "note": "parse+canonicalize over every registered spec; "
+            "RunSession includes building the n=81 tree",
         },
         "seed_reference": {
             "full_msgs_per_s": SEED_FULL_MSGS_PER_S,

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Registry completeness check: every implementation must have a spec.
+
+Usage:  PYTHONPATH=src python scripts/check_registry.py
+
+Walks the implementation modules (``repro/counters/*.py``, the ww-tree
+in ``repro/core/tree``, and the quorum counter) and fails if any of them
+does not contribute at least one registered :class:`CounterSpec`, or if
+a registered spec builds a counter whose ``name`` attribute disagrees
+with its canonical registry key.  Run in CI so a new counter cannot land
+without registry wiring.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.quorum.counter import SYSTEM_SLUGS  # noqa: E402
+from repro.registry import registered_names, registered_specs  # noqa: E402
+from repro.sim.network import Network  # noqa: E402
+
+#: implementation module stem -> canonical registry base name
+EXPECTED = {
+    "arrow": "arrow",
+    "central": "central",
+    "combining_tree": "combining-tree",
+    "counting_network": "counting-network",
+    "diffracting_tree": "diffracting-tree",
+    "static_tree": "static-tree",
+}
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+    names = registered_names()
+    base_names = {name.partition("[")[0] for name in names}
+    failures: list[str] = []
+
+    counter_modules = {
+        path.stem
+        for path in (root / "counters").glob("*.py")
+        if path.stem != "__init__"
+    }
+    unmapped = counter_modules - set(EXPECTED)
+    if unmapped:
+        failures.append(
+            f"counter modules not in the expectation map: {sorted(unmapped)} "
+            "(add them to scripts/check_registry.py AND repro/registry.py)"
+        )
+    for module, base in sorted(EXPECTED.items()):
+        if module in counter_modules and base not in base_names:
+            failures.append(f"module counters/{module}.py has no spec {base!r}")
+
+    if "ww-tree" not in base_names:
+        failures.append("core/tree's TreeCounter has no 'ww-tree' spec")
+    registered_quorums = {
+        name.partition("[")[2].rstrip("]")
+        for name in names
+        if name.startswith("quorum[")
+    }
+    # The projective plane is parameterized by plane order, not by n, so
+    # it cannot be a (network, n) registry factory; every other system
+    # slug must be registered.
+    expected_quorums = set(SYSTEM_SLUGS.values()) - {"projective-plane"}
+    missing_quorums = expected_quorums - registered_quorums
+    if missing_quorums:
+        failures.append(f"quorum systems without specs: {sorted(missing_quorums)}")
+
+    for spec in registered_specs():
+        n = 16  # square and a power of two: accepted by every spec
+        if spec.supports_n(n) is not None:
+            failures.append(f"{spec.name}: rejects the probe size n={n}")
+            continue
+        counter = spec.build(Network(), n)
+        if counter.name != spec.name:
+            failures.append(
+                f"{spec.name}: built counter reports name {counter.name!r}"
+            )
+
+    if failures:
+        print("registry completeness check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"registry completeness check OK: {len(names)} specs cover "
+        f"{len(counter_modules)} counter modules, the ww-tree, and "
+        f"{len(registered_quorums)} quorum systems"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,21 +14,23 @@ The library provides:
   tree, combining tree, bitonic counting network, diffracting tree;
 * :mod:`repro.quorum` — quorum systems, the related-work home of the
   intersection argument;
+* :mod:`repro.registry` — the counter registry: every implementation as
+  a named spec with typed tunables and capability flags, plus the
+  :class:`~repro.registry.RunSession` facade;
 * :mod:`repro.workloads` / :mod:`repro.analysis` — drivers and
   measurement.
 
 Quickstart::
 
-    from repro import Network, TreeCounter, run_sequence, one_shot
+    from repro import RunSession
 
-    network = Network()
-    counter = TreeCounter(network, n=81)          # k = 3, n = k^(k+1)
-    result = run_sequence(counter, one_shot(81))
+    session = RunSession("ww-tree", n=81)         # k = 3, n = k^(k+1)
+    result = session.run_sequence()
     print(result.values()[:5])                    # [0, 1, 2, 3, 4]
     print(result.bottleneck_load())               # O(k), not O(n)
 """
 
-from repro.api import CounterFactory, DistributedCounter
+from repro.api import Capabilities, CounterFactory, DistributedCounter
 from repro.core import (
     IntervalMode,
     NodeAddr,
@@ -39,12 +41,22 @@ from repro.core import (
     paper_k_for,
 )
 from repro.errors import (
+    CapabilityError,
     ConfigurationError,
     InvariantViolationError,
     ProtocolError,
     ReproError,
     SimulationError,
     SimulationLimitError,
+)
+from repro.registry import (
+    CounterRef,
+    CounterSpec,
+    RunSession,
+    canonical_spec,
+    parse_spec,
+    registered_names,
+    registered_specs,
 )
 from repro.sim import (
     Message,
@@ -67,8 +79,12 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Capabilities",
+    "CapabilityError",
     "ConfigurationError",
     "CounterFactory",
+    "CounterRef",
+    "CounterSpec",
     "DistributedCounter",
     "IntervalMode",
     "InvariantViolationError",
@@ -81,6 +97,7 @@ __all__ = [
     "RandomDelay",
     "ReproError",
     "RunResult",
+    "RunSession",
     "SimulationError",
     "SimulationLimitError",
     "SkewedDelay",
@@ -90,9 +107,13 @@ __all__ = [
     "TreePolicy",
     "UnitDelay",
     "__version__",
+    "canonical_spec",
     "lower_bound_k",
     "one_shot",
     "paper_k_for",
+    "parse_spec",
+    "registered_names",
+    "registered_specs",
     "run_concurrent",
     "run_sequence",
     "shuffled",

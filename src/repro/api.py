@@ -15,11 +15,62 @@ message loads are measured, never self-reported.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, ClassVar
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.messages import OpIndex, ProcessorId
 from repro.sim.network import Network
+
+
+@dataclass(frozen=True, slots=True)
+class Capabilities:
+    """What a counter implementation can (and cannot) do.
+
+    Declared as a class attribute on every
+    :class:`DistributedCounter` subclass and surfaced through the
+    counter registry (:mod:`repro.registry`), so drivers, sweeps and the
+    CLI can reject impossible pairings *before* running anything.
+
+    Attributes:
+        sequential_only: the protocol is only correct when one ``inc``
+            finishes before the next starts (the paper's §2 timing
+            assumption); the concurrent driver refuses such counters.
+        supports_retirement: the implementation moves hot roles between
+            processors (the paper's §4 retirement mechanism).
+        needs_power_of_two_n: the wiring requires ``n`` to be a power of
+            two.
+        needs_square_n: the wiring requires ``n`` to be a perfect square
+            (e.g. the Maekawa-grid quorum counter).
+        restriction: one human-readable sentence naming the reason for
+            the strongest restriction; used verbatim in
+            :class:`~repro.errors.CapabilityError` messages.
+    """
+
+    sequential_only: bool = False
+    supports_retirement: bool = False
+    needs_power_of_two_n: bool = False
+    needs_square_n: bool = False
+    restriction: str = ""
+
+    @property
+    def supports_concurrent(self) -> bool:
+        """Whether overlapping operations are allowed (dual of
+        :attr:`sequential_only`)."""
+        return not self.sequential_only
+
+    def flags(self) -> tuple[str, ...]:
+        """Short labels of every non-default capability (CLI listings)."""
+        labels = []
+        if self.sequential_only:
+            labels.append("sequential-only")
+        if self.supports_retirement:
+            labels.append("retirement")
+        if self.needs_power_of_two_n:
+            labels.append("n=2^i")
+        if self.needs_square_n:
+            labels.append("n=i^2")
+        return tuple(labels)
 
 
 class DistributedCounter(ABC):
@@ -30,10 +81,15 @@ class DistributedCounter(ABC):
     driver reads them via :meth:`results_for` after quiescence.
 
     Attributes:
-        name: short human-readable implementation name, used in reports.
+        name: short human-readable implementation name; for registered
+            implementations this equals the canonical registry key, so
+            report tables, sweep cache keys and BENCH JSON agree.
+        capabilities: the :class:`Capabilities` record drivers and the
+            registry check before running anything.
     """
 
     name: str = "counter"
+    capabilities: ClassVar[Capabilities] = Capabilities()
 
     def __init__(self, network: Network, n: int) -> None:
         if n <= 0:

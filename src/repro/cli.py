@@ -3,12 +3,16 @@
 Subcommands::
 
     python -m repro run        one workload on one counter
+    python -m repro counters   list the counter registry (specs + caps)
     python -m repro sweep      bottleneck table over counters × sizes
     python -m repro adversary  play the §3 lower-bound game
     python -m repro bound      print the k·kᵏ = n curve
     python -m repro quorum     quorum systems: loads + counter bottleneck
     python -m repro tree       inspect a communication tree's geometry
 
+Counters are named by registry spec strings
+(:mod:`repro.registry`): a canonical name optionally followed by
+``?key=value`` tunables, e.g. ``--counter combining-tree?window=3.0``.
 Every command prints the same ASCII tables the benchmark suite saves,
 so the CLI doubles as a quick re-run of any experiment slice.
 """
@@ -17,19 +21,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.analysis import LoadProfile, format_table
-from repro.api import DistributedCounter
-from repro.core import TreeCounter, TreeGeometry
-from repro.counters import (
-    ArrowCounter,
-    BitonicCountingNetwork,
-    CentralCounter,
-    CombiningTreeCounter,
-    DiffractingTreeCounter,
-    StaticTreeCounter,
-)
+from repro.core import TreeGeometry
+from repro.errors import ConfigurationError
 from repro.lowerbound import (
     GreedyAdversary,
     am_gm_holds,
@@ -49,25 +45,15 @@ from repro.quorum import (
     optimal_load,
     uniform_load,
 )
+from repro.registry import (
+    POLICY_NAMES,
+    RunSession,
+    parse_spec,
+    registered_names,
+    registered_specs,
+)
 from repro.sim.network import Network
-from repro.sim.policies import RandomDelay, SkewedDelay, UnitDelay
-from repro.workloads import one_shot, run_concurrent, run_sequence, shuffled
-
-COUNTERS: dict[str, Callable[[Network, int], DistributedCounter]] = {
-    "arrow": ArrowCounter,
-    "central": CentralCounter,
-    "static-tree": StaticTreeCounter,
-    "ww-tree": TreeCounter,
-    "combining-tree": CombiningTreeCounter,
-    "counting-network": BitonicCountingNetwork,
-    "diffracting-tree": DiffractingTreeCounter,
-}
-
-POLICIES = {
-    "unit": UnitDelay,
-    "random": RandomDelay,
-    "skewed": SkewedDelay,
-}
+from repro.workloads import one_shot, run_sequence
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,14 +67,18 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="run one workload on one counter")
-    run.add_argument("--counter", choices=sorted(COUNTERS), default="ww-tree")
+    run.add_argument(
+        "--counter", default="ww-tree", metavar="SPEC",
+        help="counter spec string, e.g. ww-tree or "
+             "combining-tree?window=3.0 (see: repro counters)",
+    )
     run.add_argument("--n", type=int, default=81)
     run.add_argument(
         "--order", choices=["identity", "shuffled"], default="identity"
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
-        "--policy", choices=sorted(POLICIES), default="unit",
+        "--policy", choices=sorted(POLICY_NAMES), default="unit",
         help="message delivery policy",
     )
     run.add_argument(
@@ -97,12 +87,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--top", type=int, default=5, help="hottest processors shown")
 
+    counters = commands.add_parser(
+        "counters", help="list registered counters with caps + tunables"
+    )
+    counters.add_argument(
+        "--verbose", action="store_true",
+        help="also list each counter's tunables with defaults",
+    )
+
     sweep = commands.add_parser(
         "sweep", help="bottleneck table over counters x sizes"
     )
     sweep.add_argument(
         "--counters", default="central,ww-tree",
-        help="comma-separated counter names (or 'all')",
+        help="comma-separated counter specs (or 'all')",
     )
     sweep.add_argument("--ns", default="64,256,1024", help="comma-separated sizes")
     sweep.add_argument(
@@ -113,7 +111,10 @@ def _build_parser() -> argparse.ArgumentParser:
     adversary = commands.add_parser(
         "adversary", help="play the §3 greedy longest-list adversary"
     )
-    adversary.add_argument("--counter", choices=sorted(COUNTERS), default="central")
+    adversary.add_argument(
+        "--counter", default="central", metavar="SPEC",
+        help="counter spec string (see: repro counters)",
+    )
     adversary.add_argument("--n", type=int, default=16)
     adversary.add_argument(
         "--sample", type=int, default=None,
@@ -161,26 +162,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_policy(name: str, seed: int):
-    if name == "random":
-        return RandomDelay(seed=seed)
-    return POLICIES[name]()
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
-    network = Network(policy=_make_policy(args.policy, args.seed))
-    counter = COUNTERS[args.counter](network, args.n)
+    try:
+        session = RunSession(
+            args.counter, args.n, policy=args.policy, seed=args.seed
+        )
+    except ConfigurationError as error:
+        print(f"bad counter spec: {error}", file=sys.stderr)
+        return 2
+    from repro.workloads import shuffled
+
     order = (
         one_shot(args.n)
         if args.order == "identity"
         else shuffled(args.n, seed=args.seed)
     )
-    if args.concurrent:
-        result = run_concurrent(counter, [order])
-    else:
-        result = run_sequence(counter, order)
+    try:
+        if args.concurrent:
+            result = session.run_concurrent([order])
+        else:
+            result = session.run_sequence(order)
+    except ConfigurationError as error:  # e.g. CapabilityError
+        print(str(error), file=sys.stderr)
+        return 2
     profile = LoadProfile.from_trace(result.trace, population=args.n)
-    print(f"counter:    {counter.name}  (n={args.n}, policy={args.policy}, "
+    print(f"counter:    {session.canonical}  (n={args.n}, "
+          f"policy={args.policy}, "
           f"{'concurrent' if args.concurrent else 'sequential'})")
     print(f"operations: {result.operation_count}, all values correct")
     print(f"messages:   {result.total_messages} total, "
@@ -196,12 +203,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_counters(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in registered_specs():
+        flags = ", ".join(spec.capabilities.flags()) or "-"
+        tunables = (
+            ", ".join(
+                f"{t.name}={t.format(t.default)}" for t in spec.tunables
+            )
+            or "-"
+        )
+        rows.append([spec.name, flags, tunables, spec.summary])
+    print(
+        format_table(
+            ["counter", "capabilities", "tunables (defaults)", "summary"],
+            rows,
+            title=f"Counter registry ({len(rows)} specs)",
+        )
+    )
+    if args.verbose:
+        for spec in registered_specs():
+            if not spec.tunables:
+                continue
+            print(f"\n{spec.name}:")
+            for tunable in spec.tunables:
+                bounds = []
+                if tunable.minimum is not None:
+                    bounds.append(f">= {tunable.minimum}")
+                if tunable.maximum is not None:
+                    bounds.append(f"<= {tunable.maximum}")
+                if tunable.choices:
+                    bounds.append("one of " + "|".join(tunable.choices))
+                if tunable.power_of_two:
+                    bounds.append("power of two")
+                suffix = f"  ({', '.join(bounds)})" if bounds else ""
+                print(f"  {tunable.name}: {tunable.kind.__name__} = "
+                      f"{tunable.format(tunable.default)}{suffix} — "
+                      f"{tunable.doc}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = (
-        sorted(COUNTERS) if args.counters == "all" else args.counters.split(",")
+        list(registered_names())
+        if args.counters == "all"
+        else args.counters.split(",")
     )
     ns = [int(value) for value in args.ns.split(",")]
-    unknown = [name for name in names if name not in COUNTERS]
+    unknown = []
+    for name in names:
+        try:
+            parse_spec(name)
+        except ConfigurationError:
+            unknown.append(name)
     if unknown:
         print(f"unknown counters: {', '.join(unknown)}", file=sys.stderr)
         return 2
@@ -226,9 +280,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_adversary(args: argparse.Namespace) -> int:
-    run = GreedyAdversary(
-        COUNTERS[args.counter], args.n, sample_size=args.sample, seed=args.seed
-    ).run()
+    try:
+        adversary = GreedyAdversary(
+            args.counter, args.n, sample_size=args.sample, seed=args.seed
+        )
+    except ConfigurationError as error:
+        print(f"bad counter spec: {error}", file=sys.stderr)
+        return 2
+    run = adversary.run()
     report = evaluate_ledger(run.ledger, base=run.bottleneck_load + 1)
     print(f"adversary vs {args.counter}, n={args.n}")
     print(f"chosen order: {run.order}")
@@ -340,21 +399,30 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"  [{'OK' if ok else 'FAIL'}] {label}{suffix}")
 
     print(f"self-check battery, n={n}")
-    for name, factory in sorted(COUNTERS.items()):
+    for spec in registered_specs():
+        restriction = spec.supports_n(n)
+        if restriction is not None:
+            print(f"  [SKIP] {spec.name}: {restriction}")
+            continue
         network = Network()
-        counter = factory(network, n)
+        counter = spec.build(network, n)
         result = run_sequence(counter, one_shot(n))
         values_ok = result.values() == list(range(n))
         hotspot_ok = check_hot_spot(result).holds
         bound_ok = result.bottleneck_load() >= message_load_bound(n)
         report(
-            f"{name}: counts, hot-spot, bound",
+            f"{spec.name}: counts, hot-spot, bound",
             values_ok and hotspot_ok and bound_ok,
             f"m_b={result.bottleneck_load()}",
         )
-        if isinstance(counter, TreeCounter) and counter.policy.retires:
+        policy = getattr(counter, "policy", None)
+        if (
+            counter.capabilities.supports_retirement
+            and policy is not None
+            and policy.retires
+        ):
             for lemma in check_all(counter, result):
-                report(f"{name}: {lemma.lemma}", lemma.holds, lemma.detail)
+                report(f"{spec.name}: {lemma.lemma}", lemma.holds, lemma.detail)
     print("result:", "ALL OK" if failures == 0 else f"{failures} FAILURES")
     return 0 if failures == 0 else 1
 
@@ -395,6 +463,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "counters": _cmd_counters,
     "sweep": _cmd_sweep,
     "adversary": _cmd_adversary,
     "bound": _cmd_bound,

@@ -12,7 +12,7 @@ lower bound of §3.
 
 from __future__ import annotations
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.core.tree.geometry import TreeGeometry
 from repro.core.tree.policy import TreePolicy
 from repro.core.tree.roles import RetirementEvent, RoleRegistry
@@ -39,6 +39,7 @@ class TreeCounter(DistributedCounter):
     """
 
     name = "ww-tree"
+    capabilities = Capabilities(supports_retirement=True)
 
     def __init__(
         self,

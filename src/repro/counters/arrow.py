@@ -25,7 +25,7 @@ protocol minimal and raises on overlap instead of misbehaving silently.
 
 from __future__ import annotations
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.messages import Message, OpIndex, ProcessorId
 from repro.sim.network import Network
@@ -104,6 +104,14 @@ class ArrowCounter(DistributedCounter):
     """
 
     name = "arrow"
+    capabilities = Capabilities(
+        sequential_only=True,
+        restriction=(
+            "the arrow protocol serializes operations: overlapping incs "
+            "would need Raymond-style request queues, which the paper's "
+            "sequential model does not include"
+        ),
+    )
 
     def __init__(
         self, network: Network, n: int, initial_owner: ProcessorId = 1

@@ -14,7 +14,7 @@ suite is anchored against this implementation.
 
 from __future__ import annotations
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.messages import Message, OpIndex, ProcessorId
 from repro.sim.network import Network
@@ -66,6 +66,7 @@ class CentralCounter(DistributedCounter):
     """
 
     name = "central"
+    capabilities = Capabilities()
 
     def __init__(self, network: Network, n: int, server_id: ProcessorId = 1) -> None:
         super().__init__(network, n)

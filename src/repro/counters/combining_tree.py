@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.messages import Message, OpIndex, ProcessorId
 from repro.sim.network import Network
@@ -209,6 +209,7 @@ class CombiningTreeCounter(DistributedCounter):
     """
 
     name = "combining-tree"
+    capabilities = Capabilities()
 
     def __init__(
         self,

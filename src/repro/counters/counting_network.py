@@ -20,7 +20,7 @@ benchmarks show the crossover structure.
 
 from __future__ import annotations
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.messages import Message, OpIndex, ProcessorId
 from repro.sim.network import Network
@@ -112,6 +112,7 @@ class BitonicCountingNetwork(DistributedCounter):
     """
 
     name = "counting-network"
+    capabilities = Capabilities()
 
     def __init__(self, network: Network, n: int, width: int | None = None) -> None:
         super().__init__(network, n)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.messages import Message, OpIndex, ProcessorId
 from repro.sim.network import Network
@@ -117,6 +117,7 @@ class DiffractingTreeCounter(DistributedCounter):
     """
 
     name = "diffracting-tree"
+    capabilities = Capabilities()
 
     def __init__(
         self,

@@ -9,6 +9,7 @@ degenerates to it as the threshold goes to infinity).
 
 from __future__ import annotations
 
+from repro.api import Capabilities
 from repro.core.tree.counter import TreeCounter
 from repro.core.tree.geometry import TreeGeometry
 from repro.core.tree.policy import TreePolicy
@@ -19,6 +20,7 @@ class StaticTreeCounter(TreeCounter):
     """The communication tree with retirement disabled."""
 
     name = "static-tree"
+    capabilities = Capabilities()
 
     def __init__(
         self,

@@ -22,6 +22,20 @@ class ConfigurationError(ReproError):
     """
 
 
+class CapabilityError(ConfigurationError):
+    """Raised when a counter is asked for something it cannot do.
+
+    Every counter implementation declares a
+    :class:`~repro.api.Capabilities` record (sequential-only protocols,
+    power-of-two or square processor counts, ...).  Drivers and the
+    registry check those declarations *before* running anything, so an
+    impossible pairing — say, the concurrent driver on the sequential-only
+    arrow counter — fails fast with a message naming the restriction
+    instead of surfacing as a confusing mid-run
+    :class:`ProtocolError`.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for errors occurring while a simulation is running."""
 

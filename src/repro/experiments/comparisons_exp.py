@@ -9,17 +9,9 @@
 
 from __future__ import annotations
 
-from repro.core import IntervalMode, TreeCounter, TreeGeometry, TreePolicy
-from repro.counters import (
-    ArrowCounter,
-    BitonicCountingNetwork,
-    CentralCounter,
-    CombiningTreeCounter,
-    DiffractingTreeCounter,
-    StaticTreeCounter,
-)
 from repro.experiments.base import ExperimentResult, make_table
 from repro.lowerbound import GreedyAdversary, lower_bound_k
+from repro.registry import parse_spec
 from repro.sim import CongestedDelay, Network
 from repro.workloads import (
     SweepPoint,
@@ -31,18 +23,19 @@ from repro.workloads import (
 )
 
 BASELINES = (
-    ("central", CentralCounter),
-    ("static-tree", StaticTreeCounter),
-    ("combining-tree", CombiningTreeCounter),
-    ("counting-network", BitonicCountingNetwork),
-    ("diffracting-tree", DiffractingTreeCounter),
-    ("ww-tree", TreeCounter),
+    "central",
+    "static-tree",
+    "combining-tree",
+    "counting-network",
+    "diffracting-tree",
+    "ww-tree",
 )
+"""Canonical registry names of the cross-counter comparison set."""
 
 
-def _sequential_bottleneck(factory, n):
+def _sequential_bottleneck(spec: str, n: int):
     network = Network()
-    counter = factory(network, n)
+    counter = parse_spec(spec).build(network, n)
     return run_sequence(counter, one_shot(n))
 
 
@@ -53,8 +46,8 @@ def run_e6(ns: tuple[int, ...] = (8, 27, 81, 256, 1024, 3125)) -> ExperimentResu
     rows = []
     crossover = None
     for n in ns:
-        central = _sequential_bottleneck(CentralCounter, n)
-        tree = _sequential_bottleneck(TreeCounter, n)
+        central = _sequential_bottleneck("central", n)
+        tree = _sequential_bottleneck("ww-tree", n)
         ratio = central.bottleneck_load() / tree.bottleneck_load()
         if crossover is None and ratio > 1.0:
             crossover = n
@@ -108,7 +101,7 @@ def run_e7(
     """
     if runner is None:
         runner = SweepRunner()
-    names = [name for name, _ in BASELINES]
+    names = list(BASELINES)
     sequential_ns = tuple(ns) if concurrent_n in ns else tuple(ns) + (concurrent_n,)
     points = [
         SweepPoint(counter=name, n=n) for name in names for n in sequential_ns
@@ -170,14 +163,6 @@ def run_e7(
 
 def run_e13(n: int = 64, adversary_n: int = 16) -> ExperimentResult:
     """E13: bottleneck vs operation order on the arrow counter."""
-
-    def wrap_tree(network, n_):
-        geometry = TreeGeometry.for_processors(n_)
-        policy = TreePolicy(
-            retire_threshold=4 * geometry.arity, interval_mode=IntervalMode.WRAP
-        )
-        return TreeCounter(network, n_, geometry=geometry, policy=policy)
-
     ping_pong = [1 if i % 2 == 0 else n for i in range(n)]
     orders = [
         ("identity", one_shot(n)),
@@ -185,17 +170,18 @@ def run_e13(n: int = 64, adversary_n: int = 16) -> ExperimentResult:
         ("ping-pong", ping_pong),
     ]
     rows = []
-    for name, factory in (
-        ("arrow", ArrowCounter),
-        ("ww-tree (wrap)", wrap_tree),
-        ("central", CentralCounter),
+    for name, spec in (
+        ("arrow", "arrow"),
+        ("ww-tree (wrap)", "ww-tree?interval_mode=wrap"),
+        ("central", "central"),
     ):
+        ref = parse_spec(spec)
         cells: list[object] = [name]
         for _, order in orders:
             network = Network()
-            counter = factory(network, n)
+            counter = ref.build(network, n)
             cells.append(run_sequence(counter, list(order)).bottleneck_load())
-        cells.append(GreedyAdversary(factory, adversary_n).run().bottleneck_load)
+        cells.append(GreedyAdversary(ref, adversary_n).run().bottleneck_load)
         rows.append(cells)
     return ExperimentResult(
         experiment_id="E13",
@@ -215,20 +201,17 @@ def run_e13(n: int = 64, adversary_n: int = 16) -> ExperimentResult:
 
 def run_e17(n: int = 256) -> ExperimentResult:
     """E17: wall-clock completion under unit-service congestion."""
-    factories = (
-        ("central", CentralCounter),
-        ("combining-tree", lambda net, n_: CombiningTreeCounter(net, n_, window=3.0)),
-        ("counting-network", BitonicCountingNetwork),
-        (
-            "diffracting-tree",
-            lambda net, n_: DiffractingTreeCounter(net, n_, prism_wait=3.0),
-        ),
-        ("ww-tree", TreeCounter),
+    specs = (
+        ("central", "central"),
+        ("combining-tree", "combining-tree?window=3.0"),
+        ("counting-network", "counting-network"),
+        ("diffracting-tree", "diffracting-tree?prism_wait=3.0"),
+        ("ww-tree", "ww-tree"),
     )
     rows = []
-    for name, factory in factories:
+    for name, spec in specs:
         network = Network(policy=CongestedDelay(latency=1.0, service=1.0))
-        counter = factory(network, n)
+        counter = parse_spec(spec).build(network, n)
         result = run_concurrent(counter, [one_shot(n)])
         max_received = max(
             network.trace.received_by(p)

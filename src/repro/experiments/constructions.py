@@ -12,17 +12,9 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.analysis import build_dag, build_list
-from repro.core import TreeCounter
-from repro.counters import (
-    BitonicCountingNetwork,
-    CentralCounter,
-    CombiningTreeCounter,
-    DiffractingTreeCounter,
-    StaticTreeCounter,
-)
 from repro.experiments.base import ExperimentResult, make_table
 from repro.lowerbound import check_hot_spot
-from repro.quorum import MaekawaGrid, QuorumCounter
+from repro.registry import parse_spec
 from repro.sim.network import Network
 from repro.sim.policies import RandomDelay, UnitDelay
 from repro.workloads import one_shot, run_sequence, shuffled
@@ -32,11 +24,11 @@ def run_e1(n: int = 64, probe_op: int | None = None) -> ExperimentResult:
     """E1: DAG/list construction invariants on a mid-sequence inc."""
     if probe_op is None:
         probe_op = (n * 5) // 8
-    factories = [CentralCounter, StaticTreeCounter, TreeCounter, CombiningTreeCounter]
+    specs = ["central", "static-tree", "ww-tree", "combining-tree"]
     rows = []
-    for factory in factories:
+    for spec in specs:
         network = Network()
-        counter = factory(network, n)
+        counter = parse_spec(spec).build(network, n)
         result = run_sequence(counter, one_shot(n))
         outcome = result.outcomes[probe_op]
         dag = build_dag(result.trace, outcome.op_index, outcome.initiator)
@@ -79,25 +71,26 @@ def run_e1(n: int = 64, probe_op: int | None = None) -> ExperimentResult:
 
 def run_e2(n: int = 64, seeds: tuple[int, ...] = (1, 2)) -> ExperimentResult:
     """E2: Hot Spot Lemma over every counter, order and policy."""
-    builders = [
-        ("central", lambda net: CentralCounter(net, n)),
-        ("static-tree", lambda net: StaticTreeCounter(net, n)),
-        ("ww-tree", lambda net: TreeCounter(net, n)),
-        ("combining-tree", lambda net: CombiningTreeCounter(net, n)),
-        ("counting-network", lambda net: BitonicCountingNetwork(net, n)),
-        ("diffracting-tree", lambda net: DiffractingTreeCounter(net, n)),
-        ("quorum[maekawa]", lambda net: QuorumCounter(net, n, MaekawaGrid(n))),
+    specs = [
+        "central",
+        "static-tree",
+        "ww-tree",
+        "combining-tree",
+        "counting-network",
+        "diffracting-tree",
+        "quorum[maekawa]",
     ]
     orders = [one_shot(n)] + [shuffled(n, seed=s) for s in seeds]
     rows = []
-    for name, build in builders:
+    for name in specs:
+        ref = parse_spec(name)
         pairs = 0
         minimum = None
         holds = True
         for order in orders:
             for policy in (UnitDelay(), RandomDelay(seed=3)):
                 network = Network(policy=policy)
-                counter = build(network)
+                counter = ref.build(network, n)
                 result = run_sequence(counter, list(order))
                 report = check_hot_spot(result)
                 pairs += report.pairs_checked

@@ -8,8 +8,6 @@
 
 from __future__ import annotations
 
-from repro.core import TreeCounter
-from repro.counters import ArrowCounter, CentralCounter, StaticTreeCounter
 from repro.experiments.base import ExperimentResult, make_table
 from repro.lowerbound import (
     ExactAdversary,
@@ -22,19 +20,21 @@ from repro.lowerbound import (
 )
 
 DEFAULT_E3_GAMES = (
-    ("central", CentralCounter, 16),
-    ("central", CentralCounter, 32),
-    ("static-tree", StaticTreeCounter, 16),
-    ("ww-tree", TreeCounter, 8),
-    ("ww-tree", TreeCounter, 27),
+    ("central", 16),
+    ("central", 32),
+    ("static-tree", 16),
+    ("ww-tree", 8),
+    ("ww-tree", 27),
 )
+"""(registry spec, n) pairs the greedy adversary plays by default."""
 
 DEFAULT_E16_GAMES = (
-    ("central", CentralCounter, 7),
-    ("static-tree", StaticTreeCounter, 7),
-    ("ww-tree", TreeCounter, 6),
-    ("arrow", ArrowCounter, 6),
+    ("central", 7),
+    ("static-tree", 7),
+    ("ww-tree", 6),
+    ("arrow", 6),
 )
+"""(registry spec, n) pairs small enough for the exhaustive search."""
 
 
 def run_e3(
@@ -43,8 +43,8 @@ def run_e3(
 ) -> ExperimentResult:
     """E3: the adversarial game plus the k·kᵏ = n curve."""
     rows = []
-    for name, factory, n in games:
-        run = GreedyAdversary(factory, n).run()
+    for name, n in games:
+        run = GreedyAdversary(name, n).run()
         report = evaluate_ledger(run.ledger, base=run.bottleneck_load + 1)
         rows.append(
             [
@@ -82,9 +82,9 @@ def run_e3(
 def run_e16(games=DEFAULT_E16_GAMES) -> ExperimentResult:
     """E16: exhaustive worst case vs the greedy construction."""
     rows = []
-    for name, factory, n in games:
-        exact = ExactAdversary(factory, n).run()
-        greedy = GreedyAdversary(factory, n).run()
+    for name, n in games:
+        exact = ExactAdversary(name, n).run()
+        greedy = GreedyAdversary(name, n).run()
         ratio = greedy.bottleneck_load / exact.worst_bottleneck
         rows.append(
             [

@@ -15,39 +15,33 @@
 from __future__ import annotations
 
 from repro.analysis.stats import summarize_over_seeds
-from repro.core import IntervalMode, TreeCounter, TreeGeometry, TreePolicy
-from repro.counters import (
-    ArrowCounter,
-    BitonicCountingNetwork,
-    CentralCounter,
-    CombiningTreeCounter,
-    DiffractingTreeCounter,
-    StaticTreeCounter,
-)
 from repro.experiments.base import ExperimentResult, make_table
+from repro.registry import parse_spec
 from repro.sim.network import Network
 from repro.sim.policies import RandomDelay
 from repro.workloads import one_shot, run_sequence, zipf_sequence
 
-ROBUSTNESS_FACTORIES = (
-    ("central", CentralCounter),
-    ("static-tree", StaticTreeCounter),
-    ("ww-tree", TreeCounter),
-    ("combining-tree", CombiningTreeCounter),
-    ("counting-network", BitonicCountingNetwork),
-    ("diffracting-tree", DiffractingTreeCounter),
-    ("arrow", ArrowCounter),
+ROBUSTNESS_COUNTERS = (
+    "central",
+    "static-tree",
+    "ww-tree",
+    "combining-tree",
+    "counting-network",
+    "diffracting-tree",
+    "arrow",
 )
+"""Canonical registry names of the schedule-robustness comparison set."""
 
 
 def run_e18(n: int = 81, seeds: tuple[int, ...] = tuple(range(8))) -> ExperimentResult:
     """E18: bottleneck spread over random-delivery seeds."""
     rows = []
-    for name, factory in ROBUSTNESS_FACTORIES:
+    for name in ROBUSTNESS_COUNTERS:
+        ref = parse_spec(name)
 
-        def measure(seed: int, factory=factory) -> float:
+        def measure(seed: int, ref=ref) -> float:
             network = Network(policy=RandomDelay(seed=seed))
-            counter = factory(network, n)
+            counter = ref.build(network, n)
             return run_sequence(counter, one_shot(n)).bottleneck_load()
 
         summary = summarize_over_seeds(measure, seeds)
@@ -90,10 +84,7 @@ def run_e19(
     skews: tuple[float, ...] = (0.0, 0.8, 1.4, 2.2),
 ) -> ExperimentResult:
     """E19: Zipf-skewed initiators — the regime the paper excludes."""
-    geometry = TreeGeometry.for_processors(n)
-    policy = TreePolicy(
-        retire_threshold=4 * geometry.arity, interval_mode=IntervalMode.WRAP
-    )
+    ref = parse_spec("ww-tree?interval_mode=wrap")
     rows = []
     for skew in skews:
         if skew == 0.0:
@@ -101,8 +92,9 @@ def run_e19(
         else:
             order = zipf_sequence(n, length=length, skew=skew, seed=1)
         network = Network()
-        counter = TreeCounter(network, n, geometry=geometry, policy=policy)
+        counter = ref.build(network, n)
         result = run_sequence(counter, order)
+        geometry = counter.geometry
         initiators = set(order)
         hottest_initiator = max(
             result.trace.load(pid) for pid in initiators

@@ -16,15 +16,7 @@ from repro.analysis import (
     check_linearizable_counting,
     run_staggered_timed,
 )
-from repro.core import TreeCounter
-from repro.counters import (
-    ArrowCounter,
-    BitonicCountingNetwork,
-    CentralCounter,
-    CombiningTreeCounter,
-    DiffractingTreeCounter,
-    StaticTreeCounter,
-)
+from repro.counters import BitonicCountingNetwork
 from repro.counters.counting_network import step_property_holds
 from repro.datatypes import (
     DELETE_MIN,
@@ -37,6 +29,7 @@ from repro.datatypes import (
     run_ops,
 )
 from repro.experiments.base import ExperimentResult, make_table
+from repro.registry import parse_spec
 from repro.quorum import (
     CrumblingWall,
     MaekawaGrid,
@@ -153,7 +146,7 @@ def run_e11(ks: tuple[int, ...] = (3, 4)) -> ExperimentResult:
     for k in ks:
         n = k ** (k + 1)
         network = Network()
-        counter = TreeCounter(network, n)
+        counter = parse_spec("ww-tree").build(network, n)
         result = run_sequence(counter, one_shot(n))
         rows.append(["counter (inc)", k, n, result.bottleneck_load(),
                      f"{result.bottleneck_load() / k:.1f}"])
@@ -191,23 +184,24 @@ def run_e11(ks: tuple[int, ...] = (3, 4)) -> ExperimentResult:
 
 def run_e14(ns: tuple[int, ...] = (81, 1024)) -> ExperimentResult:
     """E14: message sizes and bit bottlenecks."""
-    factories = [
-        ("central", CentralCounter),
-        ("static-tree", StaticTreeCounter),
-        ("ww-tree", TreeCounter),
-        ("combining-tree", CombiningTreeCounter),
-        ("counting-network", BitonicCountingNetwork),
-        ("diffracting-tree", DiffractingTreeCounter),
-        ("arrow", ArrowCounter),
+    specs = [
+        "central",
+        "static-tree",
+        "ww-tree",
+        "combining-tree",
+        "counting-network",
+        "diffracting-tree",
+        "arrow",
     ]
     rows = []
-    for name, factory in factories:
+    for name in specs:
+        ref = parse_spec(name)
         cells: list[object] = [name]
         for n in ns:
             network = Network()
             analyzer = BitLoadAnalyzer(n)
             analyzer.attach(network)
-            counter = factory(network, n)
+            counter = ref.build(network, n)
             run_sequence(counter, one_shot(n))
             cells.append(analyzer.max_message_bits)
             cells.append(analyzer.bit_bottleneck()[1])
@@ -263,19 +257,17 @@ def run_e15(scan_n: int = 16, seeds: int = 10) -> ExperimentResult:
         + "\n".join(f"  inversion: {inv}" for inv in report.inversions)
     )
     scan_rows = []
-    for name, build in (
-        ("central", lambda net: CentralCounter(net, scan_n)),
-        (
-            "counting-network w=4",
-            lambda net: BitonicCountingNetwork(net, scan_n, width=4),
-        ),
+    for name, spec in (
+        ("central", "central"),
+        ("counting-network w=4", "counting-network?width=4"),
     ):
+        ref = parse_spec(spec)
         linearizable = 0
         precedence = 0
         steps_ok = True
         for seed in range(seeds):
             net = Network(policy=RandomDelay(seed=seed, low=0.5, high=20.0))
-            c = build(net)
+            c = ref.build(net, scan_n)
             timed = run_staggered_timed(c, list(range(1, scan_n + 1)), gap=2.0)
             rep = check_linearizable_counting(timed)
             linearizable += int(rep.linearizable)

@@ -67,7 +67,10 @@ class GreedyAdversary:
     """Longest-communication-list adversary over a counter factory.
 
     Args:
-        factory: builds the counter under attack on a fresh network.
+        factory: the counter under attack — a registry spec string
+            (``"central"``, ``"combining-tree?window=3.0"``), a
+            :class:`~repro.registry.CounterRef`, or a plain
+            ``(network, n)`` factory.
         n: number of client processors (each incs exactly once).
         policy: delivery policy for the committed run (trials inherit
             copies of its state, so trial and commit see identical
@@ -79,13 +82,15 @@ class GreedyAdversary:
 
     def __init__(
         self,
-        factory: CounterFactory,
+        factory: CounterFactory | str,
         n: int,
         policy: DeliveryPolicy | None = None,
         sample_size: int | None = None,
         seed: int = 0,
     ) -> None:
-        self._factory = factory
+        from repro.registry import resolve_factory
+
+        self._factory = resolve_factory(factory)
         self._n = n
         self._policy = policy
         self._sample_size = sample_size

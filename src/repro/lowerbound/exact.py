@@ -40,7 +40,8 @@ class ExactAdversary:
     """Search every one-shot order for the maximum bottleneck load.
 
     Args:
-        factory: counter under attack.
+        factory: counter under attack — a registry spec string, a
+            :class:`~repro.registry.CounterRef`, or a plain factory.
         n: workload size.  Guarded at ≤ 9 — beyond that the factorial
             search is not a tool, it is a space heater.
         policy: delivery policy (trials inherit copies).
@@ -53,16 +54,18 @@ class ExactAdversary:
 
     def __init__(
         self,
-        factory: CounterFactory,
+        factory: CounterFactory | str,
         n: int,
         policy: DeliveryPolicy | None = None,
         max_n: int = 9,
     ) -> None:
+        from repro.registry import resolve_factory
+
         if n > max_n:
             raise ConfigurationError(
                 f"exact search over {n}! orders is infeasible (limit {max_n})"
             )
-        self._factory = factory
+        self._factory = resolve_factory(factory)
         self._n = n
         self._policy = policy
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.api import DistributedCounter
+from repro.api import Capabilities, DistributedCounter
 from repro.errors import ConfigurationError, ProtocolError
 from repro.quorum.systems import QuorumSystem
 from repro.sim.messages import Message, OpIndex, ProcessorId
@@ -29,6 +29,27 @@ from repro.sim.processor import Processor
 KIND_READ = "q-read"
 KIND_READ_REPLY = "q-read-reply"
 KIND_WRITE = "q-write"
+
+SYSTEM_SLUGS = {
+    "SingletonQuorum": "singleton",
+    "RotatingMajorityQuorum": "majority",
+    "MaekawaGrid": "maekawa",
+    "TreePathQuorum": "tree-paths",
+    "WheelQuorum": "wheel",
+    "CrumblingWall": "crumbling-wall",
+    "ProjectivePlaneQuorum": "projective-plane",
+}
+"""Canonical short name per quorum-system class.
+
+``QuorumCounter.name`` is ``quorum[<slug>]``, which is also the counter's
+registry key (:mod:`repro.registry`), so report tables, sweep cache keys
+and BENCH JSON all agree on the same label.
+"""
+
+
+def system_slug(system: QuorumSystem) -> str:
+    """Canonical slug of *system* (class name lowered for unknown ones)."""
+    return SYSTEM_SLUGS.get(type(system).__name__, type(system).__name__.lower())
 
 
 @dataclass(slots=True)
@@ -137,6 +158,14 @@ class QuorumCounter(DistributedCounter):
     """
 
     name = "quorum"
+    capabilities = Capabilities(
+        sequential_only=True,
+        restriction=(
+            "the versioned quorum read/write rounds are only correct when "
+            "operations do not overlap (consecutive-quorum intersection "
+            "assumes a finished write before the next read)"
+        ),
+    )
 
     def __init__(self, network: Network, n: int, system: QuorumSystem) -> None:
         super().__init__(network, n)
@@ -145,7 +174,7 @@ class QuorumCounter(DistributedCounter):
                 f"quorum system over {system.n} elements cannot serve n={n}"
             )
         self.system = system
-        self.name = f"quorum[{type(system).__name__}]"
+        self.name = f"quorum[{system_slug(system)}]"
         self._ops_started = 0
         self._members: dict[ProcessorId, _QuorumMember] = {}
         for pid in self.client_ids():

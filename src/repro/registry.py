@@ -1,0 +1,715 @@
+"""Counter registry: every implementation as a declarative, named spec.
+
+The paper's claims quantify over *every* counter algorithm, and the
+reproduction hosts eight protocol wirings.  This module makes them
+first-class artifacts instead of scattered factory lambdas:
+
+* :class:`CounterSpec` — one registered implementation: canonical name,
+  factory, typed :class:`Tunable` parameters with defaults and bounds,
+  and the implementation's :class:`~repro.api.Capabilities` record;
+* spec strings — ``"combining-tree?window=3.0"`` names a concrete
+  configuration; :func:`parse_spec` resolves it to a :class:`CounterRef`
+  whose :attr:`~CounterRef.canonical` form is stable (sorted keys,
+  defaults elided), so sweep caches and report tables key on the exact
+  configuration;
+* :class:`RunSession` — the one place that assembles delivery policy,
+  network, trace level, counter and driver, replacing the hand-rolled
+  copies every caller used to carry.
+
+Every consumer (CLI, experiments, sweeps, the lower-bound adversaries)
+resolves counters through this registry, so adding a protocol is one
+:func:`register` call::
+
+    from repro.registry import RunSession, parse_spec, registered_names
+
+    session = RunSession("combining-tree?window=3.0", n=64)
+    result = session.run_sequence()
+    print(session.canonical, result.bottleneck_load())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.api import Capabilities, DistributedCounter
+from repro.errors import CapabilityError, ConfigurationError
+from repro.sim.messages import ProcessorId
+from repro.sim.network import Network
+from repro.sim.policies import (
+    CongestedDelay,
+    DeliveryPolicy,
+    FifoRandomDelay,
+    RandomDelay,
+    SkewedDelay,
+    UnitDelay,
+)
+from repro.sim.trace import TraceLevel
+
+__all__ = [
+    "POLICY_NAMES",
+    "WORKLOAD_NAMES",
+    "CounterRef",
+    "CounterSpec",
+    "RunSession",
+    "Tunable",
+    "canonical_spec",
+    "get_spec",
+    "make_policy",
+    "parse_spec",
+    "register",
+    "registered_names",
+    "registered_specs",
+    "resolve_factory",
+]
+
+# ----------------------------------------------------------------------
+# Delivery policies and workloads by name (shared by CLI and sweeps)
+# ----------------------------------------------------------------------
+
+POLICY_NAMES = ("unit", "random", "fifo-random", "skewed", "congested")
+"""Delivery policies resolvable by :func:`make_policy`."""
+
+WORKLOAD_NAMES = ("one-shot", "one-shot-concurrent", "shuffled")
+"""Workloads :meth:`RunSession.run_workload` (and sweep points) accept."""
+
+
+def make_policy(name: str, seed: int = 0) -> DeliveryPolicy:
+    """Build the delivery policy registered under *name*.
+
+    Seeded policies receive *seed*; deterministic ones ignore it.
+    """
+    if name == "unit":
+        return UnitDelay()
+    if name == "random":
+        return RandomDelay(seed=seed)
+    if name == "fifo-random":
+        return FifoRandomDelay(seed=seed)
+    if name == "skewed":
+        return SkewedDelay()
+    if name == "congested":
+        return CongestedDelay()
+    raise ConfigurationError(
+        f"unknown delivery policy {name!r}; expected one of {POLICY_NAMES}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Tunables
+# ----------------------------------------------------------------------
+
+_BOOL_TRUE = frozenset({"true", "1", "yes", "on"})
+_BOOL_FALSE = frozenset({"false", "0", "no", "off"})
+
+
+@dataclass(frozen=True, slots=True)
+class Tunable:
+    """One typed constructor parameter of a registered counter.
+
+    Attributes:
+        name: parameter name as it appears in spec strings and in the
+            factory's keyword arguments.
+        kind: value type — ``int``, ``float``, ``bool`` or ``str``.
+        default: value used when a spec string omits the parameter; the
+            canonical spec form elides parameters at their default.
+        minimum: smallest allowed value (inclusive), for numeric kinds.
+        maximum: largest allowed value (inclusive), for numeric kinds.
+        choices: allowed values, for string-valued enumerations.
+        power_of_two: positive values must be powers of two.
+        doc: one-line description shown by ``repro counters``.
+    """
+
+    name: str
+    kind: type
+    default: Any
+    minimum: float | None = None
+    maximum: float | None = None
+    choices: tuple[str, ...] | None = None
+    power_of_two: bool = False
+    doc: str = ""
+
+    def parse(self, text: str) -> Any:
+        """Parse a spec-string value into this tunable's type."""
+        try:
+            if self.kind is bool:
+                lowered = text.strip().lower()
+                if lowered in _BOOL_TRUE:
+                    return self.validate(True)
+                if lowered in _BOOL_FALSE:
+                    return self.validate(False)
+                raise ValueError(text)
+            return self.validate(self.kind(text))
+        except ValueError:
+            raise ConfigurationError(
+                f"tunable {self.name!r} expects a {self.kind.__name__}, "
+                f"got {text!r}"
+            ) from None
+
+    def validate(self, value: Any) -> Any:
+        """Type- and bounds-check *value*; return it on success."""
+        if self.kind is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, self.kind) or (
+            self.kind is not bool and isinstance(value, bool)
+        ):
+            raise ConfigurationError(
+                f"tunable {self.name!r} expects a {self.kind.__name__}, "
+                f"got {value!r}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ConfigurationError(
+                f"tunable {self.name!r} must be >= {self.minimum}, got {value}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise ConfigurationError(
+                f"tunable {self.name!r} must be <= {self.maximum}, got {value}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ConfigurationError(
+                f"tunable {self.name!r} must be one of {self.choices}, "
+                f"got {value!r}"
+            )
+        if self.power_of_two and value > 0 and value & (value - 1):
+            raise ConfigurationError(
+                f"tunable {self.name!r} must be a power of two, got {value}"
+            )
+        return value
+
+    def format(self, value: Any) -> str:
+        """Canonical spec-string form of *value* (inverse of :meth:`parse`)."""
+        if self.kind is bool:
+            return "true" if value else "false"
+        if self.kind is float:
+            return repr(float(value))
+        return str(value)
+
+
+# ----------------------------------------------------------------------
+# Specs and references
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """One registered counter implementation, described declaratively.
+
+    Attributes:
+        name: canonical registry key; equals the ``name`` attribute of
+            the counters the factory builds, so reports, sweep cache
+            keys and BENCH JSON agree.
+        factory: ``factory(network, n, **tunables)`` building a fresh
+            counter wiring.
+        implementation: the :class:`~repro.api.DistributedCounter`
+            subclass the factory instantiates (used by the registry
+            completeness check and the CLI listing).
+        capabilities: the implementation's declared
+            :class:`~repro.api.Capabilities`; may tighten the class
+            record (e.g. ``quorum[maekawa]`` adds the square-``n``
+            requirement its grid construction implies).
+        tunables: the typed parameters spec strings may set.
+        summary: one-line description shown by ``repro counters``.
+    """
+
+    name: str
+    factory: Callable[..., DistributedCounter]
+    implementation: type[DistributedCounter]
+    capabilities: Capabilities
+    tunables: tuple[Tunable, ...] = ()
+    summary: str = ""
+
+    def tunable(self, name: str) -> Tunable:
+        """The tunable called *name*; raises on unknown names."""
+        for tunable in self.tunables:
+            if tunable.name == name:
+                return tunable
+        known = tuple(t.name for t in self.tunables) or "(none)"
+        raise ConfigurationError(
+            f"counter {self.name!r} has no tunable {name!r}; known: {known}"
+        )
+
+    def supports_n(self, n: int) -> str | None:
+        """``None`` if *n* satisfies the declared shape constraints,
+        else the violated restriction as text."""
+        if self.capabilities.needs_square_n and math.isqrt(n) ** 2 != n:
+            return f"requires a perfect-square n, got {n}"
+        if self.capabilities.needs_power_of_two_n and n & (n - 1):
+            return f"requires a power-of-two n, got {n}"
+        return None
+
+    def check_n(self, n: int) -> None:
+        """Raise :class:`~repro.errors.CapabilityError` if *n* is impossible."""
+        violation = self.supports_n(n)
+        if violation is not None:
+            raise CapabilityError(f"counter {self.name!r} {violation}")
+
+    def build(
+        self, network: Network, n: int, **params: Any
+    ) -> DistributedCounter:
+        """Construct a counter on *network* after validating everything."""
+        self.check_n(n)
+        validated = {
+            name: self.tunable(name).validate(value)
+            for name, value in params.items()
+        }
+        return self.factory(network, n, **validated)
+
+    def ref(self, **params: Any) -> "CounterRef":
+        """A :class:`CounterRef` for this spec with keyword overrides."""
+        items = []
+        for name, value in params.items():
+            tunable = self.tunable(name)
+            value = tunable.validate(value)
+            if value != tunable.default:
+                items.append((name, value))
+        return CounterRef(spec=self, params=tuple(sorted(items)))
+
+
+@dataclass(frozen=True)
+class CounterRef:
+    """A parsed spec string: one concrete counter configuration.
+
+    ``parse_spec(ref.canonical) == ref`` holds for every reference —
+    the canonical form sorts parameters and elides defaults, so equal
+    configurations always produce equal strings (and therefore equal
+    sweep cache keys).
+    """
+
+    spec: CounterSpec
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def name(self) -> str:
+        """The underlying spec's canonical registry key."""
+        return self.spec.name
+
+    @property
+    def capabilities(self) -> Capabilities:
+        """The configuration's capability record."""
+        return self.spec.capabilities
+
+    @property
+    def canonical(self) -> str:
+        """The canonical spec string naming this configuration."""
+        if not self.params:
+            return self.spec.name
+        rendered = "&".join(
+            f"{name}={self.spec.tunable(name).format(value)}"
+            for name, value in self.params
+        )
+        return f"{self.spec.name}?{rendered}"
+
+    def build(self, network: Network, n: int) -> DistributedCounter:
+        """Construct this configuration's counter on *network*."""
+        return self.spec.build(network, n, **dict(self.params))
+
+
+# ----------------------------------------------------------------------
+# The registry proper
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, CounterSpec] = {}
+
+
+def register(spec: CounterSpec) -> CounterSpec:
+    """Add *spec* to the registry; duplicate names are a wiring bug."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"counter spec {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered_names() -> tuple[str, ...]:
+    """Every canonical registry key, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def registered_specs() -> tuple[CounterSpec, ...]:
+    """Every registered spec, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def get_spec(name: str) -> CounterSpec:
+    """The spec registered under *name*; raises on unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown counter {name!r}; expected one of {registered_names()}"
+        ) from None
+
+
+def parse_spec(text: str | CounterRef) -> CounterRef:
+    """Resolve a spec string (``name`` or ``name?key=value&...``).
+
+    Idempotent on :class:`CounterRef` inputs.  Values are parsed and
+    bounds-checked against the spec's tunables; parameters set to their
+    default are elided so the result is canonical.
+    """
+    if isinstance(text, CounterRef):
+        return text
+    name, _, query = text.strip().partition("?")
+    spec = get_spec(name)
+    params: dict[str, Any] = {}
+    if query:
+        for pair in query.split("&"):
+            key, separator, raw = pair.partition("=")
+            if not separator or not key:
+                raise ConfigurationError(
+                    f"malformed spec parameter {pair!r} in {text!r}; "
+                    "expected key=value"
+                )
+            if key in params:
+                raise ConfigurationError(
+                    f"duplicate spec parameter {key!r} in {text!r}"
+                )
+            params[key] = spec.tunable(key).parse(raw)
+    return spec.ref(**params)
+
+
+def canonical_spec(text: str | CounterRef) -> str:
+    """The canonical form of a spec string (sweep cache key)."""
+    return parse_spec(text).canonical
+
+
+# ----------------------------------------------------------------------
+# RunSession: the one place a simulation gets assembled
+# ----------------------------------------------------------------------
+
+class RunSession:
+    """Owns the network/policy/trace-level/counter/driver assembly.
+
+    Every caller used to hand-roll the same four lines (make a policy,
+    make a network, call a factory, pick a driver); a session does it
+    once, capability-checked, from a spec string::
+
+        session = RunSession("ww-tree", n=81, policy="random", seed=3)
+        result = session.run_sequence()
+
+    Args:
+        counter: spec string or :class:`CounterRef`.
+        n: number of client processors.
+        policy: delivery policy — a :data:`POLICY_NAMES` name, a
+            :class:`~repro.sim.policies.DeliveryPolicy` instance, or
+            ``None`` for unit delays.
+        seed: seed for seeded policies and the ``"shuffled"`` workload.
+        trace_level: tracing fidelity for the session's network.
+        event_limit: event budget override (``None`` keeps the default).
+    """
+
+    def __init__(
+        self,
+        counter: str | CounterRef,
+        n: int,
+        *,
+        policy: str | DeliveryPolicy | None = None,
+        seed: int = 0,
+        trace_level: TraceLevel | str = TraceLevel.FULL,
+        event_limit: int | None = None,
+    ) -> None:
+        self._ref = parse_spec(counter)
+        self._seed = seed
+        self._ref.spec.check_n(n)
+        if isinstance(policy, str):
+            policy = make_policy(policy, seed)
+        network_kwargs: dict[str, Any] = {
+            "policy": policy,
+            "trace_level": trace_level,
+        }
+        if event_limit is not None:
+            network_kwargs["event_limit"] = event_limit
+        self.network = Network(**network_kwargs)
+        self.counter = self._ref.build(self.network, n)
+
+    @property
+    def ref(self) -> CounterRef:
+        """The resolved counter configuration."""
+        return self._ref
+
+    @property
+    def canonical(self) -> str:
+        """Canonical spec string of the session's counter."""
+        return self._ref.canonical
+
+    @property
+    def n(self) -> int:
+        """Number of client processors."""
+        return self.counter.n
+
+    def run_sequence(
+        self,
+        initiators: Sequence[ProcessorId] | None = None,
+        check_values: bool = True,
+    ):
+        """Drive *initiators* (default: the one-shot order) sequentially."""
+        from repro.workloads.driver import run_sequence
+        from repro.workloads.sequences import one_shot
+
+        if initiators is None:
+            initiators = one_shot(self.n)
+        return run_sequence(self.counter, initiators, check_values=check_values)
+
+    def run_concurrent(
+        self,
+        batches: Iterable[Sequence[ProcessorId]] | None = None,
+        check_values: bool = True,
+    ):
+        """Drive *batches* (default: one full batch) concurrently.
+
+        Fails fast with :class:`~repro.errors.CapabilityError` on
+        sequential-only counters.
+        """
+        from repro.workloads.driver import run_concurrent
+        from repro.workloads.sequences import one_shot
+
+        if batches is None:
+            batches = [one_shot(self.n)]
+        return run_concurrent(self.counter, batches, check_values=check_values)
+
+    def run_workload(self, workload: str = "one-shot"):
+        """Execute a named workload from :data:`WORKLOAD_NAMES`."""
+        from repro.workloads.sequences import one_shot, shuffled
+
+        if workload == "one-shot":
+            return self.run_sequence(one_shot(self.n))
+        if workload == "one-shot-concurrent":
+            return self.run_concurrent([one_shot(self.n)])
+        if workload == "shuffled":
+            return self.run_sequence(shuffled(self.n, seed=self._seed))
+        raise ConfigurationError(
+            f"unknown workload {workload!r}; expected one of {WORKLOAD_NAMES}"
+        )
+
+
+def resolve_factory(
+    counter: str | CounterRef | Callable[[Network, int], DistributedCounter],
+) -> Callable[[Network, int], DistributedCounter]:
+    """Coerce a spec string/ref into a ``(network, n)`` factory.
+
+    Plain callables pass through unchanged, so harnesses that predate
+    the registry (and tests that build ad-hoc counters) keep working.
+    """
+    if callable(counter) and not isinstance(counter, CounterRef):
+        return counter
+    ref = parse_spec(counter)
+    return ref.build
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+
+def _build_central(network: Network, n: int, server_id: int = 1):
+    from repro.counters import CentralCounter
+
+    return CentralCounter(network, n, server_id=server_id)
+
+
+def _build_static_tree(network: Network, n: int):
+    from repro.counters import StaticTreeCounter
+
+    return StaticTreeCounter(network, n)
+
+
+def _build_ww_tree(
+    network: Network,
+    n: int,
+    retire_threshold: int = 0,
+    interval_mode: str = "strict",
+):
+    from repro.core import IntervalMode, TreeCounter, TreeGeometry, TreePolicy
+
+    if retire_threshold == 0 and interval_mode == "strict":
+        return TreeCounter(network, n)
+    geometry = TreeGeometry.for_processors(n)
+    threshold = (
+        retire_threshold if retire_threshold > 0 else 4 * geometry.arity
+    )
+    policy = TreePolicy(
+        retire_threshold=threshold,
+        interval_mode=IntervalMode(interval_mode),
+    )
+    return TreeCounter(network, n, geometry=geometry, policy=policy)
+
+
+def _build_combining_tree(
+    network: Network, n: int, arity: int = 2, window: float = 0.75
+):
+    from repro.counters import CombiningTreeCounter
+
+    return CombiningTreeCounter(network, n, arity=arity, window=window)
+
+
+def _build_counting_network(network: Network, n: int, width: int = 0):
+    from repro.counters import BitonicCountingNetwork
+
+    return BitonicCountingNetwork(
+        network, n, width=width if width > 0 else None
+    )
+
+
+def _build_diffracting_tree(
+    network: Network,
+    n: int,
+    depth: int = 0,
+    prism_size: int = 4,
+    seed: int = 0,
+    prism_wait: float = 0.75,
+):
+    from repro.counters import DiffractingTreeCounter
+
+    return DiffractingTreeCounter(
+        network,
+        n,
+        depth=depth if depth > 0 else None,
+        prism_size=prism_size,
+        seed=seed,
+        prism_wait=prism_wait,
+    )
+
+
+def _build_arrow(network: Network, n: int, initial_owner: int = 1):
+    from repro.counters import ArrowCounter
+
+    return ArrowCounter(network, n, initial_owner=initial_owner)
+
+
+def _quorum_builder(system_factory):
+    def build(network: Network, n: int):
+        from repro.quorum import QuorumCounter
+
+        return QuorumCounter(network, n, system_factory(n))
+
+    return build
+
+
+def _populate() -> None:
+    """Register the repo's eight wirings (idempotent per process)."""
+    from repro.core import TreeCounter
+    from repro.counters import (
+        ArrowCounter,
+        BitonicCountingNetwork,
+        CentralCounter,
+        CombiningTreeCounter,
+        DiffractingTreeCounter,
+        StaticTreeCounter,
+    )
+    from repro.quorum import (
+        CrumblingWall,
+        MaekawaGrid,
+        QuorumCounter,
+        RotatingMajorityQuorum,
+        SingletonQuorum,
+        TreePathQuorum,
+        WheelQuorum,
+    )
+
+    register(CounterSpec(
+        name="central",
+        factory=_build_central,
+        implementation=CentralCounter,
+        capabilities=CentralCounter.capabilities,
+        tunables=(
+            Tunable("server_id", int, 1, minimum=1,
+                    doc="processor that holds the value"),
+        ),
+        summary="the §1 strawman: value at one server, Θ(n) bottleneck",
+    ))
+    register(CounterSpec(
+        name="static-tree",
+        factory=_build_static_tree,
+        implementation=StaticTreeCounter,
+        capabilities=StaticTreeCounter.capabilities,
+        summary="fixed k-ary relay tree without retirement",
+    ))
+    register(CounterSpec(
+        name="ww-tree",
+        factory=_build_ww_tree,
+        implementation=TreeCounter,
+        capabilities=TreeCounter.capabilities,
+        tunables=(
+            Tunable("retire_threshold", int, 0, minimum=0,
+                    doc="node age that triggers retirement (0 = paper "
+                        "default 4·arity)"),
+            Tunable("interval_mode", str, "strict",
+                    choices=("strict", "wrap"),
+                    doc="what to do on id-interval exhaustion"),
+        ),
+        summary="the paper's communication-tree counter with retirement",
+    ))
+    register(CounterSpec(
+        name="combining-tree",
+        factory=_build_combining_tree,
+        implementation=CombiningTreeCounter,
+        capabilities=CombiningTreeCounter.capabilities,
+        tunables=(
+            Tunable("arity", int, 2, minimum=2, doc="tree fan-in"),
+            Tunable("window", float, 0.75,
+                    doc="combining-window length in simulated time"),
+        ),
+        summary="software combining tree (Yew et al. 87)",
+    ))
+    register(CounterSpec(
+        name="counting-network",
+        factory=_build_counting_network,
+        implementation=BitonicCountingNetwork,
+        capabilities=BitonicCountingNetwork.capabilities,
+        tunables=(
+            Tunable("width", int, 0, minimum=0, power_of_two=True,
+                    doc="network width (0 = auto: largest power of two "
+                        "<= sqrt(n))"),
+        ),
+        summary="bitonic counting network (Aspnes/Herlihy/Shavit 91)",
+    ))
+    register(CounterSpec(
+        name="diffracting-tree",
+        factory=_build_diffracting_tree,
+        implementation=DiffractingTreeCounter,
+        capabilities=DiffractingTreeCounter.capabilities,
+        tunables=(
+            Tunable("depth", int, 0, minimum=0,
+                    doc="tree depth (0 = auto from n)"),
+            Tunable("prism_size", int, 4, minimum=1,
+                    doc="rendezvous slots per node"),
+            Tunable("seed", int, 0, doc="seed for random slot choices"),
+            Tunable("prism_wait", float, 0.75,
+                    doc="prism rendezvous window in simulated time"),
+        ),
+        summary="diffracting tree (Shavit/Zemach 94)",
+    ))
+    register(CounterSpec(
+        name="arrow",
+        factory=_build_arrow,
+        implementation=ArrowCounter,
+        capabilities=ArrowCounter.capabilities,
+        tunables=(
+            Tunable("initial_owner", int, 1, minimum=1,
+                    doc="leaf that starts with the token"),
+        ),
+        summary="arrow/path-reversal token counter (order sensitive)",
+    ))
+    quorum_systems = (
+        ("singleton", SingletonQuorum, False,
+         "degenerates to the central counter"),
+        ("majority", RotatingMajorityQuorum, False,
+         "rotating ⌈(n+1)/2⌉ majorities"),
+        ("maekawa", MaekawaGrid, True, "√n×√n grid rows+columns"),
+        ("tree-paths", TreePathQuorum, False, "root-to-leaf tree paths"),
+        ("wheel", WheelQuorum, False, "hub-and-spoke pairs"),
+        ("crumbling-wall", CrumblingWall, False, "row-based wall quorums"),
+    )
+    for slug, system_cls, needs_square, blurb in quorum_systems:
+        capabilities = QuorumCounter.capabilities
+        if needs_square:
+            capabilities = replace(capabilities, needs_square_n=True)
+        register(CounterSpec(
+            name=f"quorum[{slug}]",
+            factory=_quorum_builder(system_cls),
+            implementation=QuorumCounter,
+            capabilities=capabilities,
+            summary=f"versioned quorum counter: {blurb}",
+        ))
+
+
+_populate()

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.api import CounterFactory, DistributedCounter
-from repro.errors import ProtocolError
+from repro.errors import CapabilityError, ProtocolError
 from repro.sim.messages import OpIndex, ProcessorId
 from repro.sim.network import Network
 from repro.sim.policies import DeliveryPolicy
@@ -137,7 +137,19 @@ def run_concurrent(
     longer ordered, but a correct counter still hands out each value
     exactly once; *check_values* enforces that the multiset of returned
     values is ``{0, ..., ops-1}``.
+
+    Sequential-only counters (per their declared
+    :class:`~repro.api.Capabilities`) are rejected up front with a
+    :class:`~repro.errors.CapabilityError` naming the restriction,
+    instead of misbehaving mid-run.
     """
+    capabilities = counter.capabilities
+    if not capabilities.supports_concurrent:
+        reason = capabilities.restriction or "the protocol is sequential-only"
+        raise CapabilityError(
+            f"counter {counter.name!r} does not support the concurrent "
+            f"driver: {reason}"
+        )
     network = counter.network
     trace = network.trace
     counts_kept = trace.keeps_loads

@@ -10,9 +10,14 @@ parallel execution therefore produce identical results (a property the
 test suite asserts), so experiment tables and figures are byte-identical
 however they were computed.
 
-Points are named by registry keys (counter name, policy name, workload
-name) rather than live objects so they pickle cleanly across process
-boundaries and hash stably for the on-disk result cache.
+Points are named by registry spec strings (counter spec, policy name,
+workload name) rather than live objects so they pickle cleanly across
+process boundaries and hash stably for the on-disk result cache.  The
+cache key uses the *canonical* spec form
+(:func:`repro.registry.canonical_spec`), so
+``"combining-tree?arity=2&window=0.75"`` and ``"combining-tree"`` — the
+same configuration spelled differently — share one cache entry, and
+every :class:`SweepOutcome` records the canonical string it measured.
 
 Typical use::
 
@@ -30,69 +35,16 @@ import json
 import multiprocessing
 import pathlib
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
+from repro.registry import POLICY_NAMES, WORKLOAD_NAMES, canonical_spec
 from repro.sim.messages import ProcessorId
-from repro.sim.network import Network
-from repro.sim.policies import (
-    CongestedDelay,
-    DeliveryPolicy,
-    FifoRandomDelay,
-    RandomDelay,
-    SkewedDelay,
-    UnitDelay,
-)
-from repro.sim.trace import TraceLevel
 
-_CACHE_SCHEMA = "sweep-v1"
+_CACHE_SCHEMA = "sweep-v2"
 """Version tag mixed into every config hash; bump when outcome semantics
-change so stale cache entries are never reused."""
-
-
-def _counter_factories() -> dict[str, Callable[[Network, int], Any]]:
-    # Imported lazily: repro.counters/core import the sim layer, and this
-    # module is imported by repro.workloads which the experiments use.
-    from repro.core import TreeCounter
-    from repro.counters import (
-        ArrowCounter,
-        BitonicCountingNetwork,
-        CentralCounter,
-        CombiningTreeCounter,
-        DiffractingTreeCounter,
-        StaticTreeCounter,
-    )
-
-    return {
-        "arrow": ArrowCounter,
-        "central": CentralCounter,
-        "static-tree": StaticTreeCounter,
-        "ww-tree": TreeCounter,
-        "combining-tree": CombiningTreeCounter,
-        "counting-network": BitonicCountingNetwork,
-        "diffracting-tree": DiffractingTreeCounter,
-    }
-
-
-def _make_policy(name: str, seed: int) -> DeliveryPolicy:
-    if name == "unit":
-        return UnitDelay()
-    if name == "random":
-        return RandomDelay(seed=seed)
-    if name == "fifo-random":
-        return FifoRandomDelay(seed=seed)
-    if name == "skewed":
-        return SkewedDelay()
-    if name == "congested":
-        return CongestedDelay()
-    raise ConfigurationError(f"unknown delivery policy {name!r}")
-
-
-POLICY_NAMES = ("unit", "random", "fifo-random", "skewed", "congested")
-"""Delivery policies a :class:`SweepPoint` may name."""
-
-WORKLOAD_NAMES = ("one-shot", "one-shot-concurrent", "shuffled")
-"""Workloads a :class:`SweepPoint` may name."""
+change so stale cache entries are never reused.  v2: counter fields are
+canonical registry spec strings, not bare factory names."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,8 +52,9 @@ class SweepPoint:
     """One grid point of a sweep: a simulation named entirely by value.
 
     Attributes:
-        counter: registry key of the counter construction (``"central"``,
-            ``"ww-tree"``, ...).
+        counter: registry spec string of the counter configuration
+            (``"central"``, ``"combining-tree?window=3.0"``, ...); any
+            spelling is accepted, the cache key uses the canonical form.
         n: number of processors.
         seed: seed for seeded delivery policies (ignored by the
             deterministic ones) and for the ``"shuffled"`` workload.
@@ -122,11 +75,20 @@ class SweepPoint:
     workload: str = "one-shot"
     trace_level: str = "loads"
 
+    def canonical_counter(self) -> str:
+        """The counter spec in canonical registry form."""
+        return canonical_spec(self.counter)
+
     def config_hash(self) -> str:
-        """Stable hex digest naming this configuration (cache key)."""
-        blob = json.dumps(
-            {"schema": _CACHE_SCHEMA, **asdict(self)}, sort_keys=True
-        )
+        """Stable hex digest naming this configuration (cache key).
+
+        The counter field is canonicalized first, so equivalent spec
+        spellings (reordered or defaulted parameters) share one cache
+        entry and every cached point is attributable to an exact
+        counter configuration.
+        """
+        payload = {**asdict(self), "counter": self.canonical_counter()}
+        blob = json.dumps({"schema": _CACHE_SCHEMA, **payload}, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -137,7 +99,10 @@ class SweepOutcome:
     ``loads`` is the full per-processor load vector (the paper's ``m_p``),
     so any load statistic can be derived without rerunning.  ``extras``
     carries counter-specific measurements (retirements, root ids used,
-    forwarded messages for the ww-tree).
+    forwarded messages for the ww-tree).  ``counter_spec`` is the
+    canonical registry spec the point resolved to, so cached results are
+    attributable to an exact counter configuration even if the point
+    spelled its spec loosely.
     """
 
     point: SweepPoint
@@ -147,6 +112,7 @@ class SweepOutcome:
     operations: int
     loads: dict[ProcessorId, int] = field(default_factory=dict)
     extras: dict[str, Any] = field(default_factory=dict)
+    counter_spec: str = ""
 
     @property
     def messages_per_op(self) -> float:
@@ -165,6 +131,7 @@ class SweepOutcome:
             "operations": self.operations,
             "loads": {str(pid): load for pid, load in self.loads.items()},
             "extras": self.extras,
+            "counter_spec": self.counter_spec,
         }
 
     @classmethod
@@ -178,6 +145,7 @@ class SweepOutcome:
             operations=payload["operations"],
             loads={int(pid): load for pid, load in payload["loads"].items()},
             extras=dict(payload.get("extras", {})),
+            counter_spec=str(payload.get("counter_spec", "")),
         )
 
 
@@ -188,34 +156,18 @@ def execute_point(point: SweepPoint) -> SweepOutcome:
     simulation is rebuilt from the point alone, which is what makes
     serial and parallel sweeps identical.
     """
-    from repro.workloads.driver import run_concurrent, run_sequence
-    from repro.workloads.sequences import one_shot, shuffled
+    from repro.registry import RunSession
 
-    factories = _counter_factories()
-    try:
-        factory = factories[point.counter]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown counter {point.counter!r}; "
-            f"expected one of {sorted(factories)}"
-        ) from None
-    network = Network(
-        policy=_make_policy(point.policy, point.seed),
-        trace_level=TraceLevel.coerce(point.trace_level),
+    session = RunSession(
+        point.counter,
+        point.n,
+        policy=point.policy,
+        seed=point.seed,
+        trace_level=point.trace_level,
     )
-    counter = factory(network, point.n)
-    if point.workload == "one-shot":
-        result = run_sequence(counter, one_shot(point.n))
-    elif point.workload == "one-shot-concurrent":
-        result = run_concurrent(counter, [one_shot(point.n)])
-    elif point.workload == "shuffled":
-        result = run_sequence(counter, shuffled(point.n, seed=point.seed))
-    else:
-        raise ConfigurationError(
-            f"unknown workload {point.workload!r}; "
-            f"expected one of {WORKLOAD_NAMES}"
-        )
-    trace = network.trace
+    result = session.run_workload(point.workload)
+    counter = session.counter
+    trace = session.network.trace
     bottleneck_pid, bottleneck_load = trace.bottleneck()
     extras: dict[str, Any] = {}
     retirements = getattr(counter, "retirements", None)
@@ -234,6 +186,7 @@ def execute_point(point: SweepPoint) -> SweepOutcome:
         operations=result.operation_count,
         loads=trace.loads(),
         extras=extras,
+        counter_spec=session.canonical,
     )
 
 

@@ -31,6 +31,7 @@ PUBLIC_MODULES = [
     "repro.experiments",
     "repro.lowerbound",
     "repro.quorum",
+    "repro.registry",
     "repro.sim",
     "repro.workloads",
 ]

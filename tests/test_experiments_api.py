@@ -65,15 +65,12 @@ class TestConstructionExperiments:
 
 class TestLowerBoundExperiments:
     def test_e3_bound_respected(self):
-        games = (("central", __import__("repro.counters", fromlist=["CentralCounter"]).CentralCounter, 8),)
-        result = run_e3(games=games, curve_ns=(8, 81))
+        result = run_e3(games=(("central", 8),), curve_ns=(8, 81))
         assert all(v == "yes" for v in result.table(0).column("m_b ≥ ⌊k⌋"))
         assert all(v == "yes" for v in result.table(0).column("AM-GM holds"))
 
     def test_e16_exact_at_least_greedy(self):
-        from repro.counters import CentralCounter
-
-        result = run_e16(games=(("central", CentralCounter, 5),))
+        result = run_e16(games=(("central", 5),))
         table = result.table()
         exact = table.column("exact worst m_b")[0]
         greedy = table.column("greedy m_b")[0]

@@ -1,0 +1,228 @@
+"""Tests for the counter registry, spec strings, and RunSession."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.errors import CapabilityError, ConfigurationError
+from repro.registry import (
+    POLICY_NAMES,
+    RunSession,
+    canonical_spec,
+    get_spec,
+    make_policy,
+    parse_spec,
+    registered_names,
+    registered_specs,
+    resolve_factory,
+)
+from repro.sim.network import Network
+from repro.workloads import one_shot, run_concurrent
+
+
+class TestSpecRoundTrips:
+    @pytest.mark.parametrize("name", registered_names())
+    def test_bare_name_round_trips(self, name):
+        ref = parse_spec(name)
+        assert ref.canonical == name
+        assert parse_spec(ref.canonical) == ref
+
+    def test_nondefault_params_round_trip(self):
+        ref = parse_spec("combining-tree?window=3.0&arity=4")
+        assert parse_spec(ref.canonical) == ref
+        assert ref.canonical == "combining-tree?arity=4&window=3.0"
+
+    def test_defaults_are_elided(self):
+        assert canonical_spec("combining-tree?arity=2&window=0.75") == (
+            "combining-tree"
+        )
+        assert canonical_spec("ww-tree?retire_threshold=0") == "ww-tree"
+
+    def test_parameter_order_is_canonicalized(self):
+        left = canonical_spec("diffracting-tree?seed=7&prism_size=8")
+        right = canonical_spec("diffracting-tree?prism_size=8&seed=7")
+        assert left == right == "diffracting-tree?prism_size=8&seed=7"
+
+    def test_parse_is_idempotent_on_refs(self):
+        ref = parse_spec("central")
+        assert parse_spec(ref) is ref
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("nonesuch")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("central?frequency=9")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("central?server_id")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("combining-tree?arity=2&arity=3")
+
+    def test_bounds_are_enforced(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("combining-tree?arity=1")
+        with pytest.raises(ConfigurationError):
+            parse_spec("ww-tree?interval_mode=sideways")
+
+
+class TestRegistryCompleteness:
+    def test_every_spec_builds_a_counter_with_matching_name(self):
+        n = 16  # square and a power of two: every spec accepts it
+        for spec in registered_specs():
+            assert spec.supports_n(n) is None
+            network = Network()
+            counter = spec.build(network, n)
+            assert counter.name == spec.name, (
+                f"{spec.name}: built counter reports name {counter.name!r}"
+            )
+
+    def test_every_counter_module_is_registered(self):
+        # Mirror of scripts/check_registry.py, kept in-suite so a fresh
+        # implementation without a spec fails the tests too.
+        root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        modules = {
+            path.stem
+            for path in (root / "counters").glob("*.py")
+            if path.stem != "__init__"
+        }
+        base_names = {name.partition("[")[0] for name in registered_names()}
+        missing = {
+            module
+            for module in modules
+            if module.replace("_", "-") not in base_names
+            and module not in ("counting_network", "combining_tree",
+                               "diffracting_tree", "static_tree")
+        }
+        for module, slug in (
+            ("counting_network", "counting-network"),
+            ("combining_tree", "combining-tree"),
+            ("diffracting_tree", "diffracting-tree"),
+            ("static_tree", "static-tree"),
+        ):
+            if slug not in base_names:
+                missing.add(module)
+        assert not missing, f"counter modules without a spec: {missing}"
+        assert "ww-tree" in base_names
+        assert "quorum" in base_names
+
+    def test_capability_flags_consistent_with_class(self):
+        for spec in registered_specs():
+            assert spec.capabilities.supports_concurrent == (
+                not spec.capabilities.sequential_only
+            )
+
+
+class TestCapabilityEnforcement:
+    def _sequential_only_specs(self):
+        return [s for s in registered_specs() if s.capabilities.sequential_only]
+
+    def test_registry_declares_sequential_only_counters(self):
+        names = {s.name for s in self._sequential_only_specs()}
+        assert "arrow" in names
+        assert "quorum[maekawa]" in names
+
+    @pytest.mark.parametrize(
+        "name",
+        [s.name for s in registered_specs() if s.capabilities.sequential_only],
+    )
+    def test_concurrent_driver_fails_fast(self, name):
+        spec = get_spec(name)
+        n = 16  # square, so every quorum system accepts it
+        network = Network()
+        counter = spec.build(network, n)
+        with pytest.raises(CapabilityError) as excinfo:
+            run_concurrent(counter, [one_shot(n)])
+        assert name in str(excinfo.value)
+
+    def test_run_session_concurrent_fails_fast_on_arrow(self):
+        session = RunSession("arrow", 8)
+        with pytest.raises(CapabilityError):
+            session.run_concurrent()
+
+    def test_square_n_requirement(self):
+        spec = get_spec("quorum[maekawa]")
+        assert spec.supports_n(16) is None
+        assert spec.supports_n(12) is not None
+        with pytest.raises(CapabilityError):
+            spec.check_n(12)
+        with pytest.raises(CapabilityError):
+            RunSession("quorum[maekawa]", 12)
+
+    def test_capability_error_is_a_configuration_error(self):
+        assert issubclass(CapabilityError, ConfigurationError)
+
+
+class TestRunSession:
+    def test_sequential_run_counts(self):
+        session = RunSession("central", 16)
+        result = session.run_sequence()
+        assert result.values() == list(range(16))
+        assert session.canonical == "central"
+
+    def test_session_records_canonical_spec(self):
+        session = RunSession("combining-tree?arity=2&window=0.75", 8)
+        assert session.canonical == "combining-tree"
+
+    def test_policy_by_name(self):
+        session = RunSession("central", 8, policy="random", seed=3)
+        result = session.run_sequence()
+        assert result.bottleneck_load() > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("postal")
+        assert "unit" in POLICY_NAMES
+
+    def test_unknown_workload_rejected(self):
+        session = RunSession("central", 8)
+        with pytest.raises(ConfigurationError):
+            session.run_workload("marathon")
+
+    def test_resolve_factory_passthrough(self):
+        calls = []
+
+        def factory(network, n):
+            calls.append(n)
+            return parse_spec("central").build(network, n)
+
+        resolved = resolve_factory(factory)
+        assert resolved is factory
+
+
+class TestCountersSubcommand:
+    def _run(self, capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_lists_every_registered_name(self, capsys):
+        code, out, _ = self._run(capsys, "counters")
+        assert code == 0
+        for name in registered_names():
+            assert name in out
+
+    def test_shows_capability_flags(self, capsys):
+        code, out, _ = self._run(capsys, "counters")
+        assert code == 0
+        assert "sequential-only" in out
+
+    def test_verbose_lists_tunables(self, capsys):
+        code, out, _ = self._run(capsys, "counters", "--verbose")
+        assert code == 0
+        assert "window" in out
+        assert "retire_threshold" in out
+
+    def test_run_rejects_bad_spec(self, capsys):
+        code, _, err = self._run(
+            capsys, "run", "--counter", "nonesuch", "--n", "8"
+        )
+        assert code == 2
+        assert "bad counter spec" in err
