@@ -1,20 +1,40 @@
-"""E18: thin benchmark wrapper.
+"""E18, E20, E21: thin benchmark wrappers.
 
-The experiment's logic lives in :mod:`repro.experiments` (callable as
-``repro.experiments.run_e18()`` or via ``python -m repro experiment
-E18``); this wrapper times one canonical execution under
-pytest-benchmark and saves the table to ``benchmarks/results/``.
+The experiments' logic lives in :mod:`repro.experiments` (callable as
+``repro.experiments.run_e18()`` etc. or via ``python -m repro
+experiment E18``); these wrappers time one canonical execution each
+under pytest-benchmark and save the tables to ``benchmarks/results/``.
+E20/E21 cover the faulty regime (message loss, duplication, crash
+windows) behind the reliable transport and carry the ``faults`` marker
+so CI can run the fault suite on its own.
 """
 
 from __future__ import annotations
 
+import pytest
 from conftest import save_report
 
-from repro.experiments import run_e18
+from repro.experiments import run_e18, run_e20, run_e21
 
 
 def test_delivery_robustness(benchmark):
     result = benchmark.pedantic(run_e18, rounds=1, iterations=1)
     report = result.to_text()
     save_report("E18_delivery_robustness", report)
+    assert report
+
+
+@pytest.mark.faults
+def test_loss_tolerance(benchmark):
+    result = benchmark.pedantic(run_e20, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E20_loss_tolerance", report)
+    assert report
+
+
+@pytest.mark.faults
+def test_graceful_degradation(benchmark):
+    result = benchmark.pedantic(run_e21, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E21_graceful_degradation", report)
     assert report

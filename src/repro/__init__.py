@@ -59,14 +59,17 @@ from repro.registry import (
     registered_specs,
 )
 from repro.sim import (
+    FaultPlan,
     Message,
     MessageRecord,
     Network,
     Processor,
     RandomDelay,
+    ReliableTransport,
     SkewedDelay,
     Trace,
     UnitDelay,
+    parse_fault_spec,
 )
 from repro.workloads import (
     RunResult,
@@ -86,6 +89,7 @@ __all__ = [
     "CounterRef",
     "CounterSpec",
     "DistributedCounter",
+    "FaultPlan",
     "IntervalMode",
     "InvariantViolationError",
     "Message",
@@ -95,6 +99,7 @@ __all__ = [
     "Processor",
     "ProtocolError",
     "RandomDelay",
+    "ReliableTransport",
     "ReproError",
     "RunResult",
     "RunSession",
@@ -111,6 +116,7 @@ __all__ = [
     "lower_bound_k",
     "one_shot",
     "paper_k_for",
+    "parse_fault_spec",
     "parse_spec",
     "registered_names",
     "registered_specs",

@@ -42,6 +42,12 @@ class Capabilities:
             two.
         needs_square_n: the wiring requires ``n`` to be a perfect square
             (e.g. the Maekawa-grid quorum counter).
+        tolerates_message_loss: operations still complete correctly when
+            the network may drop messages.  No bare protocol in this
+            repo does (the paper's model is failure-free); the flag
+            becomes true only when a counter runs behind
+            :class:`~repro.sim.transport.ReliableTransport`, and the
+            registry refuses lossy fault plans on counters without it.
         restriction: one human-readable sentence naming the reason for
             the strongest restriction; used verbatim in
             :class:`~repro.errors.CapabilityError` messages.
@@ -51,6 +57,7 @@ class Capabilities:
     supports_retirement: bool = False
     needs_power_of_two_n: bool = False
     needs_square_n: bool = False
+    tolerates_message_loss: bool = False
     restriction: str = ""
 
     @property
@@ -70,6 +77,8 @@ class Capabilities:
             labels.append("n=2^i")
         if self.needs_square_n:
             labels.append("n=i^2")
+        if self.tolerates_message_loss:
+            labels.append("loss-tolerant")
         return tuple(labels)
 
 

@@ -85,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--concurrent", action="store_true",
         help="inject all incs as one concurrent batch",
     )
+    run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-spec string, e.g. drop=0.05,dup=0.01 or crash=3@t50 "
+             "(seeded by --seed; lossy specs require --reliable)",
+    )
+    run.add_argument(
+        "--reliable", action="store_true",
+        help="run the counter behind the ack/retransmit transport so it "
+             "tolerates message loss",
+    )
     run.add_argument("--top", type=int, default=5, help="hottest processors shown")
 
     counters = commands.add_parser(
@@ -106,6 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the sweep grid (default: serial)",
+    )
+    sweep.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-spec string applied to every grid point "
+             "(lossy specs require --reliable)",
+    )
+    sweep.add_argument(
+        "--reliable", action="store_true",
+        help="run every grid point behind the ack/retransmit transport",
     )
 
     adversary = commands.add_parser(
@@ -165,7 +184,12 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         session = RunSession(
-            args.counter, args.n, policy=args.policy, seed=args.seed
+            args.counter,
+            args.n,
+            policy=args.policy,
+            seed=args.seed,
+            faults=args.faults,
+            reliable=args.reliable,
         )
     except ConfigurationError as error:
         print(f"bad counter spec: {error}", file=sys.stderr)
@@ -189,6 +213,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"counter:    {session.canonical}  (n={args.n}, "
           f"policy={args.policy}, "
           f"{'concurrent' if args.concurrent else 'sequential'})")
+    if session.fault_plan is not None:
+        counts = session.fault_plan.counts
+        injected = ", ".join(
+            f"{kind}:{count}" for kind, count in sorted(counts.items())
+        ) or "none"
+        print(f"faults:     {session.fault_plan.spec}  (injected: {injected})")
+    if session.transport is not None:
+        stats = session.transport_stats()
+        print(f"transport:  reliable — {stats['data_sent']} data, "
+              f"{stats['retransmissions']} retransmits, "
+              f"{stats['duplicates_suppressed']} dupes suppressed, "
+              f"overhead {session.transport.overhead_ratio():.3f}")
     print(f"operations: {result.operation_count}, all values correct")
     print(f"messages:   {result.total_messages} total, "
           f"{result.average_messages_per_op():.2f} per op")
@@ -207,20 +243,29 @@ def _cmd_counters(args: argparse.Namespace) -> int:
     rows = []
     for spec in registered_specs():
         flags = ", ".join(spec.capabilities.flags()) or "-"
+        loss = (
+            "yes"
+            if spec.capabilities.tolerates_message_loss
+            else "via --reliable"
+        )
         tunables = (
             ", ".join(
                 f"{t.name}={t.format(t.default)}" for t in spec.tunables
             )
             or "-"
         )
-        rows.append([spec.name, flags, tunables, spec.summary])
+        rows.append([spec.name, flags, loss, tunables, spec.summary])
     print(
         format_table(
-            ["counter", "capabilities", "tunables (defaults)", "summary"],
+            ["counter", "capabilities", "msg loss", "tunables (defaults)",
+             "summary"],
             rows,
             title=f"Counter registry ({len(rows)} specs)",
         )
     )
+    print("\nmsg loss: no bare protocol tolerates dropped messages (the "
+          "paper's model is failure-free);\npass --reliable to run any spec "
+          "behind the ack/retransmit transport ('loss-tolerant' flag).")
     if args.verbose:
         for spec in registered_specs():
             if not spec.tunables:
@@ -262,18 +307,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.workloads import SweepPoint, SweepRunner
 
     runner = SweepRunner(workers=args.workers)
-    points = [SweepPoint(counter=name, n=n) for name in names for n in ns]
-    loads = runner.bottlenecks(points)
+    transport = "reliable" if args.reliable else "bare"
+    points = [
+        SweepPoint(
+            counter=name,
+            n=n,
+            faults=args.faults or "",
+            transport=transport,
+        )
+        for name in names
+        for n in ns
+    ]
+    try:
+        loads = runner.bottlenecks(points)
+    except ConfigurationError as error:  # e.g. lossy faults without --reliable
+        print(str(error), file=sys.stderr)
+        return 2
     rows = []
     for index, name in enumerate(names):
         start = index * len(ns)
         rows.append([name, *loads[start : start + len(ns)]])
     rows.append(["k(n) bound"] + [f"{lower_bound_k(n):.2f}" for n in ns])
+    title = "Sequential one-shot bottleneck sweep"
+    if args.faults:
+        title += f" (faults: {args.faults}, transport: {transport})"
     print(
         format_table(
             ["counter"] + [f"m_b @ n={n}" for n in ns],
             rows,
-            title="Sequential one-shot bottleneck sweep",
+            title=title,
         )
     )
     return 0

@@ -46,7 +46,31 @@ class SimulationLimitError(SimulationError):
     A correct counter protocol quiesces after every operation; hitting the
     event limit almost always means a protocol bug (a message loop) rather
     than a genuinely long execution, so this is an error and not a warning.
+    Fault-injected runs hit it more often (retransmission storms, a peer
+    crashed with no recovery), so the error carries enough state to act
+    on: how many events ran, how many messages were still in flight, and
+    which counter configuration was running.
+
+    Attributes:
+        events_executed: events executed when the budget ran out, or
+            ``None`` when the raiser did not supply it.
+        in_flight: messages in flight at that moment, or ``None``.
+        context: the network's ``run_context`` label (typically the
+            canonical counter spec), or ``""``.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        events_executed: int | None = None,
+        in_flight: int | None = None,
+        context: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.events_executed = events_executed
+        self.in_flight = in_flight
+        self.context = context
 
 
 class ProtocolError(SimulationError):

@@ -1,4 +1,4 @@
-"""E18 and E19: robustness of the measurements and the excluded regime.
+"""E18–E21: robustness — schedules, skew, and injected faults.
 
 * E18 — delivery robustness: the paper's quantities are message counts,
   which should barely move under different asynchronous schedules.
@@ -10,13 +10,24 @@
   skew grows, split into the hottest *initiator's* own load vs the
   hottest *non-initiator* — showing the residual bottleneck is the
   workload's, not the structure's.
+* E20 — loss tolerance: the paper's model is failure-free, but its
+  bottleneck claim is about *message counts*, which survive a lossy
+  network once a reliable transport restores exactly-once delivery.
+  Measured: every one-shot completes with correct values at increasing
+  drop rates, and the bottleneck ordering (central ≫ trees) persists —
+  retransmissions inflate loads roughly uniformly, they do not
+  redistribute them.
+* E21 — graceful degradation: duplication storms, a crashed window on a
+  hot processor, and compound loss+crash scenarios on the tree
+  counters.  Measured: completion, retransmit overhead, and bottleneck
+  against the clean baseline.
 """
 
 from __future__ import annotations
 
 from repro.analysis.stats import summarize_over_seeds
 from repro.experiments.base import ExperimentResult, make_table
-from repro.registry import parse_spec
+from repro.registry import RunSession, parse_spec
 from repro.sim.network import Network
 from repro.sim.policies import RandomDelay
 from repro.workloads import one_shot, run_sequence, zipf_sequence
@@ -138,6 +149,158 @@ def run_e19(
                     "and receive its own ops'\nmessages) dominates while "
                     "non-initiating workers stay flat — the paper's reason "
                     "for\nstating the bound at one inc per processor."
+                ),
+            ),
+        ),
+    )
+
+
+LOSS_COUNTERS = (
+    "central",
+    "static-tree",
+    "ww-tree",
+    "quorum[majority]",
+    "quorum[maekawa]",
+)
+"""Counters of the loss-tolerance comparison (n=25 keeps maekawa legal)."""
+
+
+def run_e20(
+    n: int = 25,
+    drops: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1),
+    seed: int = 3,
+) -> ExperimentResult:
+    """E20: one-shot completion and bottleneck under increasing loss."""
+    rows = []
+    for name in LOSS_COUNTERS:
+        for drop in drops:
+            session = RunSession(
+                name,
+                n,
+                policy="random",
+                seed=seed,
+                faults=f"drop={drop}" if drop else None,
+                reliable=True,
+            )
+            # check_values=True: a wrong or missing value raises, so a
+            # printed row *is* the completion proof.
+            result = session.run_sequence()
+            stats = session.transport_stats()
+            assert session.transport is not None
+            rows.append(
+                [
+                    name,
+                    f"{drop:.2f}",
+                    result.bottleneck_load(),
+                    stats["retransmissions"],
+                    f"{session.transport.overhead_ratio():.3f}",
+                    "yes",
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="E20",
+        claim="behind a reliable transport every counter completes "
+        "correctly under message loss, and the bottleneck ordering of the "
+        "failure-free model persists",
+        tables=(
+            make_table(
+                f"E20: one-shot under drop rates (n={n}, random delays, "
+                f"seed={seed}, reliable transport)",
+                [
+                    "counter",
+                    "drop",
+                    "bottleneck m_b",
+                    "retransmits",
+                    "overhead",
+                    "all correct",
+                ],
+                rows,
+                note=(
+                    "Per counter, the bottleneck grows by roughly the "
+                    "retransmit overhead factor\nand no more — loss "
+                    "changes constants, not which processor is hot or "
+                    "why.\ndrop=0.00 rows show the transport itself is "
+                    "free of spurious retransmits\n(overhead exactly "
+                    "1.000)."
+                ),
+            ),
+        ),
+    )
+
+
+DEGRADATION_SCENARIOS = (
+    ("clean", None),
+    ("duplication", "dup=0.05x2"),
+    ("crash window", "crash=2@t40-t120"),
+    ("loss + crash", "drop=0.05,crash=2@t40-t120"),
+)
+"""E21 scenarios: label → fault spec (processor 2 is a hot inner node)."""
+
+
+def run_e21(
+    n: int = 27,
+    seed: int = 5,
+    counters: tuple[str, ...] = ("static-tree", "ww-tree"),
+) -> ExperimentResult:
+    """E21: graceful degradation of the tree counters under compound faults."""
+    rows = []
+    for name in counters:
+        baseline: int | None = None
+        for label, faults in DEGRADATION_SCENARIOS:
+            session = RunSession(
+                name,
+                n,
+                policy="random",
+                seed=seed,
+                faults=faults,
+                reliable=True,
+            )
+            result = session.run_sequence()
+            stats = session.transport_stats()
+            assert session.transport is not None
+            bottleneck = result.bottleneck_load()
+            if baseline is None:
+                baseline = bottleneck
+            injected = (
+                session.fault_plan.counts if session.fault_plan else {}
+            )
+            rows.append(
+                [
+                    name,
+                    label,
+                    bottleneck,
+                    f"{bottleneck / baseline:.2f}x",
+                    stats["retransmissions"],
+                    f"{session.transport.overhead_ratio():.3f}",
+                    sum(injected.values()),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="E21",
+        claim="tree counters degrade gracefully: duplication, a crashed "
+        "window on a hot node, and compound loss+crash slow them down but "
+        "never corrupt the count",
+        tables=(
+            make_table(
+                f"E21: degradation scenarios (n={n}, random delays, "
+                f"seed={seed}, reliable transport)",
+                [
+                    "counter",
+                    "scenario",
+                    "bottleneck m_b",
+                    "vs clean",
+                    "retransmits",
+                    "overhead",
+                    "faults injected",
+                ],
+                rows,
+                note=(
+                    "Processor 2 is an inner tree node in both wirings; "
+                    "while it is down the\ntransport keeps retrying with "
+                    "capped backoff and delivery resumes on recovery.\n"
+                    "Duplicates are absorbed by sequence-number "
+                    "suppression, so values stay exact\nin every scenario "
+                    "(rows only print if check_values passed)."
                 ),
             ),
         ),

@@ -35,8 +35,10 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.api import Capabilities, DistributedCounter
 from repro.errors import CapabilityError, ConfigurationError
+from repro.sim.faults import FaultPlan, parse_fault_spec
 from repro.sim.messages import ProcessorId
 from repro.sim.network import Network
+from repro.sim.transport import ReliableTransport
 from repro.sim.policies import (
     CongestedDelay,
     DeliveryPolicy,
@@ -393,9 +395,20 @@ class RunSession:
         policy: delivery policy — a :data:`POLICY_NAMES` name, a
             :class:`~repro.sim.policies.DeliveryPolicy` instance, or
             ``None`` for unit delays.
-        seed: seed for seeded policies and the ``"shuffled"`` workload.
+        seed: seed for seeded policies, fault plans, and the
+            ``"shuffled"`` workload.
         trace_level: tracing fidelity for the session's network.
         event_limit: event budget override (``None`` keeps the default).
+        faults: fault-spec string (see
+            :func:`~repro.sim.faults.parse_fault_spec`) or a prebuilt
+            :class:`~repro.sim.faults.FaultPlan`; ``None`` keeps the
+            paper's failure-free model.
+        reliable: wrap the counter behind a
+            :class:`~repro.sim.transport.ReliableTransport` so it
+            survives lossy fault plans.  A lossy ``faults`` spec without
+            ``reliable=True`` fails fast with
+            :class:`~repro.errors.CapabilityError` — no registered
+            protocol tolerates message loss on its own.
     """
 
     def __init__(
@@ -407,20 +420,52 @@ class RunSession:
         seed: int = 0,
         trace_level: TraceLevel | str = TraceLevel.FULL,
         event_limit: int | None = None,
+        faults: str | FaultPlan | None = None,
+        reliable: bool = False,
     ) -> None:
         self._ref = parse_spec(counter)
         self._seed = seed
         self._ref.spec.check_n(n)
         if isinstance(policy, str):
             policy = make_policy(policy, seed)
+        fault_plan: FaultPlan | None
+        if faults is None:
+            fault_plan = None
+        elif isinstance(faults, FaultPlan):
+            fault_plan = faults
+        else:
+            text = faults.strip()
+            fault_plan = parse_fault_spec(text, seed=seed) if text else None
+        capabilities = self._ref.capabilities
+        if reliable:
+            capabilities = replace(capabilities, tolerates_message_loss=True)
+        self._capabilities = capabilities
+        if (
+            fault_plan is not None
+            and fault_plan.lossy
+            and not capabilities.tolerates_message_loss
+        ):
+            raise CapabilityError(
+                f"fault plan {fault_plan.spec!r} can lose messages, but "
+                f"counter {self._ref.canonical!r} does not tolerate "
+                "message loss; rerun with reliable=True (CLI: --reliable) "
+                "to put it behind the retransmitting transport"
+            )
         network_kwargs: dict[str, Any] = {
             "policy": policy,
             "trace_level": trace_level,
         }
         if event_limit is not None:
             network_kwargs["event_limit"] = event_limit
+        if fault_plan is not None:
+            network_kwargs["fault_plan"] = fault_plan
         self.network = Network(**network_kwargs)
-        self.counter = self._ref.build(self.network, n)
+        self.network.run_context = self._ref.canonical
+        self.transport: ReliableTransport | None = (
+            ReliableTransport(self.network) if reliable else None
+        )
+        fabric = self.transport if self.transport is not None else self.network
+        self.counter = self._ref.build(fabric, n)
 
     @property
     def ref(self) -> CounterRef:
@@ -431,6 +476,24 @@ class RunSession:
     def canonical(self) -> str:
         """Canonical spec string of the session's counter."""
         return self._ref.canonical
+
+    @property
+    def capabilities(self) -> Capabilities:
+        """The *effective* capability record of this session's counter:
+        the spec's declaration, plus ``tolerates_message_loss`` when the
+        counter runs behind the reliable transport."""
+        return self._capabilities
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        """The installed fault plan, or ``None`` for failure-free runs."""
+        return self.network.fault_plan
+
+    def transport_stats(self) -> dict[str, int]:
+        """Reliable-transport counters (empty dict on bare sessions)."""
+        if self.transport is None:
+            return {}
+        return self.transport.stats()
 
     @property
     def n(self) -> int:

@@ -18,11 +18,31 @@ Public surface:
 * delivery policies — :class:`UnitDelay`, :class:`RandomDelay`,
   :class:`FifoRandomDelay`, :class:`SkewedDelay`, and
   :class:`CongestedDelay` (store-and-forward queueing).
+* fault injection — :class:`FaultPlan` composed of :class:`FaultRule`
+  instances (:class:`DropRule`, :class:`DuplicateRule`,
+  :class:`ReorderRule`, :class:`PartitionRule`, :class:`CrashRule`),
+  parsed from compact spec strings by :func:`parse_fault_spec`.
+* :class:`ReliableTransport` — ack/timeout/retransmit wrapper that lets
+  unmodified counters survive lossy fault plans.
 """
 
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import (
+    CrashRule,
+    DropRule,
+    DuplicateRule,
+    FaultOutcome,
+    FaultPlan,
+    FaultRecord,
+    FaultRule,
+    PartitionRule,
+    ReorderRule,
+    canonical_fault_spec,
+    parse_fault_spec,
+)
 from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
 from repro.sim.network import DEFAULT_EVENT_LIMIT, Network
+from repro.sim.transport import ACK_KIND, DATA_KIND, ReliableTransport
 from repro.sim.policies import (
     CongestedDelay,
     DeliveryPolicy,
@@ -36,11 +56,20 @@ from repro.sim.processor import InertProcessor, Processor
 from repro.sim.trace import Trace, TraceLevel, merge_loads
 
 __all__ = [
+    "ACK_KIND",
     "CongestedDelay",
+    "CrashRule",
+    "DATA_KIND",
     "DEFAULT_EVENT_LIMIT",
     "DeliveryPolicy",
+    "DropRule",
+    "DuplicateRule",
     "Event",
     "EventQueue",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultRule",
     "FifoRandomDelay",
     "InertProcessor",
     "Message",
@@ -48,13 +77,18 @@ __all__ = [
     "NO_OP",
     "Network",
     "OpIndex",
+    "PartitionRule",
     "Processor",
     "ProcessorId",
     "RandomDelay",
+    "ReliableTransport",
+    "ReorderRule",
     "SkewedDelay",
     "Trace",
     "TraceLevel",
     "UnitDelay",
+    "canonical_fault_spec",
     "merge_loads",
+    "parse_fault_spec",
     "standard_policies",
 ]

@@ -1,0 +1,646 @@
+"""Opt-in fault injection: breaking the paper's failure-free promise.
+
+The paper's model (§2) guarantees messages are "never lost, duplicated
+or corrupted".  This module is the deliberate, *opt-in* departure from
+that guarantee: a seeded, deterministic :class:`FaultPlan` the network
+consults on its send path.  With no plan installed the simulator is
+byte-identical to the failure-free substrate (the faulty send path is
+swapped in only by :meth:`~repro.sim.network.Network.install_fault_plan`,
+so the clean path carries zero extra work); with a plan installed, every
+injected fault becomes a first-class :class:`FaultRecord` in both the
+plan's ledger and the execution trace.
+
+A plan composes :class:`FaultRule` instances, evaluated in order per
+message:
+
+* :class:`DropRule` — lose a message with some probability;
+* :class:`DuplicateRule` — deliver extra copies with some probability;
+* :class:`ReorderRule` — boost a message's delay with some probability,
+  forcing reorderings far beyond what the delivery policy produces;
+* :class:`PartitionRule` — drop every message crossing a two-group cut
+  during a time window;
+* :class:`CrashRule` — a processor is down during a window: it neither
+  sends (messages sent while crashed are lost) nor receives (messages
+  that would arrive while it is down are lost).
+
+Determinism: all randomness lives in the plan's seeded generator, rules
+are evaluated in a fixed order, and a rule draws only when it is
+reached, so two runs with equal seeds inject identical faults.  The
+plan :meth:`FaultPlan.fork`/:meth:`FaultPlan.reset` contract mirrors
+:meth:`~repro.sim.policies.DeliveryPolicy.fork`: forks are independent
+and equivalently seeded, which is what keeps parallel sweep workers
+isolated.
+
+Fault specs are strings for the CLI/sweep layer
+(:func:`parse_fault_spec`)::
+
+    drop=0.05,dup=0.01,reorder=0.1,crash=3@t50,partition=1..4|5..8@t10-t50
+
+Loads under faults: the trace counts *delivered* messages, so a dropped
+message adds load to nobody — the retransmission that replaces it (see
+:mod:`repro.sim.transport`) is what shows up in ``m_p``.  Duplicates are
+real traffic and are counted per delivered copy.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import NamedTuple, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.messages import Message, OpIndex, ProcessorId
+
+__all__ = [
+    "CrashRule",
+    "DropRule",
+    "DuplicateRule",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultRule",
+    "PartitionRule",
+    "ReorderRule",
+    "canonical_fault_spec",
+    "parse_fault_spec",
+]
+
+
+class FaultRecord(NamedTuple):
+    """One injected fault, as recorded by the plan and the trace.
+
+    Attributes:
+        time: simulated send time of the affected message.
+        kind: fault family — ``"drop"``, ``"duplicate"``, ``"reorder"``,
+            ``"partition"`` or ``"crash"``.
+        sender: sender of the affected message.
+        receiver: receiver of the affected message.
+        op_index: operation the affected message belongs to.
+        uid: network uid of the affected message.
+        detail: human-readable specifics (copies added, boost size, ...).
+    """
+
+    time: float
+    kind: str
+    sender: ProcessorId
+    receiver: ProcessorId
+    op_index: OpIndex
+    uid: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[t={self.time:g}] {self.kind} {self.sender}->{self.receiver} "
+            f"(op {self.op_index}, uid {self.uid}) {self.detail}"
+        )
+
+
+class _Effect(NamedTuple):
+    """One rule's contribution to a message's fate (internal)."""
+
+    drop_reason: str | None = None
+    detail: str = ""
+    copy_delays: tuple[float, ...] = ()
+    extra_delay: float = 0.0
+
+
+class FaultOutcome(NamedTuple):
+    """What the plan decided for one message (``None`` means untouched).
+
+    Attributes:
+        delivery_times: absolute simulated times at which copies of the
+            message are delivered; empty when the message was dropped.
+        records: the :class:`FaultRecord` entries the decision produced.
+    """
+
+    delivery_times: tuple[float, ...]
+    records: tuple[FaultRecord, ...]
+
+
+class FaultRule(ABC):
+    """One composable ingredient of a :class:`FaultPlan`.
+
+    Rules are evaluated in plan order for every sent message.  A rule
+    that drops the message short-circuits the rest; non-dropping effects
+    (duplicates, delay boosts) accumulate.
+    """
+
+    #: True if this rule can ever lose a message — plans containing a
+    #: lossy rule require counters to run behind the reliable transport.
+    can_drop: bool = False
+
+    @abstractmethod
+    def judge(
+        self,
+        message: Message,
+        send_time: float,
+        deliver_time: float,
+        rng: random.Random,
+    ) -> _Effect | None:
+        """Return this rule's effect on *message*, or ``None`` for none."""
+
+    @abstractmethod
+    def spec_fragment(self) -> str:
+        """The rule's canonical fault-spec fragment."""
+
+    def fork(self) -> "FaultRule":
+        """A fresh, equivalently configured rule (stateless rules: self)."""
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec_fragment()!r})"
+
+
+def _check_probability(name: str, probability: float) -> float:
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(
+            f"{name} probability must be in [0, 1], got {probability}"
+        )
+    return float(probability)
+
+
+class DropRule(FaultRule):
+    """Lose each message independently with probability *probability*."""
+
+    def __init__(self, probability: float) -> None:
+        self.probability = _check_probability("drop", probability)
+        self.can_drop = self.probability > 0.0
+
+    def judge(self, message, send_time, deliver_time, rng):
+        if self.probability and rng.random() < self.probability:
+            return _Effect(drop_reason="drop", detail=f"p={self.probability}")
+        return None
+
+    def spec_fragment(self) -> str:
+        return f"drop={self.probability:g}"
+
+
+class DuplicateRule(FaultRule):
+    """Deliver *copies* extra copies with probability *probability*.
+
+    Extra copies are delayed by an additional uniform draw in
+    ``[0, spread]`` beyond the original delivery time, so duplicates
+    arrive out of order with the original — the worst case a
+    deduplicating transport must handle.
+    """
+
+    def __init__(
+        self, probability: float, copies: int = 1, spread: float = 10.0
+    ) -> None:
+        self.probability = _check_probability("dup", probability)
+        if copies < 1:
+            raise ConfigurationError(f"dup copies must be >= 1, got {copies}")
+        if spread < 0:
+            raise ConfigurationError(f"dup spread must be >= 0, got {spread}")
+        self.copies = int(copies)
+        self.spread = float(spread)
+
+    def judge(self, message, send_time, deliver_time, rng):
+        if self.probability and rng.random() < self.probability:
+            delays = tuple(
+                rng.uniform(0.0, self.spread) for _ in range(self.copies)
+            )
+            return _Effect(
+                detail=f"+{self.copies} copies", copy_delays=delays
+            )
+        return None
+
+    def spec_fragment(self) -> str:
+        if self.copies == 1:
+            return f"dup={self.probability:g}"
+        return f"dup={self.probability:g}x{self.copies}"
+
+
+class ReorderRule(FaultRule):
+    """Boost a message's delay with probability *probability*.
+
+    The boost is a uniform draw in ``[0, max_boost]`` added to the
+    policy's delay — enough to push a message behind traffic sent long
+    after it, which is the reordering regime FIFO-assuming protocols
+    break under.
+    """
+
+    def __init__(self, probability: float, max_boost: float = 10.0) -> None:
+        self.probability = _check_probability("reorder", probability)
+        if max_boost <= 0:
+            raise ConfigurationError(
+                f"reorder max_boost must be > 0, got {max_boost}"
+            )
+        self.max_boost = float(max_boost)
+
+    def judge(self, message, send_time, deliver_time, rng):
+        if self.probability and rng.random() < self.probability:
+            boost = rng.uniform(0.0, self.max_boost)
+            return _Effect(detail=f"+{boost:.2f} delay", extra_delay=boost)
+        return None
+
+    def spec_fragment(self) -> str:
+        if self.max_boost == 10.0:
+            return f"reorder={self.probability:g}"
+        return f"reorder={self.probability:g}@{self.max_boost:g}"
+
+
+class PartitionRule(FaultRule):
+    """Drop every message crossing the cut between two groups in a window.
+
+    The partition is active for send times in ``[start, end)``.  Messages
+    within one group, or with an endpoint outside both groups, pass.
+    """
+
+    can_drop = True
+
+    def __init__(
+        self,
+        group_a: Sequence[ProcessorId],
+        group_b: Sequence[ProcessorId],
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> None:
+        self.group_a = frozenset(group_a)
+        self.group_b = frozenset(group_b)
+        if not self.group_a or not self.group_b:
+            raise ConfigurationError("partition groups must be non-empty")
+        if self.group_a & self.group_b:
+            raise ConfigurationError(
+                "partition groups must be disjoint, got overlap "
+                f"{sorted(self.group_a & self.group_b)}"
+            )
+        if end <= start:
+            raise ConfigurationError(
+                f"partition window must satisfy start < end, got "
+                f"[{start}, {end})"
+            )
+        self.start = float(start)
+        self.end = float(end)
+
+    def judge(self, message, send_time, deliver_time, rng):
+        if not self.start <= send_time < self.end:
+            return None
+        sender, receiver = message[0], message[1]
+        crosses = (sender in self.group_a and receiver in self.group_b) or (
+            sender in self.group_b and receiver in self.group_a
+        )
+        if crosses:
+            return _Effect(
+                drop_reason="partition",
+                detail=f"window [{self.start:g}, {self.end:g})",
+            )
+        return None
+
+    def spec_fragment(self) -> str:
+        def _group(ids: frozenset[ProcessorId]) -> str:
+            ordered = sorted(ids)
+            if ordered == list(range(ordered[0], ordered[-1] + 1)):
+                return f"{ordered[0]}..{ordered[-1]}"
+            return "+".join(str(pid) for pid in ordered)
+
+        window = f"@t{self.start:g}" + (
+            f"-t{self.end:g}" if self.end != math.inf else ""
+        )
+        return f"partition={_group(self.group_a)}|{_group(self.group_b)}{window}"
+
+
+class CrashRule(FaultRule):
+    """Processor *pid* is down for send/arrival times in ``[start, end)``.
+
+    While down, the processor sends nothing (messages it would send are
+    lost) and receives nothing (messages that would *arrive* during the
+    window are lost — the wire eats them, matching a crash that wipes
+    the inbound queue).  ``end=inf`` models a crash with no recovery.
+    """
+
+    can_drop = True
+
+    def __init__(
+        self, pid: ProcessorId, start: float, end: float = math.inf
+    ) -> None:
+        if pid <= 0:
+            raise ConfigurationError(f"crash pid must be positive, got {pid}")
+        if end <= start:
+            raise ConfigurationError(
+                f"crash window must satisfy start < end, got [{start}, {end})"
+            )
+        self.pid = pid
+        self.start = float(start)
+        self.end = float(end)
+
+    def judge(self, message, send_time, deliver_time, rng):
+        pid = self.pid
+        if message[0] == pid and self.start <= send_time < self.end:
+            return _Effect(drop_reason="crash", detail=f"sender {pid} down")
+        if message[1] == pid and self.start <= deliver_time < self.end:
+            return _Effect(drop_reason="crash", detail=f"receiver {pid} down")
+        return None
+
+    def spec_fragment(self) -> str:
+        window = f"@t{self.start:g}" + (
+            f"-t{self.end:g}" if self.end != math.inf else ""
+        )
+        return f"crash={self.pid}{window}"
+
+
+class FaultPlan:
+    """A seeded, deterministic composition of :class:`FaultRule`\\ s.
+
+    The plan owns all fault randomness (one seeded generator, drawn in
+    rule order) and the fault ledger: every injected fault is appended
+    to :attr:`events` and tallied in :attr:`counts` regardless of the
+    network's trace level, so experiments can report fault totals even
+    from ``OFF``-traced runs.
+
+    Args:
+        rules: the composed rules, evaluated in order per message.
+        seed: generator seed; equal seeds give equal injections.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self._rules: tuple[FaultRule, ...] = tuple(rules)
+        for rule in self._rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigurationError(
+                    f"fault plan rules must be FaultRule instances, "
+                    f"got {rule!r}"
+                )
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._events: list[FaultRecord] = []
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> tuple[FaultRule, ...]:
+        """The composed rules, in evaluation order."""
+        return self._rules
+
+    @property
+    def seed(self) -> int:
+        """The seed the plan's generator was created with."""
+        return self._seed
+
+    @property
+    def lossy(self) -> bool:
+        """True if any rule can lose a message.
+
+        A lossy plan requires counters to run behind
+        :class:`~repro.sim.transport.ReliableTransport`; the registry's
+        :class:`~repro.registry.RunSession` enforces this via the
+        ``tolerates_message_loss`` capability.
+        """
+        return any(rule.can_drop for rule in self._rules)
+
+    @property
+    def events(self) -> list[FaultRecord]:
+        """Every injected fault so far, in injection order (do not mutate)."""
+        return self._events
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Injected-fault tallies by kind (a fresh copy)."""
+        return dict(self._counts)
+
+    @property
+    def spec(self) -> str:
+        """The plan's canonical fault-spec string."""
+        return ",".join(rule.spec_fragment() for rule in self._rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec!r}, seed={self._seed})"
+
+    # ------------------------------------------------------------------
+    # Lifecycle (the DeliveryPolicy fork/reset contract)
+    # ------------------------------------------------------------------
+    def fork(self) -> "FaultPlan":
+        """A fresh, equivalently-seeded, independent plan.
+
+        The fork starts with an empty ledger and a generator reseeded
+        from scratch: its injections equal a brand-new plan's, whatever
+        the parent has already consumed.
+        """
+        return FaultPlan([rule.fork() for rule in self._rules], seed=self._seed)
+
+    def reset(self) -> None:
+        """Reseed the generator and clear the ledger (network reuse)."""
+        self._rng = random.Random(self._seed)
+        self._events.clear()
+        self._counts.clear()
+
+    # ------------------------------------------------------------------
+    # The send-path consultation
+    # ------------------------------------------------------------------
+    def consult(
+        self, message: Message, send_time: float, deliver_time: float
+    ) -> FaultOutcome | None:
+        """Decide the fate of one message about to be scheduled.
+
+        Returns ``None`` when no rule touches the message (the network's
+        common case: schedule one delivery at *deliver_time* exactly as
+        the clean path would).  Otherwise returns the absolute delivery
+        times of every copy (empty on drop) plus the fault records the
+        decision produced — already appended to the plan's own ledger.
+        """
+        rng = self._rng
+        drop_reason: str | None = None
+        effects: list[_Effect] = []
+        for rule in self._rules:
+            effect = rule.judge(message, send_time, deliver_time, rng)
+            if effect is None:
+                continue
+            effects.append(effect)
+            if effect.drop_reason is not None:
+                drop_reason = effect.drop_reason
+                break
+        if not effects:
+            return None
+        sender, receiver = message[0], message[1]
+        op_index, uid = message[4], message[5]
+        records = tuple(
+            FaultRecord(
+                time=send_time,
+                kind=effect.drop_reason or ("duplicate" if effect.copy_delays else "reorder"),
+                sender=sender,
+                receiver=receiver,
+                op_index=op_index,
+                uid=uid,
+                detail=effect.detail,
+            )
+            for effect in effects
+        )
+        for record in records:
+            self._counts[record.kind] = self._counts.get(record.kind, 0) + 1
+        self._events.extend(records)
+        if drop_reason is not None:
+            return FaultOutcome(delivery_times=(), records=records)
+        base = deliver_time + sum(e.extra_delay for e in effects)
+        times = [base]
+        for effect in effects:
+            times.extend(base + extra for extra in effect.copy_delays)
+        return FaultOutcome(delivery_times=tuple(times), records=records)
+
+
+# ----------------------------------------------------------------------
+# Fault-spec strings (the CLI / sweep naming layer)
+# ----------------------------------------------------------------------
+
+def _parse_float(field: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"fault spec field {field!r} expects a number, got {text!r}"
+        ) from None
+
+
+def _parse_window(field: str, text: str) -> tuple[float, float]:
+    """Parse ``t50`` or ``t50-t80`` into a ``[start, end)`` window."""
+    if not text.startswith("t"):
+        raise ConfigurationError(
+            f"fault spec field {field!r} expects a window like 't50' or "
+            f"'t50-t80', got {text!r}"
+        )
+    start_text, separator, end_text = text[1:].partition("-")
+    start = _parse_float(field, start_text)
+    if not separator:
+        return start, math.inf
+    if not end_text.startswith("t"):
+        raise ConfigurationError(
+            f"fault spec field {field!r}: window end must look like 't80', "
+            f"got {end_text!r}"
+        )
+    return start, _parse_float(field, end_text[1:])
+
+
+def _parse_group(field: str, text: str) -> list[ProcessorId]:
+    """Parse ``1..4`` (range) or ``1+3+9`` (explicit ids) into pids."""
+    if ".." in text:
+        lo_text, _, hi_text = text.partition("..")
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec field {field!r}: bad id range {text!r}"
+            ) from None
+        if lo > hi:
+            raise ConfigurationError(
+                f"fault spec field {field!r}: empty id range {text!r}"
+            )
+        return list(range(lo, hi + 1))
+    try:
+        return [int(part) for part in text.split("+")]
+    except ValueError:
+        raise ConfigurationError(
+            f"fault spec field {field!r}: bad id list {text!r}"
+        ) from None
+
+
+def _rule_from_field(key: str, value: str) -> FaultRule:
+    if key == "drop":
+        return DropRule(_parse_float(key, value))
+    if key == "dup":
+        probability_text, separator, copies_text = value.partition("x")
+        probability = _parse_float(key, probability_text)
+        copies = 1
+        if separator:
+            try:
+                copies = int(copies_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"fault spec field 'dup': bad copy count {copies_text!r}"
+                ) from None
+        return DuplicateRule(probability, copies=copies)
+    if key == "reorder":
+        probability_text, separator, boost_text = value.partition("@")
+        probability = _parse_float(key, probability_text)
+        if separator:
+            return ReorderRule(probability, max_boost=_parse_float(key, boost_text))
+        return ReorderRule(probability)
+    if key == "crash":
+        pid_text, separator, window_text = value.partition("@")
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec field 'crash': bad processor id {pid_text!r}"
+            ) from None
+        if not separator:
+            raise ConfigurationError(
+                "fault spec field 'crash' needs a window, e.g. crash=3@t50 "
+                "or crash=3@t50-t80"
+            )
+        start, end = _parse_window(key, window_text)
+        return CrashRule(pid, start, end)
+    if key == "partition":
+        groups_text, separator, window_text = value.partition("@")
+        if "|" not in groups_text:
+            raise ConfigurationError(
+                "fault spec field 'partition' needs two groups separated "
+                "by '|', e.g. partition=1..4|5..8@t10-t50"
+            )
+        a_text, _, b_text = groups_text.partition("|")
+        start, end = (
+            _parse_window(key, window_text) if separator else (0.0, math.inf)
+        )
+        return PartitionRule(
+            _parse_group(key, a_text), _parse_group(key, b_text), start, end
+        )
+    raise ConfigurationError(
+        f"unknown fault spec field {key!r}; expected one of "
+        "drop, dup, reorder, crash, partition"
+    )
+
+
+#: canonical ordering of rule families in a parsed plan — parsing is
+#: order-insensitive, so equivalent spellings build identical plans (and
+#: identical RNG streams).
+_FIELD_ORDER = {"drop": 0, "dup": 1, "reorder": 2, "partition": 3, "crash": 4}
+
+
+def parse_fault_spec(text: str, seed: int = 0) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a spec string.
+
+    Grammar (comma-separated fields, any order)::
+
+        drop=P                      lose messages with probability P
+        dup=P[xC]                   duplicate with probability P (C copies)
+        reorder=P[@BOOST]           delay-boost with probability P
+        crash=PID@tSTART[-tEND]     processor down in [START, END)
+        partition=A|B@tSTART[-tEND] drop the A/B cut in the window
+                                    (groups: '1..4' ranges or '1+5+9' lists)
+
+    Fields are canonically reordered (drop, dup, reorder, partitions,
+    crashes) so equivalent spellings produce identical plans —
+    :func:`canonical_fault_spec` is the cache key for sweeps.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ConfigurationError("empty fault spec")
+    fields: list[tuple[int, int, str, str]] = []
+    for position, part in enumerate(stripped.split(",")):
+        key, separator, value = part.strip().partition("=")
+        if not separator or not key or not value:
+            raise ConfigurationError(
+                f"malformed fault spec field {part!r} in {text!r}; "
+                "expected key=value"
+            )
+        if key not in _FIELD_ORDER:
+            raise ConfigurationError(
+                f"unknown fault spec field {key!r}; expected one of "
+                "drop, dup, reorder, crash, partition"
+            )
+        if key in ("drop", "dup", "reorder") and any(
+            existing == key for _, _, existing, _ in fields
+        ):
+            raise ConfigurationError(
+                f"duplicate fault spec field {key!r} in {text!r}"
+            )
+        fields.append((_FIELD_ORDER[key], position, key, value))
+    fields.sort(key=lambda item: (item[0], item[1]))
+    rules = [_rule_from_field(key, value) for _, _, key, value in fields]
+    return FaultPlan(rules, seed=seed)
+
+
+def canonical_fault_spec(text: str) -> str:
+    """The canonical form of a fault-spec string (sweep cache key)."""
+    return parse_fault_spec(text).spec

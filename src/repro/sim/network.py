@@ -39,6 +39,7 @@ from repro.errors import (
     UnknownProcessorError,
 )
 from repro.sim.events import EventQueue
+from repro.sim.faults import FaultPlan
 from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
 from repro.sim.policies import DeliveryPolicy, UnitDelay
 from repro.sim.processor import Processor
@@ -71,6 +72,9 @@ class Network:
         trace_level: tracing fidelity — ``FULL`` (default, every record),
             ``LOADS`` (columnar counters only) or ``OFF`` (no tracing).
             Accepts a :class:`~repro.sim.trace.TraceLevel` or its name.
+        fault_plan: optional seeded :class:`~repro.sim.faults.FaultPlan`
+            consulted per send (``None`` keeps the failure-free model and
+            the byte-identical fast path).
     """
 
     def __init__(
@@ -78,6 +82,7 @@ class Network:
         policy: DeliveryPolicy | None = None,
         event_limit: int = DEFAULT_EVENT_LIMIT,
         trace_level: TraceLevel | str = TraceLevel.FULL,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         trace_level = TraceLevel.coerce(trace_level)
         self._policy = policy or UnitDelay()
@@ -90,6 +95,8 @@ class Network:
         self._in_flight = 0
         self._event_limit = event_limit
         self._events_executed = 0
+        self._fault_plan: FaultPlan | None = None
+        self._run_context = ""
         # Hot-path pre-binding: one attribute lookup per send/delivery
         # instead of a chain of them.  `constant_delay` lets constant
         # policies (UnitDelay) skip the per-message delay() call.
@@ -111,6 +118,8 @@ class Network:
         self._received_counts = self._trace._received
         self._op_counts = self._trace._op_counts
         self._footprints = self._trace._footprints
+        if fault_plan is not None:
+            self.install_fault_plan(fault_plan)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -150,6 +159,23 @@ class Network:
         """Total events executed since construction (messages + local)."""
         return self._events_executed
 
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        """The installed fault plan, or ``None`` (the failure-free model)."""
+        return self._fault_plan
+
+    @property
+    def run_context(self) -> str:
+        """Free-text label of what this network is running (e.g. the
+        canonical counter spec), echoed in
+        :class:`~repro.errors.SimulationLimitError` messages so faulty
+        runs that exhaust the event budget are attributable."""
+        return self._run_context
+
+    @run_context.setter
+    def run_context(self, value: str) -> None:
+        self._run_context = value
+
     def processor(self, pid: ProcessorId) -> Processor:
         """Return the registered processor *pid* or raise."""
         try:
@@ -182,6 +208,20 @@ class Network:
         """Register every processor in *processors*."""
         for processor in processors:
             self.register(processor)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Install *plan* and swap the send path to the faulty variant.
+
+        The clean :meth:`send` stays untouched at class level — networks
+        without a plan pay nothing and produce byte-identical traces.
+        Installing rebinds ``send`` on this instance only.  Install
+        before traffic starts; the plan's ledger is per-network-run.
+        """
+        self._fault_plan = plan
+        self.send = self._send_faulty  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Messaging
@@ -227,6 +267,61 @@ class Network:
         heappush(
             queue._heap, (now + delay, next(queue._counter), self._deliver, message)
         )
+        return message
+
+    def _send_faulty(
+        self,
+        sender: ProcessorId,
+        receiver: ProcessorId,
+        kind: str,
+        payload: Mapping[str, Any],
+    ) -> Message:
+        """The send path with a fault plan installed.
+
+        Mirrors :meth:`send` (keep in sync) up to scheduling: the plan
+        is consulted once per message and may drop it (no heap entry, no
+        in-flight increment — a lost message cannot block quiescence),
+        duplicate it (one heap entry per copy, all sharing the uid) or
+        boost its delay.  Every injected fault lands in the plan's
+        ledger and, levels permitting, the trace.
+        """
+        if receiver not in self._processors:
+            raise UnknownProcessorError(
+                f"message from {sender} addressed to unknown processor {receiver}"
+            )
+        queue = self._queue
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        if self._copy_payloads:
+            payload = dict(payload)
+        now = queue._now
+        message = _tuple_new(
+            Message, (sender, receiver, kind, payload, self._active_op, uid, now)
+        )
+        delay = self._constant_delay
+        if delay is None:
+            delay = self._policy_delay(message)
+            if delay < 0:
+                raise ValueError(
+                    f"policy {self._policy!r} returned negative delay {delay}"
+                )
+        outcome = self._fault_plan.consult(message, now, now + delay)
+        if outcome is None:
+            self._in_flight += 1
+            heappush(
+                queue._heap,
+                (now + delay, next(queue._counter), self._deliver, message),
+            )
+            return message
+        trace = self._trace
+        for record in outcome.records:
+            trace.record_fault(record)
+        deliver = self._deliver
+        counter = queue._counter
+        heap = queue._heap
+        for time in outcome.delivery_times:
+            self._in_flight += 1
+            heappush(heap, (time, next(counter), deliver, message))
         return message
 
     def _deliver_full(self, message: Message) -> None:
@@ -351,11 +446,52 @@ class Network:
             executed += ran
             self._events_executed += ran
             if self._events_executed > limit:
+                context = self._run_context
+                suffix = f" while running {context}" if context else ""
+                if self._fault_plan is not None:
+                    suffix += (
+                        f" under fault plan {self._fault_plan.spec!r}"
+                    )
                 raise SimulationLimitError(
-                    f"exceeded event limit of {self._event_limit}; "
-                    "the protocol appears not to quiesce"
+                    f"exceeded event limit of {self._event_limit} "
+                    f"({self._events_executed} events executed, "
+                    f"{self._in_flight} messages in flight){suffix}; "
+                    "the protocol appears not to quiesce — raise "
+                    "event_limit for genuinely long runs, or suspect a "
+                    "retransmission/livelock loop",
+                    events_executed=self._events_executed,
+                    in_flight=self._in_flight,
+                    context=context,
                 )
         return executed
+
+    def reset(self) -> None:
+        """Reset the substrate for a fresh run with the same topology.
+
+        Clears the event queue (time returns to zero), zeroes the
+        in-flight and executed-event counters, restarts message uids,
+        starts a fresh trace at the same level, forks the delivery
+        policy (seeded policies replay from scratch) and resets the
+        fault plan's generator and ledger.  Registered processors stay
+        registered; their *protocol* state is theirs to reset — this is
+        a substrate-level reuse hook for harnesses that rebuild counters
+        on a long-lived network.
+        """
+        self._queue.clear()
+        self._in_flight = 0
+        self._events_executed = 0
+        self._next_uid = 0
+        self._active_op = NO_OP
+        self._policy = self._policy.fork()
+        self._policy_delay = self._policy.delay
+        self._constant_delay = getattr(self._policy, "constant_delay", None)
+        self._trace = Trace(level=self._trace_level)
+        self._sent_counts = self._trace._sent
+        self._received_counts = self._trace._received
+        self._op_counts = self._trace._op_counts
+        self._footprints = self._trace._footprints
+        if self._fault_plan is not None:
+            self._fault_plan.reset()
 
     def is_quiescent(self) -> bool:
         """True if no event (message or local action) is pending."""

@@ -40,10 +40,13 @@ from __future__ import annotations
 
 import enum
 from collections import Counter, defaultdict
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import TraceCapabilityError
 from repro.sim.messages import NO_OP, MessageRecord, OpIndex, ProcessorId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.faults import FaultRecord
 
 
 class TraceLevel(enum.Enum):
@@ -91,6 +94,8 @@ class Trace:
         self._op_counts: defaultdict[OpIndex, int] = defaultdict(int)
         self._by_op: defaultdict[OpIndex, list[MessageRecord]] = defaultdict(list)
         self._footprints: dict[OpIndex, set[ProcessorId]] = {}
+        self._faults: list["FaultRecord"] = []
+        self._fault_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Level introspection
@@ -171,6 +176,25 @@ class Trace:
                 footprint.add(sender)
                 footprint.add(receiver)
 
+    def record_fault(self, record: "FaultRecord") -> None:
+        """Record one injected fault as a first-class trace event.
+
+        Called by the network when an installed
+        :class:`~repro.sim.faults.FaultPlan` touches a message.  Kind
+        tallies are kept at ``FULL`` and ``LOADS`` (they are load-class
+        bookkeeping, one dict bump per fault); the record stream itself
+        only at ``FULL``.  At ``OFF`` nothing is kept — the plan's own
+        ledger (:attr:`FaultPlan.events`) remains available.
+        """
+        level = self._level
+        if level is TraceLevel.OFF:
+            return
+        self._fault_counts[record.kind] = (
+            self._fault_counts.get(record.kind, 0) + 1
+        )
+        if level is TraceLevel.FULL:
+            self._faults.append(record)
+
     # ------------------------------------------------------------------
     # Whole-trace views
     # ------------------------------------------------------------------
@@ -193,6 +217,30 @@ class Trace:
         """Total number of messages delivered."""
         self._require_loads("Trace.total_messages")
         return self._total
+
+    # ------------------------------------------------------------------
+    # Fault views (populated only when a FaultPlan was installed)
+    # ------------------------------------------------------------------
+    @property
+    def fault_events(self) -> list["FaultRecord"]:
+        """Injected faults in injection order (``FULL`` only; do not
+        mutate).  Empty on failure-free runs."""
+        self._require_records("Trace.fault_events")
+        return self._faults
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault tallies by kind (a fresh copy).
+
+        Empty on failure-free runs.  Available at ``FULL`` and ``LOADS``.
+        """
+        self._require_loads("Trace.fault_counts")
+        return dict(self._fault_counts)
+
+    @property
+    def total_faults(self) -> int:
+        """Total injected faults recorded by this trace."""
+        self._require_loads("Trace.total_faults")
+        return sum(self._fault_counts.values())
 
     # ------------------------------------------------------------------
     # Loads (the paper's m_p)

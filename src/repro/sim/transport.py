@@ -1,0 +1,391 @@
+"""Reliable delivery over a lossy network: ack / retransmit / dedup.
+
+With a lossy :class:`~repro.sim.faults.FaultPlan` installed, the bare
+network violates the paper's §2 delivery guarantee.
+:class:`ReliableTransport` restores it *above* the faulty wire, the way
+real systems do: every protocol message travels inside a sequenced
+``transport.data`` envelope, the receiving endpoint acknowledges each
+copy with ``transport.ack``, the sender retransmits unacknowledged
+envelopes on a capped exponential backoff, and per-channel sequence
+numbers suppress duplicates (whether injected by the fault layer or
+created by retransmission races).
+
+Counters run **unmodified**: the transport is a drop-in stand-in for the
+:class:`~repro.sim.network.Network` they are constructed on.  Counter
+processors register through it and send through it; the transport wraps
+each one in an endpoint registered on the real network, so all envelope
+traffic is delayed, faulted and traced like any other message.  The
+trace therefore distinguishes goodput from overhead by message kind
+(``FULL`` level) while :meth:`ReliableTransport.stats` keeps the
+aggregate ledger (data sent, retransmissions, acks, duplicates
+suppressed, goodput) at every trace level.
+
+Guarantees restored (and their limits):
+
+* every logical message is delivered exactly once to the destination's
+  protocol handler — provided the destination is eventually up long
+  enough for a retransmission to land, and retries are not exhausted;
+* delivery order is *not* restored: the transport is reliable, not
+  FIFO — exactly the asynchrony the paper's model permits, so protocol
+  correctness arguments carry over unchanged;
+* a permanently crashed destination makes the sender retry forever
+  (bounded by the network's event budget, surfacing as an actionable
+  :class:`~repro.errors.SimulationLimitError`) unless ``max_retries``
+  caps the attempts, after which the send counts as ``gave_up``.
+
+Operation attribution survives faults: retransmissions are re-injected
+under the original operation's index, so per-operation footprints
+``I_p`` include retry traffic exactly where the paper's accounting
+would put it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigurationError, UnknownProcessorError
+from repro.sim.messages import NO_OP, Message, OpIndex, ProcessorId
+from repro.sim.network import Network
+from repro.sim.processor import Processor
+
+__all__ = ["ACK_KIND", "DATA_KIND", "ReliableTransport"]
+
+DATA_KIND = "transport.data"
+"""Envelope kind carrying one sequenced protocol message."""
+
+ACK_KIND = "transport.ack"
+"""Acknowledgement kind; payload names the acknowledged sequence number."""
+
+_tuple_new = tuple.__new__
+
+
+class _Pending:
+    """Sender-side state of one unacknowledged envelope."""
+
+    __slots__ = ("envelope", "op_index", "attempts")
+
+    def __init__(self, envelope: dict[str, Any], op_index: OpIndex) -> None:
+        self.envelope = envelope
+        self.op_index = op_index
+        self.attempts = 0
+
+
+class _Endpoint(Processor):
+    """The per-processor shim registered on the real network.
+
+    Outgoing protocol sends become sequenced envelopes with a retransmit
+    timer; incoming envelopes are acked, deduplicated, unwrapped and
+    handed to the wrapped protocol processor.
+    """
+
+    def __init__(self, inner: Processor, transport: "ReliableTransport") -> None:
+        super().__init__(inner.pid)
+        self._inner = inner
+        self._transport = transport
+        self._next_seq: dict[ProcessorId, int] = {}
+        self._pending: dict[tuple[ProcessorId, int], _Pending] = {}
+        self._seen: dict[ProcessorId, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Sending (called by ReliableTransport.send)
+    # ------------------------------------------------------------------
+    def send_reliable(
+        self, receiver: ProcessorId, kind: str, payload: Mapping[str, Any]
+    ) -> None:
+        seq = self._next_seq.get(receiver, 0)
+        self._next_seq[receiver] = seq + 1
+        envelope = {"seq": seq, "kind": kind, "data": payload}
+        self._pending[(receiver, seq)] = _Pending(
+            envelope, self.network.active_op
+        )
+        self._transmit(receiver, seq)
+
+    def _transmit(self, receiver: ProcessorId, seq: int) -> None:
+        pending = self._pending.get((receiver, seq))
+        if pending is None:  # acknowledged since the timer was set
+            return
+        transport = self._transport
+        stats = transport._stats
+        if pending.attempts:
+            stats["retransmissions"] += 1
+        else:
+            stats["data_sent"] += 1
+        self.send(receiver, DATA_KIND, pending.envelope)
+        backoff = min(
+            transport._rto * (2.0 ** pending.attempts), transport._rto_cap
+        )
+        pending.attempts += 1
+        max_retries = transport._max_retries
+        if max_retries is not None and pending.attempts > max_retries:
+            # Out of budget: if the ack never comes, give up when the
+            # final timer fires instead of scheduling another attempt.
+            self.network.inject(
+                lambda: self._give_up(receiver, seq),
+                op_index=pending.op_index,
+                delay=backoff,
+            )
+            return
+        self.network.inject(
+            lambda: self._transmit(receiver, seq),
+            op_index=pending.op_index,
+            delay=backoff,
+        )
+
+    def _give_up(self, receiver: ProcessorId, seq: int) -> None:
+        if self._pending.pop((receiver, seq), None) is not None:
+            self._transport._stats["gave_up"] += 1
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        kind = message[2]
+        if kind == DATA_KIND:
+            self._on_data(message)
+        elif kind == ACK_KIND:
+            self._pending.pop(
+                (message[0], message[3]["seq"]), None
+            )
+        else:
+            # Traffic from processors outside the transport (registered
+            # directly on the real network) passes through unwrapped.
+            self._inner.on_message(message)
+
+    def _on_data(self, message: Message) -> None:
+        envelope = message[3]
+        seq = envelope["seq"]
+        source = message[0]
+        stats = self._transport._stats
+        # Ack every copy: the original ack may itself have been lost.
+        stats["acks_sent"] += 1
+        self.send(source, ACK_KIND, {"seq": seq})
+        seen = self._seen.setdefault(source, set())
+        if seq in seen:
+            stats["duplicates_suppressed"] += 1
+            return
+        seen.add(seq)
+        stats["delivered"] += 1
+        inner_message = _tuple_new(
+            Message,
+            (
+                source,
+                self.pid,
+                envelope["kind"],
+                envelope["data"],
+                message[4],
+                message[5],
+                message[6],
+            ),
+        )
+        self._inner.on_message(inner_message)
+
+
+class ReliableTransport:
+    """A reliable, network-shaped facade counters are built on.
+
+    Pass a transport wherever a :class:`~repro.sim.network.Network` is
+    expected when constructing a counter::
+
+        network = Network(policy=RandomDelay(seed=3),
+                          fault_plan=parse_fault_spec("drop=0.05", seed=3))
+        transport = ReliableTransport(network)
+        counter = spec.build(transport, n)      # counters run unmodified
+
+    Registration wraps each processor in an acknowledging endpoint on
+    the real network; ``send`` routes through the sender's endpoint;
+    everything else (``inject``, ``run_until_quiescent``, ``trace``,
+    ``now``, ...) forwards to the wrapped network, so drivers and
+    analysis code cannot tell the difference.
+
+    Args:
+        network: the (possibly faulty) network to run over.
+        rto: base retransmission timeout in simulated time.  Must exceed
+            the worst-case round trip of the delivery policy or clean
+            runs produce spurious retransmissions (the default clears
+            every built-in policy).
+        rto_cap: upper bound for the exponential backoff.
+        max_retries: retransmissions per envelope before giving up;
+            ``None`` (default) retries forever — a permanently crashed
+            peer then surfaces as a
+            :class:`~repro.errors.SimulationLimitError`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rto: float = 25.0,
+        rto_cap: float = 200.0,
+        max_retries: int | None = None,
+    ) -> None:
+        if rto <= 0:
+            raise ConfigurationError(f"rto must be positive, got {rto}")
+        if rto_cap < rto:
+            raise ConfigurationError(
+                f"rto_cap must be >= rto, got {rto_cap} < {rto}"
+            )
+        if max_retries is not None and max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1 or None, got {max_retries}"
+            )
+        self._network = network
+        self._rto = float(rto)
+        self._rto_cap = float(rto_cap)
+        self._max_retries = max_retries
+        self._endpoints: dict[ProcessorId, _Endpoint] = {}
+        self._stats: dict[str, int] = {
+            "data_sent": 0,
+            "retransmissions": 0,
+            "acks_sent": 0,
+            "duplicates_suppressed": 0,
+            "delivered": 0,
+            "gave_up": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # The Network-shaped surface counters use
+    # ------------------------------------------------------------------
+    def register(self, processor: Processor) -> Processor:
+        """Wrap *processor* in an endpoint and register it."""
+        endpoint = _Endpoint(processor, self)
+        self._network.register(endpoint)
+        processor.attach(self)  # the processor's sends route through us
+        self._endpoints[processor.pid] = endpoint
+        return processor
+
+    def register_all(self, processors: list[Processor]) -> None:
+        """Register every processor in *processors*."""
+        for processor in processors:
+            self.register(processor)
+
+    def send(
+        self,
+        sender: ProcessorId,
+        receiver: ProcessorId,
+        kind: str,
+        payload: Mapping[str, Any],
+    ) -> None:
+        """Send one protocol message reliably from *sender*."""
+        try:
+            endpoint = self._endpoints[sender]
+        except KeyError:
+            raise UnknownProcessorError(
+                f"sender {sender} is not registered with this transport"
+            ) from None
+        endpoint.send_reliable(receiver, kind, payload)
+
+    def inject(
+        self,
+        action: Callable[[], None],
+        op_index: OpIndex = NO_OP,
+        delay: float = 0.0,
+    ) -> None:
+        """Forwarded to :meth:`Network.inject` (local events are lossless)."""
+        self._network.inject(action, op_index=op_index, delay=delay)
+
+    def processor(self, pid: ProcessorId) -> Processor:
+        """The *protocol* processor registered under *pid* (unwrapped)."""
+        endpoint = self._endpoints.get(pid)
+        if endpoint is not None:
+            return endpoint._inner
+        return self._network.processor(pid)
+
+    def has_processor(self, pid: ProcessorId) -> bool:
+        """True if *pid* is registered (through the transport or not)."""
+        return self._network.has_processor(pid)
+
+    def run_until_quiescent(self) -> int:
+        """Forwarded to :meth:`Network.run_until_quiescent`."""
+        return self._network.run_until_quiescent()
+
+    def is_quiescent(self) -> bool:
+        """Forwarded to :meth:`Network.is_quiescent`."""
+        return self._network.is_quiescent()
+
+    # ------------------------------------------------------------------
+    # Forwarded introspection
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The wrapped (possibly faulty) network."""
+        return self._network
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._network.now
+
+    @property
+    def trace(self):
+        """The wrapped network's trace."""
+        return self._network.trace
+
+    @property
+    def trace_level(self):
+        """The wrapped network's trace level."""
+        return self._network.trace_level
+
+    @property
+    def policy(self):
+        """The wrapped network's delivery policy."""
+        return self._network.policy
+
+    @property
+    def active_op(self) -> OpIndex:
+        """The wrapped network's active operation index."""
+        return self._network.active_op
+
+    @property
+    def in_flight(self) -> int:
+        """Messages currently in flight on the wrapped network."""
+        return self._network.in_flight
+
+    @property
+    def events_executed(self) -> int:
+        """Events executed on the wrapped network."""
+        return self._network.events_executed
+
+    @property
+    def processor_count(self) -> int:
+        """Processors registered on the wrapped network."""
+        return self._network.processor_count
+
+    # ------------------------------------------------------------------
+    # Transport accounting
+    # ------------------------------------------------------------------
+    @property
+    def rto(self) -> float:
+        """Base retransmission timeout."""
+        return self._rto
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate delivery ledger (a fresh copy).
+
+        Keys: ``data_sent`` (first transmissions), ``retransmissions``,
+        ``acks_sent``, ``duplicates_suppressed``, ``delivered`` (unique
+        envelopes handed to protocol handlers — the goodput), and
+        ``gave_up`` (envelopes abandoned after ``max_retries``).
+        """
+        return dict(self._stats)
+
+    @property
+    def retransmissions(self) -> int:
+        """Envelopes re-sent after an unacknowledged timeout."""
+        return self._stats["retransmissions"]
+
+    @property
+    def goodput(self) -> int:
+        """Unique envelopes delivered to protocol handlers."""
+        return self._stats["delivered"]
+
+    def overhead_ratio(self) -> float:
+        """Wire messages per delivered envelope (1 ack each is free).
+
+        ``(data_sent + retransmissions) / delivered`` — 1.0 on a clean
+        network, growing with loss.  Returns 0.0 before any delivery.
+        """
+        delivered = self._stats["delivered"]
+        if not delivered:
+            return 0.0
+        return (
+            self._stats["data_sent"] + self._stats["retransmissions"]
+        ) / delivered

@@ -17,6 +17,7 @@ from repro.workloads.driver import (
     run_sequence,
 )
 from repro.workloads.sweep import (
+    TRANSPORT_NAMES,
     SweepOutcome,
     SweepPoint,
     SweepRunner,
@@ -39,6 +40,7 @@ __all__ = [
     "SweepOutcome",
     "SweepPoint",
     "SweepRunner",
+    "TRANSPORT_NAMES",
     "batched",
     "execute_point",
     "one_shot",

@@ -39,12 +39,19 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.registry import POLICY_NAMES, WORKLOAD_NAMES, canonical_spec
+from repro.sim.faults import canonical_fault_spec
 from repro.sim.messages import ProcessorId
 
-_CACHE_SCHEMA = "sweep-v2"
+_CACHE_SCHEMA = "sweep-v3"
 """Version tag mixed into every config hash; bump when outcome semantics
 change so stale cache entries are never reused.  v2: counter fields are
-canonical registry spec strings, not bare factory names."""
+canonical registry spec strings, not bare factory names.  v3: points
+carry fault-plan and transport fields; fault specs are canonicalized."""
+
+TRANSPORT_NAMES = ("bare", "reliable")
+"""Transports a sweep point may name: ``"bare"`` sends straight on the
+network (the paper's model), ``"reliable"`` wraps the counter behind
+:class:`~repro.sim.transport.ReliableTransport`."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +73,15 @@ class SweepPoint:
         trace_level: tracing fidelity name; sweeps default to ``"loads"``
             because message counts are delay- and level-invariant, so the
             outcome is identical to a ``FULL`` run.
+        faults: fault-spec string
+            (:func:`~repro.sim.faults.parse_fault_spec` grammar) seeded
+            with the point's ``seed``; ``""`` (default) keeps the
+            paper's failure-free model.  Any spelling is accepted, the
+            cache key uses the canonical form.
+        transport: ``"bare"`` (default) or ``"reliable"`` from
+            :data:`TRANSPORT_NAMES`.  Lossy fault plans require
+            ``"reliable"`` — the capability gate in
+            :class:`~repro.registry.RunSession` rejects them otherwise.
     """
 
     counter: str
@@ -74,20 +90,32 @@ class SweepPoint:
     policy: str = "unit"
     workload: str = "one-shot"
     trace_level: str = "loads"
+    faults: str = ""
+    transport: str = "bare"
 
     def canonical_counter(self) -> str:
         """The counter spec in canonical registry form."""
         return canonical_spec(self.counter)
 
+    def canonical_faults(self) -> str:
+        """The fault spec in canonical form (``""`` when fault-free)."""
+        if not self.faults.strip():
+            return ""
+        return canonical_fault_spec(self.faults)
+
     def config_hash(self) -> str:
         """Stable hex digest naming this configuration (cache key).
 
-        The counter field is canonicalized first, so equivalent spec
-        spellings (reordered or defaulted parameters) share one cache
-        entry and every cached point is attributable to an exact
-        counter configuration.
+        The counter and fault fields are canonicalized first, so
+        equivalent spellings (reordered or defaulted parameters,
+        reordered fault fields) share one cache entry and every cached
+        point is attributable to an exact configuration.
         """
-        payload = {**asdict(self), "counter": self.canonical_counter()}
+        payload = {
+            **asdict(self),
+            "counter": self.canonical_counter(),
+            "faults": self.canonical_faults(),
+        }
         blob = json.dumps({"schema": _CACHE_SCHEMA, **payload}, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -158,12 +186,19 @@ def execute_point(point: SweepPoint) -> SweepOutcome:
     """
     from repro.registry import RunSession
 
+    if point.transport not in TRANSPORT_NAMES:
+        raise ConfigurationError(
+            f"unknown transport {point.transport!r}; "
+            f"expected one of {TRANSPORT_NAMES}"
+        )
     session = RunSession(
         point.counter,
         point.n,
         policy=point.policy,
         seed=point.seed,
         trace_level=point.trace_level,
+        faults=point.faults or None,
+        reliable=point.transport == "reliable",
     )
     result = session.run_workload(point.workload)
     counter = session.counter
@@ -178,6 +213,10 @@ def execute_point(point: SweepPoint) -> SweepOutcome:
         extras["root_ids_used"] = registry.root_ids_used()
     if hasattr(counter, "total_forwarded"):
         extras["forwarded"] = counter.total_forwarded()
+    if session.fault_plan is not None:
+        extras["fault_counts"] = dict(session.fault_plan.counts)
+    if session.transport is not None:
+        extras["transport"] = session.transport_stats()
     return SweepOutcome(
         point=point,
         bottleneck_processor=bottleneck_pid,

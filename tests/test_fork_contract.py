@@ -1,0 +1,93 @@
+"""The fork() contract: independent, equivalently-seeded instances.
+
+Sweeps and network reuse rely on `fork()` for both delivery policies and
+fault plans: a fork must (a) replay the same stream a brand-new instance
+would, regardless of how much the parent has consumed, and (b) never
+share mutable state with its parent.  Every registered policy name and
+the fault plan are held to the same contract here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import POLICY_NAMES, make_policy
+from repro.sim.faults import parse_fault_spec
+from repro.sim.messages import Message
+
+
+def _messages(count=40):
+    return [
+        Message(
+            sender=(i % 5) + 1,
+            receiver=((i + 1) % 5) + 1,
+            kind="m",
+            uid=i,
+            send_time=float(i),
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(POLICY_NAMES))
+class TestPolicyForkContract:
+    def test_fork_replays_from_scratch(self, name):
+        parent = make_policy(name, seed=5)
+        reference = [parent.delay(m) for m in _messages()]
+        # Parent has consumed its stream; the fork must not care.
+        fork = parent.fork()
+        assert [fork.delay(m) for m in _messages()] == reference
+
+    def test_fork_equals_a_fresh_instance(self, name):
+        fork = make_policy(name, seed=5).fork()
+        fresh = make_policy(name, seed=5)
+        draws_fork = [fork.delay(m) for m in _messages()]
+        draws_fresh = [fresh.delay(m) for m in _messages()]
+        assert draws_fork == draws_fresh
+
+    def test_fork_is_independent_of_the_parent(self, name):
+        parent = make_policy(name, seed=5)
+        fork = parent.fork()
+        # Interleave draws: the parent advancing must not perturb the fork.
+        interleaved = []
+        for m in _messages():
+            parent.delay(m)
+            interleaved.append(fork.delay(m))
+        fresh = make_policy(name, seed=5)
+        assert interleaved == [fresh.delay(m) for m in _messages()]
+
+
+@pytest.mark.faults
+class TestFaultPlanForkContract:
+    SPEC = "drop=0.3,dup=0.2,reorder=0.3"
+
+    def _consult_all(self, plan, count=60):
+        outcomes = []
+        for message in _messages(count):
+            outcome = plan.consult(message, message.send_time, message.send_time + 1.0)
+            outcomes.append(
+                None if outcome is None else outcome.delivery_times
+            )
+        return outcomes
+
+    def test_fork_replays_from_scratch(self):
+        parent = parse_fault_spec(self.SPEC, seed=5)
+        reference = self._consult_all(parent)
+        fork = parent.fork()
+        assert self._consult_all(fork) == reference
+
+    def test_fork_equals_a_fresh_plan(self):
+        fork = parse_fault_spec(self.SPEC, seed=5).fork()
+        fresh = parse_fault_spec(self.SPEC, seed=5)
+        assert self._consult_all(fork) == self._consult_all(fresh)
+
+    def test_fork_shares_no_ledger_with_the_parent(self):
+        parent = parse_fault_spec(self.SPEC, seed=5)
+        self._consult_all(parent)
+        fork = parent.fork()
+        assert fork.events == [] and fork.counts == {}
+        parent_events = list(parent.events)
+        self._consult_all(fork)
+        assert parent.events == parent_events  # fork ran, parent unchanged
+        assert fork.events != []
+        assert fork.events is not parent.events

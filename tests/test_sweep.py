@@ -36,6 +36,33 @@ class TestSweepPoint:
         with pytest.raises(ConfigurationError):
             execute_point(SweepPoint(counter="central", n=8, policy="warp"))
 
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_point(SweepPoint(counter="central", n=8, transport="udp"))
+
+    @pytest.mark.faults
+    def test_equivalent_fault_spellings_share_a_hash(self):
+        a = SweepPoint(counter="central", n=8, faults="dup=0.01,drop=0.05")
+        b = SweepPoint(counter="central", n=8, faults="drop=0.05, dup=0.01")
+        c = SweepPoint(counter="central", n=8, faults="drop=0.1")
+        assert a.config_hash() == b.config_hash()
+        assert a.config_hash() != c.config_hash()
+        assert a.config_hash() != SweepPoint(counter="central", n=8).config_hash()
+
+    @pytest.mark.faults
+    def test_faulty_point_reports_transport_extras(self):
+        point = SweepPoint(
+            counter="central",
+            n=8,
+            policy="random",
+            faults="drop=0.1",
+            transport="reliable",
+        )
+        outcome = execute_point(point)
+        assert outcome.extras["transport"]["delivered"] > 0
+        assert sum(outcome.extras["fault_counts"].values()) >= 0
+        assert outcome.operations == 8
+
 
 class TestSerialVsParallel:
     def test_e7_grid_identical(self):
