@@ -1,12 +1,13 @@
-"""E18, E20, E21: thin benchmark wrappers.
+"""E18, E20–E23: thin benchmark wrappers.
 
 The experiments' logic lives in :mod:`repro.experiments` (callable as
 ``repro.experiments.run_e18()`` etc. or via ``python -m repro
 experiment E18``); these wrappers time one canonical execution each
 under pytest-benchmark and save the tables to ``benchmarks/results/``.
 E20/E21 cover the faulty regime (message loss, duplication, crash
-windows) behind the reliable transport and carry the ``faults`` marker
-so CI can run the fault suite on its own.
+windows) behind the reliable transport and carry the ``faults`` marker;
+E22/E23 cover crash recovery (failover, compound faults) and carry the
+``recovery`` marker, so CI can run each suite on its own.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from __future__ import annotations
 import pytest
 from conftest import save_report
 
-from repro.experiments import run_e18, run_e20, run_e21
+from repro.experiments import run_e18, run_e20, run_e21, run_e22, run_e23
 
 
 def test_delivery_robustness(benchmark):
@@ -37,4 +38,20 @@ def test_graceful_degradation(benchmark):
     result = benchmark.pedantic(run_e21, rounds=1, iterations=1)
     report = result.to_text()
     save_report("E21_graceful_degradation", report)
+    assert report
+
+
+@pytest.mark.recovery
+def test_failover_latency(benchmark):
+    result = benchmark.pedantic(run_e22, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E22_failover_latency", report)
+    assert report
+
+
+@pytest.mark.recovery
+def test_compound_faults(benchmark):
+    result = benchmark.pedantic(run_e23, rounds=1, iterations=1)
+    report = result.to_text()
+    save_report("E23_compound_faults", report)
     assert report

@@ -10,7 +10,9 @@ time) so CI and developers get one comparable artifact:
 * counter-registry spec resolution and RunSession construction rates;
 * wall time of a small E7-style sweep, serial vs parallel;
 * a 3-point drop-rate smoke grid (ww-tree behind the reliable
-  transport) with the transport's retransmit metrics.
+  transport) with the transport's retransmit metrics;
+* a crash-recovery smoke grid (central[standby] under a mid-run
+  primary crash) with failover latency and bottleneck overhead.
 
 Usage::
 
@@ -150,6 +152,51 @@ def bench_fault_transport(
     }
 
 
+def bench_recovery(n: int = 16) -> dict:
+    """Crash-recovery smoke grid: central[standby] failover.
+
+    One clean run and one with a permanent mid-run primary crash;
+    linearizability is asserted on both, so this doubles as a CI smoke
+    test of the recovery stack (failure detector + checkpoint/failover).
+    """
+    from repro.analysis.linearizability import check_linearizable_counting
+    from repro.analysis.load import LoadProfile
+
+    grid = {}
+    for label, faults in (("clean", None), ("primary crash", "crash=1@t18")):
+        session = RunSession(
+            "central[standby]", n, policy="random", seed=3, faults=faults
+        )
+        start = time.perf_counter()
+        ops = session.run_staggered(gap=4.0)
+        elapsed = time.perf_counter() - start
+        report = check_linearizable_counting(ops)
+        assert report.linearizable, f"{label}: history not linearizable"
+        profile = LoadProfile.from_trace(session.network.trace, population=n)
+        manager = session.recovery
+        grid[label] = {
+            "ops_completed": len(ops),
+            "linearizable": report.linearizable,
+            "suspicions": manager.detector.suspicion_count() if manager else 0,
+            "failovers": manager.failover_count() if manager else 0,
+            "failover_latency": (
+                round(manager.failover_latency(), 2)
+                if manager and manager.failover_latency() is not None
+                else None
+            ),
+            "client_bottleneck_load": (
+                profile.restrict(range(1, n + 1)).bottleneck_load
+            ),
+            "wall_time_s": round(elapsed, 4),
+        }
+    return {
+        "grid": f"central[standby] staggered one-shot, n={n}, random delays",
+        "note": "linearizability asserted on both runs; failover latency "
+        "runs from the crash-window start to the standby's promotion",
+        **grid,
+    }
+
+
 def bench_sweep(workers: int) -> float:
     points = [
         SweepPoint(counter=counter, n=n)
@@ -209,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
             "parallel_4_workers": round(parallel_s, 3),
         },
         "fault_transport": bench_fault_transport(),
+        "crash_recovery": bench_recovery(),
     }
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")

@@ -5,10 +5,14 @@ Usage:  PYTHONPATH=src python scripts/check_registry.py
 
 Walks the implementation modules (``repro/counters/*.py``, the ww-tree
 in ``repro/core/tree``, and the quorum counter) and fails if any of them
-does not contribute at least one registered :class:`CounterSpec`, or if
-a registered spec builds a counter whose ``name`` attribute disagrees
-with its canonical registry key.  Run in CI so a new counter cannot land
-without registry wiring.
+does not contribute every registered :class:`CounterSpec` it is expected
+to, or if a registered spec builds a counter whose ``name`` attribute
+disagrees with its canonical registry key.  Additionally, every spec
+that declares ``tolerates_crash`` must have a recovery test: its exact
+name must appear in at least one ``tests/test_*.py`` file that uses the
+``recovery`` pytest marker — a crash-tolerance claim without a crash
+test is vacuous.  Run in CI so a new counter cannot land without
+registry wiring.
 """
 
 from __future__ import annotations
@@ -22,14 +26,15 @@ from repro.quorum.counter import SYSTEM_SLUGS  # noqa: E402
 from repro.registry import registered_names, registered_specs  # noqa: E402
 from repro.sim.network import Network  # noqa: E402
 
-#: implementation module stem -> canonical registry base name
+#: implementation module stem -> full spec names the module contributes
 EXPECTED = {
-    "arrow": "arrow",
-    "central": "central",
-    "combining_tree": "combining-tree",
-    "counting_network": "counting-network",
-    "diffracting_tree": "diffracting-tree",
-    "static_tree": "static-tree",
+    "arrow": ["arrow"],
+    "central": ["central"],
+    "combining_tree": ["combining-tree"],
+    "counting_network": ["counting-network"],
+    "diffracting_tree": ["diffracting-tree"],
+    "recoverable": ["central[standby]", "combining-tree[bypass]"],
+    "static_tree": ["static-tree"],
 }
 
 
@@ -50,9 +55,14 @@ def main() -> int:
             f"counter modules not in the expectation map: {sorted(unmapped)} "
             "(add them to scripts/check_registry.py AND repro/registry.py)"
         )
-    for module, base in sorted(EXPECTED.items()):
-        if module in counter_modules and base not in base_names:
-            failures.append(f"module counters/{module}.py has no spec {base!r}")
+    for module, expected_specs in sorted(EXPECTED.items()):
+        if module not in counter_modules:
+            continue
+        for spec_name in expected_specs:
+            if spec_name not in names:
+                failures.append(
+                    f"module counters/{module}.py has no spec {spec_name!r}"
+                )
 
     if "ww-tree" not in base_names:
         failures.append("core/tree's TreeCounter has no 'ww-tree' spec")
@@ -78,6 +88,26 @@ def main() -> int:
         if counter.name != spec.name:
             failures.append(
                 f"{spec.name}: built counter reports name {counter.name!r}"
+            )
+
+    # Crash-tolerance claims need crash tests: the spec's exact name must
+    # appear in a test file that carries the `recovery` pytest marker.
+    tests_dir = pathlib.Path(__file__).parent.parent / "tests"
+    recovery_tests = [
+        path
+        for path in sorted(tests_dir.glob("test_*.py"))
+        if "pytest.mark.recovery" in path.read_text()
+    ]
+    crash_specs = [
+        spec.name
+        for spec in registered_specs()
+        if spec.capabilities.tolerates_crash
+    ]
+    for spec_name in crash_specs:
+        if not any(spec_name in path.read_text() for path in recovery_tests):
+            failures.append(
+                f"{spec_name}: declares tolerates_crash but no test file "
+                "with the 'recovery' marker mentions it"
             )
 
     if failures:

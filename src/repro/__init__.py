@@ -43,6 +43,7 @@ from repro.core import (
 from repro.errors import (
     CapabilityError,
     ConfigurationError,
+    DeliveryAbandonedError,
     InvariantViolationError,
     ProtocolError,
     ReproError,
@@ -59,12 +60,15 @@ from repro.registry import (
     registered_specs,
 )
 from repro.sim import (
+    FailureDetector,
     FaultPlan,
     Message,
     MessageRecord,
     Network,
     Processor,
     RandomDelay,
+    Recoverable,
+    RecoveryManager,
     ReliableTransport,
     SkewedDelay,
     Trace,
@@ -88,7 +92,9 @@ __all__ = [
     "CounterFactory",
     "CounterRef",
     "CounterSpec",
+    "DeliveryAbandonedError",
     "DistributedCounter",
+    "FailureDetector",
     "FaultPlan",
     "IntervalMode",
     "InvariantViolationError",
@@ -99,6 +105,8 @@ __all__ = [
     "Processor",
     "ProtocolError",
     "RandomDelay",
+    "Recoverable",
+    "RecoveryManager",
     "ReliableTransport",
     "ReproError",
     "RunResult",

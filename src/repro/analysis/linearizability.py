@@ -20,7 +20,7 @@ inversions the value order itself is one.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Collection, Sequence
 
 from repro.api import DistributedCounter
 from repro.errors import ProtocolError
@@ -146,6 +146,7 @@ def run_staggered_timed(
     counter: DistributedCounter,
     batch: Sequence[ProcessorId],
     gap: float = 3.0,
+    optional: Collection[ProcessorId] = (),
 ) -> list[TimedOp]:
     """Inject requests *gap* time units apart (still overlapping).
 
@@ -153,6 +154,13 @@ def run_staggered_timed(
     concurrent variant (all requests at one instant) cannot have — and
     without precedence pairs linearizability is vacuous.  This driver is
     what actually exposes counting-network inversions.
+
+    Initiators in *optional* (typically processors a fault plan crashes
+    permanently) may fail to observe a result: their unanswered ops are
+    silently omitted from the returned list instead of raising.  This is
+    the standard treatment of incomplete operations — a linearization is
+    free to place or drop them — and at-most-once counters burn any
+    value such an op reserved.
     """
     network = counter.network
     request_times: dict[int, float] = {}
@@ -173,6 +181,8 @@ def run_staggered_timed(
         values = counter.results_for(pid)
         times = counter.result_times_for(pid)
         if position >= len(values):
+            if pid in optional:
+                continue
             raise ProtocolError(f"processor {pid} missed a result")
         cursor[pid] += 1
         ops.append(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Collection
 
 from repro.sim.messages import ProcessorId
 from repro.sim.trace import Trace
@@ -66,6 +67,20 @@ class LoadProfile:
     def total_load(self) -> int:
         """Sum of all loads — exactly twice the number of messages."""
         return sum(self.loads.values())
+
+    def restrict(self, pids: "Collection[ProcessorId]") -> "LoadProfile":
+        """The profile over *pids* only, with population ``len(pids)``.
+
+        Crash-recovery runs register auxiliary processors (the failure
+        detector's heartbeat hub) whose load is monitoring overhead, not
+        counting work; restricting to the client ids keeps ``m_b``
+        comparable with failure-free runs.
+        """
+        allowed = set(pids)
+        return LoadProfile(
+            loads={p: m for p, m in self.loads.items() if p in allowed},
+            population=max(len(allowed), 1),
+        )
 
     @property
     def mean_load(self) -> float:

@@ -14,20 +14,41 @@ def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Any]],
     title: str | None = None,
+    align: Sequence[str] | None = None,
 ) -> str:
-    """Render *rows* under *headers* as a fixed-width ASCII table."""
+    """Render *rows* under *headers* as a fixed-width ASCII table.
+
+    ``align`` sets per-column body alignment: ``"l"`` or ``"r"`` per
+    column.  The default right-justifies every cell, which suits the
+    numeric tables; text-heavy tables (the counter registry, whose spec
+    names outgrow their header) pass ``"l"`` columns so wide cells stay
+    flush with their left-justified headers.
+    """
     materialized = [[_cell(value) for value in row] for row in rows]
     widths = [len(header) for header in headers]
     for row in materialized:
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
+    if align is not None and len(align) != len(headers):
+        raise ValueError(
+            f"align has {len(align)} entries for {len(headers)} columns"
+        )
     lines: list[str] = []
     if title:
         lines.append(title)
     lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
     for row in materialized:
-        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if align is None:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        else:
+            body = "  ".join(
+                cell.ljust(widths[i]) if align[i] == "l" else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+            lines.append(body.rstrip())
     return "\n".join(lines)
 
 

@@ -43,11 +43,20 @@ class Capabilities:
         needs_square_n: the wiring requires ``n`` to be a perfect square
             (e.g. the Maekawa-grid quorum counter).
         tolerates_message_loss: operations still complete correctly when
-            the network may drop messages.  No bare protocol in this
-            repo does (the paper's model is failure-free); the flag
-            becomes true only when a counter runs behind
-            :class:`~repro.sim.transport.ReliableTransport`, and the
-            registry refuses lossy fault plans on counters without it.
+            the network may drop messages.  Most bare protocols in this
+            repo do not (the paper's model is failure-free); the flag
+            becomes true when a counter runs behind
+            :class:`~repro.sim.transport.ReliableTransport` or builds
+            end-to-end retries into its own protocol, and the registry
+            refuses lossy fault plans on counters without it.
+        tolerates_crash: operations still complete correctly when a
+            processor crashes (its links go permanently or transiently
+            dead mid-run).  Requires protocol-level redundancy — a
+            replica or a bypass route — plus failure detection; the
+            recoverable variants in :mod:`repro.counters.recoverable`
+            declare it, and the registry refuses permanent-crash fault
+            plans on counters without it (a reliable transport alone
+            cannot resurrect state parked on a dead processor).
         restriction: one human-readable sentence naming the reason for
             the strongest restriction; used verbatim in
             :class:`~repro.errors.CapabilityError` messages.
@@ -58,6 +67,7 @@ class Capabilities:
     needs_power_of_two_n: bool = False
     needs_square_n: bool = False
     tolerates_message_loss: bool = False
+    tolerates_crash: bool = False
     restriction: str = ""
 
     @property
@@ -79,6 +89,8 @@ class Capabilities:
             labels.append("n=i^2")
         if self.tolerates_message_loss:
             labels.append("loss-tolerant")
+        if self.tolerates_crash:
+            labels.append("crash-tolerant")
         return tuple(labels)
 
 

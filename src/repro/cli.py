@@ -87,8 +87,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--faults", default=None, metavar="SPEC",
-        help="fault-spec string, e.g. drop=0.05,dup=0.01 or crash=3@t50 "
-             "(seeded by --seed; lossy specs require --reliable)",
+        help="fault-spec string, e.g. drop=0.05,dup=0.01, crash=3@t50 or "
+             "crash=3@t50,recover=3@t90 (seeded by --seed; lossy specs "
+             "require --reliable or a loss-tolerant counter; permanent "
+             "crashes require a crash-tolerant counter)",
     )
     run.add_argument(
         "--reliable", action="store_true",
@@ -196,6 +198,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     from repro.workloads import shuffled
 
+    if session.recovery is not None:
+        return _run_with_recovery(args, session)
     order = (
         one_shot(args.n)
         if args.order == "identity"
@@ -239,6 +243,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_with_recovery(args: argparse.Namespace, session: RunSession) -> int:
+    """The ``run`` path for crash-recovery sessions.
+
+    Crash-tolerant counters are driven with the staggered workload
+    (overlapping ops, so the failover happens under load) and judged by
+    linearizability instead of the dense-prefix value check — under
+    at-most-once semantics crashed combines legitimately burn values.
+    """
+    from repro.analysis.linearizability import check_linearizable_counting
+
+    ops = session.run_staggered()
+    report = check_linearizable_counting(ops)
+    manager = session.recovery
+    trace = session.network.trace
+    profile = LoadProfile.from_trace(trace, population=args.n).restrict(
+        range(1, args.n + 1)
+    )
+    print(f"counter:    {session.canonical}  (n={args.n}, "
+          f"policy={args.policy}, staggered — crash-recovery run)")
+    plan = session.fault_plan
+    counts = plan.counts
+    injected = ", ".join(
+        f"{kind}:{count}" for kind, count in sorted(counts.items())
+    ) or "none"
+    print(f"faults:     {plan.spec}  (injected: {injected})")
+    print(f"operations: {len(ops)} completed of {args.n}, "
+          f"linearizable: {'yes' if report.linearizable else 'NO'} "
+          f"({len(report.inversions)} inversions, "
+          f"{report.precedence_pairs} precedence pairs)")
+    latency = manager.failover_latency()
+    print(f"recovery:   {manager.suspicion_count()} suspicions, "
+          f"{manager.failover_count()} failovers"
+          + (f" (first after {latency:g} time units)" if latency is not None
+             else "")
+          + f", {manager.recovery_count()} checkpoint recoveries")
+    print(f"bottleneck: m_b = {profile.bottleneck_load} at processor "
+          f"{profile.bottleneck_processor}  (clients only; "
+          f"lower bound k(n) = {lower_bound_k(args.n):.2f})")
+    print("hottest:    " + ", ".join(
+        f"p{pid}:{load}" for pid, load in profile.top(args.top)
+    ))
+    return 0 if report.linearizable else 1
+
+
 def _cmd_counters(args: argparse.Namespace) -> int:
     rows = []
     for spec in registered_specs():
@@ -248,24 +296,29 @@ def _cmd_counters(args: argparse.Namespace) -> int:
             if spec.capabilities.tolerates_message_loss
             else "via --reliable"
         )
+        crash = "yes" if spec.capabilities.tolerates_crash else "no"
         tunables = (
             ", ".join(
                 f"{t.name}={t.format(t.default)}" for t in spec.tunables
             )
             or "-"
         )
-        rows.append([spec.name, flags, loss, tunables, spec.summary])
+        rows.append([spec.name, flags, loss, crash, tunables, spec.summary])
     print(
         format_table(
-            ["counter", "capabilities", "msg loss", "tunables (defaults)",
-             "summary"],
+            ["counter", "capabilities", "msg loss", "crash",
+             "tunables (defaults)", "summary"],
             rows,
             title=f"Counter registry ({len(rows)} specs)",
+            align=["l", "l", "l", "l", "l", "l"],
         )
     )
     print("\nmsg loss: no bare protocol tolerates dropped messages (the "
           "paper's model is failure-free);\npass --reliable to run any spec "
-          "behind the ack/retransmit transport ('loss-tolerant' flag).")
+          "behind the ack/retransmit transport ('loss-tolerant' flag).\n"
+          "crash: only protocols with built-in redundancy survive permanent "
+          "processor crashes ('crash-tolerant'\nflag); --reliable does not "
+          "help there — retransmission cannot resurrect a dead processor.")
     if args.verbose:
         for spec in registered_specs():
             if not spec.tunables:

@@ -211,6 +211,10 @@ class CombiningTreeCounter(DistributedCounter):
     name = "combining-tree"
     capabilities = Capabilities()
 
+    #: Host processor class — subclasses (e.g. the crash-bypassing
+    #: variant) override this to wrap node/client behaviour.
+    host_class: type[_CombiningHost] = _CombiningHost
+
     def __init__(
         self,
         network: Network,
@@ -228,7 +232,7 @@ class CombiningTreeCounter(DistributedCounter):
         self._value = 0
         self._hosts: dict[ProcessorId, _CombiningHost] = {}
         for pid in self.client_ids():
-            host = _CombiningHost(pid, self)
+            host = self.host_class(pid, self)
             network.register(host)
             self._hosts[pid] = host
         self._build_tree()

@@ -73,6 +73,30 @@ class SimulationLimitError(SimulationError):
         self.context = context
 
 
+class DeliveryAbandonedError(SimulationError):
+    """Raised when the reliable transport gives up on a dead destination.
+
+    :class:`~repro.sim.transport.ReliableTransport` retransmits
+    unacknowledged envelopes on a capped backoff.  Against a permanently
+    crashed peer (``crash=PID@tS`` with no window end) retrying forever
+    would only burn the event budget and surface later as an opaque
+    :class:`SimulationLimitError`; instead, once the attempt cap is
+    exhausted the transport raises this error naming the unreachable
+    processor and how many attempts were made.  Callers that *want*
+    best-effort semantics pass an explicit ``max_retries``, which keeps
+    the silent ``gave_up`` accounting instead of raising.
+
+    Attributes:
+        receiver: the processor id the envelope could not reach.
+        attempts: transmissions attempted (first send + retransmissions).
+    """
+
+    def __init__(self, message: str, *, receiver: int, attempts: int) -> None:
+        super().__init__(message)
+        self.receiver = receiver
+        self.attempts = attempts
+
+
 class ProtocolError(SimulationError):
     """Raised when a processor program violates its own protocol.
 

@@ -13,6 +13,7 @@ from repro.experiments.base import ExperimentResult, ExperimentTable, make_table
 from repro.experiments.comparisons_exp import run_e6, run_e7, run_e13, run_e17
 from repro.experiments.constructions import run_e1, run_e2
 from repro.experiments.lowerbound_exp import run_e3, run_e16
+from repro.experiments.recovery_exp import run_e22, run_e23
 from repro.experiments.robustness_exp import run_e18, run_e19, run_e20, run_e21
 from repro.experiments.substrates_exp import run_e8, run_e11, run_e14, run_e15
 from repro.experiments.treecounter_exp import run_e4, run_e5, run_e9, run_e10, run_e12
@@ -39,6 +40,8 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "E19": run_e19,
     "E20": run_e20,
     "E21": run_e21,
+    "E22": run_e22,
+    "E23": run_e23,
 }
 """Experiment id → zero-argument runner with the canonical parameters."""
 
@@ -68,4 +71,6 @@ __all__ = [
     "run_e19",
     "run_e20",
     "run_e21",
+    "run_e22",
+    "run_e23",
 ]

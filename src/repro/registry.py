@@ -38,6 +38,7 @@ from repro.errors import CapabilityError, ConfigurationError
 from repro.sim.faults import FaultPlan, parse_fault_spec
 from repro.sim.messages import ProcessorId
 from repro.sim.network import Network
+from repro.sim.recovery import Recoverable, RecoveryManager
 from repro.sim.transport import ReliableTransport
 from repro.sim.policies import (
     CongestedDelay,
@@ -407,8 +408,26 @@ class RunSession:
             :class:`~repro.sim.transport.ReliableTransport` so it
             survives lossy fault plans.  A lossy ``faults`` spec without
             ``reliable=True`` fails fast with
-            :class:`~repro.errors.CapabilityError` — no registered
-            protocol tolerates message loss on its own.
+            :class:`~repro.errors.CapabilityError` on counters that do
+            not tolerate message loss on their own.
+
+    Capability gates, checked in order:
+
+    * a plan that crashes a processor *permanently* (no window end and
+      no ``recover=`` point) requires ``tolerates_crash`` — a reliable
+      transport cannot resurrect state parked on a dead processor, so
+      ``reliable=True`` does not waive this gate;
+    * any plan that can lose messages (drops, partitions, and crash
+      windows, which sever links) requires the effective
+      ``tolerates_message_loss`` — declared by the counter or conferred
+      by ``reliable=True``.  Finite crash windows on a loss-tolerant
+      counter pass: they behave as bounded message loss.
+
+    When the plan has crash rules and the counter implements
+    :class:`~repro.sim.recovery.Recoverable`, the session assembles and
+    starts a :class:`~repro.sim.recovery.RecoveryManager` on the raw
+    network (heartbeats must face the fault plan, not ride the reliable
+    transport); it is exposed as :attr:`recovery`.
     """
 
     def __init__(
@@ -440,17 +459,26 @@ class RunSession:
         if reliable:
             capabilities = replace(capabilities, tolerates_message_loss=True)
         self._capabilities = capabilities
-        if (
-            fault_plan is not None
-            and fault_plan.lossy
-            and not capabilities.tolerates_message_loss
-        ):
-            raise CapabilityError(
-                f"fault plan {fault_plan.spec!r} can lose messages, but "
-                f"counter {self._ref.canonical!r} does not tolerate "
-                "message loss; rerun with reliable=True (CLI: --reliable) "
-                "to put it behind the retransmitting transport"
-            )
+        if fault_plan is not None:
+            dead = fault_plan.permanent_crash_pids
+            if dead and not capabilities.tolerates_crash:
+                listed = ", ".join(str(pid) for pid in sorted(dead))
+                raise CapabilityError(
+                    f"fault plan {fault_plan.spec!r} crashes processor(s) "
+                    f"{listed} permanently, but counter "
+                    f"{self._ref.canonical!r} does not tolerate crashes; "
+                    "a reliable transport cannot resurrect state parked "
+                    "on a dead processor — use a crash-tolerant counter "
+                    "(e.g. 'central[standby]' or 'combining-tree[bypass]') "
+                    "or give the plan a recover= clause"
+                )
+            if fault_plan.lossy and not capabilities.tolerates_message_loss:
+                raise CapabilityError(
+                    f"fault plan {fault_plan.spec!r} can lose messages, but "
+                    f"counter {self._ref.canonical!r} does not tolerate "
+                    "message loss; rerun with reliable=True (CLI: --reliable) "
+                    "to put it behind the retransmitting transport"
+                )
         network_kwargs: dict[str, Any] = {
             "policy": policy,
             "trace_level": trace_level,
@@ -466,6 +494,16 @@ class RunSession:
         )
         fabric = self.transport if self.transport is not None else self.network
         self.counter = self._ref.build(fabric, n)
+        self.recovery: RecoveryManager | None = None
+        if (
+            fault_plan is not None
+            and fault_plan.crash_rules
+            and isinstance(self.counter, Recoverable)
+        ):
+            self.recovery = RecoveryManager(
+                self.network, self.counter, fault_plan
+            )
+            self.recovery.start()
 
     @property
     def ref(self) -> CounterRef:
@@ -488,6 +526,11 @@ class RunSession:
     def fault_plan(self) -> FaultPlan | None:
         """The installed fault plan, or ``None`` for failure-free runs."""
         return self.network.fault_plan
+
+    @property
+    def failure_detector(self):
+        """The recovery manager's failure detector, or ``None``."""
+        return self.recovery.detector if self.recovery is not None else None
 
     def transport_stats(self) -> dict[str, int]:
         """Reliable-transport counters (empty dict on bare sessions)."""
@@ -529,6 +572,31 @@ class RunSession:
         if batches is None:
             batches = [one_shot(self.n)]
         return run_concurrent(self.counter, batches, check_values=check_values)
+
+    def run_staggered(self, gap: float = 3.0):
+        """Drive the one-shot batch with staggered starts; return timed ops.
+
+        The staggered driver is what crash-recovery runs use: requests
+        overlap (so failovers happen under load) yet have real-time
+        precedence pairs, making the returned
+        :class:`~repro.analysis.linearizability.TimedOp` list meaningful
+        input for
+        :func:`~repro.analysis.linearizability.check_linearizable_counting`.
+
+        Operations initiated by permanently crashed processors count as
+        optional: a dead client cannot observe its response, so its
+        unanswered op is omitted rather than an error.
+        """
+        from repro.analysis.linearizability import run_staggered_timed
+        from repro.workloads.sequences import one_shot
+
+        plan = self.fault_plan
+        optional = (
+            plan.permanent_crash_pids if plan is not None else frozenset()
+        )
+        return run_staggered_timed(
+            self.counter, one_shot(self.n), gap, optional=optional
+        )
 
     def run_workload(self, workload: str = "one-shot"):
         """Execute a named workload from :data:`WORKLOAD_NAMES`."""
@@ -632,6 +700,34 @@ def _build_diffracting_tree(
     )
 
 
+def _build_standby_central(
+    network: Network,
+    n: int,
+    primary_id: int = 1,
+    standby_id: int = 2,
+    retry: float = 20.0,
+):
+    from repro.counters.recoverable import StandbyCentralCounter
+
+    return StandbyCentralCounter(
+        network, n, primary_id=primary_id, standby_id=standby_id, retry=retry
+    )
+
+
+def _build_bypass_combining_tree(
+    network: Network,
+    n: int,
+    arity: int = 2,
+    window: float = 0.75,
+    retry: float = 90.0,
+):
+    from repro.counters.recoverable import BypassCombiningTreeCounter
+
+    return BypassCombiningTreeCounter(
+        network, n, arity=arity, window=window, retry=retry
+    )
+
+
 def _build_arrow(network: Network, n: int, initial_owner: int = 1):
     from repro.counters import ArrowCounter
 
@@ -648,7 +744,7 @@ def _quorum_builder(system_factory):
 
 
 def _populate() -> None:
-    """Register the repo's eight wirings (idempotent per process)."""
+    """Register the repo's ten wirings (idempotent per process)."""
     from repro.core import TreeCounter
     from repro.counters import (
         ArrowCounter,
@@ -657,6 +753,10 @@ def _populate() -> None:
         CombiningTreeCounter,
         DiffractingTreeCounter,
         StaticTreeCounter,
+    )
+    from repro.counters.recoverable import (
+        BypassCombiningTreeCounter,
+        StandbyCentralCounter,
     )
     from repro.quorum import (
         CrumblingWall,
@@ -712,6 +812,39 @@ def _populate() -> None:
                     doc="combining-window length in simulated time"),
         ),
         summary="software combining tree (Yew et al. 87)",
+    ))
+    register(CounterSpec(
+        name="central[standby]",
+        factory=_build_standby_central,
+        implementation=StandbyCentralCounter,
+        capabilities=StandbyCentralCounter.capabilities,
+        tunables=(
+            Tunable("primary_id", int, 1, minimum=1,
+                    doc="processor seated as the initial primary"),
+            Tunable("standby_id", int, 2, minimum=1,
+                    doc="processor seated as the initial hot standby"),
+            Tunable("retry", float, 20.0,
+                    doc="client end-to-end retry timeout in simulated "
+                        "time"),
+        ),
+        summary="central counter + hot standby: checkpointed failover "
+                "under crashes",
+    ))
+    register(CounterSpec(
+        name="combining-tree[bypass]",
+        factory=_build_bypass_combining_tree,
+        implementation=BypassCombiningTreeCounter,
+        capabilities=BypassCombiningTreeCounter.capabilities,
+        tunables=(
+            Tunable("arity", int, 2, minimum=2, doc="tree fan-in"),
+            Tunable("window", float, 0.75,
+                    doc="combining-window length in simulated time"),
+            Tunable("retry", float, 90.0,
+                    doc="client end-to-end retry timeout in simulated "
+                        "time (a full tree traversal is ~40)"),
+        ),
+        summary="combining tree that re-links around crashed hosts "
+                "(at-most-once)",
     ))
     register(CounterSpec(
         name="counting-network",

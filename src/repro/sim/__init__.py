@@ -20,13 +20,19 @@ Public surface:
   :class:`CongestedDelay` (store-and-forward queueing).
 * fault injection — :class:`FaultPlan` composed of :class:`FaultRule`
   instances (:class:`DropRule`, :class:`DuplicateRule`,
-  :class:`ReorderRule`, :class:`PartitionRule`, :class:`CrashRule`),
-  parsed from compact spec strings by :func:`parse_fault_spec`.
+  :class:`ReorderRule`, :class:`PartitionRule`, :class:`CrashRule`) plus
+  :class:`RecoveryPoint` schedules, parsed from compact spec strings by
+  :func:`parse_fault_spec`.
 * :class:`ReliableTransport` — ack/timeout/retransmit wrapper that lets
   unmodified counters survive lossy fault plans.
+* crash recovery — :class:`FailureDetector` (heartbeat-based ◊P over the
+  simulated wire), and :class:`RecoveryManager` driving a
+  :class:`Recoverable` counter through suspect / restore / recover with
+  a checkpoint store modelling stable storage.
 """
 
 from repro.sim.events import Event, EventQueue
+from repro.sim.failure_detector import HEARTBEAT_KIND, FailureDetector
 from repro.sim.faults import (
     CrashRule,
     DropRule,
@@ -36,10 +42,12 @@ from repro.sim.faults import (
     FaultRecord,
     FaultRule,
     PartitionRule,
+    RecoveryPoint,
     ReorderRule,
     canonical_fault_spec,
     parse_fault_spec,
 )
+from repro.sim.recovery import Recoverable, RecoveryEvent, RecoveryManager
 from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
 from repro.sim.network import DEFAULT_EVENT_LIMIT, Network
 from repro.sim.transport import ACK_KIND, DATA_KIND, ReliableTransport
@@ -71,6 +79,8 @@ __all__ = [
     "FaultRecord",
     "FaultRule",
     "FifoRandomDelay",
+    "FailureDetector",
+    "HEARTBEAT_KIND",
     "InertProcessor",
     "Message",
     "MessageRecord",
@@ -81,6 +91,10 @@ __all__ = [
     "Processor",
     "ProcessorId",
     "RandomDelay",
+    "Recoverable",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "RecoveryPoint",
     "ReliableTransport",
     "ReorderRule",
     "SkewedDelay",

@@ -36,6 +36,15 @@ Fault specs are strings for the CLI/sweep layer
 
     drop=0.05,dup=0.01,reorder=0.1,crash=3@t50,partition=1..4|5..8@t10-t50
 
+A ``recover=PID@tT`` clause turns a crash into a crash-*with-recovery*:
+it truncates the matching crash window at ``T`` (links restored from
+``T`` on) and records a :class:`RecoveryPoint` that the recovery layer
+(:mod:`repro.sim.recovery`) turns into a checkpoint-restore event at
+time ``T``.  ``crash=3@t50,recover=3@t90`` is therefore canonically
+``crash=3@t50-t90,recover=3@t90``: the wire behaviour is the finite
+window, the recovery point is the extra promise that processor 3 comes
+back *with its role and state restored*, not merely with live links.
+
 Loads under faults: the trace counts *delivered* messages, so a dropped
 message adds load to nobody — the retransmission that replaces it (see
 :mod:`repro.sim.transport`) is what shows up in ``m_p``.  Duplicates are
@@ -61,6 +70,7 @@ __all__ = [
     "FaultRecord",
     "FaultRule",
     "PartitionRule",
+    "RecoveryPoint",
     "ReorderRule",
     "canonical_fault_spec",
     "parse_fault_spec",
@@ -73,7 +83,9 @@ class FaultRecord(NamedTuple):
     Attributes:
         time: simulated send time of the affected message.
         kind: fault family — ``"drop"``, ``"duplicate"``, ``"reorder"``,
-            ``"partition"`` or ``"crash"``.
+            ``"partition"`` or ``"crash"`` for wire faults; the recovery
+            layer additionally records ``"suspect"``, ``"restore"`` and
+            ``"recover"`` events through the same channel.
         sender: sender of the affected message.
         receiver: receiver of the affected message.
         op_index: operation the affected message belongs to.
@@ -340,6 +352,29 @@ class CrashRule(FaultRule):
         return f"crash={self.pid}{window}"
 
 
+class RecoveryPoint(NamedTuple):
+    """A promise that a crashed processor recovers (state and role) at *time*.
+
+    The wire side of a recovery is just a finite crash window — links work
+    again from the window's end.  The recovery point is the *semantic*
+    side: at :attr:`time` the recovery layer
+    (:class:`~repro.sim.recovery.RecoveryManager`) re-delivers the
+    processor's last checkpoint and lets the counter replay what it
+    missed.  Always paired with a crash rule for the same pid whose
+    window ends at or before :attr:`time`.
+
+    Attributes:
+        pid: the recovering processor.
+        time: simulated time the checkpoint restore fires.
+    """
+
+    pid: ProcessorId
+    time: float
+
+    def spec_fragment(self) -> str:
+        return f"recover={self.pid}@t{self.time:g}"
+
+
 class FaultPlan:
     """A seeded, deterministic composition of :class:`FaultRule`\\ s.
 
@@ -352,16 +387,62 @@ class FaultPlan:
     Args:
         rules: the composed rules, evaluated in order per message.
         seed: generator seed; equal seeds give equal injections.
+        recoveries: :class:`RecoveryPoint` entries.  Each must name a pid
+            with a crash rule starting before the recovery time; crash
+            windows extending past the recovery time (including
+            open-ended ``end=inf`` crashes) are truncated there, so the
+            links come back exactly when the checkpoint restore fires.
     """
 
-    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
-        self._rules: tuple[FaultRule, ...] = tuple(rules)
-        for rule in self._rules:
+    def __init__(
+        self,
+        rules: Sequence[FaultRule],
+        seed: int = 0,
+        recoveries: Sequence[RecoveryPoint] = (),
+    ) -> None:
+        rule_list = list(rules)
+        for rule in rule_list:
             if not isinstance(rule, FaultRule):
                 raise ConfigurationError(
                     f"fault plan rules must be FaultRule instances, "
                     f"got {rule!r}"
                 )
+        points = sorted(recoveries, key=lambda point: (point.time, point.pid))
+        for point in points:
+            if not isinstance(point, RecoveryPoint):
+                raise ConfigurationError(
+                    f"fault plan recoveries must be RecoveryPoint "
+                    f"instances, got {point!r}"
+                )
+        seen_pids = set()
+        for point in points:
+            if point.pid in seen_pids:
+                raise ConfigurationError(
+                    f"duplicate recovery for processor {point.pid}; one "
+                    "recover= clause per pid"
+                )
+            seen_pids.add(point.pid)
+            matching = [
+                index
+                for index, rule in enumerate(rule_list)
+                if isinstance(rule, CrashRule)
+                and rule.pid == point.pid
+                and rule.start < point.time
+            ]
+            if not matching:
+                raise ConfigurationError(
+                    f"recover={point.pid}@t{point.time:g} has no matching "
+                    f"crash rule (need crash={point.pid}@tS with S < "
+                    f"{point.time:g})"
+                )
+            for index in matching:
+                rule = rule_list[index]
+                if rule.end > point.time:
+                    rule_list[index] = CrashRule(
+                        rule.pid, rule.start, point.time
+                    )
+        self._rules: tuple[FaultRule, ...] = tuple(rule_list)
+        self._recoveries: tuple[RecoveryPoint, ...] = tuple(points)
         self._seed = seed
         self._rng = random.Random(seed)
         self._events: list[FaultRecord] = []
@@ -392,6 +473,32 @@ class FaultPlan:
         return any(rule.can_drop for rule in self._rules)
 
     @property
+    def recoveries(self) -> tuple[RecoveryPoint, ...]:
+        """Recovery points, ordered by (time, pid)."""
+        return self._recoveries
+
+    @property
+    def crash_rules(self) -> tuple[CrashRule, ...]:
+        """Every crash rule in the plan, in evaluation order."""
+        return tuple(
+            rule for rule in self._rules if isinstance(rule, CrashRule)
+        )
+
+    @property
+    def permanent_crash_pids(self) -> frozenset[ProcessorId]:
+        """Pids crashed with no window end (and no recovery point).
+
+        These processors never come back: the registry refuses such
+        plans on counters without ``tolerates_crash``, because no amount
+        of retransmission recovers state parked on a dead processor.
+        """
+        return frozenset(
+            rule.pid
+            for rule in self._rules
+            if isinstance(rule, CrashRule) and math.isinf(rule.end)
+        )
+
+    @property
     def events(self) -> list[FaultRecord]:
         """Every injected fault so far, in injection order (do not mutate)."""
         return self._events
@@ -404,7 +511,9 @@ class FaultPlan:
     @property
     def spec(self) -> str:
         """The plan's canonical fault-spec string."""
-        return ",".join(rule.spec_fragment() for rule in self._rules)
+        fragments = [rule.spec_fragment() for rule in self._rules]
+        fragments.extend(point.spec_fragment() for point in self._recoveries)
+        return ",".join(fragments)
 
     def __repr__(self) -> str:
         return f"FaultPlan({self.spec!r}, seed={self._seed})"
@@ -419,7 +528,11 @@ class FaultPlan:
         from scratch: its injections equal a brand-new plan's, whatever
         the parent has already consumed.
         """
-        return FaultPlan([rule.fork() for rule in self._rules], seed=self._seed)
+        return FaultPlan(
+            [rule.fork() for rule in self._rules],
+            seed=self._seed,
+            recoveries=self._recoveries,
+        )
 
     def reset(self) -> None:
         """Reseed the generator and clear the ledger (network reuse)."""
@@ -587,14 +700,37 @@ def _rule_from_field(key: str, value: str) -> FaultRule:
         )
     raise ConfigurationError(
         f"unknown fault spec field {key!r}; expected one of "
-        "drop, dup, reorder, crash, partition"
+        "drop, dup, reorder, crash, partition, recover"
     )
+
+
+def _recovery_from_field(value: str) -> RecoveryPoint:
+    pid_text, separator, time_text = value.partition("@")
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"fault spec field 'recover': bad processor id {pid_text!r}"
+        ) from None
+    if not separator or not time_text.startswith("t"):
+        raise ConfigurationError(
+            "fault spec field 'recover' needs a time, e.g. recover=3@t90"
+        )
+    return RecoveryPoint(pid, _parse_float("recover", time_text[1:]))
 
 
 #: canonical ordering of rule families in a parsed plan — parsing is
 #: order-insensitive, so equivalent spellings build identical plans (and
-#: identical RNG streams).
-_FIELD_ORDER = {"drop": 0, "dup": 1, "reorder": 2, "partition": 3, "crash": 4}
+#: identical RNG streams).  ``recover`` fields become
+#: :class:`RecoveryPoint` entries, not rules, and always sort last.
+_FIELD_ORDER = {
+    "drop": 0,
+    "dup": 1,
+    "reorder": 2,
+    "partition": 3,
+    "crash": 4,
+    "recover": 5,
+}
 
 
 def parse_fault_spec(text: str, seed: int = 0) -> FaultPlan:
@@ -608,10 +744,14 @@ def parse_fault_spec(text: str, seed: int = 0) -> FaultPlan:
         crash=PID@tSTART[-tEND]     processor down in [START, END)
         partition=A|B@tSTART[-tEND] drop the A/B cut in the window
                                     (groups: '1..4' ranges or '1+5+9' lists)
+        recover=PID@tT              crashed PID restored (state + role) at T;
+                                    truncates PID's crash window at T
 
     Fields are canonically reordered (drop, dup, reorder, partitions,
-    crashes) so equivalent spellings produce identical plans —
-    :func:`canonical_fault_spec` is the cache key for sweeps.
+    crashes, recoveries) so equivalent spellings produce identical
+    plans — :func:`canonical_fault_spec` is the cache key for sweeps.
+    A ``recover`` field requires a ``crash`` field for the same pid
+    starting before the recovery time.
     """
     stripped = text.strip()
     if not stripped:
@@ -627,7 +767,7 @@ def parse_fault_spec(text: str, seed: int = 0) -> FaultPlan:
         if key not in _FIELD_ORDER:
             raise ConfigurationError(
                 f"unknown fault spec field {key!r}; expected one of "
-                "drop, dup, reorder, crash, partition"
+                "drop, dup, reorder, crash, partition, recover"
             )
         if key in ("drop", "dup", "reorder") and any(
             existing == key for _, _, existing, _ in fields
@@ -637,8 +777,17 @@ def parse_fault_spec(text: str, seed: int = 0) -> FaultPlan:
             )
         fields.append((_FIELD_ORDER[key], position, key, value))
     fields.sort(key=lambda item: (item[0], item[1]))
-    rules = [_rule_from_field(key, value) for _, _, key, value in fields]
-    return FaultPlan(rules, seed=seed)
+    rules = [
+        _rule_from_field(key, value)
+        for _, _, key, value in fields
+        if key != "recover"
+    ]
+    recoveries = [
+        _recovery_from_field(value)
+        for _, _, key, value in fields
+        if key == "recover"
+    ]
+    return FaultPlan(rules, seed=seed, recoveries=recoveries)
 
 
 def canonical_fault_spec(text: str) -> str:

@@ -187,6 +187,16 @@ class Network:
         """True if a processor with id *pid* is registered."""
         return pid in self._processors
 
+    def registered_ids(self) -> list[ProcessorId]:
+        """All registered processor ids, ascending.
+
+        Infrastructure that needs a fresh id on an already-wired network
+        (e.g. the failure detector's hub processor) picks
+        ``max(registered_ids()) + 1`` so it never collides with counter
+        processors.
+        """
+        return sorted(self._processors)
+
     # ------------------------------------------------------------------
     # Topology construction
     # ------------------------------------------------------------------

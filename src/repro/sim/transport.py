@@ -28,10 +28,14 @@ Guarantees restored (and their limits):
 * delivery order is *not* restored: the transport is reliable, not
   FIFO — exactly the asynchrony the paper's model permits, so protocol
   correctness arguments carry over unchanged;
-* a permanently crashed destination makes the sender retry forever
-  (bounded by the network's event budget, surfacing as an actionable
-  :class:`~repro.errors.SimulationLimitError`) unless ``max_retries``
-  caps the attempts, after which the send counts as ``gave_up``.
+* a permanently crashed destination does **not** make the sender retry
+  forever: after ``attempt_cap`` transmissions the transport raises a
+  typed :class:`~repro.errors.DeliveryAbandonedError` naming the dead
+  pid and the attempt count, instead of burning the event budget and
+  dying later on an opaque
+  :class:`~repro.errors.SimulationLimitError`.  Callers that want
+  silent best-effort semantics pass an explicit ``max_retries``, after
+  which an abandoned send merely counts as ``gave_up``.
 
 Operation attribution survives faults: retransmissions are re-injected
 under the original operation's index, so per-operation footprints
@@ -43,7 +47,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from repro.errors import ConfigurationError, UnknownProcessorError
+from repro.errors import (
+    ConfigurationError,
+    DeliveryAbandonedError,
+    UnknownProcessorError,
+)
 from repro.sim.messages import NO_OP, Message, OpIndex, ProcessorId
 from repro.sim.network import Network
 from repro.sim.processor import Processor
@@ -125,6 +133,15 @@ class _Endpoint(Processor):
                 delay=backoff,
             )
             return
+        if max_retries is None and pending.attempts >= transport._attempt_cap:
+            # No explicit retry budget: a peer that has ignored this many
+            # attempts is treated as dead, loudly.
+            self.network.inject(
+                lambda: self._abandon(receiver, seq),
+                op_index=pending.op_index,
+                delay=backoff,
+            )
+            return
         self.network.inject(
             lambda: self._transmit(receiver, seq),
             op_index=pending.op_index,
@@ -134,6 +151,20 @@ class _Endpoint(Processor):
     def _give_up(self, receiver: ProcessorId, seq: int) -> None:
         if self._pending.pop((receiver, seq), None) is not None:
             self._transport._stats["gave_up"] += 1
+
+    def _abandon(self, receiver: ProcessorId, seq: int) -> None:
+        pending = self._pending.pop((receiver, seq), None)
+        if pending is None:  # acknowledged since the final timer was set
+            return
+        self._transport._stats["gave_up"] += 1
+        raise DeliveryAbandonedError(
+            f"reliable delivery {self.pid}->{receiver} abandoned after "
+            f"{pending.attempts} attempts; processor {receiver} looks "
+            "permanently dead (pass max_retries= for silent best-effort "
+            "delivery, or give the fault plan a recover= clause)",
+            receiver=receiver,
+            attempts=pending.attempts,
+        )
 
     # ------------------------------------------------------------------
     # Receiving
@@ -204,10 +235,16 @@ class ReliableTransport:
             runs produce spurious retransmissions (the default clears
             every built-in policy).
         rto_cap: upper bound for the exponential backoff.
-        max_retries: retransmissions per envelope before giving up;
-            ``None`` (default) retries forever — a permanently crashed
-            peer then surfaces as a
-            :class:`~repro.errors.SimulationLimitError`.
+        max_retries: retransmissions per envelope before *silently*
+            giving up (the send counts as ``gave_up``); ``None``
+            (default) means there is no silent budget and the
+            ``attempt_cap`` safety net applies instead.
+        attempt_cap: with ``max_retries=None``, total transmissions per
+            envelope before the transport declares the destination dead
+            and raises :class:`~repro.errors.DeliveryAbandonedError`.
+            With the default backoff this spans thousands of simulated
+            time units — far beyond any transient crash window — so it
+            only fires against a genuinely unreachable peer.
     """
 
     def __init__(
@@ -216,6 +253,7 @@ class ReliableTransport:
         rto: float = 25.0,
         rto_cap: float = 200.0,
         max_retries: int | None = None,
+        attempt_cap: int = 25,
     ) -> None:
         if rto <= 0:
             raise ConfigurationError(f"rto must be positive, got {rto}")
@@ -227,10 +265,15 @@ class ReliableTransport:
             raise ConfigurationError(
                 f"max_retries must be >= 1 or None, got {max_retries}"
             )
+        if attempt_cap < 1:
+            raise ConfigurationError(
+                f"attempt_cap must be >= 1, got {attempt_cap}"
+            )
         self._network = network
         self._rto = float(rto)
         self._rto_cap = float(rto_cap)
         self._max_retries = max_retries
+        self._attempt_cap = int(attempt_cap)
         self._endpoints: dict[ProcessorId, _Endpoint] = {}
         self._stats: dict[str, int] = {
             "data_sent": 0,

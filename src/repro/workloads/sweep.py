@@ -42,11 +42,13 @@ from repro.registry import POLICY_NAMES, WORKLOAD_NAMES, canonical_spec
 from repro.sim.faults import canonical_fault_spec
 from repro.sim.messages import ProcessorId
 
-_CACHE_SCHEMA = "sweep-v3"
+_CACHE_SCHEMA = "sweep-v4"
 """Version tag mixed into every config hash; bump when outcome semantics
 change so stale cache entries are never reused.  v2: counter fields are
 canonical registry spec strings, not bare factory names.  v3: points
-carry fault-plan and transport fields; fault specs are canonicalized."""
+carry fault-plan and transport fields; fault specs are canonicalized.
+v4: fault specs may carry recover= clauses and crash-tolerant sessions
+auto-start a recovery manager (heartbeat traffic changes loads)."""
 
 TRANSPORT_NAMES = ("bare", "reliable")
 """Transports a sweep point may name: ``"bare"`` sends straight on the

@@ -1,0 +1,260 @@
+"""Crash recovery: checkpoints, failover, and the recoverable counters.
+
+Covers the RecoveryManager lifecycle (checkpoint store, recovery-point
+scheduling, failover-latency measurement), the two crash-tolerant
+counter variants — ``central[standby]`` and ``combining-tree[bypass]``
+— under primary/host crashes, and the RunSession capability gate and
+auto-assembly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.linearizability import check_linearizable_counting
+from repro.errors import CapabilityError, ConfigurationError
+from repro.registry import RunSession, parse_spec
+from repro.sim.faults import CrashRule, FaultPlan, parse_fault_spec
+from repro.sim.network import Network
+from repro.sim.processor import InertProcessor
+from repro.sim.recovery import Recoverable, RecoveryManager
+
+pytestmark = pytest.mark.recovery
+
+
+class _StubCounter(Recoverable):
+    """Minimal Recoverable for manager-level tests."""
+
+    def __init__(self, pids=(1, 2)):
+        self.pids = tuple(pids)
+        self.suspected: list[int] = []
+        self.restored: list[int] = []
+        self.recovered: list[tuple[int, object]] = []
+
+    def critical_pids(self):
+        return self.pids
+
+    def on_processor_suspected(self, pid, time):
+        self.suspected.append(pid)
+
+    def on_processor_restored(self, pid, time):
+        self.restored.append(pid)
+
+    def on_processor_recovered(self, pid, time, checkpoint):
+        self.recovered.append((pid, checkpoint))
+
+
+def _manager(plan, counter=None, **kwargs):
+    network = Network(fault_plan=plan)
+    network.register_all([InertProcessor(pid) for pid in (1, 2, 3)])
+    counter = counter or _StubCounter()
+    return network, counter, RecoveryManager(network, counter, plan, **kwargs)
+
+
+class TestRecoveryManager:
+    def test_rejects_non_recoverable_counters(self):
+        plan = FaultPlan([CrashRule(1, start=5.0)])
+        with pytest.raises(ConfigurationError):
+            RecoveryManager(Network(fault_plan=plan), object(), plan)
+
+    def test_derive_horizon_covers_crashes_and_recoveries(self):
+        plan = parse_fault_spec("crash=1@t40-t80,recover=1@t90", seed=0)
+        horizon = RecoveryManager.derive_horizon(plan, period=5.0, timeout=15.0)
+        assert horizon == 90.0 + 15.0 + 10.0
+
+    def test_checkpoints_are_deep_copied_both_ways(self):
+        plan = FaultPlan([CrashRule(1, start=5.0)])
+        _, _, manager = _manager(plan)
+        state = {"values": [1, 2]}
+        manager.save_checkpoint(1, state)
+        state["values"].append(3)  # mutating the original must not leak in
+        restored = manager.checkpoint_for(1)
+        assert restored == {"values": [1, 2]}
+        restored["values"].append(4)  # nor mutating the copy leak back
+        assert manager.checkpoint_for(1) == {"values": [1, 2]}
+
+    def test_checkpoint_for_unknown_pid_is_none(self):
+        plan = FaultPlan([CrashRule(1, start=5.0)])
+        _, _, manager = _manager(plan)
+        assert manager.checkpoint_for(9) is None
+
+    def test_recovery_point_redelivers_the_last_checkpoint(self):
+        plan = parse_fault_spec("crash=2@t10,recover=2@t50", seed=0)
+        network, counter, manager = _manager(plan)
+        manager.start()
+        manager.save_checkpoint(2, {"epoch": 7})
+        network.run_until_quiescent()
+        assert counter.recovered == [(2, {"epoch": 7})]
+        assert manager.recovery_count() == 1
+        kinds = [event.kind for event in manager.events]
+        assert "recover" in kinds
+
+    def test_failover_latency_is_measured_from_crash_start(self):
+        plan = FaultPlan([CrashRule(2, start=20.0)])
+        network, counter, manager = _manager(plan)
+        manager.start()
+        network.run_until_quiescent()
+        assert counter.suspected == [2]
+        # The counter would call note_failover from its suspect hook;
+        # simulate the handoff at the current (post-run) time.
+        manager.note_failover(2, 1)
+        latency = manager.failover_latency()
+        assert latency is not None and latency == network.now - 20.0
+        assert manager.failover_count() == 1
+
+    def test_start_twice_raises(self):
+        plan = FaultPlan([CrashRule(1, start=5.0)])
+        _, _, manager = _manager(plan)
+        manager.start()
+        with pytest.raises(ConfigurationError):
+            manager.start()
+
+
+class TestStandbyCentral:
+    def test_needs_two_processors(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("central[standby]").build(Network(), 1)
+
+    def test_clean_run_counts_exactly(self):
+        session = RunSession("central[standby]", 8, policy="random", seed=1)
+        ops = session.run_staggered(gap=3.0)
+        assert sorted(op.value for op in ops) == list(range(8))
+        assert check_linearizable_counting(ops).linearizable
+
+    def test_primary_crash_fails_over_linearizably(self):
+        session = RunSession(
+            "central[standby]", 16, policy="random", seed=3,
+            faults="crash=1@t18",
+        )
+        ops = session.run_staggered(gap=4.0)
+        report = check_linearizable_counting(ops)
+        assert report.linearizable
+        manager = session.recovery
+        assert manager is not None
+        assert manager.failover_count() == 1
+        assert manager.failover_latency() > 0
+        counter = session.counter
+        assert counter.current_primary == 2  # the standby took over
+
+    def test_standby_crash_primary_goes_solo(self):
+        session = RunSession(
+            "central[standby]", 8, policy="random", seed=5,
+            faults="crash=2@t15",
+        )
+        ops = session.run_staggered(gap=4.0)
+        assert check_linearizable_counting(ops).linearizable
+        counter = session.counter
+        assert counter.current_primary == 1
+        assert counter.current_standby is None
+
+    def test_recovered_ex_primary_is_demoted_not_split_brained(self):
+        # Primary 1 dies at t18, the standby promotes; 1's links heal at
+        # t60 and its checkpoint is re-delivered at t70 — it must rejoin
+        # as a client, never as a second primary.
+        session = RunSession(
+            "central[standby]", 16, policy="random", seed=3,
+            faults="crash=1@t18-t60,recover=1@t70",
+        )
+        ops = session.run_staggered(gap=4.0)
+        report = check_linearizable_counting(ops)
+        assert report.linearizable  # uniqueness would fail on split-brain
+        assert len(ops) == 16  # pid 1's own op completes after recovery
+        counter = session.counter
+        assert counter.current_primary == 2
+        assert session.recovery.recovery_count() == 1
+
+    def test_tunable_seats(self):
+        session = RunSession(
+            "central[standby]?primary_id=3&standby_id=4", 8,
+            policy="random", seed=1, faults="crash=3@t15",
+        )
+        ops = session.run_staggered(gap=4.0)
+        assert check_linearizable_counting(ops).linearizable
+        assert session.counter.current_primary == 4
+
+
+class TestBypassCombiningTree:
+    def test_clean_sequential_run_counts_exactly(self):
+        session = RunSession("combining-tree[bypass]", 8, policy="random", seed=1)
+        result = session.run_sequence()
+        assert sorted(result.values()) == list(range(8))
+
+    def test_host_crash_burns_values_but_never_duplicates(self):
+        session = RunSession(
+            "combining-tree[bypass]", 16, policy="random", seed=3,
+            faults="crash=3@t20",
+        )
+        ops = session.run_staggered(gap=4.0)
+        values = [op.value for op in ops]
+        assert len(set(values)) == len(values)  # at-most-once
+        assert len(ops) == 15  # everyone but the dead client finishes
+        counter = session.counter
+        assert counter.burned_values >= 0
+        assert check_linearizable_counting(ops).linearizable
+
+    def test_root_host_crash_migrates_the_root_role(self):
+        probe = RunSession("combining-tree[bypass]", 16).counter
+        root_host = probe.root_host
+        session = RunSession(
+            "combining-tree[bypass]", 16, policy="random", seed=3,
+            faults=f"crash={root_host}@t20",
+        )
+        ops = session.run_staggered(gap=4.0)
+        values = [op.value for op in ops]
+        assert len(set(values)) == len(values)
+        assert len(ops) == 15
+        assert session.recovery.failover_count() == 1
+        assert session.counter.root_host != root_host
+
+    def test_recovery_point_reintegrates_the_host(self):
+        session = RunSession(
+            "combining-tree[bypass]", 16, policy="random", seed=7,
+            faults="crash=3@t20-t50,recover=3@t60",
+        )
+        ops = session.run_staggered(gap=4.0)
+        values = [op.value for op in ops]
+        assert len(ops) == 16  # the healed client's op completes too
+        assert len(set(values)) == len(values)
+        assert session.recovery.recovery_count() == 1
+
+
+class TestSessionIntegration:
+    def test_bare_central_refuses_permanent_crash_even_with_reliable(self):
+        with pytest.raises(CapabilityError) as excinfo:
+            RunSession(
+                "central", 16, faults="crash=1@t18", reliable=True,
+            )
+        assert "tolerate crashes" in str(excinfo.value)
+
+    def test_finite_crash_window_passes_with_reliable_transport(self):
+        session = RunSession(
+            "central", 16, policy="random", seed=3,
+            faults="crash=2@t10-t40", reliable=True,
+        )
+        result = session.run_sequence()
+        assert sorted(result.values()) == list(range(16))
+        assert session.recovery is None  # central is not Recoverable
+
+    def test_recovery_manager_is_auto_assembled(self):
+        session = RunSession(
+            "central[standby]", 8, faults="crash=1@t18",
+        )
+        assert session.recovery is not None
+        assert session.failure_detector is not None
+        assert session.failure_detector.monitored == (1, 2)
+        assert session.capabilities.tolerates_crash
+
+    def test_no_faults_means_no_recovery_manager(self):
+        session = RunSession("central[standby]", 8)
+        assert session.recovery is None
+        assert session.failure_detector is None
+
+    def test_capability_flags_include_crash_tolerant(self):
+        spec = parse_spec("central[standby]").spec
+        assert "crash-tolerant" in spec.capabilities.flags()
+        bypass = parse_spec("combining-tree[bypass]").spec
+        assert "crash-tolerant" in bypass.capabilities.flags()
+
+    def test_recover_clause_requires_a_matching_crash(self):
+        with pytest.raises(ConfigurationError):
+            RunSession("central[standby]", 8, faults="recover=1@t50")

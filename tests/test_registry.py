@@ -99,7 +99,8 @@ class TestRegistryCompleteness:
             for module in modules
             if module.replace("_", "-") not in base_names
             and module not in ("counting_network", "combining_tree",
-                               "diffracting_tree", "static_tree")
+                               "diffracting_tree", "static_tree",
+                               "recoverable")
         }
         for module, slug in (
             ("counting_network", "counting-network"),
@@ -109,6 +110,10 @@ class TestRegistryCompleteness:
         ):
             if slug not in base_names:
                 missing.add(module)
+        # The recoverable module registers bracketed variants.
+        names = set(registered_names())
+        if not {"central[standby]", "combining-tree[bypass]"} <= names:
+            missing.add("recoverable")
         assert not missing, f"counter modules without a spec: {missing}"
         assert "ww-tree" in base_names
         assert "quorum" in base_names

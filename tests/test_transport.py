@@ -12,6 +12,7 @@ import pytest
 from repro.errors import (
     CapabilityError,
     ConfigurationError,
+    DeliveryAbandonedError,
     SimulationLimitError,
     UnknownProcessorError,
 )
@@ -99,15 +100,42 @@ class TestEndpointMechanics:
         assert stats["delivered"] == 0
         assert b.received == []
 
-    def test_dead_peer_without_retry_cap_exhausts_the_event_budget(self):
+    def test_dead_peer_without_retry_cap_abandons_delivery(self):
+        # Uncapped retries used to spin until the event budget blew up
+        # with an unhelpful SimulationLimitError; now the attempt cap
+        # raises a typed error naming the dead destination.
         plan = FaultPlan([CrashRule(2, start=0.0)])
-        network = Network(fault_plan=plan, event_limit=500)
+        network = Network(fault_plan=plan)
         transport = ReliableTransport(network, rto=1.0, rto_cap=2.0)
         transport.register_all([_Recorder(1), _Recorder(2)])
         transport.send(1, 2, "m", {})
-        with pytest.raises(SimulationLimitError) as excinfo:
+        with pytest.raises(DeliveryAbandonedError) as excinfo:
             transport.run_until_quiescent()
-        assert "under fault plan" in str(excinfo.value)
+        assert excinfo.value.receiver == 2
+        assert excinfo.value.attempts == 25
+        assert transport.stats()["gave_up"] == 1
+
+    def test_attempt_cap_is_tunable_and_validated(self):
+        plan = FaultPlan([CrashRule(2, start=0.0)])
+        network = Network(fault_plan=plan)
+        transport = ReliableTransport(network, rto=1.0, rto_cap=2.0, attempt_cap=3)
+        transport.register_all([_Recorder(1), _Recorder(2)])
+        transport.send(1, 2, "m", {})
+        with pytest.raises(DeliveryAbandonedError) as excinfo:
+            transport.run_until_quiescent()
+        assert excinfo.value.attempts == 3
+        with pytest.raises(ConfigurationError):
+            ReliableTransport(Network(), attempt_cap=0)
+
+    def test_max_retries_still_gives_up_silently(self):
+        # Explicit max_retries keeps best-effort semantics: no raise.
+        plan = FaultPlan([CrashRule(2, start=0.0)])
+        network = Network(fault_plan=plan)
+        transport = ReliableTransport(network, rto=1.0, max_retries=2)
+        transport.register_all([_Recorder(1), _Recorder(2)])
+        transport.send(1, 2, "m", {})
+        transport.run_until_quiescent()
+        assert transport.stats()["gave_up"] == 1
 
     def test_trace_separates_goodput_from_overhead_by_kind(self):
         plan = parse_fault_spec("drop=0.3", seed=4)
@@ -167,8 +195,19 @@ class TestCountersOverLossyLinks:
             faults=self.FAULTS,
             reliable=True,
         )
-        result = session.run_sequence()  # check_values raises on any error
-        assert sorted(result.values()) == list(range(self.N))
+        at_most_once = "at-most-once" in spec.capabilities.restriction
+        if at_most_once:
+            # combining-tree[bypass]: its own end-to-end retries double
+            # up with the transport's retransmissions under loss, and a
+            # surplus grant burns its value — unique, not dense.
+            result = session.run_sequence(check_values=False)
+            values = result.values()
+            assert len(values) == self.N
+            assert len(set(values)) == self.N
+            assert all(value >= 0 for value in values)
+        else:
+            result = session.run_sequence()  # check_values raises on any error
+            assert sorted(result.values()) == list(range(self.N))
         assert session.transport_stats()["gave_up"] == 0
 
     def test_lossy_runs_are_deterministic_per_seed(self):
