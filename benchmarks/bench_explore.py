@@ -1,0 +1,78 @@
+"""Exploration throughput: schedules judged per second.
+
+Infrastructure benchmarks for the schedule-exploration engine
+(:mod:`repro.explore`) — not a paper claim, but the number that decides
+how much interleaving coverage a CI budget buys.  Three regimes:
+
+* random walks on the central counter (the cheap fuzzing floor),
+* guided exploration on the bypass combining tree (the acceptance
+  configuration: weight scoring + live load reads per decision),
+* replaying one corpus-sized schedule (the per-repro regression cost).
+"""
+
+from __future__ import annotations
+
+from repro.explore import ExploreConfig, Explorer, ReplayStrategy
+
+
+def test_random_exploration_central(benchmark):
+    """20 random-walk episodes on the central counter (n=8)."""
+    explorer = Explorer(
+        ExploreConfig(counter="central", n=8, strategy="random", budget=20)
+    )
+
+    def explore():
+        report = explorer.run()
+        assert report.ok
+        return report
+
+    benchmark.pedantic(explore, rounds=5, iterations=1)
+
+
+def test_guided_exploration_bypass_tree(benchmark):
+    """20 guided episodes on combining-tree[bypass] (n=8)."""
+    explorer = Explorer(
+        ExploreConfig(
+            counter="combining-tree[bypass]", n=8,
+            strategy="guided", budget=20,
+        )
+    )
+
+    def explore():
+        report = explorer.run()
+        assert report.ok
+        return report
+
+    benchmark.pedantic(explore, rounds=5, iterations=1)
+
+
+def test_schedule_replay(benchmark):
+    """Replay one 40-decision schedule on the central counter (n=8)."""
+    explorer = Explorer(
+        ExploreConfig(counter="central", n=8, strategy="baseline", budget=1)
+    )
+    decisions = tuple((index * 5) % 4 for index in range(40))
+
+    def replay():
+        outcome = explorer.replay(decisions)
+        assert outcome.failure is None
+        return outcome
+
+    benchmark.pedantic(replay, rounds=5, iterations=1)
+
+
+def test_shrink_throughput(benchmark):
+    """Delta-shrink a 64-decision schedule with a synthetic predicate."""
+    from repro.explore import shrink_schedule
+
+    decisions = [((index * 7) % 4) or 1 for index in range(64)]
+
+    def shrink():
+        schedule = shrink_schedule(
+            decisions,
+            lambda candidate: len(candidate) > 40 and candidate[40] != 0,
+        )
+        assert schedule.nonzero_count() == 1
+        return schedule
+
+    benchmark(shrink)

@@ -197,6 +197,39 @@ def bench_recovery(n: int = 16) -> dict:
     }
 
 
+def bench_explore() -> dict:
+    """Exploration smoke grid: schedules judged per second.
+
+    Mirrors ``benchmarks/bench_explore.py``: a random-walk budget on
+    the central counter and a guided budget on the bypass combining
+    tree (the acceptance configuration).  Both runs assert no oracle
+    failed, so this doubles as a CI smoke test of the explorer.
+    """
+    from repro.explore import ExploreConfig, Explorer
+
+    grid = {}
+    for label, counter, strategy in (
+        ("central random", "central", "random"),
+        ("bypass-tree guided", "combining-tree[bypass]", "guided"),
+    ):
+        explorer = Explorer(
+            ExploreConfig(counter=counter, n=8, strategy=strategy, budget=20)
+        )
+
+        def explore(explorer=explorer):
+            report = explorer.run()
+            assert report.ok, f"exploration found failures: {report.failures}"
+
+        rate = _best_rate(explore, 20, repeats=5)
+        grid[label] = {"schedules_per_s": round(rate, 1)}
+    return {
+        "grid": "n=8, 20 episodes per measurement, full oracle suite",
+        "note": "every schedule is judged by all five oracles; both "
+        "configurations asserted failure-free",
+        **grid,
+    }
+
+
 def bench_sweep(workers: int) -> float:
     points = [
         SweepPoint(counter=counter, n=n)
@@ -257,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "fault_transport": bench_fault_transport(),
         "crash_recovery": bench_recovery(),
+        "schedule_exploration": bench_explore(),
     }
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")

@@ -50,6 +50,14 @@ from repro.errors import (
     SimulationError,
     SimulationLimitError,
 )
+from repro.explore import (
+    ExplorationReport,
+    ExploreConfig,
+    Explorer,
+    ExploreRunner,
+    ReproFile,
+    shrink_schedule,
+)
 from repro.registry import (
     CounterRef,
     CounterSpec,
@@ -94,6 +102,10 @@ __all__ = [
     "CounterSpec",
     "DeliveryAbandonedError",
     "DistributedCounter",
+    "ExplorationReport",
+    "ExploreConfig",
+    "ExploreRunner",
+    "Explorer",
     "FailureDetector",
     "FaultPlan",
     "IntervalMode",
@@ -109,6 +121,7 @@ __all__ = [
     "RecoveryManager",
     "ReliableTransport",
     "ReproError",
+    "ReproFile",
     "RunResult",
     "RunSession",
     "SimulationError",
@@ -130,5 +143,6 @@ __all__ = [
     "registered_specs",
     "run_concurrent",
     "run_sequence",
+    "shrink_schedule",
     "shuffled",
 ]

@@ -32,6 +32,19 @@ from repro.analysis.linearizability import (
     run_staggered_timed,
 )
 from repro.analysis.load import LoadProfile
+from repro.analysis.oracles import (
+    HotSpotOracle,
+    LinearizabilityOracle,
+    NoLostIncrementOracle,
+    Oracle,
+    OracleContext,
+    OracleVerdict,
+    RetirementMonotonicityOracle,
+    RuntimeOracle,
+    default_oracles,
+    first_failure,
+    run_oracles,
+)
 from repro.analysis.report import format_series, format_table
 from repro.analysis.stats import SeededSummary, summarize_over_seeds
 from repro.analysis.treeview import (
@@ -45,15 +58,25 @@ __all__ = [
     "CommunicationDag",
     "CommunicationList",
     "DagNode",
+    "HotSpotOracle",
     "Inversion",
     "LatencyProfile",
+    "LinearizabilityOracle",
     "LinearizabilityReport",
     "LoadProfile",
+    "NoLostIncrementOracle",
+    "Oracle",
+    "OracleContext",
+    "OracleVerdict",
+    "RetirementMonotonicityOracle",
+    "RuntimeOracle",
     "SeededSummary",
     "TimedOp",
     "build_dag",
     "build_list",
     "check_linearizable_counting",
+    "default_oracles",
+    "first_failure",
     "format_series",
     "format_table",
     "lists_for_run",
@@ -63,6 +86,7 @@ __all__ = [
     "render_load_bars",
     "render_tree",
     "run_concurrent_timed",
+    "run_oracles",
     "run_staggered_timed",
     "run_to_json",
     "run_to_summary",

@@ -1,0 +1,289 @@
+"""Invariant oracles: pluggable pass/fail judges over explored executions.
+
+The schedule explorer (:mod:`repro.explore`) drives a counter through
+many interleavings; an *oracle* is one invariant checked after each
+explored execution.  Oracles are deliberately thin adapters over the
+existing analysis machinery — linearizability
+(:func:`~repro.analysis.linearizability.check_linearizable_counting`),
+the Hot Spot Lemma (:func:`~repro.lowerbound.hotspot.check_hot_spot`),
+value accounting and retirement bookkeeping — so an oracle failure is
+always attributable to a checker that is itself under test elsewhere.
+
+Each oracle inspects an :class:`OracleContext` (everything one episode
+produced) and returns an :class:`OracleVerdict`.  An oracle whose
+precondition is absent — no timed operations for linearizability, no
+sequential outcomes for Hot Spot, no retirement ledger — returns a
+*skipped* verdict rather than vacuously passing, so exploration reports
+show exactly which invariants were exercised.
+
+Oracles never raise on invariant violations; they translate them into
+failing verdicts the explorer can shrink and serialize.  Raising is
+reserved for programming errors in the oracle itself.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.linearizability import TimedOp, check_linearizable_counting
+from repro.api import DistributedCounter
+from repro.errors import ProtocolError, ReproError
+from repro.lowerbound.hotspot import check_hot_spot
+from repro.workloads.driver import RunResult
+
+
+@dataclass(frozen=True, slots=True)
+class OracleVerdict:
+    """One oracle's judgment of one explored execution.
+
+    Attributes:
+        oracle: the oracle's registered name.
+        ok: the invariant held (meaningless when ``skipped``).
+        skipped: the oracle's precondition was absent for this episode
+            (e.g. Hot Spot needs sequential outcomes); a skipped verdict
+            is neither a pass nor a failure.
+        message: human-readable explanation — the violation for
+            failures, the missing precondition for skips, empty on
+            passes.
+    """
+
+    oracle: str
+    ok: bool
+    skipped: bool = False
+    message: str = ""
+
+    @property
+    def failed(self) -> bool:
+        """True iff the oracle ran and the invariant did not hold."""
+        return not self.ok and not self.skipped
+
+
+@dataclass(slots=True)
+class OracleContext:
+    """Everything one explored execution hands to the oracle suite.
+
+    Attributes:
+        counter: the driven counter (post-run protocol state).
+        ops: timed operations from the staggered driver, or ``None``
+            when the episode ran sequentially (or died before results).
+        result: the sequential driver's :class:`RunResult`, or ``None``
+            for staggered episodes.
+        expected_ops: how many ``inc`` requests the workload injected.
+        at_most_once: values may legitimately be *burned* (gaps allowed)
+            — true under fault plans on at-most-once counters, where a
+            crash can orphan a reserved value; the no-lost-increment
+            oracle then requires uniqueness only.
+        exception: a :class:`~repro.errors.ReproError` the run itself
+            raised (driver protocol check, event-limit livelock), or
+            ``None`` for a clean run.
+    """
+
+    counter: DistributedCounter
+    ops: Sequence[TimedOp] | None = None
+    result: RunResult | None = None
+    expected_ops: int = 0
+    at_most_once: bool = False
+    exception: ReproError | None = None
+
+    def values(self) -> list[int] | None:
+        """Returned values in op order from whichever driver ran."""
+        if self.ops is not None:
+            return [op.value for op in self.ops]
+        if self.result is not None:
+            return self.result.values()
+        return None
+
+
+class Oracle(ABC):
+    """One invariant, checkable against any explored execution.
+
+    Subclasses set :attr:`name` (stable — it is serialized into repro
+    files and matched on replay) and implement :meth:`check`.
+    """
+
+    name: str = "oracle"
+
+    @abstractmethod
+    def check(self, context: OracleContext) -> OracleVerdict:
+        """Judge one execution; never raises on invariant violations."""
+
+    # Shorthand constructors keep the oracle bodies declarative.
+    def _pass(self) -> OracleVerdict:
+        return OracleVerdict(oracle=self.name, ok=True)
+
+    def _fail(self, message: str) -> OracleVerdict:
+        return OracleVerdict(oracle=self.name, ok=False, message=message)
+
+    def _skip(self, message: str) -> OracleVerdict:
+        return OracleVerdict(oracle=self.name, ok=True, skipped=True, message=message)
+
+
+class RuntimeOracle(Oracle):
+    """The run itself must complete: no driver protocol error, no livelock.
+
+    Any :class:`~repro.errors.ReproError` the episode raised mid-run — a
+    processor missing a result, a duplicate delivery tripping protocol
+    asserts, the event-limit safety valve — is a schedule-induced
+    failure in its own right, attributed here so the other oracles can
+    still report on whatever partial evidence exists.
+    """
+
+    name = "runtime"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        if context.exception is None:
+            return self._pass()
+        return self._fail(
+            f"{type(context.exception).__name__}: {context.exception}"
+        )
+
+
+class LinearizabilityOracle(Oracle):
+    """Value order must extend real-time precedence (HSW linearizability).
+
+    Needs timed operations (the staggered driver); duplicate returned
+    values — which make the run not a counting run at all — are reported
+    as a failure here rather than propagated as the checker's
+    :class:`~repro.errors.ProtocolError`.
+    """
+
+    name = "linearizability"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        if context.ops is None:
+            return self._skip("needs timed operations (staggered episodes)")
+        if not context.ops:
+            return self._skip("no completed operations to order")
+        try:
+            report = check_linearizable_counting(context.ops)
+        except ProtocolError as error:
+            return self._fail(str(error))
+        if report.linearizable:
+            return self._pass()
+        return self._fail(str(report.inversions[0]))
+
+
+class HotSpotOracle(Oracle):
+    """Successive sequential operations must have intersecting footprints.
+
+    The Hot Spot Lemma (§2) is stated for operations that run in direct
+    succession, so this oracle only fires on sequential episodes with
+    footprint-keeping traces; staggered episodes skip it.
+    """
+
+    name = "hot-spot"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        result = context.result
+        if result is None:
+            return self._skip("needs sequential outcomes (Hot Spot is a §2 lemma)")
+        if len(result.outcomes) < 2:
+            return self._skip("needs at least two successive operations")
+        if not result.trace.keeps_loads:
+            return self._skip("needs footprint-keeping tracing")
+        report = check_hot_spot(result)
+        if report.holds:
+            return self._pass()
+        return self._fail(str(report.violations[0]))
+
+
+class NoLostIncrementOracle(Oracle):
+    """Every value is handed out at most once; without burns, exactly once.
+
+    On exactly-once runs the returned values must be the dense set
+    ``{0 .. ops-1}``; under :attr:`OracleContext.at_most_once` (fault
+    plans on counters that burn orphaned values) gaps are legal but
+    duplicates never are — a duplicate is a lost increment, two clients
+    both believing they performed the same ``inc``.
+    """
+
+    name = "no-lost-increment"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        values = context.values()
+        if values is None:
+            return self._skip("run produced no value record")
+        duplicates = sorted(
+            value for value in set(values) if values.count(value) > 1
+        )
+        if duplicates:
+            return self._fail(
+                f"value(s) {duplicates} returned more than once "
+                f"({len(values)} ops) — an increment was lost"
+            )
+        if context.at_most_once:
+            return self._pass()
+        expected = set(range(len(values)))
+        missing = sorted(expected - set(values))
+        unexpected = sorted(set(values) - expected)
+        if missing or unexpected:
+            return self._fail(
+                f"values are not the dense prefix 0..{len(values) - 1}: "
+                f"missing {missing}, unexpected {unexpected}"
+            )
+        return self._pass()
+
+
+class RetirementMonotonicityOracle(Oracle):
+    """Retirements happen in time order and always move the role.
+
+    Applies to counters exposing a ``retirements`` ledger (the §4 tree
+    counters): event times must be non-decreasing, ages non-negative,
+    and every retirement must hand the role to a *different* worker —
+    a self-retirement would silently reset the age clock.
+    """
+
+    name = "retirement-monotonicity"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        ledger = getattr(context.counter, "retirements", None)
+        if ledger is None:
+            return self._skip("counter keeps no retirement ledger")
+        previous_time = float("-inf")
+        for event in ledger:
+            if event.time < previous_time:
+                return self._fail(
+                    f"retirement at node {event.addr} (t={event.time:g}) "
+                    f"precedes an earlier-recorded one (t={previous_time:g})"
+                )
+            previous_time = event.time
+            if event.age_at_retirement < 0:
+                return self._fail(
+                    f"retirement at node {event.addr} has negative age "
+                    f"{event.age_at_retirement}"
+                )
+            if event.new_worker == event.old_worker:
+                return self._fail(
+                    f"retirement at node {event.addr} kept worker "
+                    f"{event.old_worker} (role must move)"
+                )
+        return self._pass()
+
+
+def default_oracles() -> tuple[Oracle, ...]:
+    """The standard suite, in the order verdicts are reported."""
+    return (
+        RuntimeOracle(),
+        LinearizabilityOracle(),
+        HotSpotOracle(),
+        NoLostIncrementOracle(),
+        RetirementMonotonicityOracle(),
+    )
+
+
+def run_oracles(
+    context: OracleContext, oracles: Sequence[Oracle] | None = None
+) -> list[OracleVerdict]:
+    """Check *context* against every oracle; verdicts in suite order."""
+    suite = default_oracles() if oracles is None else oracles
+    return [oracle.check(context) for oracle in suite]
+
+
+def first_failure(verdicts: Sequence[OracleVerdict]) -> OracleVerdict | None:
+    """The first failing verdict, or ``None`` if the suite passed."""
+    for verdict in verdicts:
+        if verdict.failed:
+            return verdict
+    return None

@@ -57,6 +57,15 @@ class Capabilities:
             declare it, and the registry refuses permanent-crash fault
             plans on counters without it (a reliable transport alone
             cannot resurrect state parked on a dead processor).
+        explorable: the protocol remains correct under *any* legal
+            reordering of equal-time events and any per-message delay —
+            i.e. it bakes no hidden timing assumption beyond what
+            :class:`Capabilities` already declares — so the schedule
+            explorer (:mod:`repro.explore`) may drive it through
+            adversarial interleavings and treat every oracle failure as
+            a genuine protocol bug rather than an out-of-contract run.
+            Defaults to ``True``; a counter that is only correct for
+            specific delay regimes must opt out.
         restriction: one human-readable sentence naming the reason for
             the strongest restriction; used verbatim in
             :class:`~repro.errors.CapabilityError` messages.
@@ -68,6 +77,7 @@ class Capabilities:
     needs_square_n: bool = False
     tolerates_message_loss: bool = False
     tolerates_crash: bool = False
+    explorable: bool = True
     restriction: str = ""
 
     @property
@@ -91,6 +101,8 @@ class Capabilities:
             labels.append("loss-tolerant")
         if self.tolerates_crash:
             labels.append("crash-tolerant")
+        if not self.explorable:
+            labels.append("not-explorable")
         return tuple(labels)
 
 

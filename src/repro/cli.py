@@ -5,6 +5,7 @@ Subcommands::
     python -m repro run        one workload on one counter
     python -m repro counters   list the counter registry (specs + caps)
     python -m repro sweep      bottleneck table over counters × sizes
+    python -m repro explore    search schedules for invariant violations
     python -m repro adversary  play the §3 lower-bound game
     python -m repro bound      print the k·kᵏ = n curve
     python -m repro quorum     quorum systems: loads + counter bottleneck
@@ -127,6 +128,77 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--reliable", action="store_true",
         help="run every grid point behind the ack/retransmit transport",
+    )
+
+    explore = commands.add_parser(
+        "explore",
+        help="search message schedules for invariant violations",
+        description=(
+            "Drive one counter through many controlled interleavings and "
+            "judge every execution with the invariant-oracle suite "
+            "(linearizability, Hot-Spot, no-lost-increment, retirement "
+            "monotonicity).  Failures are delta-shrunk and saved as "
+            "replayable repro files.  Exit code 1 means a failing "
+            "schedule was found (or a --replay did not reproduce)."
+        ),
+    )
+    explore.add_argument(
+        "--counter", default="central", metavar="SPEC",
+        help="counter spec string, or a mutant name such as "
+             "mutant[stale-central] (see: repro counters)",
+    )
+    explore.add_argument("--n", type=int, default=8)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--strategy", default="random", metavar="PLAN",
+        help="budget/strategy plan: comma-separated legs of "
+             "NAME[:BUDGET][?key=value], names random|permute|guided|"
+             "baseline — e.g. 'guided', 'random:50,guided:150', "
+             "'guided:100?base=4' (legs without :BUDGET use --budget)",
+    )
+    explore.add_argument(
+        "--budget", type=int, default=100,
+        help="episodes for plan legs without an explicit budget",
+    )
+    explore.add_argument(
+        "--workload", choices=["staggered", "sequential"],
+        default="staggered",
+        help="staggered overlaps ops (linearizability); sequential "
+             "quiesces between ops (Hot-Spot footprints)",
+    )
+    explore.add_argument("--gap", type=float, default=3.0,
+                         help="stagger gap between request injections")
+    explore.add_argument("--rounds", type=int, default=1,
+                         help="incs per client (round-robin when > 1)")
+    explore.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-spec string explored under (same grammar as run)",
+    )
+    explore.add_argument(
+        "--reliable", action="store_true",
+        help="explore behind the ack/retransmit transport",
+    )
+    explore.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (episode windows fan out; results are "
+             "identical for any worker count)",
+    )
+    explore.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep failing schedules as found (skip delta-shrinking)",
+    )
+    explore.add_argument(
+        "--save-repros", default=None, metavar="DIR",
+        help="write each failure's repro file into DIR",
+    )
+    explore.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay a saved repro file instead of exploring; exit 0 "
+             "iff the recorded failure reproduces",
+    )
+    explore.add_argument(
+        "--json", action="store_true",
+        help="print the exploration report as JSON",
     )
 
     adversary = commands.add_parser(
@@ -394,6 +466,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time
+
+    from repro.explore import (
+        ExploreRunner,
+        ExploreTask,
+        ReproFile,
+        replay_repro,
+    )
+
+    if args.replay is not None:
+        try:
+            repro = ReproFile.load(args.replay)
+        except (OSError, ConfigurationError, KeyError, ValueError) as error:
+            print(f"cannot load repro file: {error}", file=sys.stderr)
+            return 2
+        outcome = replay_repro(repro)
+        failure = outcome.failure
+        reproduced = failure is not None and failure.oracle == repro.oracle
+        print(f"repro:      {args.replay}")
+        print(f"counter:    {repro.counter}  (n={repro.n}, seed={repro.seed}, "
+              f"workload={repro.workload})")
+        print(f"schedule:   {len(repro.decisions)} decisions "
+              f"({sum(1 for d in repro.decisions if d)} non-default)")
+        print(f"expected:   {repro.oracle} failure")
+        if failure is None:
+            print("observed:   all oracles passed — DOES NOT REPRODUCE")
+        else:
+            status = "reproduces" if reproduced else "DIFFERENT FAILURE"
+            print(f"observed:   {failure.oracle}: {failure.message} "
+                  f"[{status}]")
+        return 0 if reproduced else 1
+
+    task = ExploreTask(
+        counter=args.counter,
+        n=args.n,
+        seed=args.seed,
+        strategy=args.strategy,
+        budget=args.budget,
+        faults=args.faults or "",
+        transport="reliable" if args.reliable else "bare",
+        workload=args.workload,
+        gap=args.gap,
+        rounds=args.rounds,
+        shrink=not args.no_shrink,
+    )
+    runner = ExploreRunner(workers=args.workers)
+    started = time.perf_counter()
+    try:
+        report = runner.explore(task)
+    except ConfigurationError as error:  # includes CapabilityError
+        print(str(error), file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    rate = report.episodes / elapsed if elapsed > 0 else 0.0
+    if args.json:
+        payload = report.to_json()
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        payload["schedules_per_second"] = round(rate, 1)
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"counter:    {task.counter}  (n={task.n}, seed={task.seed}, "
+              f"workload={task.workload}"
+              + (f", faults={task.faults}" if task.faults else "") + ")")
+        print(f"plan:       {task.strategy}  (default budget {task.budget})")
+        print(f"explored:   {report.episodes} schedules, "
+              f"{report.decisions} decisions "
+              f"({rate:.0f} schedules/s)")
+        for oracle, counts in report.verdict_counts.items():
+            print(f"  {oracle:<24} pass {counts['pass']:>5}  "
+                  f"fail {counts['fail']:>3}  skip {counts['skip']:>5}")
+        if report.ok:
+            print("result:     no invariant violation found")
+        else:
+            print(f"result:     {len(report.failures)} failing schedule(s)")
+            for index, repro in enumerate(report.failures):
+                print(f"  [{index}] episode {repro.episode} "
+                      f"({repro.strategy}): {repro.oracle} — "
+                      f"{repro.message} "
+                      f"[{len(repro.decisions)} decisions after shrink]")
+    saved_paths = []
+    if args.save_repros and report.failures:
+        import pathlib
+
+        directory = pathlib.Path(args.save_repros)
+        for index, repro in enumerate(report.failures):
+            safe = "".join(
+                ch if ch.isalnum() else "-" for ch in repro.counter
+            ).strip("-")
+            path = directory / (
+                f"{safe}-seed{repro.seed}-ep{repro.episode}-"
+                f"{repro.oracle}.json"
+            )
+            saved_paths.append(repro.save(path))
+        for path in saved_paths:
+            print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_adversary(args: argparse.Namespace) -> int:
     try:
         adversary = GreedyAdversary(
@@ -580,6 +752,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "counters": _cmd_counters,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
     "adversary": _cmd_adversary,
     "bound": _cmd_bound,
     "quorum": _cmd_quorum,

@@ -1,0 +1,187 @@
+"""Schedules as data: decision streams and replayable repro files.
+
+A *schedule* is the explorer's entire influence over one execution,
+flattened into a list of small integers consumed in a deterministic
+order: each time the controlled scheduler must decide something — which
+delay a message gets, which of several equal-time events runs first — it
+consumes the next decision.  Two runs of the same configuration with the
+same decision list are identical executions (the simulator has no other
+nondeterminism), which is what makes failures shrinkable and repro files
+replayable.
+
+Decisions are *indices*, not raw values: a delay decision indexes the
+episode's delay menu, a tie-break decision indexes the ready list.  An
+index past the end of either is clamped (modulo), so any integer list is
+a legal schedule — a property delta-shrinking relies on, since zeroing a
+chunk must never produce an invalid schedule.  Decision ``0`` always
+means "what the default scheduler would have done" (the first menu entry
+/ FIFO order), so the all-zero schedule reproduces the baseline
+execution and shrinking moves failures *toward* the baseline.
+
+A :class:`ReproFile` bundles a failing schedule with everything needed
+to re-run it — counter spec, ``n``, seed, fault spec, workload shape,
+delay menu — plus the oracle that failed, as a small JSON document
+suitable for checking into a regression corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+REPRO_SCHEMA = "explore-repro-v1"
+"""Schema tag written into every repro file; bump on layout changes."""
+
+DEFAULT_DELAY_MENU = (1.0, 2.0, 4.0, 7.0)
+"""Delays a schedule may assign per message.  Index 0 is the unit delay,
+so an all-default schedule reproduces the ``UnitDelay`` baseline; the
+largest entry is kept below every shipped counter's retry timeout so an
+adversarial-but-loss-free schedule cannot trigger spurious retransmits.
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class Schedule:
+    """An immutable decision stream (see module docstring).
+
+    ``kinds`` is optional provenance — a parallel tuple of ``"delay"`` /
+    ``"tie"`` labels recorded during exploration.  It aids reading repro
+    files but is ignored on replay: the consuming run re-derives each
+    decision's meaning from its own decision points.
+    """
+
+    decisions: tuple[int, ...] = ()
+    kinds: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for decision in self.decisions:
+            if decision < 0:
+                raise ConfigurationError(
+                    f"schedule decisions must be non-negative, got {decision}"
+                )
+        if self.kinds and len(self.kinds) != len(self.decisions):
+            raise ConfigurationError(
+                f"kinds ({len(self.kinds)}) and decisions "
+                f"({len(self.decisions)}) must have equal length"
+            )
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def trimmed(self) -> "Schedule":
+        """Drop trailing zero decisions (they equal the implicit default)."""
+        end = len(self.decisions)
+        while end > 0 and self.decisions[end - 1] == 0:
+            end -= 1
+        return Schedule(decisions=self.decisions[:end])
+
+    def nonzero_count(self) -> int:
+        """Decisions that deviate from the baseline scheduler."""
+        return sum(1 for decision in self.decisions if decision != 0)
+
+
+@dataclass(frozen=True, slots=True)
+class ReproFile:
+    """A replayable witness of one oracle failure.
+
+    Attributes:
+        counter: counter spec the episode ran (a registry spec string or
+            a ``mutant[...]`` name from :mod:`repro.explore.mutants`).
+        n: processor count.
+        seed: exploration seed (fault plans are seeded from it).
+        faults: fault-spec string (``""`` = failure-free).
+        transport: ``"bare"`` or ``"reliable"``.
+        workload: ``"staggered"`` or ``"sequential"``.
+        gap: stagger gap (staggered workloads).
+        rounds: incs per client.
+        delay_menu: the per-message delay choices the schedule indexes.
+        decisions: the (shrunk) schedule.
+        oracle: name of the failing oracle.
+        message: the failure message at record time (informational; the
+            replay match is on the oracle name — messages may embed
+            floats formatted differently across platforms).
+        strategy: which strategy found it (provenance).
+        episode: episode index within the exploration (provenance).
+    """
+
+    counter: str
+    n: int
+    seed: int
+    oracle: str
+    decisions: tuple[int, ...]
+    faults: str = ""
+    transport: str = "bare"
+    workload: str = "staggered"
+    gap: float = 3.0
+    rounds: int = 1
+    delay_menu: tuple[float, ...] = DEFAULT_DELAY_MENU
+    message: str = ""
+    strategy: str = ""
+    episode: int = -1
+    kinds: tuple[str, ...] = field(default=())
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-JSON form (stable key order comes from the dumper)."""
+        return {
+            "schema": REPRO_SCHEMA,
+            "counter": self.counter,
+            "n": self.n,
+            "seed": self.seed,
+            "faults": self.faults,
+            "transport": self.transport,
+            "workload": self.workload,
+            "gap": self.gap,
+            "rounds": self.rounds,
+            "delay_menu": list(self.delay_menu),
+            "decisions": list(self.decisions),
+            "failure": {"oracle": self.oracle, "message": self.message},
+            "provenance": {"strategy": self.strategy, "episode": self.episode},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ReproFile":
+        """Inverse of :meth:`to_json`; rejects unknown schemas."""
+        schema = payload.get("schema")
+        if schema != REPRO_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported repro schema {schema!r} "
+                f"(this build reads {REPRO_SCHEMA!r})"
+            )
+        failure = payload.get("failure", {})
+        provenance = payload.get("provenance", {})
+        return cls(
+            counter=payload["counter"],
+            n=int(payload["n"]),
+            seed=int(payload["seed"]),
+            faults=str(payload.get("faults", "")),
+            transport=str(payload.get("transport", "bare")),
+            workload=str(payload.get("workload", "staggered")),
+            gap=float(payload.get("gap", 3.0)),
+            rounds=int(payload.get("rounds", 1)),
+            delay_menu=tuple(
+                float(d) for d in payload.get("delay_menu", DEFAULT_DELAY_MENU)
+            ),
+            decisions=tuple(int(d) for d in payload["decisions"]),
+            oracle=str(failure.get("oracle", "")),
+            message=str(failure.get("message", "")),
+            strategy=str(provenance.get("strategy", "")),
+            episode=int(provenance.get("episode", -1)),
+        )
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the repro as pretty JSON (atomic: tmp + replace)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "ReproFile":
+        """Read a repro file written by :meth:`save`."""
+        return cls.from_json(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,70 @@
+"""Delta-shrinking failing schedules toward the baseline.
+
+A found failure is typically a long decision stream where only a couple
+of decisions matter.  Shrinking here is *zeroing*, not deletion:
+decision ``0`` means "what the default scheduler would have done", so
+setting a window of decisions to zero moves the schedule toward the
+baseline execution without shifting the positions — and hence the
+meaning — of the decisions that follow.  (Deleting entries would
+re-align every later decision with a different decision point, making
+candidates incomparable to the original failure.)  Trailing zeros are
+then trimmed for free, because a replayed schedule is implicitly
+zero-padded.
+
+The algorithm is classic ddmin over windows: try to zero halves, then
+quarters, down to single decisions, keeping every candidate that still
+fails the *same oracle*.  The result is 1-minimal under zeroing: no
+single remaining non-zero decision can be defaulted without losing the
+failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.explore.schedule import Schedule
+
+DEFAULT_MAX_EVALS = 400
+"""Replay budget per shrink; a schedule of d decisions needs O(d log d)
+evaluations in the worst case, so this caps pathological cases only."""
+
+
+def shrink_schedule(
+    decisions: Sequence[int],
+    still_fails: Callable[[Sequence[int]], bool],
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> Schedule:
+    """Zero out as much of *decisions* as possible, keeping the failure.
+
+    Args:
+        decisions: the failing schedule (assumed to fail — it is never
+            re-evaluated itself).
+        still_fails: replays a candidate and reports whether the *same*
+            failure (same oracle) recurs.
+        max_evals: replay budget; on exhaustion the best schedule found
+            so far is returned (still a failing one).
+
+    Returns the shrunk :class:`Schedule`, trailing zeros trimmed.
+    """
+    current = list(Schedule(tuple(decisions)).trimmed().decisions)
+    evals = 0
+    window = max(1, len(current) // 2)
+    while window >= 1 and current:
+        index = 0
+        while index < len(current):
+            end = min(index + window, len(current))
+            if any(current[index:end]):
+                candidate = list(current)
+                candidate[index:end] = [0] * (end - index)
+                if evals >= max_evals:
+                    return Schedule(tuple(current)).trimmed()
+                evals += 1
+                if still_fails(candidate):
+                    current = list(
+                        Schedule(tuple(candidate)).trimmed().decisions
+                    )
+                    # Positions up to `index` are already minimal for
+                    # this window size; continue from the same spot.
+            index += window
+        window //= 2
+    return Schedule(tuple(current)).trimmed()

@@ -19,6 +19,15 @@ The ``arg`` slot is the zero-overhead delivery path: the network
 schedules ``(deliver, message)`` directly instead of wrapping a closure
 per message.  Entries scheduled through the plain :meth:`EventQueue.schedule`
 API carry a sentinel and are invoked with no argument.
+
+A :class:`SchedulerHook` may be installed to take over tie-breaking:
+whenever more than one entry shares the minimum timestamp, the hook
+chooses which one runs next instead of the default FIFO-by-``seq``
+order.  The clean path pays a single ``is None`` check per
+:meth:`EventQueue.run_many` call; the hooked path is only as fast as it
+needs to be for schedule exploration.  :meth:`EventQueue.clear` drops
+any installed hook so a reused queue cannot leak one exploration's
+tie-break state into the next.
 """
 
 from __future__ import annotations
@@ -30,6 +39,28 @@ from typing import Any, Callable
 
 _NO_ARG = object()
 """Sentinel marking a heap entry whose action takes no argument."""
+
+
+class SchedulerHook:
+    """Tie-break arbiter for equal-time events (duck-typed interface).
+
+    Install one with :meth:`EventQueue.install_hook`.  Whenever two or
+    more pending entries share the minimum timestamp, the queue calls
+    :meth:`choose` with the ready list (raw ``(time, seq, action, arg)``
+    heap entries in ``seq`` order — the order the default scheduler
+    would have used) and runs the entry at the returned index.  Message
+    deliveries carry the :class:`~repro.sim.messages.Message` in the
+    ``arg`` slot, so a hook can make informed choices; plain callbacks
+    carry a private sentinel there and should be treated as opaque.
+
+    ``choose`` must return an index in ``range(len(ready))``; anything
+    else raises ``IndexError`` at pop time.  Hooks see only *ordering*
+    freedom the event model already allows, so any hook produces a
+    legal execution.
+    """
+
+    def choose(self, ready: list[tuple[float, int, Callable[..., None], Any]]) -> int:
+        raise NotImplementedError
 
 
 @dataclass(order=True, slots=True)
@@ -53,17 +84,33 @@ class EventQueue:
     is a programming error and raises ``ValueError``.
     """
 
-    __slots__ = ("_heap", "_counter", "_now")
+    __slots__ = ("_heap", "_counter", "_now", "_hook")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._counter = itertools.count()
         self._now = 0.0
+        self._hook: SchedulerHook | None = None
 
     @property
     def now(self) -> float:
         """Current simulated time (time of the last popped event)."""
         return self._now
+
+    @property
+    def scheduler_hook(self) -> SchedulerHook | None:
+        """The installed tie-break hook, or ``None`` (default FIFO)."""
+        return self._hook
+
+    def install_hook(self, hook: SchedulerHook | None) -> None:
+        """Install (or with ``None`` remove) a tie-break arbiter.
+
+        While installed, every pop that finds several entries sharing
+        the minimum time asks ``hook.choose(ready)`` which runs first.
+        The hook is dropped by :meth:`clear` — a reused queue always
+        starts with default FIFO tie-breaking.
+        """
+        self._hook = hook
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -98,9 +145,30 @@ class EventQueue:
             self._heap, (self._now + delay, next(self._counter), action, arg)
         )
 
+    def _pop_entry(self) -> tuple[float, int, Callable[..., None], Any]:
+        """Pop the next entry, honoring the tie-break hook if installed.
+
+        Gathers every entry sharing the minimum timestamp (in ``seq``
+        order, i.e. default-scheduler order), lets the hook pick one,
+        and pushes the rest back.  Without a hook — or with a single
+        ready entry — this is a plain heappop.
+        """
+        heap = self._heap
+        first = heapq.heappop(heap)
+        if self._hook is None or not heap or heap[0][0] != first[0]:
+            return first
+        time = first[0]
+        ready = [first]
+        while heap and heap[0][0] == time:
+            ready.append(heapq.heappop(heap))
+        chosen = ready.pop(self._hook.choose(ready))
+        for entry in ready:
+            heapq.heappush(heap, entry)
+        return chosen
+
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing ``now``."""
-        time, seq, action, arg = heapq.heappop(self._heap)
+        time, seq, action, arg = self._pop_entry()
         self._now = time
         if arg is not _NO_ARG:
             action = _bind(action, arg)
@@ -108,7 +176,7 @@ class EventQueue:
 
     def run_next(self) -> None:
         """Pop the earliest event and execute its action."""
-        time, _, action, arg = heapq.heappop(self._heap)
+        time, _, action, arg = self._pop_entry()
         self._now = time
         if arg is _NO_ARG:
             action()
@@ -124,6 +192,8 @@ class EventQueue:
         :meth:`~repro.sim.network.Network.run_until_quiescent`) batch
         their event-limit accounting around it.
         """
+        if self._hook is not None:
+            return self._run_many_hooked(limit)
         heap = self._heap
         pop = heapq.heappop
         no_arg = _NO_ARG
@@ -138,17 +208,38 @@ class EventQueue:
                 action(arg)
         return ran
 
+    def _run_many_hooked(self, limit: int) -> int:
+        """The :meth:`run_many` loop with hook-mediated tie-breaking.
+
+        Kept out of the clean loop so explorations pay for candidate
+        gathering but ordinary runs pay one ``is None`` check per batch.
+        """
+        heap = self._heap
+        no_arg = _NO_ARG
+        ran = 0
+        while heap and ran < limit:
+            time, _, action, arg = self._pop_entry()
+            self._now = time
+            ran += 1
+            if arg is no_arg:
+                action()
+            else:
+                action(arg)
+        return ran
+
     def clear(self) -> None:
         """Drop all pending events and reset the queue to its initial state.
 
-        Simulated time returns to zero and the tie-break counter restarts,
-        so a cleared queue is indistinguishable from a fresh one — a
-        cleared-then-reused queue must not report the stale time of a
-        schedule it abandoned.
+        Simulated time returns to zero, the tie-break counter restarts,
+        and any installed :class:`SchedulerHook` is removed, so a cleared
+        queue is indistinguishable from a fresh one — a cleared-then-reused
+        queue must not report the stale time of a schedule it abandoned nor
+        replay a previous exploration's tie-break choices.
         """
         self._heap.clear()
         self._counter = itertools.count()
         self._now = 0.0
+        self._hook = None
 
 
 def _bind(action: Callable[[Any], None], arg: Any) -> Callable[[], None]:

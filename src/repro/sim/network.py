@@ -38,7 +38,7 @@ from repro.errors import (
     SimulationLimitError,
     UnknownProcessorError,
 )
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, SchedulerHook
 from repro.sim.faults import FaultPlan
 from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
 from repro.sim.policies import DeliveryPolicy, UnitDelay
@@ -232,6 +232,27 @@ class Network:
         """
         self._fault_plan = plan
         self.send = self._send_faulty  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # Schedule exploration
+    # ------------------------------------------------------------------
+    @property
+    def scheduler_hook(self) -> SchedulerHook | None:
+        """The event queue's installed tie-break hook (``None`` = FIFO)."""
+        return self._queue.scheduler_hook
+
+    def install_scheduler_hook(self, hook: SchedulerHook | None) -> None:
+        """Install (or with ``None`` remove) a tie-break arbiter.
+
+        Forwarded to :meth:`EventQueue.install_hook`: while installed,
+        equal-time events run in the order the hook chooses rather than
+        FIFO.  This is the schedule explorer's control point; ordinary
+        runs never install one and keep the zero-overhead loop.  Both
+        :meth:`reset` and :meth:`EventQueue.clear` drop the hook, so a
+        reused substrate cannot leak one exploration's tie-break state
+        into the next run.
+        """
+        self._queue.install_hook(hook)
 
     # ------------------------------------------------------------------
     # Messaging
@@ -482,10 +503,12 @@ class Network:
         in-flight and executed-event counters, restarts message uids,
         starts a fresh trace at the same level, forks the delivery
         policy (seeded policies replay from scratch) and resets the
-        fault plan's generator and ledger.  Registered processors stay
-        registered; their *protocol* state is theirs to reset — this is
-        a substrate-level reuse hook for harnesses that rebuild counters
-        on a long-lived network.
+        fault plan's generator and ledger, and drops any installed
+        scheduler hook (clearing the queue removes it, so back-to-back
+        explorations cannot leak tie-break state).  Registered
+        processors stay registered; their *protocol* state is theirs to
+        reset — this is a substrate-level reuse hook for harnesses that
+        rebuild counters on a long-lived network.
         """
         self._queue.clear()
         self._in_flight = 0

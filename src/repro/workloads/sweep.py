@@ -56,6 +56,30 @@ network (the paper's model), ``"reliable"`` wraps the counter behind
 :class:`~repro.sim.transport.ReliableTransport`."""
 
 
+def fan_out(fn, items, workers: int | None):
+    """Map *fn* over *items*, serially or across forked workers.
+
+    The shared execution engine behind :class:`SweepRunner` and the
+    schedule explorer's :class:`~repro.explore.parallel.ExploreRunner`:
+    ``workers=1`` (or a single item) runs in-process, anything else
+    forks a pool sized ``min(workers or cpu_count, len(items))``.
+    Results come back in input order; *fn* and every item must pickle
+    (module-level function, by-value dataclasses).
+    """
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = multiprocessing.get_context()
+    pool_size = workers or multiprocessing.cpu_count()
+    pool_size = min(pool_size, len(items))
+    with context.Pool(processes=pool_size) as pool:
+        return pool.map(fn, items)
+
+
 @dataclass(frozen=True, slots=True)
 class SweepPoint:
     """One grid point of a sweep: a simulation named entirely by value.
@@ -285,17 +309,7 @@ class SweepRunner:
     # Execution
     # ------------------------------------------------------------------
     def _execute(self, points: list[SweepPoint]) -> list[SweepOutcome]:
-        workers = self._workers
-        if workers == 1 or len(points) <= 1:
-            return [execute_point(point) for point in points]
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            context = multiprocessing.get_context()
-        pool_size = workers or multiprocessing.cpu_count()
-        pool_size = min(pool_size, len(points))
-        with context.Pool(processes=pool_size) as pool:
-            return pool.map(execute_point, points)
+        return fan_out(execute_point, points, self._workers)
 
     # ------------------------------------------------------------------
     # Cache

@@ -1,0 +1,55 @@
+"""Regression corpus: every checked-in repro file must still reproduce.
+
+``tests/repros/*.json`` are shrunk witnesses of real oracle failures
+(currently: the seeded mutant counters).  Replaying each one is the
+regression guarantee of the whole exploration stack — the schedule
+format, the controller's decision consumption order, the strategies'
+seeding, and the oracle that originally failed must all still line up,
+or a previously caught bug could silently become uncatchable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.explore import ReproFile, replay_repro, reproduces
+
+pytestmark = pytest.mark.explore
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "repros"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no repro files in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+class TestCorpusReplay:
+    def test_loads_and_reproduces(self, path):
+        repro = ReproFile.load(path)
+        assert reproduces(repro), (
+            f"{path.name} no longer reproduces its "
+            f"{repro.oracle!r} failure"
+        )
+
+    def test_failure_matches_the_recorded_oracle(self, path):
+        repro = ReproFile.load(path)
+        failure = replay_repro(repro).failure
+        assert failure is not None
+        assert failure.oracle == repro.oracle
+
+    def test_witness_is_small(self, path):
+        # Corpus hygiene: checked-in schedules stay shrunk — a witness
+        # over 30 decisions is a sign shrinking regressed.
+        repro = ReproFile.load(path)
+        assert len(repro.decisions) <= 30
+
+    def test_file_is_in_canonical_saved_form(self, path, tmp_path):
+        # Repro files are committed artifacts: re-saving must be a
+        # no-op so corpus diffs always mean semantic changes.
+        repro = ReproFile.load(path)
+        resaved = repro.save(tmp_path / path.name)
+        assert resaved.read_text() == path.read_text()

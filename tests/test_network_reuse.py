@@ -137,6 +137,60 @@ class TestNetworkReset:
         assert sum(network.trace.loads().values()) == 60
 
 
+class _CountingHook:
+    """SchedulerHook that counts its choices and always picks FIFO."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def choose(self, ready):
+        self.calls += 1
+        return 0
+
+
+class TestSchedulerHookClearing:
+    def test_event_queue_clear_drops_the_installed_hook(self):
+        queue = EventQueue()
+        hook = _CountingHook()
+        queue.install_hook(hook)
+        assert queue.scheduler_hook is hook
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
+        queue.run_many(10)
+        assert hook.calls == 1  # one equal-time group consulted
+        queue.clear()
+        assert queue.scheduler_hook is None
+        # Post-clear scheduling runs on the clean (unhooked) path.
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
+        queue.run_many(10)
+        assert hook.calls == 1
+
+    def test_network_reset_drops_the_installed_hook(self):
+        network = Network(policy=RandomDelay(seed=6))
+        network.register_all([InertProcessor(pid) for pid in (1, 2, 3)])
+        hook = _CountingHook()
+        network.install_scheduler_hook(hook)
+        assert network.scheduler_hook is hook
+        _blast(network, 30)
+        network.reset()
+        assert network.scheduler_hook is None
+        # Run N+1 must match a fresh network even though run N was
+        # explored under a hook.
+        _blast(network, 30)
+        fresh = Network(policy=RandomDelay(seed=6))
+        fresh.register_all([InertProcessor(pid) for pid in (1, 2, 3)])
+        _blast(fresh, 30)
+        assert network.trace.records == fresh.trace.records
+
+    def test_installing_none_uninstalls(self):
+        network = Network()
+        hook = _CountingHook()
+        network.install_scheduler_hook(hook)
+        network.install_scheduler_hook(None)
+        assert network.scheduler_hook is None
+
+
 @pytest.mark.faults
 class TestNetworkResetUnderFaults:
     SPEC = "drop=0.2,dup=0.1"

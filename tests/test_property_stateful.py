@@ -19,6 +19,10 @@ from hypothesis.stateful import (
 from hypothesis import strategies as st
 
 from repro.core import IntervalMode, TreeGeometry, TreePolicy
+from repro.counters.recoverable import (
+    BypassCombiningTreeCounter,
+    StandbyCentralCounter,
+)
 from repro.datatypes import (
     DELETE_MIN,
     FLIP,
@@ -121,6 +125,133 @@ class FlipBitMachine(RuleBasedStateMachine):
             assert self.bit.state == self.model
 
 
+class StandbyCentralMachine(RuleBasedStateMachine):
+    """``central[standby]`` under arbitrary suspicion/recovery storms.
+
+    The failure-detector hooks (`on_processor_suspected` /
+    `on_processor_restored` / `on_processor_recovered`) are driven
+    directly between increments — the *false suspicion* regime, where
+    the accused seat is actually alive and well.  Epoch fencing must
+    keep a deposed-but-alive primary from split-braining, so the
+    counter still hands out every value exactly once.
+    """
+
+    @initialize()
+    def setup(self):
+        self.network = Network()
+        self.counter = StandbyCentralCounter(self.network, _N)
+        self.expected = 0
+        self.op_index = 0
+
+    def _seats(self):
+        return (self.counter.primary_id, self.counter.standby_id)
+
+    @rule(pid=st.integers(1, _N))
+    def inc(self, pid):
+        self.counter.begin_inc(pid, self.op_index)
+        self.op_index += 1
+        self.expected += 1
+        self.network.run_until_quiescent()
+
+    @rule(seat=st.sampled_from([0, 1]))
+    def suspect_seat(self, seat):
+        self.counter.on_processor_suspected(
+            self._seats()[seat], self.network.now
+        )
+        self.network.run_until_quiescent()
+
+    @rule(seat=st.sampled_from([0, 1]))
+    def restore_seat(self, seat):
+        self.counter.on_processor_restored(
+            self._seats()[seat], self.network.now
+        )
+        self.network.run_until_quiescent()
+
+    @rule(seat=st.sampled_from([0, 1]), with_checkpoint=st.booleans())
+    def recover_seat(self, seat, with_checkpoint):
+        checkpoint = {"next_value": 0, "epoch": 1} if with_checkpoint else None
+        self.counter.on_processor_recovered(
+            self._seats()[seat], self.network.now, checkpoint
+        )
+        self.network.run_until_quiescent()
+
+    @invariant()
+    def every_inc_answered_exactly_once(self):
+        if not hasattr(self, "counter"):
+            return
+        values = self.counter.all_results()
+        assert len(values) == self.expected
+        assert sorted(values) == list(range(self.expected))
+
+    @invariant()
+    def some_seat_holds_the_primary_role(self):
+        if hasattr(self, "counter"):
+            assert self.counter.current_primary in self._seats()
+
+
+class BypassTreeMachine(RuleBasedStateMachine):
+    """``combining-tree[bypass]`` under arbitrary routing-table storms.
+
+    Hosts are suspected/restored/recovered between increments while
+    staying physically alive, so requests detour through live ancestors
+    (or straight to the migrating root holder).  At-most-once is the
+    contract: no value may ever be delivered twice, and with no real
+    crashes every issued increment must still complete.
+    """
+
+    @initialize()
+    def setup(self):
+        self.network = Network()
+        self.counter = BypassCombiningTreeCounter(self.network, _N)
+        self.hosts = self.counter.critical_pids()
+        self.expected = 0
+        self.op_index = 0
+
+    @rule(pid=st.integers(1, _N))
+    def inc(self, pid):
+        self.counter.begin_inc(pid, self.op_index)
+        self.op_index += 1
+        self.expected += 1
+        self.network.run_until_quiescent()
+
+    @rule(index=st.integers(0, _N - 1))
+    def suspect_host(self, index):
+        self.counter.on_processor_suspected(
+            self.hosts[index % len(self.hosts)], self.network.now
+        )
+        self.network.run_until_quiescent()
+
+    @rule(index=st.integers(0, _N - 1))
+    def restore_host(self, index):
+        self.counter.on_processor_restored(
+            self.hosts[index % len(self.hosts)], self.network.now
+        )
+        self.network.run_until_quiescent()
+
+    @rule(index=st.integers(0, _N - 1))
+    def recover_host(self, index):
+        self.counter.on_processor_recovered(
+            self.hosts[index % len(self.hosts)], self.network.now, None
+        )
+        self.network.run_until_quiescent()
+
+    @invariant()
+    def at_most_once_and_nothing_lost(self):
+        if not hasattr(self, "counter"):
+            return
+        values = self.counter.all_results()
+        assert len(set(values)) == len(values)  # never delivered twice
+        assert len(values) == self.expected  # hosts are alive: no losses
+        assert self.counter.burned_values >= 0
+
+    @invariant()
+    def root_holder_is_a_known_processor(self):
+        # Root migration picks any live *client* seat, not just the
+        # initial node hosts.
+        if hasattr(self, "counter"):
+            assert self.counter.root_host in self.counter.client_ids()
+
+
 TestPriorityQueueStateful = PriorityQueueMachine.TestCase
 TestPriorityQueueStateful.settings = settings(
     max_examples=20, stateful_step_count=30, deadline=None
@@ -128,5 +259,15 @@ TestPriorityQueueStateful.settings = settings(
 
 TestFlipBitStateful = FlipBitMachine.TestCase
 TestFlipBitStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+TestStandbyCentralStateful = StandbyCentralMachine.TestCase
+TestStandbyCentralStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+TestBypassTreeStateful = BypassTreeMachine.TestCase
+TestBypassTreeStateful.settings = settings(
     max_examples=20, stateful_step_count=30, deadline=None
 )
