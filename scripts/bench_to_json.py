@@ -1,18 +1,11 @@
 #!/usr/bin/env python
-"""Measure the simulator substrate and emit ``BENCH_simulator.json``.
+"""Thin wrapper: measure the simulator and emit ``BENCH_simulator.json``.
 
-Times the hot paths directly (no pytest-benchmark dependency at run
-time) so CI and developers get one comparable artifact:
+The measurement logic lives in :mod:`repro.bench`; this script only
+adds a path bootstrap so it runs from a bare checkout.  Prefer the CLI
+form, which offers grid selection::
 
-* event-queue schedule+pop throughput;
-* message delivery throughput at every :class:`TraceLevel`, with the
-  speedup over the seed's FULL-tracing baseline;
-* counter-registry spec resolution and RunSession construction rates;
-* wall time of a small E7-style sweep, serial vs parallel;
-* a 3-point drop-rate smoke grid (ww-tree behind the reliable
-  transport) with the transport's retransmit metrics;
-* a crash-recovery smoke grid (central[standby] under a mid-run
-  primary crash) with failover latency and bottleneck overhead.
+    PYTHONPATH=src python -m repro bench [--grid NAME ...] [-o PATH]
 
 Usage::
 
@@ -22,223 +15,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import multiprocessing
 import pathlib
-import platform
-import statistics
 import sys
-import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.registry import RunSession, parse_spec, registered_names  # noqa: E402
-from repro.sim.events import EventQueue  # noqa: E402
-from repro.sim.network import Network  # noqa: E402
-from repro.sim.processor import InertProcessor  # noqa: E402
-from repro.sim.trace import TraceLevel  # noqa: E402
-from repro.workloads import SweepPoint, SweepRunner  # noqa: E402
-
-SEED_FULL_MSGS_PER_S = 140_877
-"""messages/s of ``test_message_throughput`` measured at the seed commit
-(FULL tracing, pre-optimization) on the reference machine — the
-denominator for the speedup ratios below."""
-
-
-def _best_rate(work, units: int, repeats: int = 30) -> float:
-    """Best-of-*repeats* throughput in units/second (median of top 5)."""
-    rates = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        work()
-        elapsed = time.perf_counter() - start
-        rates.append(units / elapsed)
-    return statistics.median(sorted(rates)[-5:])
-
-
-def bench_event_queue(events: int = 1000) -> float:
-    """Mirror of ``test_event_queue_throughput`` in bench_simulator.py."""
-
-    def churn():
-        queue = EventQueue()
-        for index in range(events):
-            queue.schedule((index * 7) % 13 + 0.5, lambda: None)
-        while queue:
-            queue.run_next()
-
-    return _best_rate(churn, 2 * events)  # schedule + pop each count
-
-
-def bench_messages(level: TraceLevel, messages: int = 1000) -> float:
-    """Mirror of ``test_message_throughput*`` in bench_simulator.py.
-
-    The blast size matches the benchmark suite (and the seed baseline
-    measurement) so the speedup ratios are apples to apples.
-    """
-    network = Network(trace_level=level)
-    network.register_all([InertProcessor(pid) for pid in range(1, 17)])
-
-    def blast():
-        send = network.send
-        for index in range(messages):
-            send((index % 16) + 1, ((index + 7) % 16) + 1, "m", {})
-        network.run_until_quiescent()
-
-    return _best_rate(blast, messages)
-
-
-def bench_spec_resolution() -> float:
-    """Mirror of ``test_registry_spec_resolution`` in bench_simulator.py."""
-    specs = [
-        *registered_names(),
-        "combining-tree?arity=4&window=3.0",
-        "ww-tree?interval_mode=wrap",
-        "diffracting-tree?prism_size=8&seed=7",
-    ]
-
-    def resolve():
-        for text in specs:
-            parse_spec(text).canonical
-
-    return _best_rate(resolve, len(specs))
-
-
-def bench_session_construction(n: int = 81) -> float:
-    """Mirror of ``test_registry_session_construction``: sessions/s."""
-    sessions = 20
-
-    def build():
-        for _ in range(sessions):
-            RunSession("ww-tree", n)
-
-    return _best_rate(build, sessions, repeats=10)
-
-
-def bench_fault_transport(
-    n: int = 27, drops: tuple[float, ...] = (0.0, 0.05, 0.1)
-) -> dict:
-    """Drop-rate smoke grid: ww-tree one-shot behind ReliableTransport.
-
-    Completion is asserted (``run_sequence`` checks every returned
-    value), so this doubles as a CI smoke test of the faulty regime.
-    """
-    grid = {}
-    for drop in drops:
-        session = RunSession(
-            "ww-tree",
-            n,
-            policy="random",
-            seed=3,
-            faults=f"drop={drop}" if drop else None,
-            reliable=True,
-        )
-        start = time.perf_counter()
-        result = session.run_sequence()
-        elapsed = time.perf_counter() - start
-        stats = session.transport_stats()
-        grid[f"drop={drop}"] = {
-            "bottleneck_load": result.bottleneck_load(),
-            "data_sent": stats["data_sent"],
-            "retransmissions": stats["retransmissions"],
-            "duplicates_suppressed": stats["duplicates_suppressed"],
-            "overhead_ratio": round(session.transport.overhead_ratio(), 4),
-            "wall_time_s": round(elapsed, 4),
-        }
-    return {
-        "grid": f"ww-tree one-shot, n={n}, random delays, reliable transport",
-        "note": "all values verified correct at every drop rate; "
-        "overhead_ratio = transmissions / goodput",
-        **grid,
-    }
-
-
-def bench_recovery(n: int = 16) -> dict:
-    """Crash-recovery smoke grid: central[standby] failover.
-
-    One clean run and one with a permanent mid-run primary crash;
-    linearizability is asserted on both, so this doubles as a CI smoke
-    test of the recovery stack (failure detector + checkpoint/failover).
-    """
-    from repro.analysis.linearizability import check_linearizable_counting
-    from repro.analysis.load import LoadProfile
-
-    grid = {}
-    for label, faults in (("clean", None), ("primary crash", "crash=1@t18")):
-        session = RunSession(
-            "central[standby]", n, policy="random", seed=3, faults=faults
-        )
-        start = time.perf_counter()
-        ops = session.run_staggered(gap=4.0)
-        elapsed = time.perf_counter() - start
-        report = check_linearizable_counting(ops)
-        assert report.linearizable, f"{label}: history not linearizable"
-        profile = LoadProfile.from_trace(session.network.trace, population=n)
-        manager = session.recovery
-        grid[label] = {
-            "ops_completed": len(ops),
-            "linearizable": report.linearizable,
-            "suspicions": manager.detector.suspicion_count() if manager else 0,
-            "failovers": manager.failover_count() if manager else 0,
-            "failover_latency": (
-                round(manager.failover_latency(), 2)
-                if manager and manager.failover_latency() is not None
-                else None
-            ),
-            "client_bottleneck_load": (
-                profile.restrict(range(1, n + 1)).bottleneck_load
-            ),
-            "wall_time_s": round(elapsed, 4),
-        }
-    return {
-        "grid": f"central[standby] staggered one-shot, n={n}, random delays",
-        "note": "linearizability asserted on both runs; failover latency "
-        "runs from the crash-window start to the standby's promotion",
-        **grid,
-    }
-
-
-def bench_explore() -> dict:
-    """Exploration smoke grid: schedules judged per second.
-
-    Mirrors ``benchmarks/bench_explore.py``: a random-walk budget on
-    the central counter and a guided budget on the bypass combining
-    tree (the acceptance configuration).  Both runs assert no oracle
-    failed, so this doubles as a CI smoke test of the explorer.
-    """
-    from repro.explore import ExploreConfig, Explorer
-
-    grid = {}
-    for label, counter, strategy in (
-        ("central random", "central", "random"),
-        ("bypass-tree guided", "combining-tree[bypass]", "guided"),
-    ):
-        explorer = Explorer(
-            ExploreConfig(counter=counter, n=8, strategy=strategy, budget=20)
-        )
-
-        def explore(explorer=explorer):
-            report = explorer.run()
-            assert report.ok, f"exploration found failures: {report.failures}"
-
-        rate = _best_rate(explore, 20, repeats=5)
-        grid[label] = {"schedules_per_s": round(rate, 1)}
-    return {
-        "grid": "n=8, 20 episodes per measurement, full oracle suite",
-        "note": "every schedule is judged by all five oracles; both "
-        "configurations asserted failure-free",
-        **grid,
-    }
-
-
-def bench_sweep(workers: int) -> float:
-    points = [
-        SweepPoint(counter=counter, n=n)
-        for counter in ("central", "static-tree", "ww-tree")
-        for n in (256, 1024)
-    ]
-    start = time.perf_counter()
-    SweepRunner(workers=workers).run(points)
-    return time.perf_counter() - start
+from repro.bench import GRIDS, write_report  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -247,55 +29,12 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", default="BENCH_simulator.json",
         help="output path (default: ./BENCH_simulator.json)",
     )
+    parser.add_argument(
+        "--grid", action="append", choices=GRIDS, metavar="NAME",
+        help="run only the named grid(s); repeatable (default: all)",
+    )
     args = parser.parse_args(argv)
-
-    full = bench_messages(TraceLevel.FULL)
-    loads = bench_messages(TraceLevel.LOADS)
-    off = bench_messages(TraceLevel.OFF)
-    serial_s = bench_sweep(workers=1)
-    parallel_s = bench_sweep(workers=4)
-    report = {
-        "benchmark": "simulator substrate",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpus": multiprocessing.cpu_count(),
-        "event_queue_ops_per_s": round(bench_event_queue()),
-        "messages_per_s": {
-            "full": round(full),
-            "loads": round(loads),
-            "off": round(off),
-        },
-        "registry": {
-            "spec_resolutions_per_s": round(bench_spec_resolution()),
-            "ww_tree_sessions_per_s": round(bench_session_construction()),
-            "note": "parse+canonicalize over every registered spec; "
-            "RunSession includes building the n=81 tree",
-        },
-        "seed_reference": {
-            "full_msgs_per_s": SEED_FULL_MSGS_PER_S,
-            "note": "seed-commit FULL-tracing throughput; ratio target "
-            "for LOADS is >= 5x",
-        },
-        "speedup_vs_seed_full": {
-            "full": round(full / SEED_FULL_MSGS_PER_S, 2),
-            "loads": round(loads / SEED_FULL_MSGS_PER_S, 2),
-            "off": round(off / SEED_FULL_MSGS_PER_S, 2),
-        },
-        "sweep_wall_time_s": {
-            "grid": "3 counters x n in (256, 1024), one-shot",
-            "note": "parallel only wins with >1 cpu; outputs are "
-            "identical either way",
-            "serial": round(serial_s, 3),
-            "parallel_4_workers": round(parallel_s, 3),
-        },
-        "fault_transport": bench_fault_transport(),
-        "crash_recovery": bench_recovery(),
-        "schedule_exploration": bench_explore(),
-    }
-    output = pathlib.Path(args.output)
-    output.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {output}", file=sys.stderr)
+    write_report(args.output, tuple(args.grid) if args.grid else GRIDS)
     return 0
 
 

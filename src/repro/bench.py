@@ -1,0 +1,409 @@
+"""Benchmark harness: measure the simulator substrate, emit JSON.
+
+Times the hot paths directly (no pytest-benchmark dependency at run
+time) so CI and developers get one comparable artifact:
+
+* event-queue schedule+pop throughput;
+* message delivery throughput at every :class:`TraceLevel`, on both the
+  table-driven fast core and the compatible heapq core, with the
+  speedup over the seed's FULL-tracing baseline;
+* counter-registry spec resolution and RunSession construction rates;
+* wall time of a small E7-style sweep, serial vs parallel;
+* a 3-point drop-rate smoke grid (ww-tree behind the reliable
+  transport) with the transport's retransmit metrics;
+* a crash-recovery smoke grid (central[standby] under a mid-run
+  primary crash) with failover latency and bottleneck overhead;
+* a ``large_n`` grid: ww-tree one-shot runs at n = 10^4 and 10^5,
+  million-event territory that only the fast core makes routine.
+
+Grids are individually selectable (``repro bench --grid messages``)
+and every report is stamped with the git SHA and an ISO-8601 UTC
+timestamp so archived artifacts are traceable to a commit.
+"""
+
+from __future__ import annotations
+
+import datetime
+import gc
+import json
+import multiprocessing
+import pathlib
+import platform
+import statistics
+import subprocess
+import sys
+import time
+
+from repro.registry import RunSession, parse_spec, registered_names
+from repro.sim.events import EventQueue, FlatEventQueue
+from repro.sim.network import Network
+from repro.sim.processor import InertProcessor
+from repro.sim.trace import TraceLevel
+from repro.workloads import SweepPoint, SweepRunner
+
+SEED_FULL_MSGS_PER_S = 140_877
+"""messages/s of ``test_message_throughput`` measured at the seed commit
+(FULL tracing, pre-optimization) on the reference machine — the
+denominator for the speedup ratios below."""
+
+
+def _best_rate(work, units: int, repeats: int = 30) -> float:
+    """Best-of-*repeats* throughput in units/second (median of top 5)."""
+    rates = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work()
+        elapsed = time.perf_counter() - start
+        rates.append(units / elapsed)
+    return statistics.median(sorted(rates)[-5:])
+
+
+def git_sha() -> str | None:
+    """Short SHA of HEAD, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None
+
+
+def bench_event_queue(events: int = 1000, core: str = "compat") -> float:
+    """Mirror of ``test_event_queue_throughput`` in bench_simulator.py."""
+    queue_type = FlatEventQueue if core == "fast" else EventQueue
+
+    def churn():
+        queue = queue_type()
+        for index in range(events):
+            queue.schedule((index * 7) % 13 + 0.5, lambda: None)
+        while queue:
+            queue.run_next()
+
+    return _best_rate(churn, 2 * events)  # schedule + pop each count
+
+
+def bench_messages(
+    level: TraceLevel, messages: int = 1000, core: str = "fast"
+) -> float:
+    """Mirror of ``test_message_throughput*`` in bench_simulator.py.
+
+    The blast size matches the benchmark suite (and the seed baseline
+    measurement) so the speedup ratios are apples to apples.
+    """
+    network = Network(trace_level=level, core=core)
+    network.register_all([InertProcessor(pid) for pid in range(1, 17)])
+
+    def blast():
+        send = network.send
+        for index in range(messages):
+            send((index % 16) + 1, ((index + 7) % 16) + 1, "m", {})
+        network.run_until_quiescent()
+
+    return _best_rate(blast, messages)
+
+
+def bench_spec_resolution() -> float:
+    """Mirror of ``test_registry_spec_resolution`` in bench_simulator.py."""
+    specs = [
+        *registered_names(),
+        "combining-tree?arity=4&window=3.0",
+        "ww-tree?interval_mode=wrap",
+        "diffracting-tree?prism_size=8&seed=7",
+    ]
+
+    def resolve():
+        for text in specs:
+            parse_spec(text).canonical
+
+    return _best_rate(resolve, len(specs))
+
+
+def bench_session_construction(n: int = 81) -> float:
+    """Mirror of ``test_registry_session_construction``: sessions/s."""
+    sessions = 20
+
+    def build():
+        for _ in range(sessions):
+            RunSession("ww-tree", n)
+
+    return _best_rate(build, sessions, repeats=10)
+
+
+def bench_fault_transport(
+    n: int = 27, drops: tuple[float, ...] = (0.0, 0.05, 0.1)
+) -> dict:
+    """Drop-rate smoke grid: ww-tree one-shot behind ReliableTransport.
+
+    Completion is asserted (``run_sequence`` checks every returned
+    value), so this doubles as a CI smoke test of the faulty regime.
+    """
+    grid = {}
+    for drop in drops:
+        session = RunSession(
+            "ww-tree",
+            n,
+            policy="random",
+            seed=3,
+            faults=f"drop={drop}" if drop else None,
+            reliable=True,
+        )
+        start = time.perf_counter()
+        result = session.run_sequence()
+        elapsed = time.perf_counter() - start
+        stats = session.transport_stats()
+        grid[f"drop={drop}"] = {
+            "bottleneck_load": result.bottleneck_load(),
+            "data_sent": stats["data_sent"],
+            "retransmissions": stats["retransmissions"],
+            "duplicates_suppressed": stats["duplicates_suppressed"],
+            "overhead_ratio": round(session.transport.overhead_ratio(), 4),
+            "wall_time_s": round(elapsed, 4),
+        }
+    return {
+        "grid": f"ww-tree one-shot, n={n}, random delays, reliable transport",
+        "note": "all values verified correct at every drop rate; "
+        "overhead_ratio = transmissions / goodput",
+        **grid,
+    }
+
+
+def bench_recovery(n: int = 16) -> dict:
+    """Crash-recovery smoke grid: central[standby] failover.
+
+    One clean run and one with a permanent mid-run primary crash;
+    linearizability is asserted on both, so this doubles as a CI smoke
+    test of the recovery stack (failure detector + checkpoint/failover).
+    """
+    from repro.analysis.linearizability import check_linearizable_counting
+    from repro.analysis.load import LoadProfile
+
+    grid = {}
+    for label, faults in (("clean", None), ("primary crash", "crash=1@t18")):
+        session = RunSession(
+            "central[standby]", n, policy="random", seed=3, faults=faults
+        )
+        start = time.perf_counter()
+        ops = session.run_staggered(gap=4.0)
+        elapsed = time.perf_counter() - start
+        report = check_linearizable_counting(ops)
+        assert report.linearizable, f"{label}: history not linearizable"
+        profile = LoadProfile.from_trace(session.network.trace, population=n)
+        manager = session.recovery
+        grid[label] = {
+            "ops_completed": len(ops),
+            "linearizable": report.linearizable,
+            "suspicions": manager.detector.suspicion_count() if manager else 0,
+            "failovers": manager.failover_count() if manager else 0,
+            "failover_latency": (
+                round(manager.failover_latency(), 2)
+                if manager and manager.failover_latency() is not None
+                else None
+            ),
+            "client_bottleneck_load": (
+                profile.restrict(range(1, n + 1)).bottleneck_load
+            ),
+            "wall_time_s": round(elapsed, 4),
+        }
+    return {
+        "grid": f"central[standby] staggered one-shot, n={n}, random delays",
+        "note": "linearizability asserted on both runs; failover latency "
+        "runs from the crash-window start to the standby's promotion",
+        **grid,
+    }
+
+
+def bench_explore() -> dict:
+    """Exploration smoke grid: schedules judged per second.
+
+    Mirrors ``benchmarks/bench_explore.py``: a random-walk budget on
+    the central counter and a guided budget on the bypass combining
+    tree (the acceptance configuration).  Both runs assert no oracle
+    failed, so this doubles as a CI smoke test of the explorer.
+    """
+    from repro.explore import ExploreConfig, Explorer
+
+    grid = {}
+    for label, counter, strategy in (
+        ("central random", "central", "random"),
+        ("bypass-tree guided", "combining-tree[bypass]", "guided"),
+    ):
+        explorer = Explorer(
+            ExploreConfig(counter=counter, n=8, strategy=strategy, budget=20)
+        )
+
+        def explore(explorer=explorer):
+            report = explorer.run()
+            assert report.ok, f"exploration found failures: {report.failures}"
+
+        rate = _best_rate(explore, 20, repeats=5)
+        grid[label] = {"schedules_per_s": round(rate, 1)}
+    return {
+        "grid": "n=8, 20 episodes per measurement, full oracle suite",
+        "note": "every schedule is judged by all five oracles; both "
+        "configurations asserted failure-free",
+        **grid,
+    }
+
+
+def bench_sweep(workers: int) -> float:
+    points = [
+        SweepPoint(counter=counter, n=n)
+        for counter in ("central", "static-tree", "ww-tree")
+        for n in (256, 1024)
+    ]
+    start = time.perf_counter()
+    SweepRunner(workers=workers, serial_threshold=0).run(points)
+    return time.perf_counter() - start
+
+
+def bench_large_n(sizes: tuple[int, ...] = (10_000, 100_000)) -> dict:
+    """ww-tree one-shot runs at large n on the fast core, OFF tracing.
+
+    Each point is a single cold run (no repeat loop — these are
+    multi-second, million-event simulations): build the session, run
+    the full sequential one-shot workload, and report build time, run
+    time, events executed, and end-to-end messages/s.  The workload
+    itself asserts every returned counter value, so correctness rides
+    along with the timing.
+    """
+    grid = {}
+    for n in sizes:
+        build_start = time.perf_counter()
+        session = RunSession("ww-tree", n, trace_level="OFF")
+        build_s = time.perf_counter() - build_start
+        run_start = time.perf_counter()
+        session.run_sequence()
+        run_s = time.perf_counter() - run_start
+        events = session.network.events_executed
+        grid[f"n={n}"] = {
+            "build_s": round(build_s, 3),
+            "run_s": round(run_s, 3),
+            "events_executed": events,
+            "events_per_s": round(events / run_s),
+        }
+    return {
+        "grid": "ww-tree sequential one-shot, OFF tracing, fast core, "
+        "single cold run per point",
+        "note": "every returned value asserted correct; events include "
+        "message deliveries and local timer callbacks",
+        **grid,
+    }
+
+
+GRIDS = (
+    "queue",
+    "messages",
+    "registry",
+    "sweep",
+    "faults",
+    "recovery",
+    "explore",
+    "large_n",
+)
+
+
+def _grid_boundary() -> None:
+    """Release the previous grid's garbage before timing the next one.
+
+    The message grids churn through millions of objects; without a
+    collection here their eventual gen-2 sweep lands inside whichever
+    grid runs next and halves its measured rate.
+    """
+    gc.collect()
+
+
+def build_report(grids: tuple[str, ...] = GRIDS) -> dict:
+    """Run the selected benchmark grids and assemble the JSON report."""
+    unknown = sorted(set(grids) - set(GRIDS))
+    if unknown:
+        raise ValueError(f"unknown benchmark grids: {', '.join(unknown)}")
+    report: dict = {
+        "benchmark": "simulator substrate",
+        "git_sha": git_sha(),
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": multiprocessing.cpu_count(),
+    }
+    if "queue" in grids:
+        _grid_boundary()
+        report["event_queue_ops_per_s"] = {
+            "fast": round(bench_event_queue(core="fast")),
+            "compat": round(bench_event_queue(core="compat")),
+        }
+    if "messages" in grids:
+        _grid_boundary()
+        rates = {
+            core: {
+                "full": bench_messages(TraceLevel.FULL, core=core),
+                "loads": bench_messages(TraceLevel.LOADS, core=core),
+                "off": bench_messages(TraceLevel.OFF, core=core),
+            }
+            for core in ("fast", "compat")
+        }
+        report["messages_per_s"] = {
+            core: {level: round(rate) for level, rate in levels.items()}
+            for core, levels in rates.items()
+        }
+        report["seed_reference"] = {
+            "full_msgs_per_s": SEED_FULL_MSGS_PER_S,
+            "note": "seed-commit FULL-tracing throughput; ratio target "
+            "for LOADS is >= 5x",
+        }
+        report["speedup_vs_seed_full"] = {
+            level: round(rate / SEED_FULL_MSGS_PER_S, 2)
+            for level, rate in rates["fast"].items()
+        }
+    if "registry" in grids:
+        _grid_boundary()
+        report["registry"] = {
+            "spec_resolutions_per_s": round(bench_spec_resolution()),
+            "ww_tree_sessions_per_s": round(bench_session_construction()),
+            "note": "parse+canonicalize over every registered spec; "
+            "RunSession includes building the n=81 tree",
+        }
+    if "sweep" in grids:
+        _grid_boundary()
+        report["sweep_wall_time_s"] = {
+            "grid": "3 counters x n in (256, 1024), one-shot",
+            "note": "parallel only wins with >1 cpu; outputs are "
+            "identical either way",
+            "serial": round(bench_sweep(workers=1), 3),
+            "parallel_4_workers": round(bench_sweep(workers=4), 3),
+        }
+    if "faults" in grids:
+        _grid_boundary()
+        report["fault_transport"] = bench_fault_transport()
+    if "recovery" in grids:
+        _grid_boundary()
+        report["crash_recovery"] = bench_recovery()
+    if "explore" in grids:
+        _grid_boundary()
+        report["schedule_exploration"] = bench_explore()
+    if "large_n" in grids:
+        _grid_boundary()
+        report["large_n"] = bench_large_n()
+    return report
+
+
+def write_report(
+    output: str | pathlib.Path,
+    grids: tuple[str, ...] = GRIDS,
+    echo: bool = True,
+) -> dict:
+    """Build the report, write it to *output*, optionally print it."""
+    report = build_report(grids)
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    if echo:
+        print(json.dumps(report, indent=2))
+        print(f"\nwrote {path}", file=sys.stderr)
+    return report

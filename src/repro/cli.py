@@ -10,6 +10,7 @@ Subcommands::
     python -m repro bound      print the k·kᵏ = n curve
     python -m repro quorum     quorum systems: loads + counter bottleneck
     python -m repro tree       inspect a communication tree's geometry
+    python -m repro bench      measure the simulator substrate (JSON report)
 
 Counters are named by registry spec strings
 (:mod:`repro.registry`): a canonical name optionally followed by
@@ -239,6 +240,23 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "id", nargs="?", default=None,
         help="experiment id, e.g. E4 (omit to list all)",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="measure the simulator substrate (BENCH_simulator.json)"
+    )
+    bench.add_argument(
+        "--grid", action="append", metavar="NAME",
+        help="run only the named grid(s); repeatable (default: all; "
+             "see repro.bench.GRIDS)",
+    )
+    bench.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also write the report to PATH (e.g. BENCH_simulator.json)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON (default when no --output is given)",
     )
 
     figures = commands.add_parser(
@@ -737,6 +755,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark harness, printing and/or writing the report."""
+    import json as json_module
+
+    from repro.bench import GRIDS, build_report, write_report
+
+    grids = tuple(args.grid) if args.grid else GRIDS
+    try:
+        if args.output:
+            write_report(args.output, grids, echo=args.json)
+            if not args.json:
+                print(f"wrote {args.output}")
+        else:
+            print(json_module.dumps(build_report(grids), indent=2))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate the SVG figures (F1-F3)."""
     from repro.experiments.figures import save_all_figures
@@ -759,6 +797,7 @@ _COMMANDS = {
     "tree": _cmd_tree,
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
     "figures": _cmd_figures,
 }
 

@@ -62,15 +62,20 @@ class TreeCounter(DistributedCounter):
 
     def _build_workers(self) -> None:
         requirement = self.geometry.processor_requirement()
+        workers = self._workers
+        network = self.network
         for pid in range(1, requirement + 1):
             worker = TreeWorker(pid, self)
-            self.network.register(worker)
-            self._workers[pid] = worker
+            network.register(worker)
+            workers[pid] = worker
         for role in self.registry.all_roles():
-            self._workers[role.worker].adopt_role(role)
-        for leaf_pid in range(1, self.geometry.leaf_count + 1):
-            parent_role = self.registry.role(self.geometry.leaf_parent(leaf_pid))
-            self._workers[leaf_pid].set_leaf_parent(parent_role.worker)
+            workers[role.worker].adopt_role(role)
+        # Wire each leaf's belief of its parent's worker by walking the
+        # last-level roles once, instead of a per-leaf address lookup.
+        for role in self.registry.last_level_roles():
+            role_worker = role.worker
+            for leaf_pid in self.geometry.leaf_children(role.addr):
+                workers[leaf_pid].set_leaf_parent(role_worker)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -103,31 +103,66 @@ class RoleRegistry:
         self._build_roles()
 
     def _build_roles(self) -> None:
+        """Create and wire every role in one level-order pass.
+
+        Parents exist before their children, so each non-root role wires
+        itself into its parent at creation — no second wiring pass over
+        the whole tree.  The interval arithmetic of
+        :meth:`TreeGeometry.initial_worker` is hoisted to per-level
+        constants, so building the 10^5-leaf tree is O(nodes) dict and
+        list appends.  Orders match the old two-pass construction
+        exactly: ``child_addrs`` and ``children_workers`` fill in child
+        index order.
+        """
         geometry = self._geometry
-        for addr in geometry.all_nodes():
-            worker = geometry.initial_worker(addr)
-            role = NodeRole(addr=addr, worker=worker)
-            if addr.is_root:
-                role.value = 0
-                self._root_walk_next = worker + 1
-            else:
-                role.parent_addr = geometry.parent(addr)
-            self._roles[addr] = role
-            self._worker_of_role[addr] = worker
-            if not addr.is_root:
-                self._inner_worker_index[worker] = addr
-        # Wire the believed neighbour workers from initial assignments.
-        for addr, role in self._roles.items():
-            if role.parent_addr is not None:
-                role.parent_worker = self._roles[role.parent_addr].worker
-            if addr.level < geometry.depth:
-                role.child_addrs = geometry.children(addr)
-                for child in role.child_addrs:
-                    key = ("node", child.level, child.index)
-                    role.children_workers[key] = self._roles[child].worker
-            else:
-                for leaf_pid in geometry.leaf_children(addr):
-                    role.children_workers[("leaf", leaf_pid)] = leaf_pid
+        arity = geometry.arity
+        depth = geometry.depth
+        band = arity**depth
+        roles = self._roles
+        worker_of_role = self._worker_of_role
+        inner_worker_index = self._inner_worker_index
+        root = NodeRole(addr=ROOT, worker=geometry.initial_worker(ROOT))
+        root.value = 0
+        self._root_walk_next = root.worker + 1
+        roles[ROOT] = root
+        worker_of_role[ROOT] = root.worker
+        level_roles = [root]
+        for level in range(1, depth + 1):
+            # id_interval(level, index) starts at
+            # (level-1)*band + index*width + 1 with width ids per node.
+            width = arity ** (depth - level)
+            level_base = (level - 1) * band + 1
+            last_level = level == depth
+            upper_roles = level_roles
+            level_roles = []
+            index = 0
+            for parent in upper_roles:
+                parent_addr = parent.addr
+                parent_worker = parent.worker
+                parent_children = parent.child_addrs
+                parent_workers = parent.children_workers
+                for _ in range(arity):
+                    addr = NodeAddr(level, index)
+                    worker = level_base + index * width
+                    role = NodeRole(
+                        addr=addr,
+                        worker=worker,
+                        parent_addr=parent_addr,
+                        parent_worker=parent_worker,
+                    )
+                    parent_children.append(addr)
+                    parent_workers[("node", level, index)] = worker
+                    if last_level:
+                        base = index * arity
+                        for c in range(arity):
+                            role.children_workers[("leaf", base + c + 1)] = (
+                                base + c + 1
+                            )
+                    roles[addr] = role
+                    worker_of_role[addr] = worker
+                    inner_worker_index[worker] = addr
+                    level_roles.append(role)
+                    index += 1
 
     # ------------------------------------------------------------------
     # Lookup
@@ -154,8 +189,19 @@ class RoleRegistry:
         return self._roles[ROOT]
 
     def all_roles(self) -> list[NodeRole]:
-        """Every role, root first, in level order."""
-        return [self._roles[addr] for addr in self._geometry.all_nodes()]
+        """Every role, root first, in level order.
+
+        ``_roles`` is populated in exactly this order (see
+        :meth:`_build_roles`), so this is a plain dict walk — no address
+        materialization.
+        """
+        return list(self._roles.values())
+
+    def last_level_roles(self) -> list[NodeRole]:
+        """Roles of the last inner level (the leaves' parents), in index
+        order — the counter wires leaf workers from these."""
+        depth = self._geometry.depth
+        return [role for role in self._roles.values() if role.addr.level == depth]
 
     @property
     def retirements(self) -> list[RetirementEvent]:

@@ -72,9 +72,6 @@ class _CombiningHost(Processor):
         self._counter = counter
         self._nodes: dict[int, _NodeState] = {}
 
-    def host_node(self, state: _NodeState) -> None:
-        self._nodes[state.node] = state
-
     # -- client side ---------------------------------------------------
     def request_inc(self) -> None:
         """Initiate one ``inc``: ask this client's leaf-side node."""
@@ -190,12 +187,25 @@ class _CombiningHost(Processor):
             base += count
 
     def _node(self, node_id: int) -> _NodeState:
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise ProtocolError(
-                f"processor {self.pid} does not host combining node {node_id}"
-            ) from None
+        """The combining state of *node_id*, created on first use.
+
+        The topology is arithmetic (see
+        :meth:`CombiningTreeCounter.parent_of`), so hosting is a range
+        check plus the round-robin rule — node states materialize only
+        for nodes that actually see traffic, which keeps building an
+        n=10^5 tree O(n) instead of O(nodes) object churn.
+        """
+        state = self._nodes.get(node_id)
+        if state is not None:
+            return state
+        counter = self._counter
+        if 0 <= node_id < counter.node_count and counter.host_of(node_id) == self.pid:
+            state = _NodeState(node=node_id, parent=counter.parent_of(node_id))
+            self._nodes[node_id] = state
+            return state
+        raise ProtocolError(
+            f"processor {self.pid} does not host combining node {node_id}"
+        )
 
 
 class CombiningTreeCounter(DistributedCounter):
@@ -238,41 +248,31 @@ class CombiningTreeCounter(DistributedCounter):
         self._build_tree()
 
     def _build_tree(self) -> None:
-        """Build the node layer-by-layer: leaves group clients, then fan in.
+        """Lay out the tree arithmetically: layer sizes and offsets only.
 
-        Node ids are dense integers; node 0 is the top combining node.
-        ``_entry`` maps each client to its leaf-side node; ``_parent``
-        maps node -> parent node (None for node 0).
+        Node ids are dense integers, leaves first: layer 0 holds the
+        ``ceil(n/arity)`` leaf-side nodes (client *pid* enters at node
+        ``(pid-1)//arity``), each upper layer fans the one below in by
+        *arity*, and the top combining node is ``node_count - 1``.  Only
+        the per-layer start offsets are materialized — parents and entry
+        nodes are computed on demand (:meth:`parent_of`,
+        :meth:`entry_node_of`) and node *states* are created lazily by
+        the hosts on first traffic, so construction is O(layers), not
+        O(nodes).
         """
-        self._parent: dict[int, int | None] = {}
-        self._entry: dict[ProcessorId, int] = {}
-        next_node = 0
-        # Leaf layer: one node per `arity` clients.
-        current_layer: list[int] = []
-        clients = list(self.client_ids())
-        for start in range(0, len(clients), self.arity):
-            node = next_node
-            next_node += 1
-            current_layer.append(node)
-            for pid in clients[start : start + self.arity]:
-                self._entry[pid] = node
-        # Inner layers up to a single top node.
-        while len(current_layer) > 1:
-            upper_layer: list[int] = []
-            for start in range(0, len(current_layer), self.arity):
-                node = next_node
-                next_node += 1
-                upper_layer.append(node)
-                for child in current_layer[start : start + self.arity]:
-                    self._parent[child] = node
-            current_layer = upper_layer
-        self._parent[current_layer[0]] = None
-        self.node_count = next_node
+        arity = self.arity
+        sizes = [(self.n + arity - 1) // arity]
+        while sizes[-1] > 1:
+            sizes.append((sizes[-1] + arity - 1) // arity)
+        starts = [0]
+        for size in sizes:
+            starts.append(starts[-1] + size)
+        #: ``_layer_starts[i]`` is the id of layer *i*'s first node; the
+        #: final entry is the total node count.
+        self._layer_starts: list[int] = starts
+        self.node_count = starts[-1]
         # The root-value holder lives with the top node's host.
-        self.root_host = self.host_of(current_layer[0])
-        for node in range(self.node_count):
-            state = _NodeState(node=node, parent=self._parent.get(node))
-            self._hosts[self.host_of(node)].host_node(state)
+        self.root_host = self.host_of(self.node_count - 1)
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -281,9 +281,25 @@ class CombiningTreeCounter(DistributedCounter):
         """Processor hosting tree node *node* (round-robin over clients)."""
         return (node % self.n) + 1
 
+    def parent_of(self, node: int) -> int | None:
+        """Parent of tree node *node* (``None`` for the top node).
+
+        Pure arithmetic over the layer offsets: a node at index *j* of
+        layer *i* reports to index ``j // arity`` of layer *i + 1*.
+        """
+        starts = self._layer_starts
+        if node == self.node_count - 1:
+            return None
+        layer = 0
+        while node >= starts[layer + 1]:
+            layer += 1
+        return starts[layer + 1] + (node - starts[layer]) // self.arity
+
     def entry_node_of(self, pid: ProcessorId) -> int:
         """The leaf-side node client *pid* sends its requests to."""
-        return self._entry[pid]
+        if not 1 <= pid <= self.n:
+            raise KeyError(pid)
+        return (pid - 1) // self.arity
 
     # ------------------------------------------------------------------
     # Value management (root side)

@@ -674,9 +674,9 @@ class BypassCombiningTreeCounter(CombiningTreeCounter, Recoverable):
         ``None`` means the whole chain is dead (or *node* is the top):
         talk to the root holder directly.
         """
-        parent = self._parent.get(node)
+        parent = self.parent_of(node)
         while parent is not None and self.host_of(parent) in self._dead_hosts:
-            parent = self._parent.get(parent)
+            parent = self.parent_of(parent)
         return parent
 
     def effective_entry(self, pid: ProcessorId) -> int | None:
@@ -684,7 +684,7 @@ class BypassCombiningTreeCounter(CombiningTreeCounter, Recoverable):
 
         ``None`` sends the client straight to the root holder.
         """
-        entry = self._entry[pid]
+        entry = self.entry_node_of(pid)
         if self.host_of(entry) not in self._dead_hosts:
             return entry
         return self.effective_parent(entry)

@@ -404,6 +404,10 @@ class RunSession:
             :func:`~repro.sim.faults.parse_fault_spec`) or a prebuilt
             :class:`~repro.sim.faults.FaultPlan`; ``None`` keeps the
             paper's failure-free model.
+        core: event-loop implementation forwarded to
+            :class:`~repro.sim.network.Network` — ``"auto"`` (default),
+            ``"fast"`` or ``"compat"``; all three produce byte-identical
+            traces.
         reliable: wrap the counter behind a
             :class:`~repro.sim.transport.ReliableTransport` so it
             survives lossy fault plans.  A lossy ``faults`` spec without
@@ -441,6 +445,7 @@ class RunSession:
         event_limit: int | None = None,
         faults: str | FaultPlan | None = None,
         reliable: bool = False,
+        core: str = "auto",
     ) -> None:
         self._ref = parse_spec(counter)
         self._seed = seed
@@ -482,6 +487,7 @@ class RunSession:
         network_kwargs: dict[str, Any] = {
             "policy": policy,
             "trace_level": trace_level,
+            "core": core,
         }
         if event_limit is not None:
             network_kwargs["event_limit"] = event_limit

@@ -24,10 +24,19 @@ A :class:`SchedulerHook` may be installed to take over tie-breaking:
 whenever more than one entry shares the minimum timestamp, the hook
 chooses which one runs next instead of the default FIFO-by-``seq``
 order.  The clean path pays a single ``is None`` check per
-:meth:`EventQueue.run_many` call; the hooked path is only as fast as it
-needs to be for schedule exploration.  :meth:`EventQueue.clear` drops
-any installed hook so a reused queue cannot leak one exploration's
+:meth:`EventQueue.run_many` call; the hooked path keeps the current
+time's candidates in a persistent *ready* buffer, so unchosen entries
+are not re-pushed through the heap on every pop.  :meth:`EventQueue.clear`
+drops any installed hook so a reused queue cannot leak one exploration's
 tie-break state into the next.
+
+:class:`FlatEventQueue` is the table-driven fast core behind
+``Network(core="fast")``: a bucket (calendar) queue keyed by timestamp
+with recycled bucket storage, a heap over *distinct* times only, and
+bare payload items instead of per-event tuples.  It executes events in
+exactly the order :class:`EventQueue` would — asserted by the
+equivalence suites — but does not support scheduler hooks; hooked runs
+route through the compatible heap queue.
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.errors import ConfigurationError
 
 _NO_ARG = object()
 """Sentinel marking a heap entry whose action takes no argument."""
@@ -84,13 +95,17 @@ class EventQueue:
     is a programming error and raises ``ValueError``.
     """
 
-    __slots__ = ("_heap", "_counter", "_now", "_hook")
+    __slots__ = ("_heap", "_counter", "_now", "_hook", "_ready")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._hook: SchedulerHook | None = None
+        # Persistent frontier buffer for the hooked path: entries sharing
+        # the current minimum timestamp, in seq order.  Always empty when
+        # no hook is installed.
+        self._ready: list[tuple[float, int, Callable[..., None], Any]] = []
 
     @property
     def now(self) -> float:
@@ -111,12 +126,19 @@ class EventQueue:
         starts with default FIFO tie-breaking.
         """
         self._hook = hook
+        if hook is None and self._ready:
+            # Return the buffered frontier to the heap so the clean loop
+            # sees every pending entry again.
+            heap = self._heap
+            for entry in self._ready:
+                heapq.heappush(heap, entry)
+            self._ready.clear()
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._heap) or bool(self._ready)
 
     def schedule(self, delay: float, action: Callable[[], None]) -> Event:
         """Schedule *action* to run *delay* time units from now.
@@ -148,23 +170,30 @@ class EventQueue:
     def _pop_entry(self) -> tuple[float, int, Callable[..., None], Any]:
         """Pop the next entry, honoring the tie-break hook if installed.
 
-        Gathers every entry sharing the minimum timestamp (in ``seq``
-        order, i.e. default-scheduler order), lets the hook pick one,
-        and pushes the rest back.  Without a hook — or with a single
-        ready entry — this is a plain heappop.
+        The hooked path keeps the candidates sharing the minimum
+        timestamp in the persistent ``_ready`` buffer (in ``seq`` order,
+        i.e. default-scheduler order): each pop merges any newly
+        scheduled equal-time entries from the heap, lets the hook pick
+        one, and leaves the rest buffered — unchosen entries are never
+        re-pushed through the heap.  New entries always carry a higher
+        ``seq`` than everything buffered, and nothing can be scheduled
+        before ``now``, so the buffer stays in seq order and the
+        frontier time stays minimal until it drains.  Without a hook —
+        or with a single ready entry — this is a plain heappop.
         """
         heap = self._heap
-        first = heapq.heappop(heap)
-        if self._hook is None or not heap or heap[0][0] != first[0]:
-            return first
-        time = first[0]
-        ready = [first]
+        ready = self._ready
+        if not ready:
+            first = heapq.heappop(heap)
+            if self._hook is None or not heap or heap[0][0] != first[0]:
+                return first
+            ready.append(first)
+        time = ready[0][0]
         while heap and heap[0][0] == time:
             ready.append(heapq.heappop(heap))
-        chosen = ready.pop(self._hook.choose(ready))
-        for entry in ready:
-            heapq.heappush(heap, entry)
-        return chosen
+        if len(ready) == 1:
+            return ready.pop()
+        return ready.pop(self._hook.choose(ready))
 
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing ``now``."""
@@ -215,9 +244,10 @@ class EventQueue:
         gathering but ordinary runs pay one ``is None`` check per batch.
         """
         heap = self._heap
+        ready = self._ready
         no_arg = _NO_ARG
         ran = 0
-        while heap and ran < limit:
+        while (heap or ready) and ran < limit:
             time, _, action, arg = self._pop_entry()
             self._now = time
             ran += 1
@@ -237,6 +267,7 @@ class EventQueue:
         replay a previous exploration's tie-break choices.
         """
         self._heap.clear()
+        self._ready.clear()
         self._counter = itertools.count()
         self._now = 0.0
         self._hook = None
@@ -249,3 +280,260 @@ def _bind(action: Callable[[Any], None], arg: Any) -> Callable[[], None]:
         action(arg)
 
     return call
+
+
+class _Local:
+    """Bucket entry for a generically scheduled action (non-bound path).
+
+    The fast queue stores message payloads *bare* in its buckets; every
+    other entry is wrapped in one of these so the drain loop can tell
+    the two apart with a single ``type(item) is _Local`` check.
+    """
+
+    __slots__ = ("action", "arg")
+
+    def __init__(self, action: Callable[..., None], arg: Any) -> None:
+        self.action = action
+        self.arg = arg
+
+
+class FlatEventQueue:
+    """Table-driven bucket queue: the fast core's event store.
+
+    Entries live in per-timestamp *buckets* (plain lists, recycled
+    through a free list instead of reallocated), and a heap orders only
+    the *distinct* pending timestamps — at most one bucket exists per
+    time, so the heap never compares beyond the float.  Appending to an
+    existing bucket replaces a ``heappush`` of a fresh 4-tuple with a
+    single ``list.append``, which is what makes constant-delay
+    workloads (the common case) cheap.
+
+    Execution order is identical to :class:`EventQueue`: within a
+    bucket, append order *is* ``seq`` order, and buckets drain in time
+    order, so the total order is exactly ``(time, seq)``.  Same-time
+    entries scheduled while a bucket drains are appended to the live
+    bucket and picked up in the same pass — the FIFO tie-break
+    :class:`EventQueue` provides by construction.
+
+    Two scheduling paths exist:
+
+    * :meth:`bind` registers one *bound action* (the network's delivery
+      handler); :meth:`schedule_call` for that action stores its
+      argument bare — zero per-event allocation;
+    * every other entry is wrapped in a 2-slot :class:`_Local`.
+
+    Scheduler hooks are deliberately unsupported:
+    :meth:`~repro.sim.network.Network.install_scheduler_hook` migrates
+    pending entries to a compatible :class:`EventQueue` first.  The
+    :class:`Event` objects returned by :meth:`schedule` / :meth:`pop`
+    carry a synthetic (monotone, but queue-local) ``seq``.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "_free",
+        "_active",
+        "_active_pos",
+        "_now",
+        "_len",
+        "_bound",
+        "_seq",
+    )
+
+    def __init__(self) -> None:
+        self._buckets: dict[float, list[Any]] = {}
+        self._times: list[float] = []
+        self._free: list[list[Any]] = []
+        self._active: list[Any] | None = None
+        self._active_pos = 0
+        self._now = 0.0
+        self._len = 0
+        self._bound: Callable[[Any], None] | None = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (EventQueue API)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (time of the last executed bucket)."""
+        return self._now
+
+    @property
+    def scheduler_hook(self) -> SchedulerHook | None:
+        """Always ``None`` — the fast core never hosts a hook."""
+        return None
+
+    def install_hook(self, hook: SchedulerHook | None) -> None:
+        """Reject hooks: hooked runs belong on the compatible queue.
+
+        ``None`` (removal) is accepted as a no-op so substrate-reset
+        paths can run unconditionally.
+        """
+        if hook is not None:
+            raise ConfigurationError(
+                "FlatEventQueue does not support scheduler hooks; use "
+                "Network(core='compat') or install the hook through "
+                "Network.install_scheduler_hook, which migrates pending "
+                "events to the compatible EventQueue first"
+            )
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def bind(self, action: Callable[[Any], None]) -> None:
+        """Register the one *bound action* whose arguments ride bare."""
+        self._bound = action
+
+    def _append(self, delay: float, item: Any) -> float:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            free = self._free
+            bucket = free.pop() if free else []
+            buckets[time] = bucket
+            heapq.heappush(self._times, time)
+        bucket.append(item)
+        self._len += 1
+        return time
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* to run *delay* time units from now."""
+        time = self._append(delay, _Local(action, _NO_ARG))
+        seq = self._seq
+        self._seq = seq + 1
+        return Event(time=time, seq=seq, action=action)
+
+    def schedule_call(
+        self, delay: float, action: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Schedule ``action(arg)``; bare-stores ``arg`` if *action* is
+        the bound action, else wraps a :class:`_Local`."""
+        if action is self._bound:
+            self._append(delay, arg)
+        else:
+            self._append(delay, _Local(action, arg))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _next_item(self) -> Any:
+        """Consume and return the earliest item, advancing ``now``.
+
+        Raises ``IndexError`` on an empty queue (like ``heappop``).
+        The active bucket stays registered in ``_buckets`` until fully
+        drained, so zero-delay schedules land in it and run this pass.
+        """
+        bucket = self._active
+        pos = self._active_pos
+        if bucket is not None:
+            if pos < len(bucket):
+                item = bucket[pos]
+                bucket[pos] = None
+                self._active_pos = pos + 1
+                self._len -= 1
+                return item
+            del self._buckets[self._now]
+            bucket.clear()
+            self._free.append(bucket)
+            self._active = None
+        time = heapq.heappop(self._times)
+        bucket = self._buckets[time]
+        self._now = time
+        self._active = bucket
+        item = bucket[0]
+        bucket[0] = None
+        self._active_pos = 1
+        self._len -= 1
+        return item
+
+    def _execute(self, item: Any) -> None:
+        if type(item) is _Local:
+            action = item.action
+            arg = item.arg
+            if arg is _NO_ARG:
+                action()
+            else:
+                action(arg)
+        else:
+            self._bound(item)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing ``now``."""
+        item = self._next_item()
+        seq = self._seq
+        self._seq = seq + 1
+        if type(item) is _Local:
+            action = item.action
+            if item.arg is not _NO_ARG:
+                action = _bind(action, item.arg)
+        else:
+            action = _bind(self._bound, item)
+        return Event(time=self._now, seq=seq, action=action)
+
+    def run_next(self) -> None:
+        """Pop the earliest event and execute its action."""
+        self._execute(self._next_item())
+
+    def run_many(self, limit: int) -> int:
+        """Execute up to *limit* events; return how many ran.
+
+        This is the generic drain loop; the network inlines a fused
+        version per trace level (see
+        :meth:`repro.sim.network.Network.run_until_quiescent`).
+        """
+        ran = 0
+        next_item = self._next_item
+        execute = self._execute
+        while self._len and ran < limit:
+            execute(next_item())
+            ran += 1
+        return ran
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _pending_in_order(self) -> list[tuple[float, Any]]:
+        """Every pending ``(time, item)`` in execution order.
+
+        Used by the network to migrate a fast queue's backlog onto a
+        compatible :class:`EventQueue` when a hook or fault plan arrives
+        mid-session.
+        """
+        items: list[tuple[float, Any]] = []
+        active = self._active
+        if active is not None:
+            now = self._now
+            for item in active[self._active_pos:]:
+                items.append((now, item))
+        for time in sorted(self._times):
+            for item in self._buckets[time]:
+                items.append((time, item))
+        return items
+
+    def clear(self) -> None:
+        """Drop all pending events and reset to the initial state.
+
+        Clears in place — the bucket dict and time heap keep their
+        identities, so peers that aliased them stay wired.  The bound
+        action survives (it is construction-time wiring, not run
+        state).
+        """
+        self._buckets.clear()
+        self._times.clear()
+        self._free.clear()
+        self._active = None
+        self._active_pos = 0
+        self._now = 0.0
+        self._len = 0
+        self._seq = 0

@@ -26,19 +26,39 @@ and the constant-delay shortcut are pre-bound once, a send schedules a
 per event.  ``FULL`` tracing keeps the exact historical behavior;
 ``LOADS`` skips record materialization and payload copies; ``OFF`` skips
 tracing entirely.
+
+Table-driven fast core: by default (``core="auto"``) the network runs on
+a :class:`~repro.sim.events.FlatEventQueue` — messages ride *bare* in
+per-timestamp buckets (no per-event tuple), per-processor ``on_message``
+handlers are resolved once into a dispatch table, and
+:meth:`run_until_quiescent` drains whole buckets in a fused loop with the
+trace updates inlined.  The fast core is observationally identical to the
+compatible ``heapq`` path (byte-identical traces and fingerprints —
+asserted over every registered counter spec in the test suite) but does
+not host :class:`~repro.sim.events.SchedulerHook` tie-breaks or fault
+plans; installing either migrates all pending events onto a compatible
+:class:`~repro.sim.events.EventQueue` and continues there.  Pass
+``core="compat"`` to opt out of the fast core entirely.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
+from heapq import heappop, heappush
 from typing import Any, Callable, Mapping
 
 from repro.errors import (
+    ConfigurationError,
     DuplicateProcessorError,
     SimulationLimitError,
     UnknownProcessorError,
 )
-from repro.sim.events import EventQueue, SchedulerHook
+from repro.sim.events import (
+    _NO_ARG,
+    EventQueue,
+    FlatEventQueue,
+    SchedulerHook,
+    _Local,
+)
 from repro.sim.faults import FaultPlan
 from repro.sim.messages import NO_OP, Message, MessageRecord, OpIndex, ProcessorId
 from repro.sim.policies import DeliveryPolicy, UnitDelay
@@ -75,6 +95,12 @@ class Network:
         fault_plan: optional seeded :class:`~repro.sim.faults.FaultPlan`
             consulted per send (``None`` keeps the failure-free model and
             the byte-identical fast path).
+        core: event-loop implementation — ``"auto"`` (default; the
+            table-driven fast core, unless a *fault_plan* is given),
+            ``"fast"`` (table-driven core; hooks/faults migrate it to the
+            compatible queue on installation) or ``"compat"`` (the
+            historical ``heapq`` path).  All three produce byte-identical
+            traces.
     """
 
     def __init__(
@@ -83,11 +109,22 @@ class Network:
         event_limit: int = DEFAULT_EVENT_LIMIT,
         trace_level: TraceLevel | str = TraceLevel.FULL,
         fault_plan: FaultPlan | None = None,
+        core: str = "auto",
     ) -> None:
         trace_level = TraceLevel.coerce(trace_level)
+        if core not in ("auto", "fast", "compat"):
+            raise ConfigurationError(
+                f"unknown core {core!r}: expected 'auto', 'fast' or 'compat'"
+            )
+        if core == "auto":
+            core = "compat" if fault_plan is not None else "fast"
+        self._fast = core == "fast"
         self._policy = policy or UnitDelay()
-        self._queue = EventQueue()
+        self._queue: EventQueue | FlatEventQueue = (
+            FlatEventQueue() if self._fast else EventQueue()
+        )
         self._processors: dict[ProcessorId, Processor] = {}
+        self._handlers: dict[ProcessorId, Callable[[Message], None]] = {}
         self._trace = Trace(level=trace_level)
         self._trace_level = trace_level
         self._active_op: OpIndex = NO_OP
@@ -118,6 +155,19 @@ class Network:
         self._received_counts = self._trace._received
         self._op_counts = self._trace._op_counts
         self._footprints = self._trace._footprints
+        # The drain strategy run_until_quiescent uses: a fused
+        # bucket-walking loop per trace level on the fast core, the
+        # queue's own run_many on the compatible core.
+        if self._fast:
+            self._queue.bind(self._deliver)
+            if trace_level is TraceLevel.FULL:
+                self._drain: Callable[[int], int] = self._drain_fast_full
+            elif trace_level is TraceLevel.LOADS:
+                self._drain = self._drain_fast_loads
+            else:
+                self._drain = self._drain_fast_off
+        else:
+            self._drain = self._queue.run_many
         if fault_plan is not None:
             self.install_fault_plan(fault_plan)
 
@@ -163,6 +213,16 @@ class Network:
     def fault_plan(self) -> FaultPlan | None:
         """The installed fault plan, or ``None`` (the failure-free model)."""
         return self._fault_plan
+
+    @property
+    def core(self) -> str:
+        """The event-loop implementation currently in force.
+
+        ``"fast"`` is the table-driven bucket core; ``"compat"`` the
+        ``heapq`` path.  A network built on the fast core reports
+        ``"compat"`` after a scheduler hook or fault plan migrated it.
+        """
+        return "fast" if self._fast else "compat"
 
     @property
     def run_context(self) -> str:
@@ -212,6 +272,9 @@ class Network:
             )
         processor.attach(self)
         self._processors[processor.pid] = processor
+        # Dispatch table: the fast drain loops jump straight to the
+        # handler, skipping the per-message dict + attribute lookups.
+        self._handlers[processor.pid] = processor.on_message
         return processor
 
     def register_all(self, processors: list[Processor]) -> None:
@@ -229,7 +292,10 @@ class Network:
         without a plan pay nothing and produce byte-identical traces.
         Installing rebinds ``send`` on this instance only.  Install
         before traffic starts; the plan's ledger is per-network-run.
+        Faulty sends schedule through the compatible queue, so a fast
+        core migrates first.
         """
+        self._ensure_compat_core()
         self._fault_plan = plan
         self.send = self._send_faulty  # type: ignore[method-assign]
 
@@ -250,9 +316,43 @@ class Network:
         runs never install one and keep the zero-overhead loop.  Both
         :meth:`reset` and :meth:`EventQueue.clear` drop the hook, so a
         reused substrate cannot leak one exploration's tie-break state
-        into the next run.
+        into the next run.  The fast core does not arbitrate ties, so
+        installing a hook migrates pending events to the compatible
+        queue first; removing one (``None``) never migrates.
         """
+        if hook is not None:
+            self._ensure_compat_core()
         self._queue.install_hook(hook)
+
+    # ------------------------------------------------------------------
+    # Core migration
+    # ------------------------------------------------------------------
+    def _ensure_compat_core(self) -> None:
+        """Switch to the compatible ``heapq`` queue, carrying state over.
+
+        Pending entries transfer in execution order onto a fresh
+        :class:`EventQueue` (so their relative order — and therefore the
+        trace — is unchanged), simulated time is preserved, and the
+        drain strategy drops back to the queue's generic loop.  No-op on
+        a network already running the compatible core.
+        """
+        if not self._fast:
+            return
+        old = self._queue
+        new = EventQueue()
+        new._now = old._now
+        heap = new._heap
+        counter = new._counter
+        deliver = self._deliver
+        for time, item in old._pending_in_order():
+            if type(item) is _Local:
+                heappush(heap, (time, next(counter), item.action, item.arg))
+            else:
+                heappush(heap, (time, next(counter), deliver, item))
+        old.clear()
+        self._queue = new
+        self._fast = False
+        self._drain = new.run_many
 
     # ------------------------------------------------------------------
     # Messaging
@@ -293,11 +393,27 @@ class Network:
                 raise ValueError(
                     f"policy {self._policy!r} returned negative delay {delay}"
                 )
-        # Inlined EventQueue.schedule_call: one send is one heap entry,
-        # with the message riding in the entry instead of a closure.
-        heappush(
-            queue._heap, (now + delay, next(queue._counter), self._deliver, message)
-        )
+        if self._fast:
+            # Inlined FlatEventQueue._append: the message rides bare in
+            # its time bucket — no per-event tuple, no heap traffic
+            # unless the timestamp is new.
+            time = now + delay
+            buckets = queue._buckets
+            bucket = buckets.get(time)
+            if bucket is None:
+                free = queue._free
+                bucket = free.pop() if free else []
+                buckets[time] = bucket
+                heappush(queue._times, time)
+            bucket.append(message)
+            queue._len += 1
+        else:
+            # Inlined EventQueue.schedule_call: one send is one heap
+            # entry, with the message riding in it instead of a closure.
+            heappush(
+                queue._heap,
+                (now + delay, next(queue._counter), self._deliver, message),
+            )
         return message
 
     def _send_faulty(
@@ -468,12 +584,13 @@ class Network:
         """
         queue = self._queue
         limit = self._event_limit
+        drain = self._drain
         executed = 0
         while queue:
             batch = limit - self._events_executed + 1
             if batch > _LIMIT_CHECK_BATCH:
                 batch = _LIMIT_CHECK_BATCH
-            ran = queue.run_many(batch)
+            ran = drain(batch)
             executed += ran
             self._events_executed += ran
             if self._events_executed > limit:
@@ -495,6 +612,234 @@ class Network:
                     context=context,
                 )
         return executed
+
+    def _drain_fast_off(self, limit: int) -> int:
+        """Fused bucket drain, ``OFF`` tracing: dispatch and nothing else.
+
+        Walks the fast queue's buckets in time order with the queue's
+        cursor held in locals; messages jump straight to the dispatch
+        table.  Queue length, the in-flight count and the active
+        operation are reconciled once in the ``finally`` — ``send``
+        updates ``_len``/``_in_flight`` through the instance during the
+        loop, so only this loop's own deltas are applied there.  Keep
+        the three ``_drain_fast_*`` variants in sync; they differ only
+        in the inlined trace updates.
+        """
+        queue = self._queue
+        buckets = queue._buckets
+        times = queue._times
+        free = queue._free
+        handlers = self._handlers
+        bucket = queue._active
+        pos = queue._active_pos
+        ran = 0
+        delivered = 0
+        previous_op = self._active_op
+        try:
+            while ran < limit:
+                if bucket is None or pos >= len(bucket):
+                    if bucket is not None:
+                        del buckets[queue._now]
+                        bucket.clear()
+                        free.append(bucket)
+                        bucket = queue._active = None
+                    if not times:
+                        break
+                    time = heappop(times)
+                    bucket = buckets[time]
+                    queue._now = time
+                    queue._active = bucket
+                    pos = 0
+                    continue
+                item = bucket[pos]
+                bucket[pos] = None
+                pos += 1
+                ran += 1
+                if type(item) is _Local:
+                    action = item.action
+                    arg = item.arg
+                    if arg is _NO_ARG:
+                        action()
+                    else:
+                        action(arg)
+                else:
+                    delivered += 1
+                    op_index = item[4]
+                    if op_index != self._active_op:
+                        self._active_op = op_index
+                    handlers[item[1]](item)
+        finally:
+            queue._active_pos = pos if bucket is not None else 0
+            queue._len -= ran
+            self._in_flight -= delivered
+            self._active_op = previous_op
+        return ran
+
+    def _drain_fast_loads(self, limit: int) -> int:
+        """Fused bucket drain, ``LOADS`` tracing.
+
+        :meth:`_drain_fast_off` plus the columnar counter updates of
+        :meth:`~repro.sim.trace.Trace.count` inlined onto the pre-bound
+        dicts (keep in sync with it and with :meth:`_deliver_loads`).
+        """
+        queue = self._queue
+        buckets = queue._buckets
+        times = queue._times
+        free = queue._free
+        handlers = self._handlers
+        trace = self._trace
+        sent_counts = self._sent_counts
+        received_counts = self._received_counts
+        op_counts = self._op_counts
+        footprints = self._footprints
+        bucket = queue._active
+        pos = queue._active_pos
+        ran = 0
+        delivered = 0
+        previous_op = self._active_op
+        try:
+            while ran < limit:
+                if bucket is None or pos >= len(bucket):
+                    if bucket is not None:
+                        del buckets[queue._now]
+                        bucket.clear()
+                        free.append(bucket)
+                        bucket = queue._active = None
+                    if not times:
+                        break
+                    time = heappop(times)
+                    bucket = buckets[time]
+                    queue._now = time
+                    queue._active = bucket
+                    pos = 0
+                    continue
+                item = bucket[pos]
+                bucket[pos] = None
+                pos += 1
+                ran += 1
+                if type(item) is _Local:
+                    action = item.action
+                    arg = item.arg
+                    if arg is _NO_ARG:
+                        action()
+                    else:
+                        action(arg)
+                else:
+                    delivered += 1
+                    sender = item[0]
+                    pid = item[1]
+                    op_index = item[4]
+                    trace._total += 1
+                    sent_counts[sender] += 1
+                    received_counts[pid] += 1
+                    if op_index != NO_OP:
+                        op_counts[op_index] += 1
+                        footprint = footprints.get(op_index)
+                        if footprint is None:
+                            footprints[op_index] = {sender, pid}
+                        else:
+                            footprint.add(sender)
+                            footprint.add(pid)
+                    if op_index != self._active_op:
+                        self._active_op = op_index
+                    handlers[pid](item)
+        finally:
+            queue._active_pos = pos if bucket is not None else 0
+            queue._len -= ran
+            self._in_flight -= delivered
+            self._active_op = previous_op
+        return ran
+
+    def _drain_fast_full(self, limit: int) -> int:
+        """Fused bucket drain, ``FULL`` tracing.
+
+        :meth:`_drain_fast_off` plus record materialization and
+        :meth:`~repro.sim.trace.Trace.record` inlined (keep in sync with
+        it and with :meth:`_deliver_full`) — unlike ``LOADS``, FULL
+        indexes ``NO_OP`` traffic in the per-operation views too.
+        """
+        queue = self._queue
+        buckets = queue._buckets
+        times = queue._times
+        free = queue._free
+        handlers = self._handlers
+        trace = self._trace
+        records = trace._records
+        by_op = trace._by_op
+        sent_counts = self._sent_counts
+        received_counts = self._received_counts
+        op_counts = self._op_counts
+        footprints = self._footprints
+        bucket = queue._active
+        pos = queue._active_pos
+        ran = 0
+        delivered = 0
+        previous_op = self._active_op
+        try:
+            while ran < limit:
+                if bucket is None or pos >= len(bucket):
+                    if bucket is not None:
+                        del buckets[queue._now]
+                        bucket.clear()
+                        free.append(bucket)
+                        bucket = queue._active = None
+                    if not times:
+                        break
+                    time = heappop(times)
+                    bucket = buckets[time]
+                    queue._now = time
+                    queue._active = bucket
+                    pos = 0
+                    continue
+                item = bucket[pos]
+                bucket[pos] = None
+                pos += 1
+                ran += 1
+                if type(item) is _Local:
+                    action = item.action
+                    arg = item.arg
+                    if arg is _NO_ARG:
+                        action()
+                    else:
+                        action(arg)
+                else:
+                    delivered += 1
+                    sender = item[0]
+                    pid = item[1]
+                    op_index = item[4]
+                    record = _tuple_new(
+                        MessageRecord,
+                        (
+                            sender,
+                            pid,
+                            item[2],
+                            op_index,
+                            item[5],
+                            item[6],
+                            queue._now,
+                        ),
+                    )
+                    trace._total += 1
+                    sent_counts[sender] += 1
+                    received_counts[pid] += 1
+                    records.append(record)
+                    by_op[op_index].append(record)
+                    op_counts[op_index] += 1
+                    footprint = footprints.get(op_index)
+                    if footprint is None:
+                        footprints[op_index] = {sender, pid}
+                    else:
+                        footprint.add(sender)
+                        footprint.add(pid)
+                    if op_index != self._active_op:
+                        self._active_op = op_index
+                    handlers[pid](item)
+        finally:
+            queue._active_pos = pos if bucket is not None else 0
+            queue._len -= ran
+            self._in_flight -= delivered
+            self._active_op = previous_op
+        return ran
 
     def reset(self) -> None:
         """Reset the substrate for a fresh run with the same topology.

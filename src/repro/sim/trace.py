@@ -39,6 +39,7 @@ it belongs to no tracked operation.
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections import Counter, defaultdict
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -217,6 +218,21 @@ class Trace:
         """Total number of messages delivered."""
         self._require_loads("Trace.total_messages")
         return self._total
+
+    def fingerprint(self) -> str:
+        """Hex digest of the whole record stream (``FULL`` only).
+
+        Two executions are trace-identical iff their fingerprints match
+        — the equivalence tests and the CI fast-vs-compat identity check
+        compare executions through this single value.  Hashes every
+        field of every record in delivery order.
+        """
+        self._require_records("Trace.fingerprint")
+        digest = hashlib.sha256()
+        for record in self._records:
+            digest.update(repr(record).encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Fault views (populated only when a FaultPlan was installed)

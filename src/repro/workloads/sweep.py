@@ -55,6 +55,13 @@ TRANSPORT_NAMES = ("bare", "reliable")
 network (the paper's model), ``"reliable"`` wraps the counter behind
 :class:`~repro.sim.transport.ReliableTransport`."""
 
+DEFAULT_SERIAL_THRESHOLD = 8
+"""Grids smaller than this run serially even when workers were requested:
+forking a pool costs more than it saves on a handful of points (the
+benchmark grid showed ``parallel_4_workers`` losing to ``serial`` on a
+6-point sweep).  Outcomes are identical either way, so the fallback is
+purely a wall-time decision."""
+
 
 def fan_out(fn, items, workers: int | None):
     """Map *fn* over *items*, serially or across forked workers.
@@ -263,6 +270,11 @@ class SweepRunner:
             process, ``None`` uses every available core.
         cache_dir: directory for on-disk result caching keyed by
             :meth:`SweepPoint.config_hash`; ``None`` disables caching.
+        serial_threshold: grids with fewer *uncached* points than this
+            run serially even when workers were requested — pool forking
+            dominates on tiny grids (default
+            :data:`DEFAULT_SERIAL_THRESHOLD`; ``0`` always honors
+            *workers*).
 
     Results are returned in input order regardless of worker scheduling,
     and are identical for any worker count (each point is recomputed from
@@ -273,16 +285,27 @@ class SweepRunner:
         self,
         workers: int | None = 1,
         cache_dir: str | pathlib.Path | None = None,
+        serial_threshold: int = DEFAULT_SERIAL_THRESHOLD,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if serial_threshold < 0:
+            raise ConfigurationError(
+                f"serial_threshold must be >= 0, got {serial_threshold}"
+            )
         self._workers = workers
         self._cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        self._serial_threshold = serial_threshold
 
     @property
     def workers(self) -> int | None:
         """Configured worker-process count (``None`` = all cores)."""
         return self._workers
+
+    @property
+    def serial_threshold(self) -> int:
+        """Uncached-point count below which the runner stays serial."""
+        return self._serial_threshold
 
     def run(self, points: Sequence[SweepPoint]) -> list[SweepOutcome]:
         """Execute every point (cache-aware); outcomes in input order."""
@@ -309,7 +332,10 @@ class SweepRunner:
     # Execution
     # ------------------------------------------------------------------
     def _execute(self, points: list[SweepPoint]) -> list[SweepOutcome]:
-        return fan_out(execute_point, points, self._workers)
+        workers = self._workers
+        if len(points) < self._serial_threshold:
+            workers = 1
+        return fan_out(execute_point, points, workers)
 
     # ------------------------------------------------------------------
     # Cache

@@ -1,0 +1,190 @@
+"""The table-driven fast core is observationally identical to compat.
+
+The tentpole guarantee: for every registered counter spec, a run on the
+fast (bucket) core and a run on the compatible (heapq) core produce
+byte-identical traces — same records, same fingerprint, same loads, same
+returned values, same simulated clock.  Plus the migration contract:
+installing a scheduler hook or fault plan moves a fast network onto the
+compatible queue without disturbing pending events.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.registry import RunSession, registered_names
+from repro.sim.events import EventQueue, FlatEventQueue
+from repro.sim.network import Network
+from repro.sim.processor import InertProcessor
+
+ALL_SPECS = registered_names()
+
+# Smallest n each spec accepts out of the benchmark-friendly sizes
+# (quorum[maekawa] needs a perfect square).
+def _n_for(spec: str) -> int:
+    return 9 if spec == "quorum[maekawa]" else 8
+
+
+def _run(spec: str, core: str, **kwargs):
+    session = RunSession(spec, _n_for(spec), trace_level="FULL", core=core, **kwargs)
+    result = session.run_workload("one-shot")
+    return session, result
+
+
+class TestEverySpecIsTraceIdentical:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_one_shot_unit_delay(self, spec):
+        fast_session, fast_result = _run(spec, "fast")
+        compat_session, compat_result = _run(spec, "compat")
+        assert fast_session.network.core == "fast"
+        assert compat_session.network.core == "compat"
+        fast_trace = fast_session.network.trace
+        compat_trace = compat_session.network.trace
+        assert fast_trace.records == compat_trace.records
+        assert fast_trace.fingerprint() == compat_trace.fingerprint()
+        assert fast_trace.loads() == compat_trace.loads()
+        assert fast_result.values() == compat_result.values()
+        assert fast_session.network.now == compat_session.network.now
+        assert (
+            fast_session.network.events_executed
+            == compat_session.network.events_executed
+        )
+
+    @pytest.mark.parametrize("spec", ("ww-tree", "combining-tree", "central"))
+    def test_one_shot_random_delays(self, spec):
+        fast_session, _ = _run(spec, "fast", policy="random", seed=11)
+        compat_session, _ = _run(spec, "compat", policy="random", seed=11)
+        assert (
+            fast_session.network.trace.fingerprint()
+            == compat_session.network.trace.fingerprint()
+        )
+
+    @pytest.mark.parametrize("spec", ("combining-tree", "counting-network"))
+    def test_concurrent_batch(self, spec):
+        results = {}
+        for core in ("fast", "compat"):
+            session = RunSession(spec, 8, trace_level="FULL", core=core)
+            result = session.run_workload("one-shot-concurrent")
+            results[core] = (
+                session.network.trace.fingerprint(),
+                sorted(result.values()),
+            )
+        assert results["fast"] == results["compat"]
+
+
+class TestCoreSelection:
+    def test_auto_is_fast_when_clean(self):
+        assert Network().core == "fast"
+        assert isinstance(Network()._queue, FlatEventQueue)
+
+    def test_auto_is_compat_under_faults(self):
+        session = RunSession(
+            "ww-tree", 8, faults="drop=0.05", reliable=True, seed=3
+        )
+        assert session.network.core == "compat"
+
+    def test_explicit_compat_is_honored(self):
+        network = Network(core="compat")
+        assert network.core == "compat"
+        assert isinstance(network._queue, EventQueue)
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(core="turbo")
+
+    def test_flat_queue_rejects_hooks_directly(self):
+        queue = FlatEventQueue()
+        with pytest.raises(ConfigurationError):
+            queue.install_hook(object())
+        queue.install_hook(None)  # removal is always a no-op
+
+
+class _FifoHook:
+    """A do-nothing arbiter: always picks the default (FIFO) candidate."""
+
+    def choose(self, ready):
+        return 0
+
+
+class TestMigration:
+    def _loaded_network(self):
+        network = Network(trace_level="FULL")
+        network.register_all([InertProcessor(pid) for pid in range(1, 5)])
+        for index in range(12):
+            network.send((index % 4) + 1, ((index + 1) % 4) + 1, "m", {"i": index})
+        network.inject(lambda: None, op_index=3, delay=0.5)
+        return network
+
+    def test_hook_install_migrates_pending_events(self):
+        network = self._loaded_network()
+        pending = len(network._queue)
+        baseline = self._loaded_network()
+        network.install_scheduler_hook(_FifoHook())
+        assert network.core == "compat"
+        assert len(network._queue) == pending
+        network.run_until_quiescent()
+        baseline.run_until_quiescent()
+        # A FIFO hook must not change the schedule: byte-identical trace.
+        assert network.trace.records == baseline.trace.records
+        assert network.now == baseline.now
+
+    def test_hook_removal_does_not_migrate(self):
+        network = Network()
+        network.install_scheduler_hook(None)
+        assert network.core == "fast"
+
+    def test_fault_plan_install_migrates(self):
+        from repro.sim.faults import parse_fault_spec
+
+        network = self._loaded_network()
+        network.install_fault_plan(parse_fault_spec("dup=0.0", seed=1))
+        assert network.core == "compat"
+        network.run_until_quiescent()
+        assert network.in_flight == 0
+
+    def test_migrated_network_stays_compat_after_reset(self):
+        network = self._loaded_network()
+        network.install_scheduler_hook(_FifoHook())
+        network.run_until_quiescent()
+        network.reset()
+        assert network.core == "compat"
+
+
+class TestFastCoreBehavior:
+    def test_deepcopy_preserves_dispatch_wiring(self):
+        network = Network(trace_level="FULL")
+        network.register_all([InertProcessor(pid) for pid in range(1, 3)])
+        network.send(1, 2, "m", {})
+        clone = copy.deepcopy(network)
+        clone.run_until_quiescent()
+        network.run_until_quiescent()
+        assert clone.trace.records == network.trace.records
+        # The clone's handlers dispatch to the clone's processors.
+        assert clone._handlers[2].__self__ is clone.processor(2)
+
+    def test_reset_reuses_the_fast_queue(self):
+        network = Network()
+        network.register_all([InertProcessor(pid) for pid in range(1, 3)])
+        queue = network._queue
+        network.send(1, 2, "m", {})
+        network.run_until_quiescent()
+        network.reset()
+        assert network._queue is queue
+        assert network.core == "fast"
+        assert len(queue) == 0 and queue.now == 0.0
+
+    def test_event_limit_still_enforced(self):
+        from repro.errors import SimulationLimitError
+
+        class Bouncer(InertProcessor):
+            def on_message(self, message):
+                self.send(message[0], "m", {})
+
+        network = Network(trace_level="OFF", event_limit=500)
+        network.register_all([Bouncer(1), Bouncer(2)])
+        network.send(1, 2, "m", {})
+        with pytest.raises(SimulationLimitError):
+            network.run_until_quiescent()

@@ -1,0 +1,143 @@
+"""Property-based equivalence of ``FlatEventQueue`` and ``EventQueue``.
+
+Hypothesis drives both queues through identical random command
+sequences — ``schedule``, ``schedule_call``, ``run_next``, ``pop``,
+``run_many``, and ``clear`` — and asserts that the bucket-backed fast
+queue observes exactly the same execution order and clock trajectory as
+the heapq reference.
+
+The queue API has no cancellation primitive (events, once scheduled,
+always run or are discarded wholesale by ``clear``), so there is no
+cancel command to model here; if cancellation is ever added it must be
+covered by this suite.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue, FlatEventQueue
+
+# Small delay palette with repeats so buckets collide often — the
+# interesting regime for the flat queue is many events per tick.
+DELAYS = st.sampled_from((0.0, 0.0, 0.5, 1.0, 1.0, 1.5, 2.0))
+
+COMMANDS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), DELAYS, st.integers(0, 7)),
+        st.tuples(st.just("schedule_call"), DELAYS, st.integers(0, 7)),
+        st.tuples(st.just("run_next"), st.just(None), st.just(None)),
+        st.tuples(st.just("pop"), st.just(None), st.just(None)),
+        st.tuples(st.just("run_many"), st.integers(1, 6), st.just(None)),
+        st.tuples(st.just("clear"), st.just(None), st.just(None)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Log:
+    """Records every execution with the clock reading at fire time."""
+
+    def __init__(self, queue):
+        self.queue = queue
+        self.entries: list[tuple[str, int | None, float]] = []
+        if isinstance(queue, FlatEventQueue):
+            # Exercise the bare-arg fast path for the bound action.
+            queue.bind(self.fire)
+
+    def fire(self, tag):
+        self.entries.append(("fire", tag, self.queue.now))
+
+    def plain(self, tag):
+        def action():
+            self.entries.append(("plain", tag, self.queue.now))
+
+        return action
+
+
+def _apply(commands, queue, log):
+    for name, first, second in commands:
+        if name == "schedule":
+            queue.schedule(first, log.plain(second))
+        elif name == "schedule_call":
+            queue.schedule_call(first, log.fire, second)
+        elif name == "run_next":
+            if queue:
+                queue.run_next()
+        elif name == "pop":
+            if queue:
+                event = queue.pop()
+                log.entries.append(("pop", None, event.time))
+                event.action()
+        elif name == "run_many":
+            ran = queue.run_many(first)
+            log.entries.append(("ran", ran, queue.now))
+        elif name == "clear":
+            queue.clear()
+            log.entries.append(("clear", None, queue.now))
+    # Drain whatever survives so trailing schedules are observed too.
+    while queue:
+        queue.run_next()
+
+
+class TestFlatQueueMatchesHeapqReference:
+    @given(commands=COMMANDS)
+    @settings(max_examples=200, deadline=None)
+    def test_identical_execution_and_clock(self, commands):
+        reference = EventQueue()
+        fast = FlatEventQueue()
+        reference_log = _Log(reference)
+        fast_log = _Log(fast)
+        _apply(commands, reference, reference_log)
+        _apply(commands, fast, fast_log)
+        assert fast_log.entries == reference_log.entries
+        assert fast.now == reference.now
+        assert len(fast) == len(reference) == 0
+
+    @given(
+        delays=st.lists(DELAYS, min_size=1, max_size=40),
+        clear_at=st.integers(0, 40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_clear_mid_stream_then_reschedule(self, delays, clear_at):
+        reference = EventQueue()
+        fast = FlatEventQueue()
+        reference_log = _Log(reference)
+        fast_log = _Log(fast)
+        for queue, log in ((reference, reference_log), (fast, fast_log)):
+            for index, delay in enumerate(delays):
+                if index == clear_at:
+                    queue.run_many(2)
+                    queue.clear()
+                queue.schedule_call(delay, log.fire, index)
+            while queue:
+                queue.run_next()
+        assert fast_log.entries == reference_log.entries
+        assert fast.now == reference.now
+
+    @given(count=st.integers(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_delay_cascade(self, count):
+        """Events that schedule more events at the same tick run in
+        FIFO order on both cores (the active bucket keeps growing)."""
+
+        def cascade(queue, log, remaining):
+            def action(tag):
+                log.entries.append(("fire", tag, queue.now))
+                if tag + 1 < remaining:
+                    queue.schedule_call(0.0, log.fire_cascade, tag + 1)
+
+            return action
+
+        results = []
+        for queue in (EventQueue(), FlatEventQueue()):
+            log = _Log(queue)
+            log.fire_cascade = cascade(queue, log, count)
+            queue.schedule_call(0.0, log.fire_cascade, 0)
+            while queue:
+                queue.run_next()
+            results.append(log.entries)
+        assert results[0] == results[1]
+        assert len(results[0]) == count

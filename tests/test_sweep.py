@@ -79,6 +79,58 @@ class TestSerialVsParallel:
             SweepRunner(workers=0)
 
 
+class TestSerialFallback:
+    def _spy_fan_out(self, monkeypatch):
+        import repro.workloads.sweep as sweep_module
+
+        calls = []
+        original = sweep_module.fan_out
+
+        def spy(fn, items, workers):
+            calls.append(workers)
+            return original(fn, items, workers)
+
+        monkeypatch.setattr(sweep_module, "fan_out", spy)
+        return calls
+
+    def test_small_grid_runs_serially(self, monkeypatch):
+        calls = self._spy_fan_out(monkeypatch)
+        grid = E7_GRID[:3]  # below the default threshold of 8
+        SweepRunner(workers=4).run(grid)
+        assert calls == [1]
+
+    def test_large_grid_keeps_requested_workers(self, monkeypatch):
+        calls = self._spy_fan_out(monkeypatch)
+        grid = [
+            SweepPoint(counter="central", n=n) for n in (8, 9, 10, 11, 12, 13, 14, 15)
+        ]
+        SweepRunner(workers=4).run(grid)
+        assert calls == [4]
+
+    def test_threshold_zero_never_falls_back(self, monkeypatch):
+        calls = self._spy_fan_out(monkeypatch)
+        SweepRunner(workers=2, serial_threshold=0).run(E7_GRID[:1])
+        assert calls == [2]
+
+    def test_threshold_counts_uncached_points_only(self, tmp_path, monkeypatch):
+        grid = [SweepPoint(counter="central", n=n) for n in range(8, 17)]
+        SweepRunner(cache_dir=tmp_path).run(grid[:6])
+        calls = self._spy_fan_out(monkeypatch)
+        # 9 requested, 6 already cached: only 3 need computing → serial.
+        SweepRunner(workers=4, cache_dir=tmp_path, serial_threshold=5).run(grid)
+        assert calls == [1]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(serial_threshold=-1)
+
+    def test_fallback_results_match_parallel(self):
+        grid = E7_GRID[:4]
+        fallback = SweepRunner(workers=3).run(grid)  # 4 < 8 → serial
+        forced = SweepRunner(workers=3, serial_threshold=0).run(grid)
+        assert fallback == forced
+
+
 class TestOutcome:
     def test_central_counter_measurements(self):
         outcome = execute_point(SweepPoint(counter="central", n=8))
