@@ -1,0 +1,62 @@
+"""Serving-path throughput: open-loop driving and the live TCP service.
+
+Infrastructure benchmarks for the runtime seam and serving layer — the
+numbers that decide how much offered load the measurement harness
+itself can generate.  Wall-clock saturation knees are measured by the
+``serving`` grid of ``repro.bench`` (see ``BENCH_simulator.json``);
+these are the per-component rates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.registry import RunSession
+from repro.serve import CounterService, run_load
+
+
+def test_open_loop_sim_driver(benchmark):
+    """192 open-loop Poisson arrivals on central (n=16), simulated."""
+
+    def drive():
+        session = RunSession("central", 16)
+        result = session.run_open_loop(ops=192, rate=8.0)
+        assert result.operation_count == 192
+        return result
+
+    benchmark.pedantic(drive, rounds=5, iterations=1)
+
+
+def test_open_loop_asyncio_runtime(benchmark):
+    """The same open-loop workload executed on the asyncio runtime."""
+
+    def drive():
+        session = RunSession("central", 16, runtime="asyncio")
+        result = session.run_open_loop(ops=192, rate=8.0)
+        assert result.operation_count == 192
+        return result
+
+    benchmark.pedantic(drive, rounds=5, iterations=1)
+
+
+def test_live_service_inc_roundtrips(benchmark):
+    """100 INC round-trips over loopback TCP (ww-tree wrap, n=27)."""
+
+    async def serve_and_drive():
+        service = CounterService(
+            "ww-tree?interval_mode=wrap", 27, port=0, trace_level="LOADS"
+        )
+        await service.start()
+        try:
+            result = await run_load(
+                service.host, service.port, ops=100, rate=2000.0
+            )
+        finally:
+            await service.stop()
+        assert result.errors == 0
+        assert result.completed == 100
+        return result
+
+    benchmark.pedantic(
+        lambda: asyncio.run(serve_and_drive()), rounds=5, iterations=1
+    )

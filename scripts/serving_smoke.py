@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving stack, end to end through the CLI.
+
+Starts ``repro serve`` as a subprocess on a loopback port chosen by the
+OS (``--port 0``), parses the ``SERVING`` announce line for the real
+port, drives a few hundred increments through ``repro loadgen``, and
+asserts:
+
+* the load generator exits 0 with zero failed requests;
+* the final counter value equals the number of increments sent
+  (``--expect-final``);
+* ``--shutdown`` stops the server, which itself exits 0.
+
+Run from the repository root: ``python scripts/serving_smoke.py``
+(PYTHONPATH=src is set for the subprocesses automatically).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import select
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SPEC = "ww-tree?interval_mode=wrap"
+N = 27
+OPS = 300
+RATE = 500.0
+ANNOUNCE = re.compile(r"^SERVING (?P<spec>\S+) n=(?P<n>\d+) "
+                      r"(?P<host>[\d.]+):(?P<port>\d+)$")
+START_TIMEOUT_S = 30.0
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _read_announce(server: subprocess.Popen) -> tuple[str, int]:
+    """Wait for the SERVING line (with a deadline) and parse it."""
+    assert server.stdout is not None
+    deadline = time.monotonic() + START_TIMEOUT_S
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"server did not announce within {START_TIMEOUT_S}s"
+            )
+        ready, _, _ = select.select([server.stdout], [], [], remaining)
+        if not ready:
+            continue
+        line = server.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before announcing "
+                f"(rc={server.poll()})"
+            )
+        print(f"[serve] {line.rstrip()}")
+        match = ANNOUNCE.match(line.strip())
+        if match:
+            return match["host"], int(match["port"])
+
+
+def main() -> int:
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", SPEC,
+            "--n", str(N), "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+        cwd=ROOT,
+    )
+    try:
+        host, port = _read_announce(server)
+        loadgen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--host", host,
+                "--port", str(port),
+                "--ops", str(OPS),
+                "--rate", str(RATE),
+                "--expect-final", str(OPS),
+                "--shutdown",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=_env(),
+            cwd=ROOT,
+        )
+        print(f"[loadgen] {loadgen.stdout.strip()}")
+        if loadgen.stderr.strip():
+            print(f"[loadgen:err] {loadgen.stderr.strip()}")
+        if loadgen.returncode != 0:
+            print(f"FAIL: loadgen exited {loadgen.returncode}")
+            return 1
+        if "err=0" not in loadgen.stdout:
+            print("FAIL: loadgen reported failed requests")
+            return 1
+        server_rc = server.wait(timeout=30)
+        if server_rc != 0:
+            print(f"FAIL: server exited {server_rc} after shutdown")
+            return 1
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+    print(f"OK: {OPS} increments served by {SPEC} (n={N}), "
+          "final value verified, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,11 @@ The library provides:
   a named spec with typed tunables and capability flags, plus the
   :class:`~repro.registry.RunSession` facade;
 * :mod:`repro.workloads` / :mod:`repro.analysis` — drivers and
-  measurement.
+  measurement;
+* :mod:`repro.runtime` — the scheduler seam: the same protocol objects
+  under the discrete-event cores or a real asyncio loop;
+* :mod:`repro.serve` — a live TCP counter service and its open-loop
+  load generator (``repro serve`` / ``repro loadgen``).
 
 Quickstart::
 
@@ -67,6 +71,13 @@ from repro.registry import (
     registered_names,
     registered_specs,
 )
+from repro.runtime import (
+    RUNTIME_NAMES,
+    AsyncioRuntime,
+    Runtime,
+    SimulatedRuntime,
+    make_runtime,
+)
 from repro.sim import (
     FailureDetector,
     FaultPlan,
@@ -84,9 +95,12 @@ from repro.sim import (
     parse_fault_spec,
 )
 from repro.workloads import (
+    OpenLoopResult,
     RunResult,
     one_shot,
+    poisson_arrivals,
     run_concurrent,
+    run_open_loop,
     run_sequence,
     shuffled,
 )
@@ -94,6 +108,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncioRuntime",
     "Capabilities",
     "CapabilityError",
     "ConfigurationError",
@@ -114,8 +129,10 @@ __all__ = [
     "MessageRecord",
     "Network",
     "NodeAddr",
+    "OpenLoopResult",
     "Processor",
     "ProtocolError",
+    "RUNTIME_NAMES",
     "RandomDelay",
     "Recoverable",
     "RecoveryManager",
@@ -124,6 +141,8 @@ __all__ = [
     "ReproFile",
     "RunResult",
     "RunSession",
+    "Runtime",
+    "SimulatedRuntime",
     "SimulationError",
     "SimulationLimitError",
     "SkewedDelay",
@@ -135,13 +154,16 @@ __all__ = [
     "__version__",
     "canonical_spec",
     "lower_bound_k",
+    "make_runtime",
     "one_shot",
     "paper_k_for",
     "parse_fault_spec",
     "parse_spec",
+    "poisson_arrivals",
     "registered_names",
     "registered_specs",
     "run_concurrent",
+    "run_open_loop",
     "run_sequence",
     "shrink_schedule",
     "shuffled",

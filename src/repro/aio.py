@@ -1,39 +1,37 @@
 """Asyncio bridge: run any counter inside a real event loop.
 
-The discrete-event simulator is the measurement instrument; this module
-lets the same protocol objects run under :mod:`asyncio` so the library
-embeds in async applications (and so the simulation's claims can be
-spot-checked against a real scheduler).  The bridge executes the
-network's event queue cooperatively: between events it yields to the
-loop, and with ``time_scale > 0`` it sleeps the simulated gap times the
-scale — turning simulated time into approximate wall-clock time.
+.. deprecated-but-kept:: this module predates the runtime seam and is
+   retained as a thin compatibility veneer.  The real implementation
+   lives in :mod:`repro.runtime` (:class:`~repro.runtime.AsyncioRuntime`)
+   and :mod:`repro.workloads.driver` (the ``*_async`` drivers); new code
+   should import from there, or simply pass ``runtime="asyncio"`` to
+   :class:`~repro.registry.RunSession`.
 
-Message accounting is identical to the synchronous runner (it is the
-same :class:`~repro.sim.Trace`), which the tests assert.
+The bridge executes the network's event queue cooperatively: between
+events it yields to the loop, and with ``time_scale > 0`` it sleeps the
+simulated gap times the scale — turning simulated time into approximate
+wall-clock time.  Message accounting is identical to the synchronous
+runner (it is the same :class:`~repro.sim.Trace`), which the tests
+assert for every registered counter spec.
 """
 
 from __future__ import annotations
 
-import asyncio
-from typing import Sequence
-
-from repro.api import DistributedCounter
-from repro.errors import ProtocolError, SimulationLimitError
-from repro.sim.messages import ProcessorId
+from repro.runtime import AsyncioRuntime
 from repro.sim.network import Network
-from repro.workloads.driver import OpOutcome, RunResult
+from repro.workloads.driver import run_concurrent_async, run_sequence_async
+
+__all__ = ["AsyncRunner", "run_concurrent_async", "run_sequence_async"]
 
 
-class AsyncRunner:
-    """Drives a :class:`~repro.sim.Network` cooperatively under asyncio.
+class AsyncRunner(AsyncioRuntime):
+    """Historical name for :class:`~repro.runtime.AsyncioRuntime`.
 
-    Args:
-        network: the network whose events to run.
-        time_scale: seconds of real sleep per unit of simulated time
-            between consecutive events (0 = run flat out, only yielding
-            control to the loop).
-        yield_every: how many back-to-back events to execute before
-            yielding to the loop even when no sleep is due.
+    Kept so pre-seam callers (``AsyncRunner(network).run_until_quiescent()``
+    awaited from async code) keep working; ``run_until_quiescent`` here is
+    the *awaitable* drain, matching the original bridge API — unlike the
+    runtime protocol, where ``until_quiescent`` blocks and ``drain``
+    awaits.
     """
 
     def __init__(
@@ -42,107 +40,10 @@ class AsyncRunner:
         time_scale: float = 0.0,
         yield_every: int = 64,
     ) -> None:
-        if time_scale < 0:
-            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
-        if yield_every < 1:
-            raise ValueError(f"yield_every must be >= 1, got {yield_every}")
-        self._network = network
-        self._time_scale = time_scale
-        self._yield_every = yield_every
+        super().__init__(
+            network, time_scale=time_scale, yield_every=yield_every
+        )
 
     async def run_until_quiescent(self) -> int:
         """Async counterpart of :meth:`Network.run_until_quiescent`."""
-        network = self._network
-        queue = network._queue  # noqa: SLF001 - bridge is a trusted peer
-        executed = 0
-        while queue:
-            before = network.now
-            queue.run_next()
-            executed += 1
-            network._events_executed += 1  # noqa: SLF001
-            if network._events_executed > network._event_limit:  # noqa: SLF001
-                raise SimulationLimitError(
-                    f"exceeded event limit of {network._event_limit}"  # noqa: SLF001
-                )
-            gap = network.now - before
-            if self._time_scale > 0 and gap > 0:
-                await asyncio.sleep(gap * self._time_scale)
-            elif executed % self._yield_every == 0:
-                await asyncio.sleep(0)
-        return executed
-
-
-async def run_sequence_async(
-    counter: DistributedCounter,
-    initiators: Sequence[ProcessorId],
-    time_scale: float = 0.0,
-    check_values: bool = True,
-) -> RunResult:
-    """Async counterpart of :func:`repro.workloads.run_sequence`.
-
-    Identical semantics — sequential operations with quiescence barriers
-    — but the barriers are awaited, so other asyncio tasks interleave
-    with the simulation.
-    """
-    network = counter.network
-    trace = network.trace
-    counts_kept = trace.keeps_loads
-    runner = AsyncRunner(network, time_scale=time_scale)
-    result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
-    for op_index, pid in enumerate(initiators):
-        before = counter.results_for(pid)
-        counter.begin_inc(pid, op_index)
-        await runner.run_until_quiescent()
-        after = counter.results_for(pid)
-        if len(after) != len(before) + 1:
-            raise ProtocolError(
-                f"operation {op_index}: processor {pid} received "
-                f"{len(after) - len(before)} results instead of 1"
-            )
-        value = after[-1]
-        if check_values and value != op_index:
-            raise ProtocolError(
-                f"operation {op_index}: got value {value}, expected {op_index}"
-            )
-        result.outcomes.append(
-            OpOutcome(
-                op_index=op_index,
-                initiator=pid,
-                value=value,
-                messages=trace.messages_for_op(op_index) if counts_kept else -1,
-            )
-        )
-    return result
-
-
-async def run_concurrent_async(
-    counter: DistributedCounter,
-    batch: Sequence[ProcessorId],
-    time_scale: float = 0.0,
-) -> RunResult:
-    """Inject *batch* concurrently, await quiescence, collect results."""
-    network = counter.network
-    trace = network.trace
-    counts_kept = trace.keeps_loads
-    runner = AsyncRunner(network, time_scale=time_scale)
-    result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
-    prior = {pid: len(counter.results_for(pid)) for pid in set(batch)}
-    seen: dict[ProcessorId, int] = dict(prior)
-    for op_index, pid in enumerate(batch):
-        counter.begin_inc(pid, op_index)
-    await runner.run_until_quiescent()
-    for op_index, pid in enumerate(batch):
-        replies = counter.results_for(pid)
-        position = seen[pid]
-        if position >= len(replies):
-            raise ProtocolError(f"processor {pid} missed a result")
-        seen[pid] += 1
-        result.outcomes.append(
-            OpOutcome(
-                op_index=op_index,
-                initiator=pid,
-                value=replies[position],
-                messages=trace.messages_for_op(op_index) if counts_kept else -1,
-            )
-        )
-    return result
+        return await self.drain()

@@ -22,7 +22,7 @@ from repro.analysis.export import (
     trace_to_json,
     trace_to_records,
 )
-from repro.analysis.latency import LatencyProfile, op_latency
+from repro.analysis.latency import LatencyProfile, detect_knee, op_latency
 from repro.analysis.linearizability import (
     Inversion,
     LinearizabilityReport,
@@ -76,6 +76,7 @@ __all__ = [
     "build_list",
     "check_linearizable_counting",
     "default_oracles",
+    "detect_knee",
     "first_failure",
     "format_series",
     "format_table",

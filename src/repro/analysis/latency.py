@@ -74,3 +74,45 @@ class LatencyProfile:
         ordered = sorted(self.latencies)
         index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[index]
+
+
+def detect_knee(
+    rates: "list[float] | tuple[float, ...]",
+    latencies: "list[float] | tuple[float, ...]",
+    threshold: float = 3.0,
+) -> float | None:
+    """The saturation knee of a latency-vs-offered-load sweep.
+
+    Given ascending offered *rates* and the measured latency at each,
+    returns the first rate whose latency exceeds *threshold* times the
+    unloaded baseline (the latency at the lowest rate) — the classic
+    operational definition of the saturation point.  Returns ``None``
+    when no point crosses, i.e. the sweep never saturated the system.
+
+    This is how the paper's bottleneck shows up in a service: below the
+    knee a structure's depth sets latency; at the knee its most loaded
+    processor (the paper's ``m_b``) runs out of capacity and queueing
+    delay takes over.
+    """
+    if len(rates) != len(latencies):
+        raise ValueError(
+            f"got {len(rates)} rates but {len(latencies)} latencies"
+        )
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must exceed 1.0, got {threshold}")
+    if not rates:
+        return None
+    if list(rates) != sorted(rates):
+        raise ValueError("rates must be ascending")
+    baseline = latencies[0]
+    if baseline <= 0:
+        # A zero-latency baseline (all ops local) saturates as soon as
+        # any queueing at all appears.
+        for rate, latency in zip(rates, latencies):
+            if latency > 0:
+                return rate
+        return None
+    for rate, latency in zip(rates, latencies):
+        if latency > threshold * baseline:
+            return rate
+    return None

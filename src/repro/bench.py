@@ -14,7 +14,10 @@ time) so CI and developers get one comparable artifact:
 * a crash-recovery smoke grid (central[standby] under a mid-run
   primary crash) with failover latency and bottleneck overhead;
 * a ``large_n`` grid: ww-tree one-shot runs at n = 10^4 and 10^5,
-  million-event territory that only the fast core makes routine.
+  million-event territory that only the fast core makes routine;
+* a ``serving`` grid: wall-clock rate sweeps against a live TCP
+  counter service (asyncio runtime, scaled simulated delays) with
+  p50/p99 latency per offered rate and the detected saturation knee.
 
 Grids are individually selectable (``repro bench --grid messages``)
 and every report is stamped with the git SHA and an ISO-8601 UTC
@@ -23,6 +26,7 @@ timestamp so archived artifacts are traceable to a commit.
 
 from __future__ import annotations
 
+import asyncio
 import datetime
 import gc
 import json
@@ -296,6 +300,71 @@ def bench_large_n(sizes: tuple[int, ...] = (10_000, 100_000)) -> dict:
     }
 
 
+def bench_serving(ops: int = 150, time_scale: float = 0.005) -> dict:
+    """Wall-clock serving grid: rate sweeps against a live TCP service.
+
+    For each configuration, start a :class:`~repro.serve.CounterService`
+    on a loopback port (asyncio runtime, simulated delays scaled to real
+    milliseconds so capacity is protocol-determined rather than
+    interpreter-determined), then sweep ascending offered rates with the
+    open-loop load generator and report p50/p99 latency per rate plus
+    the detected saturation knee.  Every request's returned value is
+    checked by the generator, and the final counter value is asserted,
+    so correctness rides along with the timing.
+    """
+    from repro.serve import CounterService, run_rate_sweep
+
+    configs = (
+        ("central", 8, (100.0, 200.0, 400.0, 800.0, 1600.0)),
+        (
+            "ww-tree?interval_mode=wrap",
+            27,
+            (100.0, 200.0, 400.0, 800.0, 1600.0),
+        ),
+    )
+
+    async def sweep(spec: str, n: int, rates: tuple[float, ...]):
+        service = CounterService(
+            spec, n, port=0, time_scale=time_scale, trace_level="LOADS"
+        )
+        await service.start()
+        try:
+            result = await run_rate_sweep(
+                "127.0.0.1", service.port, ops, rates
+            )
+        finally:
+            await service.stop()
+        total = ops * len(rates)
+        assert service.served == total, (
+            f"{spec}: served {service.served} of {total} requests"
+        )
+        return result
+
+    grid = {}
+    for spec, n, rates in configs:
+        result = asyncio.run(sweep(spec, n, rates))
+        errors = sum(run.errors for run in result.runs)
+        assert errors == 0, f"{spec}: {errors} failed requests"
+        grid[spec] = {
+            "n": n,
+            "offered_rates_per_s": [run.offered_rate for run in result.runs],
+            "throughput_per_s": [
+                round(run.throughput, 1) for run in result.runs
+            ],
+            "p50_ms": [round(run.p50 * 1000, 2) for run in result.runs],
+            "p99_ms": [round(run.p99 * 1000, 2) for run in result.runs],
+            "knee_rate_per_s": result.knee_rate,
+        }
+    return {
+        "grid": f"live TCP service, {ops} Poisson increments per rate, "
+        f"time_scale={time_scale}",
+        "note": "open-loop latency measured from scheduled arrival; the "
+        "knee is the first rate whose mean latency exceeds 3x the "
+        "lowest rate's; all responses verified, final values asserted",
+        **grid,
+    }
+
+
 GRIDS = (
     "queue",
     "messages",
@@ -305,6 +374,7 @@ GRIDS = (
     "recovery",
     "explore",
     "large_n",
+    "serving",
 )
 
 
@@ -391,6 +461,9 @@ def build_report(grids: tuple[str, ...] = GRIDS) -> dict:
     if "large_n" in grids:
         _grid_boundary()
         report["large_n"] = bench_large_n()
+    if "serving" in grids:
+        _grid_boundary()
+        report["serving"] = bench_serving()
     return report
 
 

@@ -27,7 +27,7 @@ from typing import Sequence
 
 from repro.analysis import LoadProfile, format_table
 from repro.core import TreeGeometry
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.lowerbound import (
     GreedyAdversary,
     am_gm_holds,
@@ -268,6 +268,70 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for figure simulations (default: serial)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run a counter as a live TCP service (asyncio runtime)"
+    )
+    serve.add_argument(
+        "spec", metavar="SPEC",
+        help="counter spec string; sequential-only specs are rejected "
+             "(see: repro counters)",
+    )
+    serve.add_argument(
+        "--n", type=int, default=16,
+        help="client processors = max in-flight operations",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one; the bound address is "
+             "printed as 'SERVING <spec> n=<n> <host>:<port>')",
+    )
+    serve.add_argument(
+        "--policy", choices=sorted(POLICY_NAMES), default="unit",
+        help="message delivery policy",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="real seconds per unit of simulated time (0 = flat out)",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen", help="open-loop load against a running 'repro serve'"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--ops", type=int, default=200, help="increments per rate point"
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=100.0,
+        help="offered load in ops/second (single run; see --rates)",
+    )
+    loadgen.add_argument(
+        "--rates", default=None, metavar="R1,R2,...",
+        help="ascending rate sweep with saturation-knee detection "
+             "(overrides --rate)",
+    )
+    loadgen.add_argument(
+        "--process", choices=["poisson", "bursty"], default="poisson",
+        help="arrival process",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--max-connections", type=int, default=64,
+        help="client-side concurrency cap",
+    )
+    loadgen.add_argument(
+        "--expect-final", type=int, default=None, metavar="VALUE",
+        help="exit nonzero unless the highest value seen + 1 equals "
+             "VALUE (smoke-test assertion)",
+    )
+    loadgen.add_argument(
+        "--shutdown", action="store_true",
+        help="send SHUTDOWN to the server after the run",
     )
 
     return parser
@@ -786,6 +850,91 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import serve_counter
+
+    try:
+        asyncio.run(
+            serve_counter(
+                args.spec,
+                args.n,
+                args.host,
+                args.port,
+                policy=args.policy,
+                seed=args.seed,
+                time_scale=args.time_scale,
+                announce=True,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import run_load, run_rate_sweep
+
+    async def go() -> int:
+        final_value = -1
+        if args.rates is not None:
+            rates = [float(rate) for rate in args.rates.split(",")]
+            sweep = await run_rate_sweep(
+                args.host, args.port, args.ops, rates,
+                process=args.process, seed=args.seed,
+                max_connections=args.max_connections,
+            )
+            for run in sweep.runs:
+                print(run.summary())
+                final_value = max(final_value, run.final_value - 1)
+            if sweep.knee_rate is not None:
+                print(f"knee at ~{sweep.knee_rate:g} ops/s")
+            else:
+                print("no saturation knee within the swept rates")
+            failed = any(run.errors for run in sweep.runs)
+            final_value += 1
+        else:
+            run = await run_load(
+                args.host, args.port, args.ops, args.rate,
+                process=args.process, seed=args.seed,
+                max_connections=args.max_connections,
+            )
+            print(run.summary())
+            failed = run.errors > 0
+            final_value = run.final_value
+        if args.shutdown:
+            reader, writer = await asyncio.open_connection(
+                args.host, args.port
+            )
+            writer.write(b"SHUTDOWN\n")
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+        if args.expect_final is not None and final_value != args.expect_final:
+            print(
+                f"error: expected final counter value {args.expect_final}, "
+                f"observed {final_value}",
+                file=sys.stderr,
+            )
+            return 1
+        return 1 if failed else 0
+
+    try:
+        return asyncio.run(go())
+    except (ConnectionRefusedError, OSError) as error:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "counters": _cmd_counters,
@@ -799,6 +948,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
     "figures": _cmd_figures,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -61,21 +61,28 @@ class TreeCounter(DistributedCounter):
         self._build_workers()
 
     def _build_workers(self) -> None:
-        requirement = self.geometry.processor_requirement()
+        geometry = self.geometry
+        requirement = geometry.processor_requirement()
         workers = self._workers
         network = self.network
         for pid in range(1, requirement + 1):
             worker = TreeWorker(pid, self)
             network.register(worker)
             workers[pid] = worker
-        for role in self.registry.all_roles():
+        all_roles = self.registry.all_roles()
+        for role in all_roles:
             workers[role.worker].adopt_role(role)
         # Wire each leaf's belief of its parent's worker by walking the
-        # last-level roles once, instead of a per-leaf address lookup.
-        for role in self.registry.last_level_roles():
+        # last-level roles once (the trailing arity^depth entries of the
+        # level-ordered role list); last-level node index i parents
+        # leaves i*arity+1 .. (i+1)*arity, so no address lookups needed.
+        arity = geometry.arity
+        leaf_pid = 1
+        for role in all_roles[-(arity**geometry.depth):]:
             role_worker = role.worker
-            for leaf_pid in self.geometry.leaf_children(role.addr):
+            for _ in range(arity):
                 workers[leaf_pid].set_leaf_parent(role_worker)
+                leaf_pid += 1
 
     # ------------------------------------------------------------------
     # Introspection

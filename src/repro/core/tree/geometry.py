@@ -57,6 +57,8 @@ class NodeAddr:
 
 ROOT = NodeAddr(0, 0)
 
+_PAPER_SHAPES: dict[int, "TreeGeometry"] = {}
+
 
 class TreeGeometry:
     """Shape, adjacency and id intervals of a communication tree.
@@ -83,8 +85,18 @@ class TreeGeometry:
     # ------------------------------------------------------------------
     @classmethod
     def paper_shape(cls, k: int) -> "TreeGeometry":
-        """The paper's tree for parameter ``k``: arity = depth = k."""
-        return cls(arity=k, depth=k)
+        """The paper's tree for parameter ``k``: arity = depth = k.
+
+        Paper shapes are interned: the geometry is immutable after
+        construction, so repeated sessions at the same ``k`` share one
+        instance (this is what makes per-shape construction plans — the
+        role-wiring cache in :mod:`repro.core.tree.roles` — pay off).
+        """
+        shape = _PAPER_SHAPES.get(k)
+        if shape is None:
+            shape = cls(arity=k, depth=k)
+            _PAPER_SHAPES[k] = shape
+        return shape
 
     @classmethod
     def for_processors(cls, n: int) -> "TreeGeometry":

@@ -24,6 +24,7 @@ unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.core.tree.geometry import ROOT, NodeAddr, TreeGeometry
@@ -89,6 +90,44 @@ class RetirementEvent:
     time: float
 
 
+@lru_cache(maxsize=64)
+def _role_plan(
+    arity: int, depth: int
+) -> tuple[tuple[NodeAddr, ProcessorId, int, tuple, int], ...]:
+    """The immutable construction plan of one tree shape.
+
+    One row per inner node in level order: ``(addr, initial_worker,
+    parent_row_index, node_key, leaf_base)`` — ``parent_row_index`` is
+    -1 for the root, ``leaf_base`` is the pid preceding the node's first
+    leaf child on the last inner level and -1 elsewhere.  Everything in
+    a row is immutable (``NodeAddr`` is frozen), so the plan is shared
+    across every :class:`RoleRegistry` built for the same shape —
+    session construction replays the plan instead of redoing the
+    interval arithmetic (the measured RunSession-rate bottleneck).
+    """
+    rows: list[tuple[NodeAddr, ProcessorId, int, tuple, int]] = [
+        (ROOT, 1, -1, ("node", 0, 0), -1)
+    ]
+    band = arity**depth
+    row_of_addr = {ROOT: 0}
+    for level in range(1, depth + 1):
+        # id_interval(level, index) starts at
+        # (level-1)*band + index*width + 1 with width ids per node.
+        width = arity ** (depth - level)
+        level_base = (level - 1) * band + 1
+        last_level = level == depth
+        for index in range(arity**level):
+            addr = NodeAddr(level, index)
+            worker = level_base + index * width
+            parent_row = row_of_addr[NodeAddr(level - 1, index // arity)]
+            leaf_base = index * arity if last_level else -1
+            row_of_addr[addr] = len(rows)
+            rows.append(
+                (addr, worker, parent_row, ("node", level, index), leaf_base)
+            )
+    return tuple(rows)
+
+
 class RoleRegistry:
     """Creates, tracks and retires all node roles of one tree counter."""
 
@@ -103,66 +142,50 @@ class RoleRegistry:
         self._build_roles()
 
     def _build_roles(self) -> None:
-        """Create and wire every role in one level-order pass.
+        """Create and wire every role by replaying the shape's plan.
 
         Parents exist before their children, so each non-root role wires
         itself into its parent at creation — no second wiring pass over
-        the whole tree.  The interval arithmetic of
-        :meth:`TreeGeometry.initial_worker` is hoisted to per-level
-        constants, so building the 10^5-leaf tree is O(nodes) dict and
-        list appends.  Orders match the old two-pass construction
-        exactly: ``child_addrs`` and ``children_workers`` fill in child
-        index order.
+        the whole tree.  All shape arithmetic lives in the cached
+        :func:`_role_plan`, so building the 10^5-leaf tree is O(nodes)
+        dict and list appends — and repeat constructions of the same
+        shape skip the arithmetic entirely.  Orders match the old
+        two-pass construction exactly: ``child_addrs`` and
+        ``children_workers`` fill in child index order.
         """
         geometry = self._geometry
         arity = geometry.arity
-        depth = geometry.depth
-        band = arity**depth
         roles = self._roles
         worker_of_role = self._worker_of_role
         inner_worker_index = self._inner_worker_index
-        root = NodeRole(addr=ROOT, worker=geometry.initial_worker(ROOT))
-        root.value = 0
-        self._root_walk_next = root.worker + 1
-        roles[ROOT] = root
-        worker_of_role[ROOT] = root.worker
-        level_roles = [root]
-        for level in range(1, depth + 1):
-            # id_interval(level, index) starts at
-            # (level-1)*band + index*width + 1 with width ids per node.
-            width = arity ** (depth - level)
-            level_base = (level - 1) * band + 1
-            last_level = level == depth
-            upper_roles = level_roles
-            level_roles = []
-            index = 0
-            for parent in upper_roles:
-                parent_addr = parent.addr
-                parent_worker = parent.worker
-                parent_children = parent.child_addrs
-                parent_workers = parent.children_workers
-                for _ in range(arity):
-                    addr = NodeAddr(level, index)
-                    worker = level_base + index * width
-                    role = NodeRole(
-                        addr=addr,
-                        worker=worker,
-                        parent_addr=parent_addr,
-                        parent_worker=parent_worker,
-                    )
-                    parent_children.append(addr)
-                    parent_workers[("node", level, index)] = worker
-                    if last_level:
-                        base = index * arity
-                        for c in range(arity):
-                            role.children_workers[("leaf", base + c + 1)] = (
-                                base + c + 1
-                            )
-                    roles[addr] = role
-                    worker_of_role[addr] = worker
-                    inner_worker_index[worker] = addr
-                    level_roles.append(role)
-                    index += 1
+        built: list[NodeRole] = []
+        for addr, worker, parent_row, key, leaf_base in _role_plan(
+            arity, geometry.depth
+        ):
+            if parent_row < 0:
+                role = NodeRole(addr=addr, worker=worker)
+                role.value = 0
+                self._root_walk_next = worker + 1
+            else:
+                parent = built[parent_row]
+                role = NodeRole(
+                    addr=addr,
+                    worker=worker,
+                    parent_addr=parent.addr,
+                    parent_worker=parent.worker,
+                )
+                parent.child_addrs.append(addr)
+                parent.children_workers[key] = worker
+                inner_worker_index[worker] = addr
+                if leaf_base >= 0:
+                    leaf_workers = role.children_workers
+                    for c in range(arity):
+                        leaf_workers[("leaf", leaf_base + c + 1)] = (
+                            leaf_base + c + 1
+                        )
+            built.append(role)
+            roles[addr] = role
+            worker_of_role[addr] = worker
 
     # ------------------------------------------------------------------
     # Lookup

@@ -15,6 +15,7 @@ from repro.experiments.constructions import run_e1, run_e2
 from repro.experiments.lowerbound_exp import run_e3, run_e16
 from repro.experiments.recovery_exp import run_e22, run_e23
 from repro.experiments.robustness_exp import run_e18, run_e19, run_e20, run_e21
+from repro.experiments.serving_exp import run_e24
 from repro.experiments.substrates_exp import run_e8, run_e11, run_e14, run_e15
 from repro.experiments.treecounter_exp import run_e4, run_e5, run_e9, run_e10, run_e12
 
@@ -42,6 +43,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "E21": run_e21,
     "E22": run_e22,
     "E23": run_e23,
+    "E24": run_e24,
 }
 """Experiment id → zero-argument runner with the canonical parameters."""
 
@@ -73,4 +75,5 @@ __all__ = [
     "run_e21",
     "run_e22",
     "run_e23",
+    "run_e24",
 ]

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.api import Capabilities, DistributedCounter
 from repro.errors import CapabilityError, ConfigurationError
+from repro.runtime import RUNTIME_NAMES, Runtime, make_runtime
 from repro.sim.faults import FaultPlan, parse_fault_spec
 from repro.sim.messages import ProcessorId
 from repro.sim.network import Network
@@ -349,9 +351,21 @@ def parse_spec(text: str | CounterRef) -> CounterRef:
     Idempotent on :class:`CounterRef` inputs.  Values are parsed and
     bounds-checked against the spec's tunables; parameters set to their
     default are elided so the result is canonical.
+
+    Results are memoized per spec string: registrations are permanent
+    (duplicate names are rejected), so a parsed reference never goes
+    stale, and repeat constructions — sweeps and serving benches build
+    thousands of :class:`RunSession` objects from the same string —
+    skip the string handling entirely.
     """
     if isinstance(text, CounterRef):
         return text
+    return _parse_spec_text(text)
+
+
+@lru_cache(maxsize=512)
+def _parse_spec_text(text: str) -> CounterRef:
+    """The uncached spec-string grammar behind :func:`parse_spec`."""
     name, _, query = text.strip().partition("?")
     spec = get_spec(name)
     params: dict[str, Any] = {}
@@ -408,6 +422,15 @@ class RunSession:
             :class:`~repro.sim.network.Network` — ``"auto"`` (default),
             ``"fast"`` or ``"compat"``; all three produce byte-identical
             traces.
+        runtime: scheduler name from
+            :data:`~repro.runtime.RUNTIME_NAMES` — ``"sim"`` (default)
+            drains the discrete-event queue directly, ``"sim-compat"``
+            is the same scheduler forced onto the ``compat`` core, and
+            ``"asyncio"`` executes the identical events cooperatively
+            inside an event loop.  Message accounting is the same
+            :class:`~repro.sim.trace.Trace` under every choice.
+        time_scale: real seconds slept per unit of simulated time
+            between events (asyncio runtime only; 0 = run flat out).
         reliable: wrap the counter behind a
             :class:`~repro.sim.transport.ReliableTransport` so it
             survives lossy fault plans.  A lossy ``faults`` spec without
@@ -446,7 +469,20 @@ class RunSession:
         faults: str | FaultPlan | None = None,
         reliable: bool = False,
         core: str = "auto",
+        runtime: str = "sim",
+        time_scale: float = 0.0,
     ) -> None:
+        if runtime not in RUNTIME_NAMES:
+            raise ConfigurationError(
+                f"unknown runtime {runtime!r}; expected one of {RUNTIME_NAMES}"
+            )
+        if runtime == "sim-compat":
+            if core == "fast":
+                raise ConfigurationError(
+                    "runtime='sim-compat' forces the compat event core; "
+                    "it cannot be combined with core='fast'"
+                )
+            core = "compat"
         self._ref = parse_spec(counter)
         self._seed = seed
         self._ref.spec.check_n(n)
@@ -495,6 +531,9 @@ class RunSession:
             network_kwargs["fault_plan"] = fault_plan
         self.network = Network(**network_kwargs)
         self.network.run_context = self._ref.canonical
+        self.runtime: Runtime = make_runtime(
+            runtime, self.network, time_scale=time_scale
+        )
         self.transport: ReliableTransport | None = (
             ReliableTransport(self.network) if reliable else None
         )
@@ -554,20 +593,25 @@ class RunSession:
         initiators: Sequence[ProcessorId] | None = None,
         check_values: bool = True,
     ):
-        """Drive *initiators* (default: the one-shot order) sequentially."""
+        """Drive *initiators* (default: the one-shot order) sequentially
+        under the session's runtime."""
         from repro.workloads.driver import run_sequence
         from repro.workloads.sequences import one_shot
 
         if initiators is None:
             initiators = one_shot(self.n)
-        return run_sequence(self.counter, initiators, check_values=check_values)
+        return run_sequence(
+            self.counter, initiators, check_values=check_values,
+            runtime=self.runtime,
+        )
 
     def run_concurrent(
         self,
         batches: Iterable[Sequence[ProcessorId]] | None = None,
         check_values: bool = True,
     ):
-        """Drive *batches* (default: one full batch) concurrently.
+        """Drive *batches* (default: one full batch) concurrently under
+        the session's runtime.
 
         Fails fast with :class:`~repro.errors.CapabilityError` on
         sequential-only counters.
@@ -577,7 +621,39 @@ class RunSession:
 
         if batches is None:
             batches = [one_shot(self.n)]
-        return run_concurrent(self.counter, batches, check_values=check_values)
+        return run_concurrent(
+            self.counter, batches, check_values=check_values,
+            runtime=self.runtime,
+        )
+
+    def run_open_loop(
+        self,
+        ops: int | None = None,
+        rate: float = 1.0,
+        process: str = "poisson",
+        check_values: bool = True,
+        turnaround: float = 1.0,
+    ):
+        """Drive open-loop traffic: *ops* arrivals at offered *rate*.
+
+        Arrival times come from the named *process* (see
+        :data:`~repro.workloads.sequences.ARRIVAL_PROCESSES`), seeded
+        with the session seed; *ops* defaults to ``2 * n``.  Returns an
+        :class:`~repro.workloads.driver.OpenLoopResult` with per-op
+        latency (queueing included — this is the driver that makes the
+        saturation knee measurable).  Fails fast on sequential-only
+        counters.
+        """
+        from repro.workloads.driver import run_open_loop
+        from repro.workloads.sequences import arrival_times
+
+        if ops is None:
+            ops = 2 * self.n
+        arrivals = arrival_times(process, ops, rate, seed=self._seed)
+        return run_open_loop(
+            self.counter, arrivals, check_values=check_values,
+            runtime=self.runtime, turnaround=turnaround,
+        )
 
     def run_staggered(self, gap: float = 3.0):
         """Drive the one-shot batch with staggered starts; return timed ops.

@@ -1,0 +1,278 @@
+"""The runtime seam: one protocol object, pluggable schedulers.
+
+Every counter in this repo is a set of processor programs wired into a
+:class:`~repro.sim.network.Network`; *how* the network's pending events
+get executed is a separate concern.  This module makes that concern a
+first-class seam — a :class:`Runtime` is the thing that drains the event
+queue, and there are three interchangeable implementations:
+
+* ``"sim"`` — :class:`SimulatedRuntime` over the table-driven fast core:
+  the discrete-event scheduler every measurement runs on;
+* ``"sim-compat"`` — the same :class:`SimulatedRuntime` over the
+  historical ``heapq`` core (byte-identical traces; hosts scheduler
+  hooks and fault plans natively);
+* ``"asyncio"`` — :class:`AsyncioRuntime`: the same protocol objects
+  executed cooperatively inside a real :mod:`asyncio` event loop, so a
+  counter can serve live traffic (see :mod:`repro.serve`) or embed in an
+  async application.  With ``time_scale > 0`` simulated gaps become real
+  sleeps, turning simulated time into approximate wall-clock time.
+
+The seam is deliberately tiny — *step*, *drain*, *until-quiescent*, a
+time source and the trace hookup — so a fourth scheduler (e.g. a
+synchronous-round lockstep mode for Byzantine counting) is one class,
+not a refactor.  Message accounting is identical under every runtime:
+it is the same :class:`~repro.sim.trace.Trace` on the same network,
+which the test suite asserts fingerprint-identical for every registered
+counter spec.
+
+Select a runtime by name through :class:`~repro.registry.RunSession`::
+
+    session = RunSession("ww-tree", n=81, runtime="asyncio")
+    result = session.run_sequence()          # drives an asyncio loop
+    await session.runtime.drain()            # or drain inside your own loop
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.network import Network
+from repro.sim.trace import Trace
+
+__all__ = [
+    "RUNTIME_NAMES",
+    "AsyncioRuntime",
+    "Runtime",
+    "SimulatedRuntime",
+    "make_runtime",
+]
+
+RUNTIME_NAMES = ("sim", "sim-compat", "asyncio")
+"""Runtimes resolvable by :func:`make_runtime` (and ``RunSession``)."""
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """What a scheduler must provide to run a wired counter.
+
+    A runtime owns no protocol state — it only decides *when and under
+    whose control* the network's pending events execute.  The contract:
+
+    * :attr:`name` — the registry name (``"sim"``, ``"asyncio"``, ...);
+    * :attr:`is_async` — whether :meth:`drain` actually suspends (the
+      drivers use this to route a workload through ``asyncio.run``);
+    * :attr:`network` / :attr:`trace` — the substrate and its ledger;
+    * :attr:`now` — the time source (simulated time; wall-clock mapping
+      is the asyncio runtime's ``time_scale`` concern);
+    * :meth:`step` — execute the single earliest event;
+    * :meth:`until_quiescent` — blocking drain to quiescence;
+    * :meth:`drain` — awaitable drain to quiescence (the only method a
+      cooperative scheduler implements differently).
+    """
+
+    name: str
+    is_async: bool
+
+    @property
+    def network(self) -> Network: ...
+
+    @property
+    def trace(self) -> Trace: ...
+
+    @property
+    def now(self) -> float: ...
+
+    def step(self) -> bool: ...
+
+    def until_quiescent(self) -> int: ...
+
+    async def drain(self) -> int: ...
+
+
+class SimulatedRuntime:
+    """The discrete-event scheduler: drain the queue, advance sim time.
+
+    A thin, allocation-free veneer over
+    :meth:`~repro.sim.network.Network.run_until_quiescent` — the sync
+    drivers call straight through, so traces are byte-identical to
+    pre-seam behavior.  Which event-queue core backs it (``fast`` or
+    ``compat``) is the network's ``core=`` constructor concern; the
+    runtime reports it via :attr:`core`.
+    """
+
+    name = "sim"
+    is_async = False
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+
+    @property
+    def network(self) -> Network:
+        """The substrate this runtime drains."""
+        return self._network
+
+    @property
+    def trace(self) -> Trace:
+        """The network's execution trace (same object, any runtime)."""
+        return self._network.trace
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._network.now
+
+    @property
+    def core(self) -> str:
+        """The backing event-queue core (``"fast"`` or ``"compat"``)."""
+        return self._network.core
+
+    def step(self) -> bool:
+        """Execute the earliest pending event; ``False`` when quiescent."""
+        return self._network.step()
+
+    def until_quiescent(self) -> int:
+        """Run events until none remain; return how many ran."""
+        return self._network.run_until_quiescent()
+
+    async def drain(self) -> int:
+        """Awaitable form of :meth:`until_quiescent` (never suspends)."""
+        return self._network.run_until_quiescent()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedRuntime(core={self.core!r})"
+
+
+class AsyncioRuntime:
+    """Drive the same protocol objects cooperatively under asyncio.
+
+    Between events the runtime yields to the loop, so other tasks — a
+    TCP server, a load generator, your application — interleave with
+    the simulation.  Generalizes the former ``repro.aio.AsyncRunner``.
+
+    Args:
+        network: the network whose events to run.
+        time_scale: seconds of real sleep per unit of simulated time
+            between consecutive events (0 = run flat out, only yielding
+            control to the loop).
+        yield_every: how many back-to-back events to execute before
+            yielding to the loop even when no sleep is due.
+    """
+
+    name = "asyncio"
+    is_async = True
+
+    def __init__(
+        self,
+        network: Network,
+        time_scale: float = 0.0,
+        yield_every: int = 64,
+    ) -> None:
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        if yield_every < 1:
+            raise ValueError(f"yield_every must be >= 1, got {yield_every}")
+        self._network = network
+        self._time_scale = time_scale
+        self._yield_every = yield_every
+
+    @property
+    def network(self) -> Network:
+        """The substrate this runtime drains."""
+        return self._network
+
+    @property
+    def trace(self) -> Trace:
+        """The network's execution trace (same object, any runtime)."""
+        return self._network.trace
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (wall-clock is ``now * time_scale``)."""
+        return self._network.now
+
+    @property
+    def time_scale(self) -> float:
+        """Real seconds slept per unit of simulated time."""
+        return self._time_scale
+
+    @property
+    def yield_every(self) -> int:
+        """Events executed back-to-back before an unforced loop yield."""
+        return self._yield_every
+
+    def step(self) -> bool:
+        """Execute the earliest pending event; ``False`` when quiescent."""
+        return self._network.step()
+
+    async def drain(self) -> int:
+        """Run events until quiescence, cooperatively; return how many ran.
+
+        Events injected by other tasks *while draining* (e.g. a server
+        accepting a request mid-drain) are picked up in the same pass —
+        the loop only ends when the queue is genuinely empty.
+        """
+        network = self._network
+        step = network.step
+        scale = self._time_scale
+        yield_every = self._yield_every
+        sleep = asyncio.sleep
+        executed = 0
+        while True:
+            before = network.now
+            if not step():
+                break
+            executed += 1
+            gap = network.now - before
+            if scale > 0.0 and gap > 0.0:
+                await sleep(gap * scale)
+            elif executed % yield_every == 0:
+                await sleep(0)
+        return executed
+
+    def until_quiescent(self) -> int:
+        """Blocking drain: spin up a private event loop and run it.
+
+        Only usable outside a running loop; from async code, ``await
+        drain()`` instead.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.drain())
+        raise SimulationError(
+            "AsyncioRuntime.until_quiescent() cannot block inside a "
+            "running event loop; await drain() instead"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncioRuntime(time_scale={self._time_scale}, "
+            f"yield_every={self._yield_every})"
+        )
+
+
+def make_runtime(
+    name: str,
+    network: Network,
+    *,
+    time_scale: float = 0.0,
+    yield_every: int = 64,
+) -> Runtime:
+    """Build the runtime registered under *name* for *network*.
+
+    ``"sim"`` and ``"sim-compat"`` both map to :class:`SimulatedRuntime`
+    — the core distinction is a *network* construction concern, which
+    :class:`~repro.registry.RunSession` resolves before calling here.
+    The asyncio options are ignored by the simulated runtimes.
+    """
+    if name in ("sim", "sim-compat"):
+        return SimulatedRuntime(network)
+    if name == "asyncio":
+        return AsyncioRuntime(
+            network, time_scale=time_scale, yield_every=yield_every
+        )
+    raise ConfigurationError(
+        f"unknown runtime {name!r}; expected one of {RUNTIME_NAMES}"
+    )

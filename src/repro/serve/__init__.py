@@ -1,0 +1,34 @@
+"""Live counter serving: a TCP front-end and an open-loop load generator.
+
+The north-star behind the runtime seam: the paper's bottleneck is not
+just a message count in a simulator — run any registered counter as a
+real asyncio service and drive it with open-loop traffic, and the same
+bottleneck reappears as a saturation knee in wall-clock latency.
+
+* :mod:`repro.serve.server` — :class:`CounterService`: any
+  non-``sequential_only`` registered spec behind a newline-delimited TCP
+  protocol (``INC`` / ``STATS`` / ``PING`` / ``SHUTDOWN``), executing on
+  the :class:`~repro.runtime.AsyncioRuntime`;
+* :mod:`repro.serve.loadgen` — the open-loop client: Poisson or bursty
+  arrivals at a configured offered load, per-run p50/p99 latency, and
+  rate sweeps with saturation-knee detection.
+
+CLI entry points: ``repro serve SPEC`` and ``repro loadgen``.
+"""
+
+from repro.serve.loadgen import (
+    LoadResult,
+    SweepResult,
+    run_load,
+    run_rate_sweep,
+)
+from repro.serve.server import CounterService, serve_counter
+
+__all__ = [
+    "CounterService",
+    "LoadResult",
+    "SweepResult",
+    "run_load",
+    "run_rate_sweep",
+    "serve_counter",
+]

@@ -1,0 +1,250 @@
+"""Open-loop load generation against a running counter service.
+
+The generator is *open-loop*: request send times come from an arrival
+process (Poisson or bursty, see
+:mod:`repro.workloads.sequences`) fixed before the run, independent of
+how fast the server answers.  Latency is measured from the scheduled
+arrival time — a request that had to wait for a free connection counts
+that wait, exactly like a user behind a saturated service would.  This
+is the measurement discipline that makes the saturation knee visible;
+a closed-loop client would politely slow down instead.
+
+:func:`run_load` drives one offered rate; :func:`run_rate_sweep` walks
+an ascending rate grid and reports the detected knee
+(:func:`repro.analysis.latency.detect_knee` on mean latency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.workloads.sequences import arrival_times
+
+__all__ = ["LoadResult", "SweepResult", "run_load", "run_rate_sweep"]
+
+
+@dataclass(slots=True)
+class LoadResult:
+    """One load-generation run at a single offered rate."""
+
+    offered_rate: float
+    process: str
+    sent: int
+    completed: int
+    errors: int
+    duration: float
+    final_value: int
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per second over the run."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    @property
+    def mean_latency(self) -> float:
+        """Average arrival-to-response latency in seconds."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile *q* in [0, 1] (nearest-rank), seconds."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = sorted(self.latencies)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        """Median latency, seconds."""
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency, seconds."""
+        return self.percentile(0.99)
+
+    def summary(self) -> str:
+        """One human-readable line (the CLI's per-rate output)."""
+        return (
+            f"rate={self.offered_rate:g}/s sent={self.sent} "
+            f"ok={self.completed} err={self.errors} "
+            f"tput={self.throughput:.1f}/s "
+            f"p50={self.p50 * 1000:.2f}ms p99={self.p99 * 1000:.2f}ms"
+        )
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """A rate sweep and its detected saturation knee."""
+
+    runs: list[LoadResult]
+    knee_rate: float | None
+
+    @property
+    def rates(self) -> list[float]:
+        """The swept offered rates, ascending."""
+        return [run.offered_rate for run in self.runs]
+
+
+class _ConnectionPool:
+    """A lazily-grown pool of persistent connections to the service.
+
+    One request is in flight per connection (the line protocol answers
+    in order), so the pool size caps client-side concurrency; arrivals
+    beyond it wait for a free connection and their wait counts toward
+    measured latency.
+    """
+
+    def __init__(self, host: str, port: int, limit: int) -> None:
+        self._host = host
+        self._port = port
+        self._limit = limit
+        self._created = 0
+        self._free: asyncio.Queue = asyncio.Queue()
+
+    async def acquire(self):
+        if self._free.empty() and self._created < self._limit:
+            self._created += 1
+            try:
+                return await asyncio.open_connection(self._host, self._port)
+            except BaseException:
+                self._created -= 1
+                raise
+        return await self._free.get()
+
+    def release(self, connection) -> None:
+        self._free.put_nowait(connection)
+
+    async def close(self) -> None:
+        while not self._free.empty():
+            _, writer = self._free.get_nowait()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def _inc_once(pool: _ConnectionPool) -> int:
+    """One INC round-trip over a pooled connection; returns the value."""
+    reader, writer = await pool.acquire()
+    try:
+        writer.write(b"INC\n")
+        await writer.drain()
+        line = await reader.readline()
+    except BaseException:
+        writer.close()
+        raise
+    pool.release((reader, writer))
+    text = line.decode("ascii", "replace").strip()
+    if not text.startswith("OK "):
+        raise ProtocolError(f"INC failed: server answered {text!r}")
+    return int(text[3:])
+
+
+async def run_load(
+    host: str,
+    port: int,
+    ops: int,
+    rate: float,
+    *,
+    process: str = "poisson",
+    seed: int = 0,
+    max_connections: int = 64,
+) -> LoadResult:
+    """Drive *ops* increments at offered *rate* (ops/second).
+
+    Arrival offsets come from the named *process*; each request is sent
+    at its scheduled wall-clock time (never earlier) and measured from
+    it.  *max_connections* caps client-side concurrency — requests
+    arriving faster than connections free up queue, and their queueing
+    time is part of the measured latency.
+    """
+    arrivals = arrival_times(process, ops, rate, seed=seed)
+    pool = _ConnectionPool(host, port, max_connections)
+    loop = asyncio.get_running_loop()
+    latencies: list[float] = []
+    values: list[int] = []
+    errors = 0
+
+    start = loop.time()
+
+    async def one(offset: float) -> None:
+        nonlocal errors
+        target = start + offset
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            value = await _inc_once(pool)
+        except (ProtocolError, OSError, ValueError):
+            errors += 1
+            return
+        latencies.append(loop.time() - target)
+        values.append(value)
+
+    try:
+        await asyncio.gather(*(one(offset) for offset in arrivals))
+    finally:
+        await pool.close()
+    return LoadResult(
+        offered_rate=rate,
+        process=process,
+        sent=ops,
+        completed=len(values),
+        errors=errors,
+        duration=loop.time() - start,
+        final_value=max(values, default=-1) + 1,
+        latencies=latencies,
+    )
+
+
+async def run_rate_sweep(
+    host: str,
+    port: int,
+    ops: int,
+    rates: list[float] | tuple[float, ...],
+    *,
+    process: str = "poisson",
+    seed: int = 0,
+    max_connections: int = 64,
+    knee_threshold: float = 3.0,
+) -> SweepResult:
+    """Run :func:`run_load` at each of the ascending *rates*; find the knee.
+
+    The knee is the first rate whose mean latency exceeds
+    *knee_threshold* times the lowest rate's — ``None`` if the sweep
+    never saturated the service.
+    """
+    from repro.analysis.latency import detect_knee
+
+    if list(rates) != sorted(rates):
+        raise ValueError("sweep rates must be ascending")
+    runs: list[LoadResult] = []
+    for index, rate in enumerate(rates):
+        runs.append(
+            await run_load(
+                host,
+                port,
+                ops,
+                rate,
+                process=process,
+                seed=seed + index,
+                max_connections=max_connections,
+            )
+        )
+    knee = detect_knee(
+        [run.offered_rate for run in runs],
+        [run.mean_latency for run in runs],
+        threshold=knee_threshold,
+    )
+    return SweepResult(runs=runs, knee_rate=knee)

@@ -1,0 +1,318 @@
+"""The asyncio TCP front-end: any registered counter as a live service.
+
+A :class:`CounterService` owns a :class:`~repro.registry.RunSession`
+built on the asyncio runtime and exposes its counter over a
+newline-delimited TCP protocol:
+
+========== ===================================== =======================
+Request    Response                              Meaning
+========== ===================================== =======================
+``INC``    ``OK <value>``                        one test-and-increment
+``STATS``  ``STATS spec=<s> n=<n> served=<k>``   service counters
+           `` inflight=<j> messages=<m>``
+``PING``   ``PONG``                              liveness probe
+``SHUTDOWN`` ``BYE``                             drain and stop
+(other)    ``ERR <reason>``                      protocol error
+========== ===================================== =======================
+
+Concurrency model: the counter has ``n`` client processors; a pool
+(:class:`asyncio.Queue`) hands each in-flight request a free processor
+id and takes it back on completion, so at most ``n`` operations overlap
+and each processor runs at most one at a time — exactly the discipline
+the protocols assume.  Requests beyond ``n`` queue on the pool, so the
+TCP service has the same concurrency-limited capacity the simulated
+open-loop driver models.
+
+Execution: protocol events run in a single pump task that drains the
+:class:`~repro.runtime.AsyncioRuntime` whenever new work is injected —
+client handlers never touch the network concurrently, so no locking is
+needed anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.errors import CapabilityError
+from repro.registry import RunSession, parse_spec
+from repro.sim.trace import TraceLevel
+
+__all__ = ["CounterService", "serve_counter"]
+
+
+class CounterService:
+    """Serve one counter configuration over TCP.
+
+    Args:
+        spec: registry spec string (e.g. ``"ww-tree?interval_mode=wrap"``).
+            Sequential-only specs are rejected: a network service
+            overlaps operations by construction.
+        n: number of client processors (= maximum in-flight operations).
+        host: interface to bind.
+        port: TCP port (0 = let the OS pick; read :attr:`port` after
+            :meth:`start`).
+        policy: delivery-policy name forwarded to the session.
+        seed: seed forwarded to the session.
+        time_scale: real seconds per unit of simulated time (0 = run the
+            protocol flat out; >0 makes simulated delays real).
+        trace_level: trace fidelity (loads-only is faster for pure
+            benchmarking).
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        n: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        policy: str | None = None,
+        seed: int = 0,
+        time_scale: float = 0.0,
+        trace_level: TraceLevel | str = TraceLevel.FULL,
+    ) -> None:
+        ref = parse_spec(spec)
+        if not ref.capabilities.supports_concurrent:
+            reason = (
+                ref.capabilities.restriction
+                or "the protocol is sequential-only"
+            )
+            raise CapabilityError(
+                f"cannot serve {ref.canonical!r}: {reason}"
+            )
+        self.session = RunSession(
+            ref,
+            n,
+            policy=policy,
+            seed=seed,
+            trace_level=trace_level,
+            runtime="asyncio",
+            time_scale=time_scale,
+        )
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._work = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._pid_pool: asyncio.Queue[int] = asyncio.Queue()
+        for pid in self.session.counter.client_ids():
+            self._pid_pool.put_nowait(pid)
+        self._waiters: dict[int, asyncio.Future[int]] = {}
+        self._op_index = 0
+        self._served = 0
+        self._install_result_hook()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> str:
+        """Canonical spec string of the served counter."""
+        return self.session.canonical
+
+    @property
+    def n(self) -> int:
+        """Client processors (= maximum in-flight operations)."""
+        return self.session.n
+
+    @property
+    def served(self) -> int:
+        """Completed ``INC`` operations so far."""
+        return self._served
+
+    @property
+    def inflight(self) -> int:
+        """Operations currently between injection and result delivery."""
+        return len(self._waiters)
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once started."""
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the TCP server and start the protocol pump."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def wait_closed(self) -> None:
+        """Block until a ``SHUTDOWN`` (or :meth:`stop`) completes."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Drain pending protocol work and stop serving."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pump_task is not None:
+            self._work.set()  # unblock the pump so it can observe the stop
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` then run until shut down."""
+        await self.start()
+        await self.wait_closed()
+
+    # ------------------------------------------------------------------
+    # The counter side
+    # ------------------------------------------------------------------
+    def _install_result_hook(self) -> None:
+        counter = self.session.counter
+        original = counter.deliver_result
+
+        def deliver(pid: int, value: int) -> None:
+            original(pid, value)
+            future = self._waiters.pop(pid, None)
+            if future is not None and not future.done():
+                future.set_result(value)
+
+        counter.deliver_result = deliver  # type: ignore[method-assign]
+
+    async def _pump(self) -> None:
+        """Drain the runtime whenever a handler injects new work.
+
+        A protocol failure (e.g. an exhausted event budget) must not
+        strand in-flight clients on never-resolving futures: the pump
+        fails every waiter with the error before dying, so their
+        handlers answer ``ERR`` instead of hanging.
+        """
+        runtime = self.session.runtime
+        try:
+            while True:
+                await self._work.wait()
+                self._work.clear()
+                await runtime.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            for future in self._waiters.values():
+                if not future.done():
+                    future.set_exception(exc)
+            self._waiters.clear()
+            raise
+
+    async def inc(self) -> int:
+        """Run one increment: lease a processor, inject, await the value."""
+        pid = await self._pid_pool.get()
+        future: asyncio.Future[int] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._waiters[pid] = future
+        op_index = self._op_index
+        self._op_index += 1
+        self.session.counter.begin_inc(pid, op_index)
+        self._work.set()
+        try:
+            value = await future
+        finally:
+            self._pid_pool.put_nowait(pid)
+        self._served += 1
+        return value
+
+    def stats(self) -> dict[str, Any]:
+        """The ``STATS`` payload as a dict (also used by the CLI)."""
+        return {
+            "spec": self.spec,
+            "n": self.n,
+            "served": self._served,
+            "inflight": self.inflight,
+            "messages": self.session.network.trace.total_messages,
+        }
+
+    # ------------------------------------------------------------------
+    # The TCP side
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                command = line.decode("ascii", "replace").strip().upper()
+                if command == "INC":
+                    try:
+                        value = await self.inc()
+                    except Exception as exc:
+                        writer.write(
+                            f"ERR {type(exc).__name__}: {exc}\n"
+                            .encode("ascii", "replace")
+                        )
+                    else:
+                        writer.write(f"OK {value}\n".encode("ascii"))
+                elif command == "PING":
+                    writer.write(b"PONG\n")
+                elif command == "STATS":
+                    stats = self.stats()
+                    rendered = " ".join(
+                        f"{key}={stats[key]}" for key in stats
+                    )
+                    writer.write(f"STATS {rendered}\n".encode("ascii"))
+                elif command == "SHUTDOWN":
+                    writer.write(b"BYE\n")
+                    await writer.drain()
+                    asyncio.create_task(self.stop())
+                    break
+                elif command:
+                    writer.write(
+                        f"ERR unknown command {command!r}\n".encode("ascii")
+                    )
+                else:
+                    continue
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def serve_counter(
+    spec: str,
+    n: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    policy: str | None = None,
+    seed: int = 0,
+    time_scale: float = 0.0,
+    announce: bool = False,
+) -> None:
+    """Convenience runner: build a :class:`CounterService` and serve.
+
+    With *announce* the bound address is printed as
+    ``SERVING <spec> n=<n> <host>:<port>`` once the socket is ready —
+    machine-readable, so scripts (the CI smoke test) can bind port 0 and
+    discover the real port.
+    """
+    service = CounterService(
+        spec, n, host, port, policy=policy, seed=seed, time_scale=time_scale
+    )
+    await service.start()
+    if announce:
+        print(
+            f"SERVING {service.spec} n={service.n} {service.address}",
+            flush=True,
+        )
+    await service.wait_closed()

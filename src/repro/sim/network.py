@@ -594,24 +594,44 @@ class Network:
             executed += ran
             self._events_executed += ran
             if self._events_executed > limit:
-                context = self._run_context
-                suffix = f" while running {context}" if context else ""
-                if self._fault_plan is not None:
-                    suffix += (
-                        f" under fault plan {self._fault_plan.spec!r}"
-                    )
-                raise SimulationLimitError(
-                    f"exceeded event limit of {self._event_limit} "
-                    f"({self._events_executed} events executed, "
-                    f"{self._in_flight} messages in flight){suffix}; "
-                    "the protocol appears not to quiesce — raise "
-                    "event_limit for genuinely long runs, or suspect a "
-                    "retransmission/livelock loop",
-                    events_executed=self._events_executed,
-                    in_flight=self._in_flight,
-                    context=context,
-                )
+                raise self._limit_error()
         return executed
+
+    def step(self) -> bool:
+        """Execute the single earliest pending event; ``False`` if none.
+
+        The single-step entry point of the runtime seam
+        (:mod:`repro.runtime`): cooperative schedulers interleave other
+        work between events, so they pull one event at a time instead of
+        using the fused drain loops.  Event-limit accounting matches
+        :meth:`run_until_quiescent` (checked per event here — a stepped
+        run is never hot enough for the batch optimization to matter).
+        """
+        if not self._queue:
+            return False
+        self._queue.run_next()
+        self._events_executed += 1
+        if self._events_executed > self._event_limit:
+            raise self._limit_error()
+        return True
+
+    def _limit_error(self) -> SimulationLimitError:
+        """Build the (context-enriched) event-budget exhaustion error."""
+        context = self._run_context
+        suffix = f" while running {context}" if context else ""
+        if self._fault_plan is not None:
+            suffix += f" under fault plan {self._fault_plan.spec!r}"
+        return SimulationLimitError(
+            f"exceeded event limit of {self._event_limit} "
+            f"({self._events_executed} events executed, "
+            f"{self._in_flight} messages in flight){suffix}; "
+            "the protocol appears not to quiesce — raise "
+            "event_limit for genuinely long runs, or suspect a "
+            "retransmission/livelock loop",
+            events_executed=self._events_executed,
+            in_flight=self._in_flight,
+            context=context,
+        )
 
     def _drain_fast_off(self, limit: int) -> int:
         """Fused bucket drain, ``OFF`` tracing: dispatch and nothing else.

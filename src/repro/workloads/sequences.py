@@ -110,6 +110,80 @@ def single_hotspot(n: int, length: int, hot: ProcessorId = 1) -> list[ProcessorI
     return [hot] * length
 
 
+def poisson_arrivals(
+    ops: int, rate: float, seed: int = 0
+) -> list[float]:
+    """*ops* open-loop arrival times with Poisson arrivals at *rate*.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/rate``
+    (memoryless — the classic open-loop traffic model); times are
+    offsets from workload start, ascending.  Units are whatever the
+    consumer's clock uses: simulated time for
+    :func:`~repro.workloads.run_open_loop`, seconds for the wall-clock
+    load generator (:mod:`repro.serve.loadgen`).
+    """
+    _require_rate_and_ops(ops, rate)
+    rng = random.Random(seed)
+    times = []
+    now = 0.0
+    for _ in range(ops):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return times
+
+
+def bursty_arrivals(
+    ops: int, rate: float, seed: int = 0, alpha: float = 1.5
+) -> list[float]:
+    """*ops* heavy-tailed (bursty) arrival times at mean *rate*.
+
+    Inter-arrival gaps are Pareto-distributed with shape *alpha*,
+    scaled so the mean gap is ``1/rate`` — same offered load as
+    :func:`poisson_arrivals`, but arrivals cluster into bursts with
+    long quiet tails (the regime that stresses queues hardest at a
+    given mean rate).  Requires ``alpha > 1`` so the mean exists.
+    """
+    _require_rate_and_ops(ops, rate)
+    if alpha <= 1.0:
+        raise ConfigurationError(
+            f"pareto shape alpha must be > 1 for a finite mean, got {alpha}"
+        )
+    # Pareto(alpha, xm) has mean alpha*xm/(alpha-1); pick xm for mean 1/rate.
+    scale = (alpha - 1.0) / (alpha * rate)
+    rng = random.Random(seed)
+    times = []
+    now = 0.0
+    for _ in range(ops):
+        now += scale * rng.paretovariate(alpha)
+        times.append(now)
+    return times
+
+
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+"""Arrival processes resolvable by :func:`arrival_times`."""
+
+
+def arrival_times(
+    process: str, ops: int, rate: float, seed: int = 0
+) -> list[float]:
+    """Arrival times for the named *process* (see :data:`ARRIVAL_PROCESSES`)."""
+    if process == "poisson":
+        return poisson_arrivals(ops, rate, seed=seed)
+    if process == "bursty":
+        return bursty_arrivals(ops, rate, seed=seed)
+    raise ConfigurationError(
+        f"unknown arrival process {process!r}; "
+        f"expected one of {ARRIVAL_PROCESSES}"
+    )
+
+
 def _require_positive(n: int) -> None:
     if n <= 0:
         raise ConfigurationError(f"need a positive processor count, got {n}")
+
+
+def _require_rate_and_ops(ops: int, rate: float) -> None:
+    if ops <= 0:
+        raise ConfigurationError(f"need a positive operation count, got {ops}")
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")

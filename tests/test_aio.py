@@ -94,6 +94,34 @@ class TestAsyncConcurrent:
         assert sorted(o.value for o in result.outcomes) == list(range(16))
 
 
+class TestRunnerIsARuntime:
+    def test_shim_is_the_asyncio_runtime(self):
+        from repro.runtime import AsyncioRuntime, Runtime
+
+        runner = AsyncRunner(Network(), time_scale=0.25, yield_every=8)
+        assert isinstance(runner, AsyncioRuntime)
+        assert isinstance(runner, Runtime)
+        assert runner.time_scale == 0.25
+        assert runner.yield_every == 8
+
+    def test_run_until_quiescent_awaits_the_drain(self):
+        network = Network()
+        counter = CentralCounter(network, 4)
+        for pid in counter.client_ids():
+            counter.begin_inc(pid, pid - 1)
+
+        async def go():
+            return await AsyncRunner(network).run_until_quiescent()
+
+        executed = asyncio.run(go())
+        assert executed == network.events_executed > 0
+        assert sorted(
+            outcome
+            for pid in counter.client_ids()
+            for outcome in counter.results_for(pid)
+        ) == list(range(4))
+
+
 class TestRunnerValidation:
     def test_bad_parameters(self):
         network = Network()

@@ -32,6 +32,8 @@ PUBLIC_MODULES = [
     "repro.lowerbound",
     "repro.quorum",
     "repro.registry",
+    "repro.runtime",
+    "repro.serve",
     "repro.sim",
     "repro.workloads",
 ]

@@ -47,7 +47,7 @@ class TestBaseTypes:
 
     def test_registry_is_complete_and_ordered(self):
         ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
-        assert ids == [f"E{i}" for i in range(1, 24)]
+        assert ids == [f"E{i}" for i in range(1, 25)]
 
 
 class TestConstructionExperiments:
@@ -162,3 +162,21 @@ class TestSubstrateExperiments:
     def test_e15_counterexample_fires(self):
         result = run_e15(scan_n=8, seeds=3)
         assert "linearizable: False" in result.to_text()
+
+
+class TestServingExperiment:
+    def test_e24_knee_per_family(self):
+        from repro.experiments import run_e24
+        from repro.experiments.serving_exp import E24_FAMILIES
+
+        # run_e24 itself asserts a knee was detected for every family
+        result = run_e24(n=8, ops=96)
+        table = result.table()
+        assert table.column("counter") == list(E24_FAMILIES)
+        knees = [float(v) for v in table.column("knee rate")]
+        capacities = [float(v) for v in table.column("capacity n/(S+1)")]
+        # the knee never lands below the Little's-law capacity estimate
+        assert all(k >= c for k, c in zip(knees, capacities))
+        # slowest-service family saturates no later than the fastest
+        by_name = dict(zip(table.column("counter"), knees))
+        assert by_name["combining-tree"] <= by_name["central"]

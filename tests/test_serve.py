@@ -1,0 +1,268 @@
+"""Tests for the live serving layer: CounterService + the load generator.
+
+Everything runs in-process on loopback sockets with ``time_scale=0`` so
+the suite stays fast; the wall-clock saturation behavior is exercised by
+the ``serving`` benchmark grid instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import CapabilityError
+from repro.registry import parse_spec, registered_names
+from repro.serve import CounterService, LoadResult, run_load, run_rate_sweep
+
+SERVABLE = tuple(
+    name
+    for name in registered_names()
+    if parse_spec(name).capabilities.supports_concurrent
+)
+SEQUENTIAL_ONLY = tuple(
+    name for name in registered_names() if name not in SERVABLE
+)
+
+
+def _spec_for(name: str) -> str:
+    # Strict ww-tree enforces one-shot id discipline; a service handles
+    # repeated operations, so it is served in wrap mode.
+    return "ww-tree?interval_mode=wrap" if name == "ww-tree" else name
+
+
+async def _request(service: CounterService, line: str) -> str:
+    reader, writer = await asyncio.open_connection(
+        service.host, service.port
+    )
+    try:
+        writer.write(f"{line}\n".encode("ascii"))
+        await writer.drain()
+        return (await reader.readline()).decode("ascii").strip()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class TestEveryServableSpecServes:
+    """The acceptance bar: every concurrent-capable spec, served."""
+
+    @pytest.mark.parametrize("name", SERVABLE)
+    def test_served_increments_count_correctly(self, name):
+        n = 8
+
+        async def go():
+            service = CounterService(_spec_for(name), n, port=0)
+            await service.start()
+            try:
+                values = await asyncio.gather(
+                    *(service.inc() for _ in range(n))
+                )
+            finally:
+                await service.stop()
+            return service, values
+
+        service, values = asyncio.run(go())
+        assert sorted(values) == list(range(n))
+        assert service.served == n
+        assert service.inflight == 0
+        assert service.stats()["served"] == n
+
+    @pytest.mark.parametrize("name", SEQUENTIAL_ONLY)
+    def test_sequential_only_specs_refused(self, name):
+        with pytest.raises(CapabilityError, match="cannot serve"):
+            CounterService(name, 8)
+
+
+class TestProtocol:
+    def _with_service(self, coro_fn, spec="central", n=4):
+        async def go():
+            service = CounterService(spec, n, port=0)
+            await service.start()
+            try:
+                return await coro_fn(service)
+            finally:
+                await service.stop()
+
+        return asyncio.run(go())
+
+    def test_inc_returns_ordered_values_per_connection(self):
+        async def drive(service):
+            reader, writer = await asyncio.open_connection(
+                service.host, service.port
+            )
+            answers = []
+            for _ in range(5):
+                writer.write(b"INC\n")
+                await writer.drain()
+                answers.append((await reader.readline()).decode().strip())
+            writer.close()
+            await writer.wait_closed()
+            return answers
+
+        answers = self._with_service(drive)
+        assert answers == [f"OK {v}" for v in range(5)]
+
+    def test_ping_pong(self):
+        assert self._with_service(lambda s: _request(s, "PING")) == "PONG"
+
+    def test_stats_reports_spec_and_counts(self):
+        async def drive(service):
+            # two incs: the first leases central's co-located server
+            # client (self-delivery, zero messages), the second is remote
+            await service.inc()
+            await service.inc()
+            return await _request(service, "STATS")
+
+        line = self._with_service(drive)
+        assert line.startswith("STATS ")
+        fields = dict(
+            pair.split("=", 1) for pair in line[len("STATS "):].split()
+        )
+        assert fields["spec"] == "central"
+        assert fields["n"] == "4"
+        assert fields["served"] == "2"
+        assert fields["inflight"] == "0"
+        assert int(fields["messages"]) > 0
+
+    def test_unknown_command_answers_err(self):
+        answer = self._with_service(lambda s: _request(s, "DECREMENT"))
+        assert answer.startswith("ERR unknown command")
+
+    def test_lowercase_commands_accepted(self):
+        assert self._with_service(lambda s: _request(s, "ping")) == "PONG"
+
+    def test_shutdown_answers_bye_and_stops(self):
+        async def go():
+            service = CounterService("central", 4, port=0)
+            await service.start()
+            answer = await _request(service, "SHUTDOWN")
+            await asyncio.wait_for(service.wait_closed(), timeout=5)
+            return answer
+
+        assert asyncio.run(go()) == "BYE"
+
+    def test_port_zero_binds_a_real_port(self):
+        async def go():
+            service = CounterService("central", 4, port=0)
+            await service.start()
+            port = service.port
+            address = service.address
+            await service.stop()
+            return port, address
+
+        port, address = asyncio.run(go())
+        assert port > 0
+        assert address == f"127.0.0.1:{port}"
+
+
+class TestLoadGenerator:
+    def test_run_load_counts_every_increment(self):
+        async def go():
+            service = CounterService(
+                "ww-tree?interval_mode=wrap", 27, port=0
+            )
+            await service.start()
+            try:
+                result = await run_load(
+                    service.host, service.port, ops=60, rate=500.0
+                )
+            finally:
+                await service.stop()
+            return service, result
+
+        service, result = asyncio.run(go())
+        assert result.sent == 60
+        assert result.completed == 60
+        assert result.errors == 0
+        assert result.final_value == 60
+        assert service.served == 60
+        assert result.throughput > 0.0
+        assert 0.0 <= result.p50 <= result.p99
+
+    def test_bursty_process(self):
+        async def go():
+            service = CounterService("central", 8, port=0)
+            await service.start()
+            try:
+                return await run_load(
+                    service.host,
+                    service.port,
+                    ops=30,
+                    rate=300.0,
+                    process="bursty",
+                )
+            finally:
+                await service.stop()
+
+        result = asyncio.run(go())
+        assert result.completed == 30
+        assert result.process == "bursty"
+
+    def test_rate_sweep_runs_each_rate(self):
+        async def go():
+            service = CounterService("central", 8, port=0)
+            await service.start()
+            try:
+                return await run_rate_sweep(
+                    service.host,
+                    service.port,
+                    ops=20,
+                    rates=(100.0, 200.0),
+                )
+            finally:
+                await service.stop()
+
+        sweep = asyncio.run(go())
+        assert sweep.rates == [100.0, 200.0]
+        assert all(run.completed == 20 for run in sweep.runs)
+        # final value keeps growing across the sweep on one service
+        assert sweep.runs[0].final_value == 20
+        assert sweep.runs[1].final_value == 40
+
+    def test_rate_sweep_requires_ascending_rates(self):
+        async def go():
+            await run_rate_sweep("127.0.0.1", 1, ops=1, rates=(2.0, 1.0))
+
+        with pytest.raises(ValueError, match="ascending"):
+            asyncio.run(go())
+
+
+class TestLoadResultMath:
+    def _result(self, latencies):
+        return LoadResult(
+            offered_rate=10.0,
+            process="poisson",
+            sent=len(latencies),
+            completed=len(latencies),
+            errors=0,
+            duration=2.0,
+            final_value=len(latencies),
+            latencies=list(latencies),
+        )
+
+    def test_percentiles_nearest_rank(self):
+        result = self._result([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert result.p50 == 0.3
+        assert result.percentile(0.0) == 0.1
+        assert result.percentile(1.0) == 0.5
+
+    def test_empty_latencies_are_zero(self):
+        result = self._result([])
+        assert result.mean_latency == 0.0
+        assert result.p99 == 0.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self._result([0.1]).percentile(1.5)
+
+    def test_throughput_and_summary(self):
+        result = self._result([0.01, 0.02])
+        assert result.throughput == pytest.approx(1.0)
+        line = result.summary()
+        assert "rate=10/s" in line
+        assert "ok=2" in line
+        assert "p99=" in line
