@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI smoke test for the Byzantine regime, end to end through the CLI.
+
+Two explorations with pinned seeds and small budgets:
+
+* bare ``central`` under ``byz=1@equivocate`` MUST yield an agreement
+  violation (``repro explore`` exit code 1, and the JSON report must
+  contain at least one failure whose oracle is ``agreement``) — the
+  Byzantine server hands two honest clients the same value;
+* ``byz-counter`` under the same adversary budget MUST explore clean
+  (exit code 0, zero failures): f = 1 < n/3 at n = 7.
+
+Either expectation failing fails the smoke.  Run from the repository
+root: ``python scripts/byzantine_smoke.py`` (PYTHONPATH=src is set for
+the subprocesses automatically).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _explore(*argv: str) -> tuple[int, dict]:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "explore", *argv, "--json"],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode not in (0, 1):
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"repro explore crashed with exit code {proc.returncode}"
+        )
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    code, report = _explore(
+        "--counter", "central", "--n", "4", "--seed", "0",
+        "--strategy", "guided:6,random:6", "--budget", "6",
+        "--faults", "byz=1@equivocate", "--workload", "sequential",
+    )
+    oracles = {f["failure"]["oracle"] for f in report["failures"]}
+    if code != 1:
+        failures.append(
+            f"central under byz=1 must fail (exit 1), got exit {code}"
+        )
+    if "agreement" not in oracles:
+        failures.append(
+            "central under byz=1 must violate agreement; "
+            f"violated oracles: {sorted(oracles) or 'none'}"
+        )
+    else:
+        print(f"[smoke] central + byz=1: agreement violated as expected "
+              f"({len(report['failures'])} witness(es))")
+
+    code, report = _explore(
+        "--counter", "byz-counter?f=1", "--n", "7", "--seed", "3",
+        "--strategy", "guided:4,random:4", "--budget", "4",
+        "--faults", "byz=1@mixed", "--workload", "sequential",
+    )
+    if code != 0 or report["failures"]:
+        failures.append(
+            f"byz-counter under byz=1 must explore clean, got exit {code} "
+            f"with {len(report['failures'])} failure(s)"
+        )
+    else:
+        print(f"[smoke] byz-counter + byz=1: clean over "
+              f"{report['episodes']} episodes")
+
+    if failures:
+        for failure in failures:
+            print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[smoke] byzantine smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

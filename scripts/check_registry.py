@@ -11,8 +11,9 @@ disagrees with its canonical registry key.  Additionally, every spec
 that declares ``tolerates_crash`` must have a recovery test: its exact
 name must appear in at least one ``tests/test_*.py`` file that uses the
 ``recovery`` pytest marker — a crash-tolerance claim without a crash
-test is vacuous.  Run in CI so a new counter cannot land without
-registry wiring.
+test is vacuous.  The same bar applies to ``tolerates_byzantine``
+claims, which must appear in a ``byzantine``-marked test.  Run in CI so
+a new counter cannot land without registry wiring.
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from repro.sim.network import Network  # noqa: E402
 #: implementation module stem -> full spec names the module contributes
 EXPECTED = {
     "arrow": ["arrow"],
+    "byzantine": ["byz-counter"],
     "central": ["central"],
     "combining_tree": ["combining-tree"],
     "counting_network": ["counting-network"],
@@ -108,6 +110,28 @@ def main() -> int:
             failures.append(
                 f"{spec_name}: declares tolerates_crash but no test file "
                 "with the 'recovery' marker mentions it"
+            )
+
+    # Byzantine-tolerance claims need Byzantine tests, same bar: the
+    # spec's exact name must appear in a test file carrying the
+    # `byzantine` pytest marker.
+    byzantine_tests = [
+        path
+        for path in sorted(tests_dir.glob("test_*.py"))
+        if "pytest.mark.byzantine" in path.read_text()
+    ]
+    byzantine_specs = [
+        spec.name
+        for spec in registered_specs()
+        if spec.capabilities.tolerates_byzantine
+    ]
+    for spec_name in byzantine_specs:
+        if not any(
+            spec_name in path.read_text() for path in byzantine_tests
+        ):
+            failures.append(
+                f"{spec_name}: declares tolerates_byzantine but no test "
+                "file with the 'byzantine' marker mentions it"
             )
 
     if failures:

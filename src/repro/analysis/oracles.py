@@ -75,6 +75,14 @@ class OracleContext:
             — true under fault plans on at-most-once counters, where a
             crash can orphan a reserved value; the no-lost-increment
             oracle then requires uniqueness only.
+        byzantine_pids: processors the fault plan made Byzantine; the
+            agreement and validity oracles judge only *honest* evidence
+            (a liar's view of its own results proves nothing).
+        value_burning_faults: the fault plan contains non-Byzantine
+            rules (crashes, message loss) that can orphan a reserved
+            value — an honest value may then legitimately land at or
+            above ``expected_ops``, so the validity bound (and the
+            replica-count half of agreement) cannot be judged.
         exception: a :class:`~repro.errors.ReproError` the run itself
             raised (driver protocol check, event-limit livelock), or
             ``None`` for a clean run.
@@ -85,7 +93,26 @@ class OracleContext:
     result: RunResult | None = None
     expected_ops: int = 0
     at_most_once: bool = False
+    byzantine_pids: frozenset = frozenset()
+    value_burning_faults: bool = False
     exception: ReproError | None = None
+
+    def honest_outcomes(self) -> list[tuple[int, int]] | None:
+        """``(initiator, value)`` pairs for non-Byzantine initiators."""
+        byz = self.byzantine_pids
+        if self.ops is not None:
+            return [
+                (op.initiator, op.value)
+                for op in self.ops
+                if op.initiator not in byz
+            ]
+        if self.result is not None:
+            return [
+                (o.initiator, o.value)
+                for o in self.result.outcomes
+                if o.initiator not in byz
+            ]
+        return None
 
     def values(self) -> list[int] | None:
         """Returned values in op order from whichever driver ran."""
@@ -189,6 +216,112 @@ class HotSpotOracle(Oracle):
         return self._fail(str(report.violations[0]))
 
 
+class AgreementOracle(Oracle):
+    """No two honest operations receive the same value; replicas concur.
+
+    The agreement half of Byzantine counting correctness (the other
+    half is :class:`ValidityOracle`): two *honest* clients holding the
+    same counter value means the adversary split the system's view of
+    the count.  Byzantine initiators' own results are ignored — a liar
+    vouching for itself is not evidence.  Counters exposing
+    ``replica_counts()`` (the replicated phase-king family) are
+    additionally required to leave every honest replica with the same
+    final count.
+    """
+
+    name = "agreement"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        honest = context.honest_outcomes()
+        if honest is None:
+            return self._skip("run produced no value record")
+        values = [value for _, value in honest]
+        duplicates = sorted(
+            value for value in set(values) if values.count(value) > 1
+        )
+        if duplicates:
+            holders = {
+                value: sorted(pid for pid, v in honest if v == value)
+                for value in duplicates
+            }
+            return self._fail(
+                f"honest processors disagree: value(s) {duplicates} "
+                f"handed to multiple honest initiators ({holders})"
+            )
+        replica_counts = getattr(context.counter, "replica_counts", None)
+        if replica_counts is not None and not context.value_burning_faults:
+            counts = {
+                pid: count
+                for pid, count in replica_counts().items()
+                if pid not in context.byzantine_pids
+            }
+            if len(set(counts.values())) > 1:
+                return self._fail(
+                    f"honest replicas ended with diverging counts: {counts}"
+                )
+        return self._pass()
+
+
+class ValidityOracle(Oracle):
+    """Every honest value lies in ``[0, expected_ops + byzantine incs)``.
+
+    The validity half of Byzantine counting correctness: no honest
+    client may be handed a value the workload did not earn — a negative
+    or too-large value is one the adversary *invented*.  The subtlety
+    is the upper bound: a Byzantine processor is a legitimate client,
+    and its corrupted requests can commit as extra increments *by it*
+    (indistinguishable, to honest replicas, from incs it chose to
+    perform).  Counters exposing ``commit_origins()`` therefore raise
+    the bound by the commits honest replicas attribute to Byzantine
+    origins; for everything else the bound stays ``expected_ops``.
+    Skipped under crash/loss rules
+    (:attr:`OracleContext.value_burning_faults`): an orphaned combine
+    burns values honestly, which is indistinguishable from invention.
+    """
+
+    name = "validity"
+
+    def check(self, context: OracleContext) -> OracleVerdict:
+        honest = context.honest_outcomes()
+        if honest is None:
+            return self._skip("run produced no value record")
+        if context.expected_ops <= 0:
+            return self._skip("workload size unknown (expected_ops unset)")
+        if context.value_burning_faults:
+            return self._skip(
+                "crash/loss rules can burn reserved values, so the "
+                "upper bound is not judgeable"
+            )
+        bound = context.expected_ops + self._byzantine_incs(context)
+        bogus = sorted(
+            (pid, value)
+            for pid, value in honest
+            if not 0 <= value < bound
+        )
+        if bogus:
+            return self._fail(
+                f"honest processor(s) received value(s) outside "
+                f"[0, {bound}): {bogus}"
+            )
+        return self._pass()
+
+    @staticmethod
+    def _byzantine_incs(context: OracleContext) -> int:
+        """Extra increments honest replicas attribute to Byzantine origins."""
+        byz = context.byzantine_pids
+        commit_origins = getattr(context.counter, "commit_origins", None)
+        if not byz or commit_origins is None:
+            return 0
+        return max(
+            (
+                sum(count for origin, count in tally.items() if origin in byz)
+                for pid, tally in commit_origins().items()
+                if pid not in byz
+            ),
+            default=0,
+        )
+
+
 class NoLostIncrementOracle(Oracle):
     """Every value is handed out at most once; without burns, exactly once.
 
@@ -268,6 +401,8 @@ def default_oracles() -> tuple[Oracle, ...]:
         RuntimeOracle(),
         LinearizabilityOracle(),
         HotSpotOracle(),
+        AgreementOracle(),
+        ValidityOracle(),
         NoLostIncrementOracle(),
         RetirementMonotonicityOracle(),
     )

@@ -57,6 +57,16 @@ class Capabilities:
             declare it, and the registry refuses permanent-crash fault
             plans on counters without it (a reliable transport alone
             cannot resurrect state parked on a dead processor).
+        tolerates_byzantine: operations still complete correctly for
+            honest processors when up to ``f`` processors are
+            *Byzantine* — they corrupt, equivocate on, or withhold
+            their own messages (``byz=f@strategy`` fault plans).
+            Requires protocol-level agreement machinery (quorum echo
+            rounds, value filtering); the ``byz-counter`` family in
+            :mod:`repro.counters.byzantine` declares it, and the
+            registry refuses Byzantine fault plans on counters without
+            it — a lying processor defeats both retransmission and
+            checkpoint recovery.
         explorable: the protocol remains correct under *any* legal
             reordering of equal-time events and any per-message delay —
             i.e. it bakes no hidden timing assumption beyond what
@@ -77,6 +87,7 @@ class Capabilities:
     needs_square_n: bool = False
     tolerates_message_loss: bool = False
     tolerates_crash: bool = False
+    tolerates_byzantine: bool = False
     explorable: bool = True
     restriction: str = ""
 
@@ -101,6 +112,8 @@ class Capabilities:
             labels.append("loss-tolerant")
         if self.tolerates_crash:
             labels.append("crash-tolerant")
+        if self.tolerates_byzantine:
+            labels.append("byzantine-tolerant")
         if not self.explorable:
             labels.append("not-explorable")
         return tuple(labels)

@@ -255,6 +255,62 @@ def bench_explore() -> dict:
     }
 
 
+def bench_byzantine(n: int = 7, budgets: tuple[int, ...] = (1, 2)) -> dict:
+    """Byzantine resilience grid: rounds and msgs/op vs f.
+
+    ``byz-counter`` under the synchronous-round runtime, clean and under
+    a budget-f ``mixed`` adversary, at every admissible tolerance level
+    for the population.  Honest completion is asserted on every cell, so
+    this doubles as a CI smoke test of the Byzantine stack; the row pair
+    per f shows what the adversary *adds* on top of the protocol's own
+    agreement cost (phases scale with f + 1, so msgs/op grows with f).
+    """
+    grid = {}
+    for f in budgets:
+        for label, faults in (
+            (f"f={f} clean", None),
+            (f"f={f} adversarial", f"byz={f}@mixed"),
+        ):
+            session = RunSession(
+                f"byz-counter?f={f}",
+                n,
+                policy="random",
+                seed=3,
+                faults=faults,
+                runtime="sync",
+                trace_level="FULL",
+            )
+            start = time.perf_counter()
+            result = session.run_sequence(check_values=faults is None)
+            elapsed = time.perf_counter() - start
+            byz = (
+                session.fault_plan.byzantine_pids
+                if session.fault_plan is not None
+                else frozenset()
+            )
+            honest = [
+                o.value
+                for o in result.outcomes
+                if o.initiator not in byz
+            ]
+            assert len(honest) == n - len(byz), f"{label}: honest inc lost"
+            assert len(set(honest)) == len(honest), f"{label}: duplicate"
+            messages = len(session.network.trace.records)
+            grid[label] = {
+                "rounds": session.runtime.rounds,
+                "msgs_per_op": round(messages / n, 1),
+                "honest_ops": len(honest),
+                "wall_time_s": round(elapsed, 4),
+            }
+    return {
+        "grid": f"byz-counter sequential one-shot, n={n}, sync runtime, "
+        "mixed adversary",
+        "note": "honest completion and value uniqueness asserted on "
+        "every cell; rounds counted by the lockstep runtime",
+        **grid,
+    }
+
+
 def bench_sweep(workers: int) -> float:
     points = [
         SweepPoint(counter=counter, n=n)
@@ -372,6 +428,7 @@ GRIDS = (
     "sweep",
     "faults",
     "recovery",
+    "byzantine",
     "explore",
     "large_n",
     "serving",
@@ -455,6 +512,9 @@ def build_report(grids: tuple[str, ...] = GRIDS) -> dict:
     if "recovery" in grids:
         _grid_boundary()
         report["crash_recovery"] = bench_recovery()
+    if "byzantine" in grids:
+        _grid_boundary()
+        report["byzantine"] = bench_byzantine()
     if "explore" in grids:
         _grid_boundary()
         report["schedule_exploration"] = bench_explore()

@@ -12,10 +12,14 @@
 * :class:`ArrowCounter` — token mobility via path reversal (Raymond
   1989 / the arrow protocol): the order-sensitive contrast case for the
   lower bound's worst-case-over-orders quantifier.
+* :class:`ByzantineCounter` — replicated counter running phase-king
+  agreement per inc (Lenzen/Rybicki-style resilient counting); the only
+  family tolerating ``f < n/3`` lying processors.
 """
 
 from repro.counters.arrow import ArrowCounter
 
+from repro.counters.byzantine import ByzantineCounter
 from repro.counters.central import CentralCounter
 from repro.counters.combining_tree import CombiningTreeCounter
 from repro.counters.counting_network import BitonicCountingNetwork
@@ -25,6 +29,7 @@ from repro.counters.static_tree import StaticTreeCounter
 __all__ = [
     "ArrowCounter",
     "BitonicCountingNetwork",
+    "ByzantineCounter",
     "CentralCounter",
     "CombiningTreeCounter",
     "DiffractingTreeCounter",

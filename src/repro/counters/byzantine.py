@@ -1,0 +1,423 @@
+"""A Byzantine-resilient counter: phase-king agreement per increment.
+
+The paper's model assumes processors fail, at worst, by stopping.  This
+family answers ROADMAP item 3's question — what does counting cost when
+processors *lie*?  It ports the synchronous-counting core of the
+Lenzen–Rybicki line ("Efficient Counting with Optimal Resilience"): all
+``n`` processors replicate the counter value, and every ``inc`` runs one
+phase-king agreement instance so the honest replicas move from ``v`` to
+``v + 1`` in lockstep no matter what up to ``f < n/3`` Byzantine
+replicas inject.
+
+Protocol per operation (``rid`` = the op index):
+
+1. **Propose** — the initiator broadcasts ``propose(rid)``.
+2. **Echo** — on the proposal, every replica broadcasts its current
+   count; after ``n - f`` echoes a replica sets its preference to the
+   median (with all honest replicas agreed on ``v``, at most ``f`` liars
+   cannot move the median of ``n - f`` values off ``v``).
+3. **Phase king** — ``f + 1`` phases of three all-to-all rounds each
+   (king of phase ``p`` is processor ``p``):
+
+   * round A: broadcast the preference; a value seen ``>= n - 2f``
+     times among the ``n - f`` collected becomes the *proposal*
+     (two conflicting proposals would need ``2(n - 2f) <= n - f``
+     votes, impossible for ``n > 3f`` — the quorum-intersection
+     argument);
+   * round B: broadcast the proposal; adopt a value seen ``f + 1``
+     times (at least one honest proposer) and remember its *support*;
+   * round C: broadcast the preference again; a replica whose support
+     reached ``n - 2f`` keeps its value, anyone else adopts the king's
+     round-C value if it arrived among the ``n - f`` collected.
+
+4. **Result** — each replica commits ``count = v + 1`` and reports
+   ``v`` to the initiator, which accepts a value once ``f + 1``
+   distinct replicas vouch for it (at least one honest witness — a
+   forged result can never reach the quorum).
+
+Round synchronisation is by *message counting* (proceed on ``n - f``
+messages per round, buffering rounds from faster peers).  Round
+messages that race ahead of their propose are buffered too, and a
+replica *joins* an instance it never saw the propose for once ``f + 1``
+distinct senders vouch for it (Bracha-style amplification: one of them
+must be honest) — without the join rule a Byzantine initiator could
+withhold its propose from one honest replica and leave its count
+permanently behind.  This makes the protocol driven correctly by every
+runtime — the lockstep
+``"sync"`` runtime realises the synchronous model the protocol is
+specified in, and the event-driven/explorer runtimes exercise it under
+arbitrary delivery orders.  When honest replicas start an instance
+agreed (always, under sequential operation), the round-A/B thresholds
+alone carry agreement *unconditionally*; the king round bounds
+re-convergence when divergence is injected artificially (see the
+``trusting-byz`` mutant).
+
+Agreement instances are identified by ``(origin, rid)`` — the origin
+being the *authentic* sender of the propose — so a corrupted rid from a
+Byzantine initiator can only ever spawn a parallel bogus instance; it
+cannot hijack, redirect or starve an honest initiator's instance.  A
+Byzantine *initiator* may still corrupt its own ``propose`` and so
+never collect a result quorum for the rid the driver asked for; drivers
+treat compromised initiators' operations as optional, exactly like
+permanently crashed processors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Tally
+from functools import partial
+
+from repro.api import Capabilities, DistributedCounter
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.messages import Message, OpIndex, ProcessorId
+from repro.sim.network import Network
+from repro.sim.processor import Processor
+
+KIND_PROPOSE = "propose"
+KIND_ECHO = "echo"
+KIND_VOTE = "vote"
+KIND_RESULT = "result"
+
+#: Round-step indices within a phase (payload field ``step``).
+_STEP_A, _STEP_B, _STEP_C = 0, 1, 2
+
+
+def _is_value(candidate: object) -> bool:
+    """True for genuine integer protocol values (bools are not counts)."""
+    return isinstance(candidate, int) and not isinstance(candidate, bool)
+
+
+class _Instance:
+    """One in-flight agreement instance (one ``inc``) at one replica.
+
+    Identity is ``(origin, rid)``: the origin comes from the message
+    layer's authentic sender field, so no payload corruption can merge
+    two initiators' instances.
+    """
+
+    __slots__ = (
+        "rid",
+        "origin",
+        "phase",
+        "step",
+        "pref",
+        "proposal",
+        "support",
+        "buffers",
+        "done",
+    )
+
+    def __init__(self, rid: int, origin: ProcessorId) -> None:
+        self.rid = rid
+        self.origin = origin
+        self.phase = 0  # phase 0 = the echo round
+        self.step = _STEP_A
+        self.pref: int = 0
+        self.proposal: int | None = None
+        self.support = 0
+        # (phase, step) -> sender -> reported value.  Messages for
+        # rounds this replica has not reached yet buffer here; keys a
+        # corrupted payload invents are never consulted.
+        self.buffers: dict[tuple[int, int], dict[ProcessorId, object]] = {}
+        self.done = False
+
+
+class _ByzReplica(Processor):
+    """One replica: holds a full copy of the count, votes on every inc."""
+
+    def __init__(self, pid: ProcessorId, counter: "ByzantineCounter") -> None:
+        super().__init__(pid)
+        self._counter = counter
+        self.count = 0
+        self._instances: dict[tuple[ProcessorId, int], _Instance] = {}
+        self._finished: set[tuple[ProcessorId, int]] = set()
+        # Commits tallied by instance origin: a Byzantine initiator can
+        # spawn extra (bogus-rid) instances, which commit as *its* incs;
+        # the validity oracle uses this to bound honest values.
+        self.commits_by_origin: dict[ProcessorId, int] = {}
+        # Round messages that raced ahead of their propose: under
+        # adversarial delivery an echo/vote can arrive before the
+        # propose that creates its instance; dropping it would stall
+        # the n-f quorum forever (a liveness hole, not a safety one).
+        self._pending: dict[
+            tuple[ProcessorId, int],
+            list[tuple[ProcessorId, int, int, object]],
+        ] = {}
+        # Initiator-side result collection: rid -> value -> voucher pids.
+        self._result_votes: dict[int, dict[int, set[ProcessorId]]] = {}
+        self._delivered: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def request_inc(self, rid: int) -> None:
+        """Initiate one ``inc`` (local event, not a message)."""
+        self._broadcast(KIND_PROPOSE, {"rid": rid})
+        self._on_propose(self.pid, rid)
+
+    def on_message(self, message: Message) -> None:
+        kind = message.kind
+        payload = message.payload
+        if kind == KIND_VOTE:
+            self._on_round(
+                message.sender,
+                payload.get("origin"),
+                payload.get("rid"),
+                payload.get("phase"),
+                payload.get("step"),
+                payload.get("value"),
+            )
+        elif kind == KIND_ECHO:
+            self._on_round(
+                message.sender, payload.get("origin"), payload.get("rid"),
+                0, _STEP_A, payload.get("value"),
+            )
+        elif kind == KIND_PROPOSE:
+            self._on_propose(message.sender, payload.get("rid"))
+        elif kind == KIND_RESULT:
+            self._on_result(
+                message.sender, payload.get("rid"), payload.get("value")
+            )
+        else:
+            raise ProtocolError(
+                f"byz-counter: unknown message kind {message.kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _broadcast(self, kind: str, payload: dict) -> None:
+        for pid in self._counter.client_ids():
+            if pid != self.pid:
+                self.send(pid, kind, payload)
+
+    def _record_own(self, inst: _Instance, value: object) -> None:
+        key = (inst.phase, inst.step)
+        inst.buffers.setdefault(key, {})[self.pid] = value
+
+    def _on_propose(self, origin: ProcessorId, rid: object) -> None:
+        if not _is_value(rid):
+            return
+        key = (origin, rid)
+        if key in self._finished or key in self._instances:
+            return
+        inst = _Instance(rid, origin)
+        self._instances[key] = inst
+        self._broadcast(
+            KIND_ECHO, {"rid": rid, "origin": origin, "value": self.count}
+        )
+        self._record_own(inst, self.count)
+        for sender, phase, step, value in self._pending.pop(key, ()):
+            inst.buffers.setdefault((phase, step), {})[sender] = value
+        self._advance(inst)
+
+    def _on_round(
+        self,
+        sender: ProcessorId,
+        origin: object,
+        rid: object,
+        phase: object,
+        step: object,
+        value: object,
+    ) -> None:
+        if (
+            not _is_value(origin)
+            or not _is_value(rid)
+            or not _is_value(phase)
+            or not _is_value(step)
+        ):
+            return
+        key = (origin, rid)
+        inst = self._instances.get(key)
+        if inst is None:
+            if key in self._finished:
+                return
+            pending = self._pending.setdefault(key, [])
+            pending.append((sender, phase, step, value))
+            if len({entry[0] for entry in pending}) > self._counter.f:
+                # f+1 distinct senders vouch for this instance: at
+                # least one of them is honest, so a genuine propose
+                # exists somewhere — join without waiting for ours
+                # (it may have been withheld by a Byzantine origin).
+                self._on_propose(origin, rid)
+            return
+        if inst.done:
+            return
+        inst.buffers.setdefault((phase, step), {})[sender] = value
+        if (phase, step) == (inst.phase, inst.step):
+            self._advance(inst)
+
+    def _advance(self, inst: _Instance) -> None:
+        counter = self._counter
+        need = counter.need
+        f = counter.f
+        while not inst.done:
+            votes = inst.buffers.get((inst.phase, inst.step))
+            if votes is None or len(votes) < need:
+                return
+            values = [v for v in votes.values() if _is_value(v)]
+            if inst.phase == 0:
+                # Echo: resynchronise on the median of n-f reported
+                # counts — f liars cannot move it off the honest value.
+                inst.pref = (
+                    sorted(values)[len(values) // 2] if values else self.count
+                )
+                self._enter(inst, 1, _STEP_A)
+            elif inst.step == _STEP_A:
+                best, top = self._plurality(values)
+                inst.proposal = best if top >= need - f else None
+                self._enter(inst, inst.phase, _STEP_B)
+            elif inst.step == _STEP_B:
+                best, top = self._plurality(values)
+                if top >= f + 1:
+                    inst.pref = best  # type: ignore[assignment]
+                    inst.support = top
+                else:
+                    inst.support = 0
+                self._enter(inst, inst.phase, _STEP_C)
+            else:  # _STEP_C — the king round
+                if inst.support < need - f:
+                    king_value = votes.get(inst.phase)
+                    if _is_value(king_value):
+                        inst.pref = king_value
+                if inst.phase == counter.phases:
+                    self._finish(inst)
+                else:
+                    self._enter(inst, inst.phase + 1, _STEP_A)
+
+    @staticmethod
+    def _plurality(values: list[int]) -> tuple[int | None, int]:
+        """The most common value (ties: smallest) and its multiplicity."""
+        if not values:
+            return None, 0
+        tally = _Tally(values)
+        top = max(tally.values())
+        return min(v for v, c in tally.items() if c == top), top
+
+    def _enter(self, inst: _Instance, phase: int, step: int) -> None:
+        inst.phase = phase
+        inst.step = step
+        value = inst.proposal if step == _STEP_B else inst.pref
+        self._broadcast(
+            KIND_VOTE,
+            {
+                "rid": inst.rid,
+                "origin": inst.origin,
+                "phase": phase,
+                "step": step,
+                "value": value,
+            },
+        )
+        self._record_own(inst, value)
+
+    def _finish(self, inst: _Instance) -> None:
+        inst.done = True
+        agreed = inst.pref
+        self.count = agreed + 1
+        self.commits_by_origin[inst.origin] = (
+            self.commits_by_origin.get(inst.origin, 0) + 1
+        )
+        key = (inst.origin, inst.rid)
+        self._finished.add(key)
+        del self._instances[key]
+        if inst.origin == self.pid:
+            self._add_result_vote(inst.rid, agreed, self.pid)
+        else:
+            self.send(
+                inst.origin, KIND_RESULT, {"rid": inst.rid, "value": agreed}
+            )
+
+    def _on_result(
+        self, sender: ProcessorId, rid: object, value: object
+    ) -> None:
+        if not _is_value(rid) or not _is_value(value):
+            return
+        self._add_result_vote(rid, value, sender)
+
+    def _add_result_vote(
+        self, rid: int, value: int, sender: ProcessorId
+    ) -> None:
+        if rid in self._delivered:
+            return
+        vouchers = self._result_votes.setdefault(rid, {}).setdefault(
+            value, set()
+        )
+        vouchers.add(sender)
+        if len(vouchers) >= self._counter.result_quorum:
+            self._delivered.add(rid)
+            self._result_votes.pop(rid, None)
+            self._counter.deliver_result(self.pid, value)
+
+
+class ByzantineCounter(DistributedCounter):
+    """Replicated counter agreeing on every increment via phase king.
+
+    Args:
+        network: simulator to wire into.
+        n: number of replica/client processors (ids 1..n).
+        f: declared Byzantine tolerance.  ``0`` (the default) means
+            *auto*: the maximum the population admits, ``(n - 1) // 3``.
+            An explicit ``f`` must satisfy ``n > 3f``.
+    """
+
+    name = "byz-counter"
+    capabilities = Capabilities(
+        sequential_only=True,
+        tolerates_byzantine=True,
+        restriction=(
+            "phase-king agreement runs one inc at a time; concurrent "
+            "instances would race on the replicated count"
+        ),
+    )
+
+    def __init__(self, network: Network, n: int, f: int = 0) -> None:
+        super().__init__(network, n)
+        if f < 0:
+            raise ConfigurationError(
+                f"byz-counter tolerance must be >= 0, got f={f}"
+            )
+        if f == 0:
+            f = (n - 1) // 3
+        elif n <= 3 * f:
+            raise ConfigurationError(
+                f"byz-counter needs n > 3f: n={n} cannot tolerate f={f} "
+                f"(max f for this n is {(n - 1) // 3})"
+            )
+        self.f = f
+        self.phases = f + 1
+        self.need = n - f
+        self.result_quorum = f + 1
+        self._replicas: dict[ProcessorId, _ByzReplica] = {}
+        for pid in self.client_ids():
+            replica = _ByzReplica(pid, self)
+            network.register(replica)
+            self._replicas[pid] = replica
+
+    def begin_inc(self, pid: ProcessorId, op_index: OpIndex) -> None:
+        if pid not in self._replicas:
+            raise ConfigurationError(
+                f"processor {pid} is not a replica of this counter"
+            )
+        replica = self._replicas[pid]
+        self.network.inject(
+            partial(replica.request_inc, op_index), op_index=op_index
+        )
+
+    def replica_counts(self) -> dict[ProcessorId, int]:
+        """Each replica's committed count (the agreement oracle's view)."""
+        return {pid: r.count for pid, r in self._replicas.items()}
+
+    def commit_origins(self) -> dict[ProcessorId, dict[ProcessorId, int]]:
+        """Per-replica commit tallies keyed by instance origin.
+
+        A Byzantine initiator's corrupted propose can spawn extra
+        agreement instances — each a legitimate ``inc`` *by that liar*
+        as far as honest replicas can tell.  The validity oracle adds
+        commits traceable to Byzantine origins to its upper bound, so
+        honest values inflated by a liar's incs pass while genuinely
+        invented values still fail.
+        """
+        return {
+            pid: dict(r.commits_by_origin)
+            for pid, r in self._replicas.items()
+        }

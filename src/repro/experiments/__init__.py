@@ -10,6 +10,7 @@ their runners (with default parameters).
 from typing import Callable
 
 from repro.experiments.base import ExperimentResult, ExperimentTable, make_table
+from repro.experiments.byzantine_exp import run_e25
 from repro.experiments.comparisons_exp import run_e6, run_e7, run_e13, run_e17
 from repro.experiments.constructions import run_e1, run_e2
 from repro.experiments.lowerbound_exp import run_e3, run_e16
@@ -44,6 +45,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "E22": run_e22,
     "E23": run_e23,
     "E24": run_e24,
+    "E25": run_e25,
 }
 """Experiment id → zero-argument runner with the canonical parameters."""
 
@@ -76,4 +78,5 @@ __all__ = [
     "run_e22",
     "run_e23",
     "run_e24",
+    "run_e25",
 ]

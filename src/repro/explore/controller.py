@@ -119,6 +119,24 @@ class ScheduleController(DeliveryPolicy, SchedulerHook):
         return self
 
     # ------------------------------------------------------------------
+    # Adversary choice points (Byzantine fault plans)
+    # ------------------------------------------------------------------
+    def choose_adversary(self, kind: str, count: int) -> int:
+        """Answer one adversary decision (``"byz-pid"``, ``"byz-rule"``).
+
+        Byzantine plans route their free choices — which processors to
+        compromise at binding time, which behaviour a ``mixed`` rule
+        picks per message — through the episode's strategy, recorded in
+        the same decision stream as delays and tie-breaks, so a repro
+        file replays the adversary along with the schedule.
+        """
+        choice = self._strategy.choose_adversary(kind, count, self)
+        choice %= count
+        self._decisions.append(choice)
+        self._kinds.append(kind)
+        return choice
+
+    # ------------------------------------------------------------------
     # SchedulerHook: the tie-break decision point
     # ------------------------------------------------------------------
     def choose(self, ready: list[tuple[float, int, Callable[..., None], Any]]) -> int:

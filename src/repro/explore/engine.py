@@ -38,6 +38,7 @@ from repro.explore.mutants import build_mutant, is_mutant_spec
 from repro.explore.schedule import DEFAULT_DELAY_MENU, ReproFile, Schedule
 from repro.explore.shrink import shrink_schedule
 from repro.explore.strategies import ReplayStrategy, Strategy, parse_plan
+from repro.sim.faults import FaultPlan, parse_fault_spec
 from repro.sim.messages import ProcessorId
 from repro.sim.network import Network
 from repro.workloads.driver import RunResult, run_sequence
@@ -171,11 +172,25 @@ class Explorer:
         self._oracles = oracles
         self._is_mutant = is_mutant_spec(config.counter)
         if self._is_mutant:
-            if config.faults or config.transport != "bare":
+            if config.transport != "bare":
                 raise ConfigurationError(
-                    "mutants are explored bare: no fault plans, no "
-                    "reliable transport (the bug is the experiment)"
+                    "mutants are explored bare: no reliable transport "
+                    "(the bug is the experiment)"
                 )
+            if config.faults:
+                # A Byzantine-only plan is the one exception to "mutants
+                # are explored bare": Byzantine-tolerance mutants (e.g.
+                # mutant[trusting-byz]) only misbehave when there are
+                # liars to trust.  Crash/loss rules stay rejected.
+                probe = parse_fault_spec(config.faults, seed=config.seed)
+                if not probe.byzantine_rules or len(probe.byzantine_rules) != len(
+                    probe.rules
+                ):
+                    raise ConfigurationError(
+                        "mutants are explored bare: no fault plans except "
+                        "Byzantine-only ones (the bug is the experiment; "
+                        "Byzantine mutants need liars to trust)"
+                    )
             self._canonical = config.counter.strip()
         else:
             from repro.registry import parse_spec
@@ -214,40 +229,98 @@ class Explorer:
     # ------------------------------------------------------------------
     # Episode assembly
     # ------------------------------------------------------------------
+    def _episode_plan(
+        self, controller: ScheduleController
+    ) -> FaultPlan | None:
+        """Parse a fresh fault plan and hand its adversary to *controller*.
+
+        Parsed per episode (not once) because Byzantine binding is
+        one-shot per plan: every episode must re-choose its compromised
+        set through the episode's own strategy.  The ``"byz-pid"`` and
+        ``"byz-rule"`` choices land in the recorded decision stream, so
+        repro files replay the adversary along with the schedule.
+        """
+        config = self._config
+        if not config.faults:
+            return None
+        plan = parse_fault_spec(config.faults, seed=config.seed)
+        if plan.byzantine_rules:
+            plan.bind_clients(config.n, chooser=controller.choose_adversary)
+            plan.install_adversary(controller.choose_adversary)
+        return plan
+
     def _build(
         self, controller: ScheduleController
-    ) -> tuple[DistributedCounter, Network, frozenset[ProcessorId], bool]:
+    ) -> tuple[
+        DistributedCounter,
+        Network,
+        frozenset[ProcessorId],
+        bool,
+        frozenset[ProcessorId],
+        bool,
+    ]:
         """Wire one episode; returns (counter, network, optional-pids,
-        at-most-once)."""
+        at-most-once, byzantine-pids, value-burning)."""
         config = self._config
+        plan = self._episode_plan(controller)
+        byz = plan.byzantine_pids if plan is not None else frozenset()
+        # Crash/loss rules can orphan reserved values, so the validity
+        # bound is only judgeable on Byzantine-only (or clean) plans.
+        burning = plan is not None and len(plan.byzantine_rules) != len(
+            plan.rules
+        )
         if self._is_mutant:
-            network = Network(
-                policy=controller, event_limit=config.event_limit
-            )
+            kwargs: dict = {"event_limit": config.event_limit}
+            if plan is not None:
+                kwargs["fault_plan"] = plan
+            network = Network(policy=controller, **kwargs)
             network.run_context = self._canonical
             counter = build_mutant(config.counter, network, config.n)
             controller.attach(network)
-            return counter, network, frozenset(), False
-        from repro.registry import RunSession
+            return counter, network, byz, plan is not None, byz, burning
+        from repro.registry import RunSession, parse_spec
 
+        ref = parse_spec(config.counter)
+        if byz and not ref.capabilities.tolerates_byzantine:
+            # The session gate would (rightly) refuse this pairing; the
+            # explorer's whole point here is to produce the witness the
+            # gate is protecting users from, so assemble directly.
+            network = Network(
+                policy=controller,
+                event_limit=config.event_limit,
+                fault_plan=plan,
+            )
+            network.run_context = self._canonical
+            counter = ref.build(network, config.n)
+            controller.attach(network)
+            return counter, network, byz, True, byz, burning
         session = RunSession(
             config.counter,
             config.n,
             policy=controller,
             seed=config.seed,
             event_limit=config.event_limit,
-            faults=config.faults or None,
+            faults=plan,
             reliable=config.transport == "reliable",
         )
         controller.attach(session.network)
         plan = session.fault_plan
         optional = (
-            plan.permanent_crash_pids if plan is not None else frozenset()
+            plan.permanent_crash_pids | plan.byzantine_pids
+            if plan is not None
+            else frozenset()
         )
         # Under an active fault plan values may be burned (orphaned
         # combines, re-assigned reservations), so the value set need not
         # be dense — only duplicate-free.
-        return session.counter, session.network, optional, plan is not None
+        return (
+            session.counter,
+            session.network,
+            optional,
+            plan is not None,
+            byz,
+            burning,
+        )
 
     def _batch(self) -> list[ProcessorId]:
         config = self._config
@@ -260,7 +333,9 @@ class Explorer:
         config = self._config
         strategy.begin_episode(episode)
         controller = ScheduleController(strategy, config.delay_menu)
-        counter, network, optional, at_most_once = self._build(controller)
+        counter, network, optional, at_most_once, byz, burning = self._build(
+            controller
+        )
         batch = self._batch()
         ops: list[TimedOp] | None = None
         result: RunResult | None = None
@@ -271,7 +346,9 @@ class Explorer:
                     counter, batch, config.gap, optional=optional
                 )
             else:
-                result = run_sequence(counter, batch, check_values=False)
+                result = run_sequence(
+                    counter, batch, check_values=False, optional=optional
+                )
         except ReproError as error:
             exception = error
         context = OracleContext(
@@ -280,6 +357,8 @@ class Explorer:
             result=result,
             expected_ops=len(batch),
             at_most_once=at_most_once,
+            byzantine_pids=byz,
+            value_burning_faults=burning,
             exception=exception,
         )
         verdicts = run_oracles(context, self._oracles)

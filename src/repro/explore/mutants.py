@@ -26,12 +26,26 @@ Shipped mutants:
   Correct for one inc per client; any workload revisiting a client
   (``rounds >= 2``) returns values with no message footprint — caught
   by the ``hot-spot`` oracle on sequential episodes.
+* ``mutant[trusting-byz]`` — a Byzantine counter whose initiators trust
+  the *first* result message instead of waiting for the ``f + 1``
+  matching vouchers that guarantee an honest witness.  Correct without
+  liars (every exploration baseline passes, and so does any clean
+  fault-free run); under a ``byz=f@corrupt``-style plan, a schedule
+  that lands a compromised replica's corrupted result first hands the
+  client an invented value or an invented instance — caught by the
+  ``validity``/``agreement`` oracles, or by the driver's strict
+  result-count check (the ``runtime`` oracle) when the invention is a
+  whole extra delivery.  This is the one mutant explored *with* a
+  fault plan: the bug is in how the protocol weighs liars, so it needs
+  liars to weigh.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.api import DistributedCounter
+from repro.counters.byzantine import ByzantineCounter
 from repro.counters.central import KIND_VALUE, CentralCounter, _CentralClient
 from repro.errors import ConfigurationError
 from repro.sim.messages import Message, ProcessorId
@@ -127,9 +141,24 @@ class CachedReadCentralCounter(CentralCounter):
             network._processors[pid] = mutant
 
 
-MUTANT_FACTORIES: dict[str, Callable[[Network, int], CentralCounter]] = {
+class TrustingByzCounter(ByzantineCounter):
+    """``mutant[trusting-byz]``: first result wins (see module docstring)."""
+
+    name = "mutant[trusting-byz]"
+
+    def __init__(self, network: Network, n: int, f: int = 0) -> None:
+        super().__init__(network, n, f)
+        # THE BUG: accept the very first result message instead of
+        # waiting for f + 1 distinct vouchers, so one lying replica
+        # whose (corrupted) result is scheduled first decides the
+        # client's value with no honest witness.
+        self.result_quorum = 1
+
+
+MUTANT_FACTORIES: dict[str, Callable[[Network, int], DistributedCounter]] = {
     StaleReadCentralCounter.name: StaleReadCentralCounter,
     CachedReadCentralCounter.name: CachedReadCentralCounter,
+    TrustingByzCounter.name: TrustingByzCounter,
 }
 """The mutant mini-registry (explorer/CLI only; see module docstring)."""
 
@@ -139,7 +168,7 @@ def is_mutant_spec(text: str) -> bool:
     return text.strip() in MUTANT_FACTORIES
 
 
-def build_mutant(text: str, network: Network, n: int) -> CentralCounter:
+def build_mutant(text: str, network: Network, n: int) -> DistributedCounter:
     """Build the named mutant on *network*."""
     name = text.strip()
     try:

@@ -84,6 +84,23 @@ class Strategy(ABC):
     ) -> int:
         """Ready-list index to run first (clamped by the controller)."""
 
+    def choose_adversary(
+        self, kind: str, count: int, controller: "ScheduleController"
+    ) -> int:
+        """Index into an adversary choice point (clamped by the controller).
+
+        Byzantine fault plans expose *their* degrees of freedom through
+        the same controller the scheduler uses: ``"byz-pid"`` picks
+        which processor joins the compromised set (asked once per
+        Byzantine rule at binding time, before any traffic), and
+        ``"byz-rule"`` picks a mixed rule's per-message behaviour.  The
+        default is 0 — deterministic strategies (baseline, permutation)
+        leave the adversary on its first choice, searching strategies
+        override with seeded draws, and replay answers from its recorded
+        stream like every other decision.
+        """
+        return 0
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -143,6 +160,11 @@ class ReplayStrategy(Strategy):
     ) -> int:
         return self._next()
 
+    def choose_adversary(
+        self, kind: str, count: int, controller: "ScheduleController"
+    ) -> int:
+        return self._next()
+
     def __repr__(self) -> str:
         return f"ReplayStrategy({len(self._decisions)} decisions)"
 
@@ -170,6 +192,11 @@ class RandomWalkStrategy(Strategy):
         controller: "ScheduleController",
     ) -> int:
         return self._rng.randrange(len(ready))
+
+    def choose_adversary(
+        self, kind: str, count: int, controller: "ScheduleController"
+    ) -> int:
+        return self._rng.randrange(count)
 
     def __repr__(self) -> str:
         return f"RandomWalkStrategy(seed={self._seed})"
@@ -285,6 +312,19 @@ class GuidedStrategy(Strategy):
                 best_score = score
                 best_index = index
         return best_index
+
+    def choose_adversary(
+        self, kind: str, count: int, controller: "ScheduleController"
+    ) -> int:
+        # Compromising low pids is the adversary's strongest opening:
+        # protocol infrastructure (central servers, tree roots, phase
+        # kings of early phases) sits at small ids across this repo's
+        # counters, so weight the draw geometrically toward index 0
+        # while keeping every choice reachable.
+        if kind == "byz-pid":
+            weights = [self._base ** (count - 1 - i) for i in range(count)]
+            return self._rng.choices(range(count), weights=weights)[0]
+        return self._rng.randrange(count)
 
     def __repr__(self) -> str:
         return f"GuidedStrategy(seed={self._seed}, base={self._base})"

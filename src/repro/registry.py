@@ -440,15 +440,22 @@ class RunSession:
 
     Capability gates, checked in order:
 
+    * a plan with Byzantine rules (``byz=f@strategy``) requires
+      ``tolerates_byzantine`` — neither a reliable transport nor crash
+      recovery helps against a processor that *lies*, so nothing waives
+      this gate; the session also binds the plan's compromised set to
+      the population here (seeded, before any traffic);
     * a plan that crashes a processor *permanently* (no window end and
       no ``recover=`` point) requires ``tolerates_crash`` — a reliable
       transport cannot resurrect state parked on a dead processor, so
       ``reliable=True`` does not waive this gate;
-    * any plan that can lose messages (drops, partitions, and crash
-      windows, which sever links) requires the effective
-      ``tolerates_message_loss`` — declared by the counter or conferred
-      by ``reliable=True``.  Finite crash windows on a loss-tolerant
-      counter pass: they behave as bounded message loss.
+    * any plan whose *non-Byzantine* rules can lose messages (drops,
+      partitions, and crash windows, which sever links) requires the
+      effective ``tolerates_message_loss`` — declared by the counter or
+      conferred by ``reliable=True``.  Finite crash windows on a
+      loss-tolerant counter pass: they behave as bounded message loss.
+      Byzantine ``silence`` is omission *by a liar* and is covered by
+      the Byzantine gate, not this one.
 
     When the plan has crash rules and the counter implements
     :class:`~repro.sim.recovery.Recoverable`, the session assembles and
@@ -501,6 +508,17 @@ class RunSession:
             capabilities = replace(capabilities, tolerates_message_loss=True)
         self._capabilities = capabilities
         if fault_plan is not None:
+            if fault_plan.byzantine_rules:
+                fault_plan.bind_clients(n)
+                if not capabilities.tolerates_byzantine:
+                    raise CapabilityError(
+                        f"fault plan {fault_plan.spec!r} makes processors "
+                        f"Byzantine, but counter {self._ref.canonical!r} "
+                        "does not tolerate Byzantine faults; neither a "
+                        "reliable transport nor crash recovery helps "
+                        "against a processor that lies — use the "
+                        "'byz-counter' family (n > 3f)"
+                    )
             dead = fault_plan.permanent_crash_pids
             if dead and not capabilities.tolerates_crash:
                 listed = ", ".join(str(pid) for pid in sorted(dead))
@@ -513,7 +531,10 @@ class RunSession:
                     "(e.g. 'central[standby]' or 'combining-tree[bypass]') "
                     "or give the plan a recover= clause"
                 )
-            if fault_plan.lossy and not capabilities.tolerates_message_loss:
+            if (
+                fault_plan.non_byzantine_lossy
+                and not capabilities.tolerates_message_loss
+            ):
                 raise CapabilityError(
                     f"fault plan {fault_plan.spec!r} can lose messages, but "
                     f"counter {self._ref.canonical!r} does not tolerate "
@@ -594,15 +615,26 @@ class RunSession:
         check_values: bool = True,
     ):
         """Drive *initiators* (default: the one-shot order) sequentially
-        under the session's runtime."""
+        under the session's runtime.
+
+        Operations initiated by Byzantine processors count as optional:
+        a liar's corrupted request may never form a quorum, so its
+        missing result is omitted rather than an error (and value
+        checking degrades to strict monotonicity — see
+        :func:`~repro.workloads.driver.run_sequence`).
+        """
         from repro.workloads.driver import run_sequence
         from repro.workloads.sequences import one_shot
 
         if initiators is None:
             initiators = one_shot(self.n)
+        plan = self.fault_plan
+        optional = (
+            plan.byzantine_pids if plan is not None else frozenset()
+        )
         return run_sequence(
             self.counter, initiators, check_values=check_values,
-            runtime=self.runtime,
+            runtime=self.runtime, optional=optional,
         )
 
     def run_concurrent(
@@ -665,16 +697,19 @@ class RunSession:
         input for
         :func:`~repro.analysis.linearizability.check_linearizable_counting`.
 
-        Operations initiated by permanently crashed processors count as
-        optional: a dead client cannot observe its response, so its
-        unanswered op is omitted rather than an error.
+        Operations initiated by permanently crashed or Byzantine
+        processors count as optional: a dead client cannot observe its
+        response, and a liar's corrupted request may never form a
+        quorum, so their unanswered ops are omitted rather than errors.
         """
         from repro.analysis.linearizability import run_staggered_timed
         from repro.workloads.sequences import one_shot
 
         plan = self.fault_plan
         optional = (
-            plan.permanent_crash_pids if plan is not None else frozenset()
+            plan.permanent_crash_pids | plan.byzantine_pids
+            if plan is not None
+            else frozenset()
         )
         return run_staggered_timed(
             self.counter, one_shot(self.n), gap, optional=optional
@@ -816,6 +851,12 @@ def _build_arrow(network: Network, n: int, initial_owner: int = 1):
     return ArrowCounter(network, n, initial_owner=initial_owner)
 
 
+def _build_byz_counter(network: Network, n: int, f: int = 0):
+    from repro.counters import ByzantineCounter
+
+    return ByzantineCounter(network, n, f=f)
+
+
 def _quorum_builder(system_factory):
     def build(network: Network, n: int):
         from repro.quorum import QuorumCounter
@@ -831,6 +872,7 @@ def _populate() -> None:
     from repro.counters import (
         ArrowCounter,
         BitonicCountingNetwork,
+        ByzantineCounter,
         CentralCounter,
         CombiningTreeCounter,
         DiffractingTreeCounter,
@@ -966,6 +1008,18 @@ def _populate() -> None:
                     doc="leaf that starts with the token"),
         ),
         summary="arrow/path-reversal token counter (order sensitive)",
+    ))
+    register(CounterSpec(
+        name="byz-counter",
+        factory=_build_byz_counter,
+        implementation=ByzantineCounter,
+        capabilities=ByzantineCounter.capabilities,
+        tunables=(
+            Tunable("f", int, 0, minimum=0,
+                    doc="Byzantine processors tolerated (0 = auto "
+                        "⌊(n−1)/3⌋; explicit f needs n > 3f)"),
+        ),
+        summary="replicated phase-king counter: survives f < n/3 liars",
     ))
     quorum_systems = (
         ("singleton", SingletonQuorum, False,

@@ -16,11 +16,15 @@ queue, and there are three interchangeable implementations:
   counter can serve live traffic (see :mod:`repro.serve`) or embed in an
   async application.  With ``time_scale > 0`` simulated gaps become real
   sleeps, turning simulated time into approximate wall-clock time.
+* ``"sync"`` — :class:`SynchronousRuntime`: lockstep *rounds*, the model
+  synchronous Byzantine counting protocols assume.  Each round executes
+  every event sharing the earliest pending timestamp (collect → the
+  fault plan's adversary rewrites on the send path → deliver → compute);
+  messages sent during a round land in later rounds.
 
 The seam is deliberately tiny — *step*, *drain*, *until-quiescent*, a
-time source and the trace hookup — so a fourth scheduler (e.g. a
-synchronous-round lockstep mode for Byzantine counting) is one class,
-not a refactor.  Message accounting is identical under every runtime:
+time source and the trace hookup — which is how the synchronous mode
+stayed one class, not a refactor.  Message accounting is identical under every runtime:
 it is the same :class:`~repro.sim.trace.Trace` on the same network,
 which the test suite asserts fingerprint-identical for every registered
 counter spec.
@@ -46,10 +50,11 @@ __all__ = [
     "AsyncioRuntime",
     "Runtime",
     "SimulatedRuntime",
+    "SynchronousRuntime",
     "make_runtime",
 ]
 
-RUNTIME_NAMES = ("sim", "sim-compat", "asyncio")
+RUNTIME_NAMES = ("sim", "sim-compat", "sync", "asyncio")
 """Runtimes resolvable by :func:`make_runtime` (and ``RunSession``)."""
 
 
@@ -142,6 +147,96 @@ class SimulatedRuntime:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulatedRuntime(core={self.core!r})"
+
+
+class SynchronousRuntime:
+    """Lockstep rounds: the synchronous model of Byzantine counting.
+
+    Lenzen–Rybicki-style protocols assume computation proceeds in
+    *rounds*: every processor receives the round's messages, computes,
+    and sends — simultaneously.  This runtime recovers that model from
+    the event queue: one :meth:`round` executes **every** event sharing
+    the earliest pending timestamp (including zero-delay events the
+    handlers schedule into the live round), then stops.  Messages sent
+    during a round carry positive delays, so they land in later rounds
+    — under the default unit-delay policy each round is exactly one
+    synchronous step.  The adversary acts where it always does, on the
+    send path: an installed fault plan rewrites, withholds or forges
+    payloads *between* rounds, which is precisely the "collect →
+    adversary → deliver → compute" structure of the synchronous model.
+
+    Determinism is inherited wholesale: the queue's ``(time, seq)``
+    order within a round is the same order ``"sim"`` uses, so a full
+    drain is trace-identical to the event-driven runtimes — rounds are
+    a *view* (with a counter), not a reordering.
+    """
+
+    name = "sync"
+    is_async = False
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._rounds = 0
+
+    @property
+    def network(self) -> Network:
+        """The substrate this runtime drains."""
+        return self._network
+
+    @property
+    def trace(self) -> Trace:
+        """The network's execution trace (same object, any runtime)."""
+        return self._network.trace
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (= the timestamp of the last round)."""
+        return self._network.now
+
+    @property
+    def rounds(self) -> int:
+        """Completed lockstep rounds since construction."""
+        return self._rounds
+
+    def step(self) -> bool:
+        """Execute the earliest pending event; ``False`` when quiescent."""
+        return self._network.step()
+
+    def round(self) -> int:
+        """Run one lockstep round; return how many events it executed.
+
+        A round is every pending event at the earliest timestamp,
+        including same-time events scheduled while the round runs.
+        Returns 0 (and counts no round) when the network is quiescent.
+        """
+        network = self._network
+        queue = network._queue
+        start = queue.next_time()
+        if start is None:
+            return 0
+        executed = 0
+        step = network.step
+        while queue.next_time() == start:
+            step()
+            executed += 1
+        self._rounds += 1
+        return executed
+
+    def until_quiescent(self) -> int:
+        """Drain round by round until no events remain; return events run."""
+        total = 0
+        while True:
+            executed = self.round()
+            if not executed:
+                return total
+            total += executed
+
+    async def drain(self) -> int:
+        """Awaitable form of :meth:`until_quiescent` (never suspends)."""
+        return self.until_quiescent()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SynchronousRuntime(rounds={self._rounds})"
 
 
 class AsyncioRuntime:
@@ -269,6 +364,8 @@ def make_runtime(
     """
     if name in ("sim", "sim-compat"):
         return SimulatedRuntime(network)
+    if name == "sync":
+        return SynchronousRuntime(network)
     if name == "asyncio":
         return AsyncioRuntime(
             network, time_scale=time_scale, yield_every=yield_every

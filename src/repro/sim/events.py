@@ -257,6 +257,18 @@ class EventQueue:
                 action(arg)
         return ran
 
+    def next_time(self) -> float | None:
+        """Timestamp of the earliest pending entry, or ``None`` if empty.
+
+        A read-only peek — nothing is popped and ``now`` does not move.
+        The synchronous runtime uses this to delimit lockstep rounds.
+        """
+        if self._ready:
+            return self._ready[0][0]
+        if self._heap:
+            return self._heap[0][0]
+        return None
+
     def clear(self) -> None:
         """Drop all pending events and reset the queue to its initial state.
 
@@ -499,6 +511,21 @@ class FlatEventQueue:
             execute(next_item())
             ran += 1
         return ran
+
+    def next_time(self) -> float | None:
+        """Timestamp of the earliest pending entry, or ``None`` if empty.
+
+        Mirrors :meth:`EventQueue.next_time`.  An active bucket with
+        unconsumed items answers the current time (zero-delay schedules
+        land in it and run this pass); otherwise the earliest registered
+        bucket time wins.
+        """
+        active = self._active
+        if active is not None and self._active_pos < len(active):
+            return self._now
+        if self._times:
+            return self._times[0]
+        return None
 
     # ------------------------------------------------------------------
     # Maintenance

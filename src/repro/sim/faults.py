@@ -22,6 +22,15 @@ message:
 * :class:`CrashRule` — a processor is down during a window: it neither
   sends (messages sent while crashed are lost) nor receives (messages
   that would arrive while it is down are lost).
+* :class:`CorruptRule` / :class:`EquivocateRule` / :class:`SilenceRule` /
+  :class:`MixedRule` — *Byzantine* rules: a seeded budget of ``f``
+  compromised processors whose outgoing messages are rewritten
+  (``corrupt``), rewritten differently per receiver (``equivocate``),
+  selectively withheld (``silence``), or any of the three per message
+  (``mixed``).  The compromised set is fixed by
+  :meth:`FaultPlan.bind_clients` once the population size is known;
+  the schedule explorer can take over both the set and the per-message
+  rule choice via :meth:`FaultPlan.install_adversary`.
 
 Determinism: all randomness lives in the plan's seeded generator, rules
 are evaluated in a fixed order, and a rule draws only when it is
@@ -35,6 +44,7 @@ Fault specs are strings for the CLI/sweep layer
 (:func:`parse_fault_spec`)::
 
     drop=0.05,dup=0.01,reorder=0.1,crash=3@t50,partition=1..4|5..8@t10-t50
+    byz=1@corrupt                 (budget of 1 Byzantine processor)
 
 A ``recover=PID@tT`` clause turns a crash into a crash-*with-recovery*:
 it truncates the matching crash window at ``T`` (links restored from
@@ -62,17 +72,24 @@ from repro.errors import ConfigurationError
 from repro.sim.messages import Message, OpIndex, ProcessorId
 
 __all__ = [
+    "BYZANTINE_STRATEGIES",
+    "ByzantineRule",
+    "CorruptRule",
     "CrashRule",
     "DropRule",
     "DuplicateRule",
+    "EquivocateRule",
     "FaultOutcome",
     "FaultPlan",
     "FaultRecord",
     "FaultRule",
+    "MixedRule",
     "PartitionRule",
     "RecoveryPoint",
     "ReorderRule",
+    "SilenceRule",
     "canonical_fault_spec",
+    "make_byzantine_rule",
     "parse_fault_spec",
 ]
 
@@ -83,9 +100,11 @@ class FaultRecord(NamedTuple):
     Attributes:
         time: simulated send time of the affected message.
         kind: fault family — ``"drop"``, ``"duplicate"``, ``"reorder"``,
-            ``"partition"`` or ``"crash"`` for wire faults; the recovery
-            layer additionally records ``"suspect"``, ``"restore"`` and
-            ``"recover"`` events through the same channel.
+            ``"partition"`` or ``"crash"`` for wire faults, and
+            ``"corrupt"``, ``"equivocate"`` or ``"silence"`` for the
+            Byzantine rules; the recovery layer additionally records
+            ``"suspect"``, ``"restore"`` and ``"recover"`` events
+            through the same channel.
         sender: sender of the affected message.
         receiver: receiver of the affected message.
         op_index: operation the affected message belongs to.
@@ -115,6 +134,8 @@ class _Effect(NamedTuple):
     detail: str = ""
     copy_delays: tuple[float, ...] = ()
     extra_delay: float = 0.0
+    replace: Message | None = None
+    kind: str = ""
 
 
 class FaultOutcome(NamedTuple):
@@ -124,10 +145,15 @@ class FaultOutcome(NamedTuple):
         delivery_times: absolute simulated times at which copies of the
             message are delivered; empty when the message was dropped.
         records: the :class:`FaultRecord` entries the decision produced.
+        message: a rewritten message to deliver in place of the
+            original (same uid, same endpoints — only the payload
+            lies), or ``None`` when the content is untouched.  Only
+            Byzantine rules produce rewrites.
     """
 
     delivery_times: tuple[float, ...]
     records: tuple[FaultRecord, ...]
+    message: Message | None = None
 
 
 class FaultRule(ABC):
@@ -159,6 +185,9 @@ class FaultRule(ABC):
     def fork(self) -> "FaultRule":
         """A fresh, equivalently configured rule (stateless rules: self)."""
         return self
+
+    def reset(self) -> None:
+        """Clear per-run state for network reuse (stateless rules: no-op)."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.spec_fragment()!r})"
@@ -352,6 +381,238 @@ class CrashRule(FaultRule):
         return f"crash={self.pid}{window}"
 
 
+#: Strategies accepted by the ``byz=F@STRATEGY`` spec field.
+BYZANTINE_STRATEGIES = ("corrupt", "equivocate", "silence", "mixed")
+
+#: Small payload shifts: close enough to honest values that corrupted
+#: counter values collide with real ones (agreement violations) or step
+#: just outside the issued range (validity violations).
+_CORRUPT_DELTAS = (-2, -1, 1, 2, 3)
+
+
+def _mutate_ints(
+    payload: "Mapping[str, object]", rng: random.Random, shift: int
+) -> tuple[dict | None, tuple[str, ...]]:
+    """Shift every integer field of *payload* by a seeded delta (+ *shift*).
+
+    Returns ``(mutated, changed)`` where *mutated* is ``None`` when the
+    payload carries no integers worth lying about.  Booleans are left
+    alone (they are ``int`` subclasses but flipping them is a different
+    lie).  Fields are visited in sorted order so equal seeds mutate
+    identically regardless of payload construction order.
+    """
+    mutated: dict = {}
+    changed: list[str] = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            mutated[key] = value
+            continue
+        twisted = value + rng.choice(_CORRUPT_DELTAS) + shift
+        mutated[key] = twisted
+        changed.append(f"{key}:{value}->{twisted}")
+    if not changed:
+        return None, ()
+    return mutated, tuple(changed)
+
+
+class ByzantineRule(FaultRule):
+    """Base class: a budget of ``f`` compromised (lying) processors.
+
+    The rule touches only messages *sent by* a compromised processor.
+    Which processors are compromised is not known at parse time (the
+    population size isn't): the set is fixed by
+    :meth:`FaultPlan.bind_clients`, either from a seeded draw derived
+    from the plan seed (so the main fault stream is untouched) or from
+    an explorer-supplied chooser.  Consulting an unbound rule is a
+    configuration error with an actionable message.
+
+    Sender ids stay authentic: this is the standard "oral messages over
+    authenticated channels" model — a Byzantine processor can lie about
+    *content*, not about *who is speaking*.
+    """
+
+    #: Subclasses set their spec-grammar strategy name.
+    strategy: str = ""
+
+    def __init__(self, budget: int) -> None:
+        if budget < 1:
+            raise ConfigurationError(
+                f"byz budget must be >= 1, got {budget}"
+            )
+        self.budget = int(budget)
+        self._pids: frozenset[ProcessorId] | None = None
+        self._arbiter = None
+
+    @property
+    def pids(self) -> frozenset[ProcessorId] | None:
+        """The compromised set, or ``None`` before binding."""
+        return self._pids
+
+    def bind(self, pids: Sequence[ProcessorId]) -> None:
+        """Fix the compromised set (normally via ``bind_clients``)."""
+        chosen = frozenset(pids)
+        if len(chosen) != self.budget:
+            raise ConfigurationError(
+                f"byz rule with budget {self.budget} bound to "
+                f"{len(chosen)} pids {sorted(chosen)}"
+            )
+        self._pids = chosen
+
+    def fork(self) -> "ByzantineRule":
+        clone = type(self)(self.budget)
+        clone._pids = self._pids
+        return clone
+
+    def judge(self, message, send_time, deliver_time, rng):
+        pids = self._pids
+        if pids is None:
+            raise ConfigurationError(
+                f"byzantine rule {self.spec_fragment()!r} consulted before "
+                "binding; call FaultPlan.bind_clients(n) once the "
+                "population size is known (RunSession does this for you)"
+            )
+        if message[0] not in pids:
+            return None
+        return self._judge_byzantine(message, rng)
+
+    def _judge_byzantine(
+        self, message: Message, rng: random.Random
+    ) -> _Effect | None:
+        raise NotImplementedError
+
+    def spec_fragment(self) -> str:
+        return f"byz={self.budget}@{self.strategy}"
+
+    # -- per-message behaviours shared with MixedRule ------------------
+    def _corrupt_effect(self, message, rng, shift=0, kind="corrupt"):
+        mutated, changed = _mutate_ints(message.payload, rng, shift)
+        if mutated is None:
+            return None
+        detail = ",".join(changed)
+        if shift:
+            detail += f" (receiver {message.receiver} variant)"
+        return _Effect(
+            kind=kind,
+            detail=detail,
+            replace=message._replace(payload=mutated),
+        )
+
+
+class CorruptRule(ByzantineRule):
+    """Compromised senders rewrite integer payload fields (same lie to all)."""
+
+    strategy = "corrupt"
+
+    def _judge_byzantine(self, message, rng):
+        return self._corrupt_effect(message, rng)
+
+
+class EquivocateRule(ByzantineRule):
+    """Compromised senders tell *different* lies to different receivers.
+
+    The mutation adds the receiver id on top of the seeded delta, so two
+    receivers of the same logical broadcast see conflicting values — the
+    split-vote attack quorum protocols must survive.
+    """
+
+    strategy = "equivocate"
+
+    def _judge_byzantine(self, message, rng):
+        return self._corrupt_effect(
+            message, rng, shift=message.receiver, kind="equivocate"
+        )
+
+
+class SilenceRule(ByzantineRule):
+    """Compromised senders go selectively deaf: per-link sticky omission.
+
+    Each (sender, receiver) link is judged once, on first use — a seeded
+    coin decides whether the compromised sender *never* sends on that
+    link.  Sticky omission starves the same victims all run long, the
+    regime threshold-counting protocols must make progress under.
+    """
+
+    strategy = "silence"
+    can_drop = True
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(budget)
+        self._deaf: dict[tuple[ProcessorId, ProcessorId], bool] = {}
+
+    def fork(self) -> "SilenceRule":
+        clone = super().fork()
+        clone._deaf = {}
+        return clone
+
+    def reset(self) -> None:
+        self._deaf.clear()
+
+    def _judge_byzantine(self, message, rng):
+        link = (message.sender, message.receiver)
+        silent = self._deaf.get(link)
+        if silent is None:
+            silent = rng.random() < 0.5
+            self._deaf[link] = silent
+        if silent:
+            return _Effect(
+                drop_reason="silence",
+                detail=f"{link[0]} withholds from {link[1]}",
+            )
+        return None
+
+
+class MixedRule(ByzantineRule):
+    """Per message, the adversary picks corrupt, equivocate or silence.
+
+    The pick is seeded by default; the schedule explorer can take it
+    over via :meth:`FaultPlan.install_adversary`, which makes the rule
+    choice part of the explored (and shrunk) decision space.
+    """
+
+    strategy = "mixed"
+    can_drop = True
+
+    _BEHAVIOURS = ("corrupt", "equivocate", "silence")
+
+    def _judge_byzantine(self, message, rng):
+        if self._arbiter is not None:
+            pick = self._arbiter("byz-rule", len(self._BEHAVIOURS))
+        else:
+            pick = rng.randrange(len(self._BEHAVIOURS))
+        behaviour = self._BEHAVIOURS[pick % len(self._BEHAVIOURS)]
+        if behaviour == "corrupt":
+            return self._corrupt_effect(message, rng)
+        if behaviour == "equivocate":
+            return self._corrupt_effect(
+                message, rng, shift=message.receiver, kind="equivocate"
+            )
+        return _Effect(
+            drop_reason="silence",
+            detail=f"{message.sender} withholds from {message.receiver}",
+        )
+
+
+_BYZANTINE_CLASSES = {
+    "corrupt": CorruptRule,
+    "equivocate": EquivocateRule,
+    "silence": SilenceRule,
+    "mixed": MixedRule,
+}
+
+
+def make_byzantine_rule(budget: int, strategy: str) -> ByzantineRule:
+    """Build the Byzantine rule for ``byz=budget@strategy``."""
+    try:
+        cls = _BYZANTINE_CLASSES[strategy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown byzantine strategy {strategy!r}; expected one of "
+            + ", ".join(BYZANTINE_STRATEGIES)
+        ) from None
+    return cls(budget)
+
+
 class RecoveryPoint(NamedTuple):
     """A promise that a crashed processor recovers (state and role) at *time*.
 
@@ -499,6 +760,90 @@ class FaultPlan:
         )
 
     @property
+    def byzantine_rules(self) -> tuple["ByzantineRule", ...]:
+        """Every Byzantine rule in the plan, in evaluation order."""
+        return tuple(
+            rule for rule in self._rules if isinstance(rule, ByzantineRule)
+        )
+
+    @property
+    def byzantine_pids(self) -> frozenset[ProcessorId]:
+        """The union of all bound compromised sets (empty before binding).
+
+        Drivers and oracles treat these processors' own operations as
+        optional: a liar's op may never complete, and whatever it
+        reports is not evidence against the protocol.
+        """
+        pids: set[ProcessorId] = set()
+        for rule in self._rules:
+            if isinstance(rule, ByzantineRule) and rule.pids is not None:
+                pids.update(rule.pids)
+        return frozenset(pids)
+
+    @property
+    def non_byzantine_lossy(self) -> bool:
+        """True if a *non-Byzantine* rule can lose a message.
+
+        Byzantine omission (``silence``) is covered by the
+        ``tolerates_byzantine`` capability — a protocol that survives
+        lying senders survives their silence.  Only honest-link loss
+        (drop/partition/crash) forces the reliable-transport gate.
+        """
+        return any(
+            rule.can_drop and not isinstance(rule, ByzantineRule)
+            for rule in self._rules
+        )
+
+    def bind_clients(self, n: int, chooser=None) -> None:
+        """Fix each Byzantine rule's compromised set for population *n*.
+
+        Idempotent: rules already bound (e.g. a plan reused across
+        sessions, or a fork of a bound plan) keep their sets.  Pids are
+        drawn without replacement from ``1..n`` using a generator
+        *derived* from the plan seed — never the plan's own stream, so
+        binding does not perturb the fault injections.  An explorer can
+        pass ``chooser(kind, count) -> index`` to take the draw over
+        (kind ``"byz-pid"``), which makes the compromised set part of
+        the recorded, replayable, shrinkable schedule.
+        """
+        unbound = [
+            rule
+            for rule in self._rules
+            if isinstance(rule, ByzantineRule) and rule.pids is None
+        ]
+        if not unbound:
+            return
+        derived = random.Random(f"{self._seed}:byz")
+        for rule in unbound:
+            if rule.budget >= n:
+                raise ConfigurationError(
+                    f"byz budget {rule.budget} must be < n={n}: the "
+                    "adversary cannot compromise every client"
+                )
+            candidates = list(range(1, n + 1))
+            chosen = []
+            for _ in range(rule.budget):
+                if chooser is not None:
+                    index = chooser("byz-pid", len(candidates))
+                else:
+                    index = derived.randrange(len(candidates))
+                chosen.append(candidates.pop(index % len(candidates)))
+            rule.bind(tuple(sorted(chosen)))
+
+    def install_adversary(self, chooser) -> None:
+        """Route per-message Byzantine choices through *chooser*.
+
+        *chooser(kind, count)* returns an index in ``[0, count)``; the
+        only per-message kind today is ``"byz-rule"`` (which behaviour a
+        ``mixed`` adversary uses).  The explorer installs its schedule
+        controller here so adversary choices live in the same decision
+        stream as delays and tie-breaks.
+        """
+        for rule in self._rules:
+            if isinstance(rule, ByzantineRule):
+                rule._arbiter = chooser
+
+    @property
     def events(self) -> list[FaultRecord]:
         """Every injected fault so far, in injection order (do not mutate)."""
         return self._events
@@ -535,10 +880,18 @@ class FaultPlan:
         )
 
     def reset(self) -> None:
-        """Reseed the generator and clear the ledger (network reuse)."""
+        """Reseed the generator and clear the ledger (network reuse).
+
+        Stateful rules (sticky ``silence`` links) clear their per-run
+        state too, so a reset plan injects exactly what a fresh one
+        would.  Bound Byzantine sets survive — they are configuration,
+        not consumption.
+        """
         self._rng = random.Random(self._seed)
         self._events.clear()
         self._counts.clear()
+        for rule in self._rules:
+            rule.reset()
 
     # ------------------------------------------------------------------
     # The send-path consultation
@@ -557,11 +910,16 @@ class FaultPlan:
         rng = self._rng
         drop_reason: str | None = None
         effects: list[_Effect] = []
+        current = message
         for rule in self._rules:
-            effect = rule.judge(message, send_time, deliver_time, rng)
+            effect = rule.judge(current, send_time, deliver_time, rng)
             if effect is None:
                 continue
             effects.append(effect)
+            if effect.replace is not None:
+                # Later rules judge the rewritten message; the last
+                # rewrite is what goes on the wire.
+                current = effect.replace
             if effect.drop_reason is not None:
                 drop_reason = effect.drop_reason
                 break
@@ -572,7 +930,9 @@ class FaultPlan:
         records = tuple(
             FaultRecord(
                 time=send_time,
-                kind=effect.drop_reason or ("duplicate" if effect.copy_delays else "reorder"),
+                kind=effect.kind
+                or effect.drop_reason
+                or ("duplicate" if effect.copy_delays else "reorder"),
                 sender=sender,
                 receiver=receiver,
                 op_index=op_index,
@@ -584,13 +944,18 @@ class FaultPlan:
         for record in records:
             self._counts[record.kind] = self._counts.get(record.kind, 0) + 1
         self._events.extend(records)
+        replacement = current if current is not message else None
         if drop_reason is not None:
             return FaultOutcome(delivery_times=(), records=records)
         base = deliver_time + sum(e.extra_delay for e in effects)
         times = [base]
         for effect in effects:
             times.extend(base + extra for extra in effect.copy_delays)
-        return FaultOutcome(delivery_times=tuple(times), records=records)
+        return FaultOutcome(
+            delivery_times=tuple(times),
+            records=records,
+            message=replacement,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -698,9 +1063,26 @@ def _rule_from_field(key: str, value: str) -> FaultRule:
         return PartitionRule(
             _parse_group(key, a_text), _parse_group(key, b_text), start, end
         )
+    if key == "byz":
+        budget_text, separator, strategy = value.partition("@")
+        try:
+            budget = int(budget_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec field 'byz': bad budget {budget_text!r}; "
+                "expected an integer count of compromised processors"
+            ) from None
+        if not separator or not strategy:
+            raise ConfigurationError(
+                "fault spec field 'byz' needs a strategy, e.g. "
+                "byz=1@corrupt (one of "
+                + ", ".join(BYZANTINE_STRATEGIES)
+                + ")"
+            )
+        return make_byzantine_rule(budget, strategy)
     raise ConfigurationError(
         f"unknown fault spec field {key!r}; expected one of "
-        "drop, dup, reorder, crash, partition, recover"
+        "drop, dup, reorder, crash, partition, byz, recover"
     )
 
 
@@ -729,7 +1111,8 @@ _FIELD_ORDER = {
     "reorder": 2,
     "partition": 3,
     "crash": 4,
-    "recover": 5,
+    "byz": 5,
+    "recover": 6,
 }
 
 
@@ -744,11 +1127,13 @@ def parse_fault_spec(text: str, seed: int = 0) -> FaultPlan:
         crash=PID@tSTART[-tEND]     processor down in [START, END)
         partition=A|B@tSTART[-tEND] drop the A/B cut in the window
                                     (groups: '1..4' ranges or '1+5+9' lists)
+        byz=F@STRATEGY              F Byzantine processors; STRATEGY one of
+                                    corrupt, equivocate, silence, mixed
         recover=PID@tT              crashed PID restored (state + role) at T;
                                     truncates PID's crash window at T
 
     Fields are canonically reordered (drop, dup, reorder, partitions,
-    crashes, recoveries) so equivalent spellings produce identical
+    crashes, byzantine budgets, recoveries) so equivalent spellings produce identical
     plans — :func:`canonical_fault_spec` is the cache key for sweeps.
     A ``recover`` field requires a ``crash`` field for the same pid
     starting before the recovery time.

@@ -428,9 +428,11 @@ class Network:
         Mirrors :meth:`send` (keep in sync) up to scheduling: the plan
         is consulted once per message and may drop it (no heap entry, no
         in-flight increment — a lost message cannot block quiescence),
-        duplicate it (one heap entry per copy, all sharing the uid) or
-        boost its delay.  Every injected fault lands in the plan's
-        ledger and, levels permitting, the trace.
+        duplicate it (one heap entry per copy, all sharing the uid),
+        boost its delay, or rewrite its payload (Byzantine rules: the
+        corrupted message is what gets delivered).  Every injected
+        fault lands in the plan's ledger and, levels permitting, the
+        trace.
         """
         if receiver not in self._processors:
             raise UnknownProcessorError(
@@ -466,9 +468,12 @@ class Network:
         deliver = self._deliver
         counter = queue._counter
         heap = queue._heap
+        # A Byzantine rewrite replaces what goes on the wire (same uid,
+        # same endpoints); the caller still gets the message it sent.
+        delivered = outcome.message if outcome.message is not None else message
         for time in outcome.delivery_times:
             self._in_flight += 1
-            heappush(heap, (time, next(counter), deliver, message))
+            heappush(heap, (time, next(counter), deliver, delivered))
         return message
 
     def _deliver_full(self, message: Message) -> None:

@@ -109,24 +109,53 @@ def _sequential_outcome(
     pid: ProcessorId,
     before: list[int],
     check_values: bool,
-) -> OpOutcome:
+    optional: frozenset[ProcessorId] = frozenset(),
+    last_required: int = -1,
+) -> OpOutcome | None:
     """Verify one just-quiesced sequential op and build its outcome.
 
     Shared by the sync and async sequential drivers so their checks (and
     error messages) cannot drift apart.
+
+    Initiators in *optional* (Byzantine or permanently crashed
+    processors) may legitimately see their operation vanish: the outcome
+    is ``None`` instead of an error, and any value they *do* receive is
+    recorded unchecked — a liar's view of its own result proves nothing.
+    With a non-empty *optional* set the exact ``value == op_index``
+    check degrades to "values handed to required initiators strictly
+    increase" (*last_required* is the previous such value): adversarial
+    operations may or may not commit, so the absolute sequence shifts,
+    but a correct counter still never hands out a duplicate.
     """
     after = counter.results_for(pid)
-    if len(after) != len(before) + 1:
+    got = len(after) - len(before)
+    if pid in optional and got != 1:
+        # A Byzantine initiator may get no result (its corrupted
+        # request never formed a quorum) or several (its corrupted
+        # request spawned parallel bogus instances); neither is
+        # evidence of anything.  Record the last value if any.
+        if got == 0:
+            return None
+    elif got != 1:
         raise ProtocolError(
             f"operation {op_index}: processor {pid} received "
-            f"{len(after) - len(before)} results instead of 1"
+            f"{got} results instead of 1"
         )
     value = after[-1]
-    if check_values and value != op_index:
-        raise ProtocolError(
-            f"operation {op_index}: processor {pid} received value "
-            f"{value}, expected {op_index} (sequential semantics)"
-        )
+    if check_values:
+        if not optional:
+            if value != op_index:
+                raise ProtocolError(
+                    f"operation {op_index}: processor {pid} received value "
+                    f"{value}, expected {op_index} (sequential semantics)"
+                )
+        elif pid not in optional and value <= last_required:
+            raise ProtocolError(
+                f"operation {op_index}: processor {pid} received value "
+                f"{value}, but an earlier operation already received "
+                f"{last_required} (sequential values must strictly "
+                "increase)"
+            )
     return OpOutcome(
         op_index=op_index,
         initiator=pid,
@@ -140,6 +169,7 @@ def run_sequence(
     initiators: Sequence[ProcessorId],
     check_values: bool = True,
     runtime: "Runtime | None" = None,
+    optional: frozenset[ProcessorId] = frozenset(),
 ) -> RunResult:
     """Run *initiators* sequentially, quiescing between operations.
 
@@ -151,12 +181,17 @@ def run_sequence(
     *runtime* selects the scheduler; ``None`` (and any non-async
     runtime) drives the network directly, an async runtime routes the
     whole workload through ``asyncio.run``.
+
+    *optional* names initiators whose operations may vanish without
+    error — Byzantine processors (a corrupted request may never form a
+    quorum) and permanently crashed ones.  See
+    :func:`_sequential_outcome` for how it relaxes the value check.
     """
     if runtime is not None and runtime.is_async:
         return asyncio.run(
             run_sequence_async(
                 counter, initiators, check_values=check_values,
-                runtime=runtime,
+                runtime=runtime, optional=optional,
             )
         )
     network = counter.network
@@ -168,16 +203,20 @@ def run_sequence(
     trace = network.trace
     counts_kept = trace.keeps_loads
     result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
+    last_required = -1
     for op_index, pid in enumerate(initiators):
         before = counter.results_for(pid)
         counter.begin_inc(pid, op_index)
         barrier()
-        result.outcomes.append(
-            _sequential_outcome(
-                counter, trace, counts_kept, op_index, pid, before,
-                check_values,
-            )
+        outcome = _sequential_outcome(
+            counter, trace, counts_kept, op_index, pid, before,
+            check_values, optional, last_required,
         )
+        if outcome is None:
+            continue
+        if pid not in optional:
+            last_required = outcome.value
+        result.outcomes.append(outcome)
     return result
 
 
@@ -187,6 +226,7 @@ async def run_sequence_async(
     time_scale: float = 0.0,
     check_values: bool = True,
     runtime: "Runtime | None" = None,
+    optional: frozenset[ProcessorId] = frozenset(),
 ) -> RunResult:
     """Async counterpart of :func:`run_sequence`.
 
@@ -202,16 +242,20 @@ async def run_sequence_async(
     trace = counter.network.trace
     counts_kept = trace.keeps_loads
     result = RunResult(counter_name=counter.name, n=counter.n, trace=trace)
+    last_required = -1
     for op_index, pid in enumerate(initiators):
         before = counter.results_for(pid)
         counter.begin_inc(pid, op_index)
         await runtime.drain()
-        result.outcomes.append(
-            _sequential_outcome(
-                counter, trace, counts_kept, op_index, pid, before,
-                check_values,
-            )
+        outcome = _sequential_outcome(
+            counter, trace, counts_kept, op_index, pid, before,
+            check_values, optional, last_required,
         )
+        if outcome is None:
+            continue
+        if pid not in optional:
+            last_required = outcome.value
+        result.outcomes.append(outcome)
     return result
 
 

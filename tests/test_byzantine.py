@@ -1,0 +1,239 @@
+"""The Byzantine fault regime end to end.
+
+Acceptance suite for the adversarial layer: the ``byz=f@strategy``
+grammar drives seeded Byzantine rules, the registry gate keeps
+unprotected counters away from liars, the ``byz-counter`` phase-king
+family survives every adversary strategy at f < n/3, the synchronous
+runtime is seed-stable for every registered spec, and — with no
+Byzantine plan installed — the clean send path stays byte-identical
+(the fault layer must cost nothing when unused).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapabilityError, ConfigurationError
+from repro.explore import ExploreConfig, Explorer
+from repro.registry import RunSession, canonical_spec, registered_specs
+from repro.sim.faults import BYZANTINE_STRATEGIES, parse_fault_spec
+
+pytestmark = pytest.mark.byzantine
+
+#: acceptance population: n = 7 admits f ∈ {1, 2} (both below n/3).
+N = 7
+
+
+def _n_for(spec_name: str) -> int:
+    # quorum[maekawa] needs a perfect square.
+    return 9 if spec_name == "quorum[maekawa]" else 8
+
+
+# ----------------------------------------------------------------------
+# The capability gate
+# ----------------------------------------------------------------------
+class TestCapabilityGate:
+    def test_only_the_byzantine_family_claims_tolerance(self):
+        tolerant = {
+            spec.name
+            for spec in registered_specs()
+            if spec.capabilities.tolerates_byzantine
+        }
+        assert tolerant == {"byz-counter"}
+
+    @pytest.mark.parametrize(
+        "spec_name",
+        [
+            spec.name
+            for spec in registered_specs()
+            if not spec.capabilities.tolerates_byzantine
+        ],
+    )
+    def test_unprotected_counters_fail_fast(self, spec_name):
+        with pytest.raises(CapabilityError, match="Byzantine"):
+            RunSession(spec_name, _n_for(spec_name), faults="byz=1@corrupt")
+
+    def test_reliable_transport_does_not_waive_the_gate(self):
+        # Retransmission cannot un-lie a payload.
+        with pytest.raises(CapabilityError, match="Byzantine"):
+            RunSession("central", 4, faults="byz=1@corrupt", reliable=True)
+
+    def test_byz_counter_passes_the_gate(self):
+        session = RunSession("byz-counter", N, faults="byz=1@corrupt")
+        assert session.fault_plan is not None
+        assert len(session.fault_plan.byzantine_pids) == 1
+
+
+# ----------------------------------------------------------------------
+# The byz-counter family
+# ----------------------------------------------------------------------
+class TestByzCounterRegistration:
+    def test_f_defaults_to_the_population_maximum(self):
+        session = RunSession("byz-counter", N)
+        assert session.counter.f == (N - 1) // 3
+
+    def test_explicit_f_needs_n_above_3f(self):
+        with pytest.raises(ConfigurationError, match="n > 3f"):
+            RunSession("byz-counter?f=2", 6)
+
+    def test_canonical_spec_elides_the_default(self):
+        assert canonical_spec("byz-counter?f=0") == "byz-counter"
+        assert canonical_spec("byz-counter?f=2") == "byz-counter?f=2"
+
+    @pytest.mark.parametrize("runtime", ["sim", "sync"])
+    def test_clean_run_counts_exactly(self, runtime):
+        session = RunSession("byz-counter", N, runtime=runtime)
+        result = session.run_sequence()
+        assert result.values() == list(range(N))
+
+
+class TestByzCounterUnderAdversary:
+    """f < n/3 resilience: every strategy, every admissible budget."""
+
+    @pytest.mark.parametrize("f", [1, 2])
+    @pytest.mark.parametrize("strategy", BYZANTINE_STRATEGIES)
+    def test_honest_values_stay_monotone(self, f, strategy):
+        session = RunSession(
+            f"byz-counter?f={f}",
+            N,
+            faults=f"byz={f}@{strategy}",
+            policy="random",
+            seed=9,
+        )
+        result = session.run_sequence()
+        byz = session.fault_plan.byzantine_pids
+        honest = [
+            o.value for o in result.outcomes if o.initiator not in byz
+        ]
+        # Each honest initiator's inc committed with a fresh value.
+        assert len(honest) == N - f
+        assert honest == sorted(honest)
+        assert len(set(honest)) == len(honest)
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_honest_replicas_agree_on_the_final_count(self, f):
+        session = RunSession(
+            f"byz-counter?f={f}", N, faults=f"byz={f}@mixed", seed=4
+        )
+        session.run_sequence()
+        byz = session.fault_plan.byzantine_pids
+        counts = {
+            pid: count
+            for pid, count in session.counter.replica_counts().items()
+            if pid not in byz
+        }
+        assert len(set(counts.values())) == 1
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_survives_the_guided_explorer(self, f):
+        report = Explorer(
+            ExploreConfig(
+                counter=f"byz-counter?f={f}",
+                n=N,
+                seed=3,
+                strategy="guided:3,random:3",
+                budget=3,
+                faults=f"byz={f}@mixed",
+                workload="sequential",
+            )
+        ).run()
+        assert report.ok, [r.message for r in report.failures]
+
+
+class TestSeededMutantIsCaught:
+    def test_trusting_byz_mutant_fails_under_liars(self):
+        report = Explorer(
+            ExploreConfig(
+                counter="mutant[trusting-byz]",
+                n=4,
+                seed=3,
+                strategy="guided:6",
+                budget=6,
+                faults="byz=1@corrupt",
+                workload="sequential",
+                max_failures=1,
+            )
+        ).run()
+        assert not report.ok
+
+    def test_trusting_byz_mutant_is_clean_without_liars(self):
+        report = Explorer(
+            ExploreConfig(
+                counter="mutant[trusting-byz]",
+                n=4,
+                seed=3,
+                strategy="random:6",
+                budget=6,
+                workload="sequential",
+            )
+        ).run()
+        assert report.ok, [r.message for r in report.failures]
+
+
+# ----------------------------------------------------------------------
+# Synchronous-runtime determinism (every registered spec)
+# ----------------------------------------------------------------------
+class TestSyncRuntimeDeterminism:
+    @pytest.mark.parametrize(
+        "spec_name", [spec.name for spec in registered_specs()]
+    )
+    def test_repeated_runs_fingerprint_identically(self, spec_name):
+        def run():
+            session = RunSession(
+                spec_name,
+                _n_for(spec_name),
+                runtime="sync",
+                trace_level="FULL",
+                policy="random",
+                seed=7,
+            )
+            result = session.run_sequence()
+            return session.network.trace.fingerprint(), result.values()
+
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Zero overhead when no plan is installed
+# ----------------------------------------------------------------------
+class TestCleanRunsAreUntouched:
+    @pytest.mark.parametrize(
+        "spec_name", [spec.name for spec in registered_specs()]
+    )
+    def test_clean_session_keeps_the_class_level_send(self, spec_name):
+        session = RunSession(spec_name, _n_for(spec_name))
+        # The fault layer hooks send() per *instance*; a clean network
+        # must keep the class attribute — the zero-overhead contract.
+        assert "send" not in session.network.__dict__
+        assert session.fault_plan is None
+
+    def test_clean_fingerprint_matches_a_plan_free_network(self):
+        def fingerprint(**kwargs):
+            session = RunSession(
+                "byz-counter", N, trace_level="FULL", **kwargs
+            )
+            session.run_sequence()
+            return session.network.trace.fingerprint()
+
+        assert fingerprint() == fingerprint(faults=None)
+
+
+# ----------------------------------------------------------------------
+# Plan-level invariants the registry relies on
+# ----------------------------------------------------------------------
+class TestPlanBinding:
+    def test_budget_must_leave_an_honest_majority_of_ids(self):
+        plan = parse_fault_spec("byz=3@corrupt", seed=0)
+        with pytest.raises(ConfigurationError, match="cannot compromise"):
+            plan.bind_clients(3)
+
+    def test_binding_is_idempotent(self):
+        plan = parse_fault_spec("byz=2@silence", seed=1)
+        plan.bind_clients(N)
+        first = plan.byzantine_pids
+        plan.bind_clients(N)
+        assert plan.byzantine_pids == first
+
+    def test_silence_does_not_force_the_reliable_transport(self):
+        plan = parse_fault_spec("byz=1@silence", seed=0)
+        assert not plan.non_byzantine_lossy

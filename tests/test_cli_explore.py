@@ -60,6 +60,7 @@ class TestExploreCommand:
         assert "schedules_per_second" in payload
         assert set(payload["verdicts"]) == {
             "runtime", "linearizability", "hot-spot",
+            "agreement", "validity",
             "no-lost-increment", "retirement-monotonicity",
         }
 

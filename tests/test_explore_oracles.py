@@ -198,6 +198,8 @@ class TestSuitePlumbing:
             "runtime",
             "linearizability",
             "hot-spot",
+            "agreement",
+            "validity",
             "no-lost-increment",
             "retirement-monotonicity",
         ]

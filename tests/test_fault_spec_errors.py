@@ -115,6 +115,45 @@ class TestMalformedPartitionSpecs:
         _rejects("partition=1..4|5..8@t50-t10", "start < end")
 
 
+@pytest.mark.byzantine
+class TestMalformedByzantineSpecs:
+    def test_byz_needs_a_strategy(self):
+        _rejects("byz=1", "needs a strategy")
+        _rejects("byz=1@", "needs a strategy")
+
+    def test_byz_unknown_strategy_lists_the_vocabulary(self):
+        _rejects(
+            "byz=1@gossip",
+            "unknown byzantine strategy 'gossip'.*corrupt.*equivocate"
+            ".*silence.*mixed",
+        )
+
+    @pytest.mark.parametrize("budget", ["-1", "0"])
+    def test_byz_budget_must_be_positive(self, budget):
+        _rejects(f"byz={budget}@corrupt", "budget must be >= 1")
+
+    def test_byz_budget_must_be_an_integer(self):
+        _rejects("byz=many@corrupt", "bad budget")
+        _rejects("byz=1.5@corrupt", "bad budget")
+
+    def test_byz_budget_must_leave_honest_processors_at_bind(self):
+        plan = parse_fault_spec("byz=4@corrupt")
+        with pytest.raises(
+            ConfigurationError, match="cannot compromise every client"
+        ):
+            plan.bind_clients(4)
+
+    def test_unbound_byzantine_rule_fails_at_first_consult(self):
+        from repro.sim.messages import Message
+
+        plan = parse_fault_spec("byz=1@corrupt")
+        message = Message(
+            sender=1, receiver=2, kind="m", uid=0, send_time=0.0
+        )
+        with pytest.raises(ConfigurationError, match="bind_clients"):
+            plan.consult(message, 0.0, 1.0)
+
+
 class TestCanonicalRoundTrips:
     @pytest.mark.parametrize(
         "spec",
@@ -127,6 +166,11 @@ class TestCanonicalRoundTrips:
             "partition=1..4|5..8@t10-t50",
             "partition=1+3+9|2+4@t10-t50",
             "drop=0.1,dup=0.05,reorder=0.02,crash=2@t40-t80,recover=2@t90",
+            "byz=1@corrupt",
+            "byz=2@equivocate",
+            "byz=1@silence",
+            "byz=3@mixed",
+            "drop=0.1,crash=2@t40-t80,byz=1@mixed,recover=2@t90",
         ],
     )
     def test_canonical_specs_are_fixed_points(self, spec):

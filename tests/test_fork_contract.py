@@ -10,9 +10,11 @@ the fault plan are held to the same contract here.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.registry import POLICY_NAMES, make_policy
-from repro.sim.faults import parse_fault_spec
+from repro.sim.faults import BYZANTINE_STRATEGIES, parse_fault_spec
 from repro.sim.messages import Message
 
 
@@ -91,3 +93,102 @@ class TestFaultPlanForkContract:
         assert parent.events == parent_events  # fork ran, parent unchanged
         assert fork.events != []
         assert fork.events is not parent.events
+
+
+def _byz_messages(count=40):
+    """Messages with integer payloads — something worth lying about."""
+    return [
+        Message(
+            sender=(i % 5) + 1,
+            receiver=((i + 1) % 5) + 1,
+            kind="m",
+            payload={"value": i, "rid": i * 7},
+            uid=i,
+            send_time=float(i),
+        )
+        for i in range(count)
+    ]
+
+
+def _byz_outcomes(plan, count=40):
+    """Full decision record: times AND the rewritten payloads."""
+    outcomes = []
+    for message in _byz_messages(count):
+        outcome = plan.consult(
+            message, message.send_time, message.send_time + 1.0
+        )
+        if outcome is None:
+            outcomes.append(None)
+            continue
+        rewritten = (
+            None
+            if outcome.message is None
+            else dict(outcome.message.payload)
+        )
+        outcomes.append((outcome.delivery_times, rewritten))
+    return outcomes
+
+
+@pytest.mark.faults
+@pytest.mark.byzantine
+@pytest.mark.parametrize("strategy", sorted(BYZANTINE_STRATEGIES))
+class TestByzantineRuleForkContract:
+    """Each Byzantine rule honors the same fork contract as the rest."""
+
+    def _bound_plan(self, strategy, seed=5):
+        plan = parse_fault_spec(f"byz=2@{strategy}", seed=seed)
+        plan.bind_clients(5)
+        return plan
+
+    def test_fork_replays_from_scratch(self, strategy):
+        parent = self._bound_plan(strategy)
+        reference = _byz_outcomes(parent)
+        fork = parent.fork()
+        assert _byz_outcomes(fork) == reference
+
+    def test_fork_preserves_the_compromised_set(self, strategy):
+        parent = self._bound_plan(strategy)
+        assert parent.fork().byzantine_pids == parent.byzantine_pids
+
+    def test_fork_is_independent_of_the_parent(self, strategy):
+        parent = self._bound_plan(strategy)
+        fork = parent.fork()
+        interleaved = []
+        for message in _byz_messages():
+            parent.consult(
+                message, message.send_time, message.send_time + 1.0
+            )
+            outcome = fork.consult(
+                message, message.send_time, message.send_time + 1.0
+            )
+            interleaved.append(
+                None if outcome is None else outcome.delivery_times
+            )
+        fresh = self._bound_plan(strategy).fork()
+        expected = [
+            None if o is None else o[0] for o in _byz_outcomes(fresh)
+        ]
+        assert interleaved == expected
+
+    def test_reset_replays_the_same_lies(self, strategy):
+        plan = self._bound_plan(strategy)
+        reference = _byz_outcomes(plan)
+        plan.reset()
+        assert _byz_outcomes(plan) == reference
+
+
+@pytest.mark.faults
+@pytest.mark.byzantine
+@given(
+    strategy=st.sampled_from(BYZANTINE_STRATEGIES),
+    seed=st.integers(min_value=0, max_value=2**16),
+    count=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_two_forks_of_one_plan_corrupt_identically(strategy, seed, count):
+    """The ISSUE's property: sweep workers forking one plan must inject
+    the exact same lies — delivery times and rewritten payloads both."""
+    parent = parse_fault_spec(f"byz=1@{strategy}", seed=seed)
+    parent.bind_clients(5)
+    left, right = parent.fork(), parent.fork()
+    assert _byz_outcomes(left, count) == _byz_outcomes(right, count)

@@ -40,6 +40,7 @@ GAP = 5.0
 # flip in either direction is a behaviour change worth a commit note.
 EXPECTED_LINEARIZABLE = {
     "arrow": True,
+    "byz-counter": True,
     "central": True,
     "central[standby]": True,
     "combining-tree": True,

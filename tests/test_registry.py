@@ -100,13 +100,14 @@ class TestRegistryCompleteness:
             if module.replace("_", "-") not in base_names
             and module not in ("counting_network", "combining_tree",
                                "diffracting_tree", "static_tree",
-                               "recoverable")
+                               "recoverable", "byzantine")
         }
         for module, slug in (
             ("counting_network", "counting-network"),
             ("combining_tree", "combining-tree"),
             ("diffracting_tree", "diffracting-tree"),
             ("static_tree", "static-tree"),
+            ("byzantine", "byz-counter"),
         ):
             if slug not in base_names:
                 missing.add(module)
