@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""CI smoke test for the resilience layer, end to end through the CLI.
+
+Starts ``repro serve`` and ``repro chaos`` as subprocesses on loopback
+ports chosen by the OS (``--port 0``), parses both announce lines, then
+drives increments through the *proxy* with ``repro loadgen --retries``
+and asserts:
+
+* the load generator exits 0 with zero failed requests despite the
+  injected resets and stalls (retries carried every one of them);
+* the final counter value equals the number of increments sent
+  (``--expect-final``) — the server's request-id dedup made the
+  retries exactly-once;
+* ``STATS`` (asked directly, past the proxy) agrees: served == OPS;
+* ``SHUTDOWN`` (also direct) drains the server, which exits 0.
+
+Run from the repository root: ``python scripts/chaos_smoke.py``
+(PYTHONPATH=src is set for the subprocesses automatically).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import select
+import socket
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SPEC = "central"
+N = 8
+OPS = 300
+RATE = 400.0
+PLAN = "delay=0.002@0.2,trunc=4@0.1,reset@0.15,stall=0.02@0.1"
+SEED = 5
+SERVE_ANNOUNCE = re.compile(r"^SERVING (?P<spec>\S+) n=(?P<n>\d+) "
+                            r"(?P<host>[\d.]+):(?P<port>\d+)$")
+CHAOS_ANNOUNCE = re.compile(r"^CHAOS (?P<plan>\S+) "
+                            r"(?P<host>[\d.]+):(?P<port>\d+) -> "
+                            r"(?P<uhost>[\d.]+):(?P<uport>\d+)$")
+START_TIMEOUT_S = 30.0
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _read_announce(
+    process: subprocess.Popen, pattern: re.Pattern, tag: str
+) -> tuple[str, int]:
+    """Wait for an announce line (with a deadline) and parse it."""
+    assert process.stdout is not None
+    deadline = time.monotonic() + START_TIMEOUT_S
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"{tag} did not announce within {START_TIMEOUT_S}s"
+            )
+        ready, _, _ = select.select([process.stdout], [], [], remaining)
+        if not ready:
+            continue
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"{tag} exited before announcing (rc={process.poll()})"
+            )
+        print(f"[{tag}] {line.rstrip()}")
+        match = pattern.match(line.strip())
+        if match:
+            return match["host"], int(match["port"])
+
+
+def _ask(host: str, port: int, line: str) -> str:
+    """One request/answer round trip on a fresh direct connection."""
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(f"{line}\n".encode("ascii"))
+        answer = b""
+        while not answer.endswith(b"\n"):
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            answer += chunk
+    return answer.decode("ascii").strip()
+
+
+def main() -> int:
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", SPEC,
+            "--n", str(N), "--port", "0",
+            "--max-backlog", "128",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+        cwd=ROOT,
+    )
+    proxy = None
+    try:
+        host, port = _read_announce(server, SERVE_ANNOUNCE, "serve")
+        proxy = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "chaos",
+                "--upstream", f"{host}:{port}",
+                "--port", "0",
+                "--plan", PLAN,
+                "--seed", str(SEED),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+            cwd=ROOT,
+        )
+        chaos_host, chaos_port = _read_announce(
+            proxy, CHAOS_ANNOUNCE, "chaos"
+        )
+        loadgen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--host", chaos_host,
+                "--port", str(chaos_port),
+                "--ops", str(OPS),
+                "--rate", str(RATE),
+                "--retries", "8",
+                "--deadline-ms", "500",
+                "--backoff-base-ms", "5",
+                "--backoff-max-ms", "50",
+                "--expect-final", str(OPS),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=_env(),
+            cwd=ROOT,
+        )
+        print(f"[loadgen] {loadgen.stdout.strip()}")
+        if loadgen.stderr.strip():
+            print(f"[loadgen:err] {loadgen.stderr.strip()}")
+        if loadgen.returncode != 0:
+            print(f"FAIL: loadgen exited {loadgen.returncode}")
+            return 1
+        if "err=0" not in loadgen.stdout:
+            print("FAIL: loadgen reported failed requests")
+            return 1
+
+        # ask the server directly (past the proxy): exactly-once means
+        # served landed on OPS even though the wire lost and re-sent
+        stats_line = _ask(host, port, "STATS")
+        print(f"[stats] {stats_line}")
+        fields = dict(
+            pair.split("=", 1)
+            for pair in stats_line.split()[1:]
+        )
+        if int(fields["served"]) != OPS:
+            print(f"FAIL: server served {fields['served']}, want {OPS}")
+            return 1
+
+        bye = _ask(host, port, "SHUTDOWN")
+        if bye != "BYE":
+            print(f"FAIL: SHUTDOWN answered {bye!r}")
+            return 1
+        server_rc = server.wait(timeout=30)
+        if server_rc != 0:
+            print(f"FAIL: server exited {server_rc} after shutdown")
+            return 1
+    finally:
+        for process in (proxy, server):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+    print(f"OK: {OPS} increments exactly-once through chaos "
+          f"({PLAN}), final value verified, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,11 @@ time) so CI and developers get one comparable artifact:
   million-event territory that only the fast core makes routine;
 * a ``serving`` grid: wall-clock rate sweeps against a live TCP
   counter service (asyncio runtime, scaled simulated delays) with
-  p50/p99 latency per offered rate and the detected saturation knee.
+  p50/p99 latency per offered rate and the detected saturation knee;
+* a ``resilience`` grid: the E26 graceful-degradation trial — 2x the
+  knee rate through a fault-injecting chaos proxy with deadlines,
+  bounded admission and idempotent retries, goodput and exactly-once
+  arithmetic recorded.
 
 Grids are individually selectable (``repro bench --grid messages``)
 and every report is stamped with the git SHA and an ISO-8601 UTC
@@ -421,6 +425,68 @@ def bench_serving(ops: int = 150, time_scale: float = 0.005) -> dict:
     }
 
 
+def bench_resilience(ops: int = 960) -> dict:
+    """Graceful-degradation grid: 2x knee load through the chaos proxy.
+
+    Runs the E26 trial (knee-rate baseline, then double the knee
+    through a :class:`~repro.serve.ChaosProxy` injecting delays,
+    stalls, truncated answers, resets and blackholes, with per-request
+    deadlines and idempotent retries) and records the wall-clock
+    goodput, latency and fault accounting.  Exactly-once arithmetic is
+    asserted: the final counter value equals the baseline commits plus
+    the unique committed request ids, chaos notwithstanding.
+    """
+    from repro.experiments.resilience_exp import run_resilience_trial
+
+    trial = run_resilience_trial(ops=ops)
+    assert trial.exactly_once, (
+        f"resilience grid: counter value {trial.probe_value} != "
+        f"{trial.baseline.completed} baseline commits + "
+        f"{trial.rid_committed} unique committed rids"
+    )
+    baseline, chaos = trial.baseline, trial.chaos
+    return {
+        "grid": f"{trial.spec} n={trial.n}, {ops} increments per phase, "
+        "knee-rate baseline then 2x knee through the chaos proxy",
+        "note": "goodput counts server-side commits over chaos wall "
+        "time; exactly-once asserted (final value == baseline commits "
+        "+ unique committed request ids)",
+        "chaos_plan": trial.chaos_plan,
+        "deadline_ms": round(trial.deadline * 1000, 1),
+        "retry_attempts": trial.retry.attempts,
+        "baseline": {
+            "offered_rate_per_s": baseline.offered_rate,
+            "completed": baseline.completed,
+            "throughput_per_s": round(baseline.throughput, 1),
+            "p50_ms": round(baseline.p50 * 1000, 2),
+            "p99_ms": round(baseline.p99 * 1000, 2),
+        },
+        "chaos": {
+            "offered_rate_per_s": trial.overload_rate,
+            "completed": chaos.completed,
+            "goodput_per_s": round(trial.chaos_goodput, 1),
+            "goodput_vs_baseline": round(
+                trial.chaos_goodput / baseline.throughput, 2
+            ),
+            "p50_ms": round(chaos.p50 * 1000, 2),
+            "p99_ms": round(chaos.p99 * 1000, 2),
+            "p99_bound_ms": round(trial.worst_case_latency * 1000, 1),
+            "retries": chaos.retries,
+            "errors_by_type": dict(sorted(chaos.error_counts.items())),
+        },
+        "server": {
+            "served": trial.stats["served"],
+            "shed": trial.stats["shed"],
+            "deadline_expired": trial.stats["expired"],
+            "duplicate_hits": trial.stats["deduped"],
+            "rid_committed": trial.rid_committed,
+        },
+        "proxy": {
+            key: value for key, value in trial.proxy_stats.items() if value
+        },
+    }
+
+
 GRIDS = (
     "queue",
     "messages",
@@ -432,6 +498,7 @@ GRIDS = (
     "explore",
     "large_n",
     "serving",
+    "resilience",
 )
 
 
@@ -524,6 +591,9 @@ def build_report(grids: tuple[str, ...] = GRIDS) -> dict:
     if "serving" in grids:
         _grid_boundary()
         report["serving"] = bench_serving()
+    if "resilience" in grids:
+        _grid_boundary()
+        report["resilience"] = bench_resilience()
     return report
 
 

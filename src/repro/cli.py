@@ -303,6 +303,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--time-scale", type=float, default=0.0,
         help="real seconds per unit of simulated time (0 = flat out)",
     )
+    serve.add_argument(
+        "--max-backlog", type=int, default=256, metavar="OPS",
+        help="queued operations beyond the n in flight before arrivals "
+             "are shed with ERR OVERLOADED (-1 = never shed)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="server-side default deadline for INC requests that do "
+             "not carry one (default: none)",
+    )
+    serve.add_argument(
+        "--line-limit", type=int, default=8192, metavar="BYTES",
+        help="protocol line length bound; longer lines answer "
+             "ERR LINE_TOO_LONG and drop the connection",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long SHUTDOWN waits for in-flight operations",
+    )
+    serve.add_argument(
+        "--dedup-capacity", type=int, default=4096, metavar="RIDS",
+        help="request-id ledger bound for exactly-once retries",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="open-loop load against a running 'repro serve'"
@@ -339,6 +362,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="send SHUTDOWN to the server after the run",
     )
+    loadgen.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries per request beyond the first attempt; > 0 "
+             "attaches a unique request id to every INC so the "
+             "server's dedup makes retries exactly-once",
+    )
+    loadgen.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="total retries shared across the run "
+             "(default: ops * retries)",
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline carried on each INC",
+    )
+    loadgen.add_argument(
+        "--backoff-base-ms", type=float, default=10.0, metavar="MS",
+        help="retry backoff scale (full jitter)",
+    )
+    loadgen.add_argument(
+        "--backoff-max-ms", type=float, default=500.0, metavar="MS",
+        help="retry backoff cap",
+    )
+    loadgen.add_argument(
+        "--breaker-threshold", type=int, default=0, metavar="N",
+        help="consecutive transport failures before the client circuit "
+             "breaker opens (0 = no breaker)",
+    )
+    loadgen.add_argument(
+        "--breaker-reset", type=float, default=1.0, metavar="SECONDS",
+        help="seconds an open breaker waits before its half-open probe",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="deterministic fault-injecting TCP proxy in front of "
+             "'repro serve'",
+    )
+    chaos.add_argument(
+        "--upstream", required=True, metavar="HOST:PORT",
+        help="address of the service to proxy",
+    )
+    chaos.add_argument("--host", default="127.0.0.1")
+    chaos.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = pick a free one; the bound address is "
+             "printed as 'CHAOS <plan> <host>:<port> -> <upstream>')",
+    )
+    chaos.add_argument(
+        "--plan", default="reset@0.05", metavar="SPEC",
+        help="fault plan, e.g. 'delay=0.002@0.2,stall=0.05@0.1,"
+             "reset@0.1,blackhole@0.02,trunc=8@0.05'",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -876,9 +953,18 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import serve_counter
+    from repro.serve import ResilienceConfig, serve_counter
 
     try:
+        resilience = ResilienceConfig(
+            max_backlog=None if args.max_backlog < 0 else args.max_backlog,
+            default_deadline=(
+                None if args.deadline_ms is None else args.deadline_ms / 1000.0
+            ),
+            dedup_capacity=args.dedup_capacity,
+            line_limit=args.line_limit,
+            drain_timeout=args.drain_timeout,
+        )
         asyncio.run(
             serve_counter(
                 args.spec,
@@ -888,6 +974,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 policy=args.policy,
                 seed=args.seed,
                 time_scale=args.time_scale,
+                resilience=resilience,
                 announce=True,
             )
         )
@@ -902,7 +989,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import run_load, run_rate_sweep
+    from repro.serve import (
+        CircuitBreaker,
+        RetryBudget,
+        RetryPolicy,
+        run_load,
+        run_rate_sweep,
+    )
+
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            attempts=args.retries + 1,
+            base_delay=args.backoff_base_ms / 1000.0,
+            max_delay=max(args.backoff_base_ms, args.backoff_max_ms) / 1000.0,
+        )
+    retry_budget = (
+        RetryBudget(args.retry_budget) if args.retry_budget is not None else None
+    )
+    breaker = (
+        CircuitBreaker(args.breaker_threshold, args.breaker_reset)
+        if args.breaker_threshold > 0
+        else None
+    )
+    deadline = None if args.deadline_ms is None else args.deadline_ms / 1000.0
 
     async def go() -> int:
         final_value = -1
@@ -912,6 +1022,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 args.host, args.port, args.ops, rates,
                 process=args.process, seed=args.seed,
                 max_connections=args.max_connections,
+                retry=retry, retry_budget=retry_budget,
+                deadline=deadline, breaker=breaker,
             )
             for run in sweep.runs:
                 print(run.summary())
@@ -927,6 +1039,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 args.host, args.port, args.ops, args.rate,
                 process=args.process, seed=args.seed,
                 max_connections=args.max_connections,
+                retry=retry, retry_budget=retry_budget,
+                deadline=deadline, breaker=breaker,
             )
             print(run.summary())
             failed = run.errors > 0
@@ -958,6 +1072,43 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ChaosProxy, parse_chaos_spec
+
+    host, _, port_text = args.upstream.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --upstream must be HOST:PORT, got {args.upstream!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = parse_chaos_spec(args.plan, seed=args.seed)
+    except ReproError as error:
+        print(f"bad chaos plan: {error}", file=sys.stderr)
+        return 2
+    proxy = ChaosProxy(
+        host, int(port_text), plan=plan, host=args.host, port=args.port
+    )
+
+    async def go() -> None:
+        await proxy.start()
+        print(
+            f"CHAOS {plan.canonical()} {proxy.address} "
+            f"-> {proxy.upstream_host}:{proxy.upstream_port}",
+            flush=True,
+        )
+        await proxy.serve_forever()
+
+    try:
+        asyncio.run(go())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "counters": _cmd_counters,
@@ -973,6 +1124,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -106,6 +106,70 @@ class ProtocolError(SimulationError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the live serving layer.
+
+    These are the *expected* failure modes of a saturated or shutting-
+    down :class:`~repro.serve.CounterService` — each maps to a
+    machine-readable ``ERR <CODE>`` line on the wire, and the load
+    generator's retry loop treats most of them as retryable.
+    """
+
+    #: machine-readable wire code (the first token after ``ERR``).
+    code = "SERVICE"
+
+
+class OverloadedError(ServiceError):
+    """Raised when admission control sheds a request.
+
+    The service bounds how many operations may wait for a free client
+    processor (``max_backlog``); beyond the bound it answers
+    ``ERR OVERLOADED`` immediately instead of queueing without limit.
+    Shedding early keeps latency bounded for the requests it *does*
+    admit — the paper's Θ(k) bottleneck means overload is a matter of
+    when, not if, so the service degrades by refusing, not collapsing.
+    """
+
+    code = "OVERLOADED"
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline expires before its value arrives.
+
+    The client's response is ``ERR DEADLINE_EXCEEDED``; an operation
+    already injected into the protocol still runs to completion in the
+    background (its processor id returns to the pool only then, and its
+    request id is recorded as committed), so a retry with the same
+    request id receives the committed value instead of double-counting.
+    """
+
+    code = "DEADLINE_EXCEEDED"
+
+
+class ServiceStoppedError(ServiceError):
+    """Raised when an operation meets a stopping or stopped service.
+
+    New operations during a graceful drain answer
+    ``ERR SHUTTING_DOWN``; operations stranded in flight when the pump
+    stops without draining fail with this error instead of hanging
+    forever.
+    """
+
+    code = "SHUTTING_DOWN"
+
+
+class CircuitOpenError(ServiceError):
+    """Raised by the client's circuit breaker while it is open.
+
+    After a run of consecutive transport failures the breaker fails
+    fast locally instead of hammering a dead or resetting service;
+    after ``reset_timeout`` it half-opens and lets a single probe
+    through.
+    """
+
+    code = "CIRCUIT_OPEN"
+
+
 class InvariantViolationError(ReproError):
     """Raised by invariant checkers when a paper lemma fails on a trace.
 

@@ -15,6 +15,7 @@ from repro.experiments.comparisons_exp import run_e6, run_e7, run_e13, run_e17
 from repro.experiments.constructions import run_e1, run_e2
 from repro.experiments.lowerbound_exp import run_e3, run_e16
 from repro.experiments.recovery_exp import run_e22, run_e23
+from repro.experiments.resilience_exp import run_e26
 from repro.experiments.robustness_exp import run_e18, run_e19, run_e20, run_e21
 from repro.experiments.serving_exp import run_e24
 from repro.experiments.substrates_exp import run_e8, run_e11, run_e14, run_e15
@@ -46,6 +47,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "E23": run_e23,
     "E24": run_e24,
     "E25": run_e25,
+    "E26": run_e26,
 }
 """Experiment id → zero-argument runner with the canonical parameters."""
 
@@ -79,4 +81,5 @@ __all__ = [
     "run_e23",
     "run_e24",
     "run_e25",
+    "run_e26",
 ]

@@ -1,33 +1,68 @@
-"""Live counter serving: a TCP front-end and an open-loop load generator.
+"""Live counter serving: a TCP front-end, load generator, and chaos proxy.
 
 The north-star behind the runtime seam: the paper's bottleneck is not
 just a message count in a simulator — run any registered counter as a
 real asyncio service and drive it with open-loop traffic, and the same
-bottleneck reappears as a saturation knee in wall-clock latency.
+bottleneck reappears as a saturation knee in wall-clock latency.  And
+because the Θ(k) bottleneck guarantees saturation, the service carries
+a full resilience layer for the regime beyond the knee.
 
 * :mod:`repro.serve.server` — :class:`CounterService`: any
   non-``sequential_only`` registered spec behind a newline-delimited TCP
   protocol (``INC`` / ``STATS`` / ``PING`` / ``SHUTDOWN``), executing on
-  the :class:`~repro.runtime.AsyncioRuntime`;
+  the :class:`~repro.runtime.AsyncioRuntime`, with per-request
+  deadlines, bounded-backlog load shedding, request-id dedup
+  (exactly-once retries) and graceful drain;
+* :mod:`repro.serve.resilience` — the policy objects:
+  :class:`ResilienceConfig`, :class:`RetryPolicy`, :class:`RetryBudget`,
+  :class:`CircuitBreaker`, :class:`DedupTable`;
 * :mod:`repro.serve.loadgen` — the open-loop client: Poisson or bursty
-  arrivals at a configured offered load, per-run p50/p99 latency, and
-  rate sweeps with saturation-knee detection.
+  arrivals at a configured offered load, per-run p50/p99 latency, rate
+  sweeps with saturation-knee detection, idempotent retries with full
+  jitter, per-error-type accounting, and a circuit breaker on the
+  connection pool;
+* :mod:`repro.serve.chaos` — :class:`ChaosProxy`: a seeded
+  deterministic TCP proxy injecting resets, stalls, blackholes, delays
+  and truncations between the generator and the service — the harness
+  that proves graceful degradation (experiment E26).
 
-CLI entry points: ``repro serve SPEC`` and ``repro loadgen``.
+CLI entry points: ``repro serve``, ``repro loadgen``, ``repro chaos``.
 """
 
+from repro.serve.chaos import (
+    ChaosPlan,
+    ChaosProxy,
+    canonical_chaos_spec,
+    parse_chaos_spec,
+)
 from repro.serve.loadgen import (
     LoadResult,
     SweepResult,
     run_load,
     run_rate_sweep,
 )
+from repro.serve.resilience import (
+    CircuitBreaker,
+    DedupTable,
+    ResilienceConfig,
+    RetryBudget,
+    RetryPolicy,
+)
 from repro.serve.server import CounterService, serve_counter
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosProxy",
+    "CircuitBreaker",
     "CounterService",
+    "DedupTable",
     "LoadResult",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetryPolicy",
     "SweepResult",
+    "canonical_chaos_spec",
+    "parse_chaos_spec",
     "run_load",
     "run_rate_sweep",
     "serve_counter",

@@ -1,0 +1,464 @@
+"""A seeded, deterministic chaos TCP proxy for the serving stack.
+
+The resilience layer's claims — graceful shedding, deadline-bounded
+latency, exactly-once retries — are only as good as the failures they
+were proven against.  :class:`ChaosProxy` sits between the load
+generator and a :class:`~repro.serve.CounterService` and injects
+transport-level misbehaviour the *simulator's* fault plans cannot
+reach, because it happens on real sockets: connection resets mid
+request, stalled streams, blackholed bytes, truncated responses.
+
+Rules compose into a :class:`ChaosPlan`, specified with the same
+comma-separated grammar style as :func:`repro.sim.faults.parse_fault_spec`::
+
+    delay=0.005@0.2,stall=0.1@0.1,trunc=8@0.05,reset@0.05,blackhole@0.02
+
+* ``delay=S@P`` — with probability *P* per forwarded chunk (either
+  direction), hold the chunk *S* seconds before forwarding;
+* ``stall=S@P`` — with probability *P* per connection, pause *S*
+  seconds before forwarding the first client chunk (a slow-to-wake
+  upstream), then continue normally;
+* ``trunc=K@P`` — with probability *P* per server-to-client chunk,
+  forward only its first *K* bytes and then abort the connection
+  (a response cut off mid-line);
+* ``reset@P`` — with probability *P* per connection, abort it the
+  moment the first client chunk arrives (the request may or may not
+  have reached the server — exactly the ambiguity idempotent retries
+  must survive);
+* ``blackhole@P`` — with probability *P* per connection, read and
+  discard every client byte and never answer (only a client-side
+  deadline rescues the caller).
+
+Determinism: every decision draws from a generator keyed on
+``(seed, connection index, direction)``, so a given accept-order of
+connections replays the same fates and the same per-chunk draws
+regardless of event-loop timing.  Connection fates are drawn in a
+fixed order (blackhole, reset, stall) whatever the spec order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosProxy",
+    "canonical_chaos_spec",
+    "parse_chaos_spec",
+]
+
+
+def _check_probability(name: str, probability: float) -> float:
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(
+            f"{name} probability must be in [0, 1], got {probability}"
+        )
+    return probability
+
+
+@dataclass(frozen=True, slots=True)
+class _DelayRule:
+    seconds: float
+    probability: float
+
+    def spec_fragment(self) -> str:
+        return f"delay={self.seconds:g}@{self.probability:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class _StallRule:
+    seconds: float
+    probability: float
+
+    def spec_fragment(self) -> str:
+        return f"stall={self.seconds:g}@{self.probability:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class _TruncateRule:
+    keep_bytes: int
+    probability: float
+
+    def spec_fragment(self) -> str:
+        return f"trunc={self.keep_bytes}@{self.probability:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class _ResetRule:
+    probability: float
+
+    def spec_fragment(self) -> str:
+        return f"reset@{self.probability:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class _BlackholeRule:
+    probability: float
+
+    def spec_fragment(self) -> str:
+        return f"blackhole@{self.probability:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class _ConnectionFate:
+    """Per-connection decisions, drawn once at accept time."""
+
+    blackhole: bool
+    reset: bool
+    stall_seconds: float
+
+
+class ChaosPlan:
+    """A composed set of chaos rules plus the seed that drives them."""
+
+    def __init__(
+        self,
+        *,
+        delay: _DelayRule | None = None,
+        stall: _StallRule | None = None,
+        trunc: _TruncateRule | None = None,
+        reset: _ResetRule | None = None,
+        blackhole: _BlackholeRule | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.delay = delay
+        self.stall = stall
+        self.trunc = trunc
+        self.reset = reset
+        self.blackhole = blackhole
+        self.seed = seed
+
+    def canonical(self) -> str:
+        """The canonical spec string (fixed rule order)."""
+        fragments = [
+            rule.spec_fragment()
+            for rule in (
+                self.delay,
+                self.stall,
+                self.trunc,
+                self.reset,
+                self.blackhole,
+            )
+            if rule is not None
+        ]
+        return ",".join(fragments)
+
+    def __repr__(self) -> str:
+        return f"ChaosPlan({self.canonical()!r}, seed={self.seed})"
+
+    # -- deterministic draws ------------------------------------------
+    def fate(self, connection_index: int) -> _ConnectionFate:
+        """Draw the per-connection decisions (fixed draw order)."""
+        rng = random.Random(f"{self.seed}:{connection_index}:fate")
+        blackhole = (
+            self.blackhole is not None
+            and rng.random() < self.blackhole.probability
+        )
+        reset = (
+            self.reset is not None and rng.random() < self.reset.probability
+        )
+        stall_seconds = 0.0
+        if self.stall is not None and rng.random() < self.stall.probability:
+            stall_seconds = self.stall.seconds
+        return _ConnectionFate(
+            blackhole=blackhole, reset=reset, stall_seconds=stall_seconds
+        )
+
+    def chunk_rng(self, connection_index: int, direction: str) -> random.Random:
+        """The per-chunk generator for one direction of one connection."""
+        return random.Random(f"{self.seed}:{connection_index}:{direction}")
+
+
+_FIELDS = ("delay", "stall", "trunc", "reset", "blackhole")
+
+
+def parse_chaos_spec(text: str, seed: int = 0) -> ChaosPlan:
+    """Build a :class:`ChaosPlan` from a spec string.
+
+    Grammar (comma-separated fields, any order, each at most once)::
+
+        delay=S@P        hold chunks S seconds with probability P
+        stall=S@P        pause S seconds before the first client chunk
+        trunc=K@P        cut a response chunk to K bytes, then abort
+        reset@P          abort on the first client chunk
+        blackhole@P      swallow all client bytes, never answer
+
+    Fields are canonically reordered (delay, stall, trunc, reset,
+    blackhole) so equivalent spellings produce identical plans —
+    :func:`canonical_chaos_spec` round-trips.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ConfigurationError("empty chaos spec")
+    parsed: dict[str, object] = {}
+    for part in stripped.split(","):
+        body, at, prob_text = part.strip().partition("@")
+        if not at or not prob_text:
+            raise ConfigurationError(
+                f"malformed chaos field {part!r} in {text!r}; every rule "
+                "needs a probability: kind[=value]@P"
+            )
+        name, eq, value_text = body.partition("=")
+        if name not in _FIELDS:
+            raise ConfigurationError(
+                f"unknown chaos field {name!r}; expected one of "
+                f"{', '.join(_FIELDS)}"
+            )
+        if name in parsed:
+            raise ConfigurationError(
+                f"duplicate chaos field {name!r} in {text!r}"
+            )
+        try:
+            probability = _check_probability(name, float(prob_text))
+        except ValueError:
+            raise ConfigurationError(
+                f"bad probability {prob_text!r} for chaos field {name!r}"
+            ) from None
+        if name in ("delay", "stall", "trunc"):
+            if not eq or not value_text:
+                raise ConfigurationError(
+                    f"chaos field {name!r} needs a value: {name}=V@P"
+                )
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad value {value_text!r} for chaos field {name!r}"
+                ) from None
+            if value <= 0:
+                raise ConfigurationError(
+                    f"chaos field {name!r} needs a positive value, "
+                    f"got {value:g}"
+                )
+        elif eq:
+            raise ConfigurationError(
+                f"chaos field {name!r} takes no value; write {name}@P"
+            )
+        if name == "delay":
+            parsed[name] = _DelayRule(value, probability)
+        elif name == "stall":
+            parsed[name] = _StallRule(value, probability)
+        elif name == "trunc":
+            keep = int(value)
+            if keep != value or keep < 1:
+                raise ConfigurationError(
+                    f"trunc keep-bytes must be a positive integer, "
+                    f"got {value:g}"
+                )
+            parsed[name] = _TruncateRule(keep, probability)
+        elif name == "reset":
+            parsed[name] = _ResetRule(probability)
+        else:
+            parsed[name] = _BlackholeRule(probability)
+    return ChaosPlan(seed=seed, **parsed)  # type: ignore[arg-type]
+
+
+def canonical_chaos_spec(text: str) -> str:
+    """The canonical form of a chaos-spec string."""
+    return parse_chaos_spec(text).canonical()
+
+
+class ChaosProxy:
+    """A TCP proxy that forwards loopback traffic through a chaos plan.
+
+    Args:
+        upstream_host: the real service's host.
+        upstream_port: the real service's port.
+        plan: the chaos rules; ``None`` forwards cleanly (useful as a
+            control).
+        host: interface to bind.
+        port: TCP port (0 = let the OS pick; read :attr:`port` after
+            :meth:`start`).
+
+    Stats (``proxy.stats``) count connections and injected events per
+    rule kind, so tests can assert the chaos actually happened.
+    """
+
+    _CHUNK = 4096
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        plan: ChaosPlan | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connection_index = 0
+        self._live: set[asyncio.Task] = set()
+        self.stats: dict[str, int] = {
+            "connections": 0,
+            "upstream_failures": 0,
+            "delays": 0,
+            "stalls": 0,
+            "truncations": 0,
+            "resets": 0,
+            "blackholed": 0,
+        }
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once started."""
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the proxy socket."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, abort live pipes, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._live):
+            task.cancel()
+        if self._live:
+            await asyncio.gather(*self._live, return_exceptions=True)
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` (unless already bound) then run until stopped."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- internals -----------------------------------------------------
+    @staticmethod
+    def _abort(*writers: asyncio.StreamWriter) -> None:
+        """Tear a connection down abruptly (no FIN handshake)."""
+        for writer in writers:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def _handle(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        index = self._connection_index
+        self._connection_index += 1
+        self.stats["connections"] += 1
+        plan = self.plan
+        fate = (
+            plan.fate(index)
+            if plan is not None
+            else _ConnectionFate(False, False, 0.0)
+        )
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            self.stats["upstream_failures"] += 1
+            self._abort(client_writer)
+            return
+        if fate.blackhole:
+            self.stats["blackholed"] += 1
+        pipes = (
+            asyncio.create_task(
+                self._pipe(
+                    client_reader,
+                    upstream_writer,
+                    client_writer,
+                    index,
+                    "c2s",
+                    fate,
+                )
+            ),
+            asyncio.create_task(
+                self._pipe(
+                    upstream_reader,
+                    client_writer,
+                    upstream_writer,
+                    index,
+                    "s2c",
+                    fate,
+                )
+            ),
+        )
+        for task in pipes:
+            self._live.add(task)
+            task.add_done_callback(self._live.discard)
+        try:
+            await asyncio.wait(pipes, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in pipes:
+                task.cancel()
+            await asyncio.gather(*pipes, return_exceptions=True)
+            for writer in (client_writer, upstream_writer):
+                writer.close()
+
+    async def _pipe(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer_writer: asyncio.StreamWriter,
+        index: int,
+        direction: str,
+        fate: _ConnectionFate,
+    ) -> None:
+        plan = self.plan
+        rng = (
+            plan.chunk_rng(index, direction) if plan is not None else None
+        )
+        first = True
+        try:
+            while True:
+                chunk = await reader.read(self._CHUNK)
+                if not chunk:
+                    break
+                if direction == "c2s":
+                    if fate.blackhole:
+                        continue  # swallow; the client's deadline rescues it
+                    if first and fate.reset:
+                        self.stats["resets"] += 1
+                        self._abort(writer, peer_writer)
+                        return
+                    if first and fate.stall_seconds > 0:
+                        self.stats["stalls"] += 1
+                        await asyncio.sleep(fate.stall_seconds)
+                if (
+                    plan is not None
+                    and plan.delay is not None
+                    and rng.random() < plan.delay.probability
+                ):
+                    self.stats["delays"] += 1
+                    await asyncio.sleep(plan.delay.seconds)
+                if (
+                    direction == "s2c"
+                    and plan is not None
+                    and plan.trunc is not None
+                    and rng.random() < plan.trunc.probability
+                ):
+                    self.stats["truncations"] += 1
+                    writer.write(chunk[: plan.trunc.keep_bytes])
+                    with contextlib.suppress(
+                        ConnectionResetError, BrokenPipeError
+                    ):
+                        await writer.drain()
+                    self._abort(writer, peer_writer)
+                    return
+                writer.write(chunk)
+                await writer.drain()
+                first = False
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -4,29 +4,46 @@ A :class:`CounterService` owns a :class:`~repro.registry.RunSession`
 built on the asyncio runtime and exposes its counter over a
 newline-delimited TCP protocol:
 
-========== ===================================== =======================
-Request    Response                              Meaning
-========== ===================================== =======================
-``INC``    ``OK <value>``                        one test-and-increment
-``STATS``  ``STATS spec=<s> n=<n> served=<k>``   service counters
-           `` inflight=<j> messages=<m>``
-``PING``   ``PONG``                              liveness probe
-``SHUTDOWN`` ``BYE``                             drain and stop
-(other)    ``ERR <reason>``                      protocol error
-========== ===================================== =======================
+=============== ===================================== =======================
+Request         Response                              Meaning
+=============== ===================================== =======================
+``INC``         ``OK <value>``                        one test-and-increment
+``INC R``       ``OK <value>``                        idempotent: retries of
+                                                      request id ``R`` return
+                                                      the committed value
+``INC R D``     ``OK <value>`` or                     as above, with a
+                ``ERR DEADLINE_EXCEEDED ...``         deadline of ``D`` ms
+``STATS``       ``STATS spec=<s> n=<n> ...``          service counters
+``PING``        ``PONG``                              liveness probe
+``SHUTDOWN``    ``BYE``                               drain in-flight ops,
+                                                      then stop
+(overlong line) ``ERR LINE_TOO_LONG ...``             reader bound exceeded
+(other)         ``ERR ...``                           protocol error
+=============== ===================================== =======================
 
 Concurrency model: the counter has ``n`` client processors; a pool
 (:class:`asyncio.Queue`) hands each in-flight request a free processor
 id and takes it back on completion, so at most ``n`` operations overlap
 and each processor runs at most one at a time — exactly the discipline
-the protocols assume.  Requests beyond ``n`` queue on the pool, so the
-TCP service has the same concurrency-limited capacity the simulated
-open-loop driver models.
+the protocols assume.
+
+Resilience (see :mod:`repro.serve.resilience`): requests beyond ``n``
+wait for a processor only up to a bounded backlog — past it the service
+*sheds* with ``ERR OVERLOADED`` instead of queueing without bound.  A
+request whose deadline expires answers ``ERR DEADLINE_EXCEEDED``
+immediately, but an operation already injected into the protocol runs
+to completion in the background: its processor id returns to the pool
+then, and its request id is recorded as committed, so a client retry
+with the same id receives the committed value instead of
+double-counting.  ``SHUTDOWN`` drains: new operations are refused with
+``ERR SHUTTING_DOWN`` while in-flight ones finish.
 
 Execution: protocol events run in a single pump task that drains the
 :class:`~repro.runtime.AsyncioRuntime` whenever new work is injected —
 client handlers never touch the network concurrently, so no locking is
-needed anywhere.
+needed anywhere.  If the pump dies *or is cancelled*, every in-flight
+waiter is failed with the cause, so no client ever hangs on a stranded
+future.
 """
 
 from __future__ import annotations
@@ -34,8 +51,15 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
-from repro.errors import CapabilityError
+from repro.errors import (
+    CapabilityError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceError,
+    ServiceStoppedError,
+)
 from repro.registry import RunSession, parse_spec
+from repro.serve.resilience import DedupTable, ResilienceConfig
 from repro.sim.trace import TraceLevel
 
 __all__ = ["CounterService", "serve_counter"]
@@ -58,6 +82,9 @@ class CounterService:
             protocol flat out; >0 makes simulated delays real).
         trace_level: trace fidelity (loads-only is faster for pure
             benchmarking).
+        resilience: server-side resilience policy
+            (:class:`~repro.serve.resilience.ResilienceConfig`);
+            defaults to bounded backlog, no default deadline.
     """
 
     def __init__(
@@ -71,6 +98,7 @@ class CounterService:
         seed: int = 0,
         time_scale: float = 0.0,
         trace_level: TraceLevel | str = TraceLevel.FULL,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         ref = parse_spec(spec)
         if not ref.capabilities.supports_concurrent:
@@ -92,16 +120,27 @@ class CounterService:
         )
         self.host = host
         self.port = port
+        self.config = resilience if resilience is not None else ResilienceConfig()
         self._server: asyncio.AbstractServer | None = None
         self._pump_task: asyncio.Task | None = None
         self._work = asyncio.Event()
         self._stopped = asyncio.Event()
+        self._draining = False
         self._pid_pool: asyncio.Queue[int] = asyncio.Queue()
         for pid in self.session.counter.client_ids():
             self._pid_pool.put_nowait(pid)
         self._waiters: dict[int, asyncio.Future[int]] = {}
+        self._commits: set[asyncio.Task[int]] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._client_writers: set[asyncio.StreamWriter] = set()
+        self._dedup = DedupTable(self.config.dedup_capacity)
         self._op_index = 0
         self._served = 0
+        self._backlog = 0
+        self._shed = 0
+        self._expired = 0
+        self._deduped = 0
+        self._overlong = 0
         self._install_result_hook()
 
     # ------------------------------------------------------------------
@@ -119,13 +158,18 @@ class CounterService:
 
     @property
     def served(self) -> int:
-        """Completed ``INC`` operations so far."""
+        """Committed ``INC`` operations so far (= the counter's value)."""
         return self._served
 
     @property
     def inflight(self) -> int:
         """Operations currently between injection and result delivery."""
         return len(self._waiters)
+
+    @property
+    def backlog(self) -> int:
+        """Admitted operations waiting for a free processor."""
+        return self._backlog
 
     @property
     def address(self) -> str:
@@ -138,7 +182,10 @@ class CounterService:
     async def start(self) -> None:
         """Bind the TCP server and start the protocol pump."""
         self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
+            self._handle_client,
+            self.host,
+            self.port,
+            limit=self.config.line_limit,
         )
         sockets = self._server.sockets or ()
         if sockets:
@@ -149,11 +196,23 @@ class CounterService:
         """Block until a ``SHUTDOWN`` (or :meth:`stop`) completes."""
         await self._stopped.wait()
 
-    async def stop(self) -> None:
-        """Drain pending protocol work and stop serving."""
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop serving: refuse new work, optionally drain, then halt.
+
+        With *drain* (the default), in-flight operations get up to
+        ``drain_timeout`` seconds to commit before the pump stops;
+        without it, in-flight waiters fail immediately with
+        :class:`~repro.errors.ServiceStoppedError` instead of hanging.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if drain and self._commits:
+            self._work.set()
+            await asyncio.wait(
+                list(self._commits), timeout=self.config.drain_timeout
+            )
         if self._pump_task is not None:
             self._work.set()  # unblock the pump so it can observe the stop
             self._pump_task.cancel()
@@ -161,6 +220,15 @@ class CounterService:
                 await self._pump_task
             except asyncio.CancelledError:
                 pass
+        # abort lingering client connections so their handler tasks
+        # finish *before* the event loop tears down (no stray
+        # CancelledError noise from half-closed streams)
+        for writer in list(self._client_writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._handlers:
+            await asyncio.wait(list(self._handlers), timeout=2.0)
         self._stopped.set()
 
     async def serve_forever(self) -> None:
@@ -183,13 +251,21 @@ class CounterService:
 
         counter.deliver_result = deliver  # type: ignore[method-assign]
 
+    def _poison_waiters(self, error: BaseException) -> None:
+        """Fail every in-flight waiter so no client hangs forever."""
+        for future in self._waiters.values():
+            if not future.done():
+                future.set_exception(error)
+        self._waiters.clear()
+
     async def _pump(self) -> None:
         """Drain the runtime whenever a handler injects new work.
 
-        A protocol failure (e.g. an exhausted event budget) must not
-        strand in-flight clients on never-resolving futures: the pump
-        fails every waiter with the error before dying, so their
-        handlers answer ``ERR`` instead of hanging.
+        Neither a protocol failure (e.g. an exhausted event budget) nor
+        a cancellation mid-drain may strand in-flight clients on
+        never-resolving futures: both paths fail every waiter before
+        the pump dies, so their handlers answer ``ERR`` instead of
+        hanging.
         """
         runtime = self.session.runtime
         try:
@@ -198,66 +274,225 @@ class CounterService:
                 self._work.clear()
                 await runtime.drain()
         except asyncio.CancelledError:
+            self._poison_waiters(
+                ServiceStoppedError(
+                    "service stopped with the operation in flight"
+                )
+            )
             raise
         except Exception as exc:
-            for future in self._waiters.values():
-                if not future.done():
-                    future.set_exception(exc)
-            self._waiters.clear()
+            self._poison_waiters(exc)
             raise
 
-    async def inc(self) -> int:
-        """Run one increment: lease a processor, inject, await the value."""
-        pid = await self._pid_pool.get()
-        future: asyncio.Future[int] = (
-            asyncio.get_running_loop().create_future()
-        )
+    async def inc(
+        self,
+        *,
+        rid: str | None = None,
+        deadline: float | None = None,
+    ) -> int:
+        """Run one increment, subject to the resilience policy.
+
+        Args:
+            rid: client-supplied request id.  A repeated ``rid``
+                attaches to the original operation (in flight) or
+                returns its committed value — never a second increment.
+            deadline: seconds this call may take (admission wait
+                included); ``None`` falls back to the config's
+                ``default_deadline``.  Expiry raises
+                :class:`~repro.errors.DeadlineExceededError`; an
+                already-injected operation still commits in the
+                background.
+
+        Raises:
+            OverloadedError: the admission backlog is full.
+            ServiceStoppedError: the service is draining or stopped.
+            DeadlineExceededError: the deadline expired first.
+        """
+        if self._draining:
+            raise ServiceStoppedError("service is shutting down")
+        loop = asyncio.get_running_loop()
+        if deadline is None:
+            deadline = self.config.default_deadline
+        expires = None if deadline is None else loop.time() + deadline
+        entry = None
+        if rid is not None:
+            existing = self._dedup.get(rid)
+            if existing is not None:
+                self._deduped += 1
+                return await self._await_value(existing.future, expires)
+            entry = self._dedup.create(rid, loop.create_future())
+        try:
+            pid = await self._admit(expires)
+        except BaseException as exc:
+            # nothing was injected: forget the rid so a retry may try
+            # again (and wake any co-waiter with the same failure)
+            if rid is not None:
+                self._dedup.fail(rid, exc)
+            raise
+        future: asyncio.Future[int] = loop.create_future()
         self._waiters[pid] = future
         op_index = self._op_index
         self._op_index += 1
         self.session.counter.begin_inc(pid, op_index)
+        commit = loop.create_task(self._commit(pid, future, rid))
+        self._commits.add(commit)
+        commit.add_done_callback(self._reap_commit)
         self._work.set()
+        return await self._await_value(commit, expires)
+
+    async def _admit(self, expires: float | None) -> int:
+        """Lease a processor id, shedding or expiring as configured."""
+        if (
+            self.config.max_backlog is not None
+            and self._pid_pool.empty()
+            and self._backlog >= self.config.max_backlog
+        ):
+            self._shed += 1
+            raise OverloadedError(
+                f"admission backlog full ({self._backlog} waiting, "
+                f"cap {self.config.max_backlog})"
+            )
+        loop = asyncio.get_running_loop()
+        self._backlog += 1
+        try:
+            if expires is None:
+                return await self._pid_pool.get()
+            try:
+                return await asyncio.wait_for(
+                    self._pid_pool.get(), max(0.0, expires - loop.time())
+                )
+            except asyncio.TimeoutError:
+                self._expired += 1
+                raise DeadlineExceededError(
+                    "deadline expired waiting for a free processor"
+                ) from None
+        finally:
+            self._backlog -= 1
+
+    async def _await_value(self, awaitable: Any, expires: float | None) -> int:
+        """Await a commit (task or rid future) under the deadline."""
+        if expires is None:
+            return await asyncio.shield(awaitable)
+        loop = asyncio.get_running_loop()
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(awaitable), max(0.0, expires - loop.time())
+            )
+        except asyncio.TimeoutError:
+            self._expired += 1
+            raise DeadlineExceededError(
+                "deadline expired with the operation in flight; it will "
+                "commit in the background — retry with the same request "
+                "id for its value"
+            ) from None
+
+    async def _commit(
+        self, pid: int, future: asyncio.Future[int], rid: str | None
+    ) -> int:
+        """Finish one injected operation: value, lease return, dedup."""
         try:
             value = await future
-        finally:
+        except BaseException as exc:
+            # the pump died with the op in flight: return the lease and
+            # release any rid retries with the same failure
             self._pid_pool.put_nowait(pid)
+            if rid is not None:
+                self._dedup.fail(rid, exc)
+            raise
+        self._pid_pool.put_nowait(pid)
         self._served += 1
+        if rid is not None:
+            self._dedup.commit(rid, value)
         return value
 
+    def _reap_commit(self, task: asyncio.Task[int]) -> None:
+        self._commits.discard(task)
+        if not task.cancelled():
+            task.exception()  # deadline-abandoned commits must not warn
+
     def stats(self) -> dict[str, Any]:
-        """The ``STATS`` payload as a dict (also used by the CLI)."""
+        """The ``STATS`` payload as a dict (also used by the CLI).
+
+        Field order is part of the wire contract (tests pin it):
+        ``spec n served inflight backlog shed expired deduped
+        rid_committed messages``.
+        """
         return {
             "spec": self.spec,
             "n": self.n,
             "served": self._served,
             "inflight": self.inflight,
+            "backlog": self._backlog,
+            "shed": self._shed,
+            "expired": self._expired,
+            "deduped": self._deduped,
+            "rid_committed": self._dedup.committed_total,
             "messages": self.session.network.trace.total_messages,
         }
 
     # ------------------------------------------------------------------
     # The TCP side
     # ------------------------------------------------------------------
+    async def _handle_inc(
+        self, writer: asyncio.StreamWriter, args: list[str]
+    ) -> None:
+        rid = args[0] if args else None
+        deadline: float | None = None
+        if len(args) > 1:
+            try:
+                deadline = float(args[1]) / 1000.0
+            except ValueError:
+                deadline = -1.0
+            if deadline <= 0 or len(args) > 2:
+                writer.write(
+                    b"ERR BAD_REQUEST usage: INC [rid] [deadline_ms>0]\n"
+                )
+                return
+        try:
+            value = await self.inc(rid=rid, deadline=deadline)
+        except ServiceError as exc:
+            writer.write(
+                f"ERR {exc.code} {exc}\n".encode("ascii", "replace")
+            )
+        except Exception as exc:
+            writer.write(
+                f"ERR {type(exc).__name__}: {exc}\n"
+                .encode("ascii", "replace")
+            )
+        else:
+            writer.write(f"OK {value}\n".encode("ascii"))
+
     async def _handle_client(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._client_writers.add(writer)
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # StreamReader's translation of LimitOverrunError:
+                    # the line never ended within the configured bound
+                    self._overlong += 1
+                    writer.write(
+                        f"ERR LINE_TOO_LONG protocol lines are capped at "
+                        f"{self.config.line_limit} bytes\n".encode("ascii")
+                    )
+                    await writer.drain()
+                    break
                 if not line:
                     break
-                command = line.decode("ascii", "replace").strip().upper()
+                parts = line.decode("ascii", "replace").split()
+                if not parts:
+                    continue
+                command = parts[0].upper()
                 if command == "INC":
-                    try:
-                        value = await self.inc()
-                    except Exception as exc:
-                        writer.write(
-                            f"ERR {type(exc).__name__}: {exc}\n"
-                            .encode("ascii", "replace")
-                        )
-                    else:
-                        writer.write(f"OK {value}\n".encode("ascii"))
+                    await self._handle_inc(writer, parts[1:])
                 elif command == "PING":
                     writer.write(b"PONG\n")
                 elif command == "STATS":
@@ -267,25 +502,28 @@ class CounterService:
                     )
                     writer.write(f"STATS {rendered}\n".encode("ascii"))
                 elif command == "SHUTDOWN":
+                    self._draining = True  # refuse new work immediately
                     writer.write(b"BYE\n")
                     await writer.drain()
                     asyncio.create_task(self.stop())
                     break
-                elif command:
-                    writer.write(
-                        f"ERR unknown command {command!r}\n".encode("ascii")
-                    )
                 else:
-                    continue
+                    writer.write(
+                        f"ERR unknown command {command!r}\n"
+                        .encode("ascii", "replace")
+                    )
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._client_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            if task is not None:
+                self._handlers.discard(task)
 
 
 async def serve_counter(
@@ -297,6 +535,7 @@ async def serve_counter(
     policy: str | None = None,
     seed: int = 0,
     time_scale: float = 0.0,
+    resilience: ResilienceConfig | None = None,
     announce: bool = False,
 ) -> None:
     """Convenience runner: build a :class:`CounterService` and serve.
@@ -307,7 +546,14 @@ async def serve_counter(
     discover the real port.
     """
     service = CounterService(
-        spec, n, host, port, policy=policy, seed=seed, time_scale=time_scale
+        spec,
+        n,
+        host,
+        port,
+        policy=policy,
+        seed=seed,
+        time_scale=time_scale,
+        resilience=resilience,
     )
     await service.start()
     if announce:

@@ -47,7 +47,7 @@ class TestBaseTypes:
 
     def test_registry_is_complete_and_ordered(self):
         ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
-        assert ids == [f"E{i}" for i in range(1, 26)]
+        assert ids == [f"E{i}" for i in range(1, 27)]
 
 
 class TestConstructionExperiments:
@@ -180,6 +180,22 @@ class TestServingExperiment:
         # slowest-service family saturates no later than the fastest
         by_name = dict(zip(table.column("counter"), knees))
         assert by_name["combining-tree"] <= by_name["central"]
+
+
+class TestResilienceExperiment:
+    @pytest.mark.resilience
+    def test_e26_graceful_degradation_small(self):
+        from repro.experiments import run_e26
+
+        # run_e26 itself asserts the three claims (exactly-once
+        # arithmetic, goodput floor, bounded p99); small parameters
+        # keep the trial fast, and a relaxed floor absorbs the wider
+        # variance a short run has around the plateau
+        result = run_e26(ops=240, goodput_floor=0.5, seed=1)
+        table = result.table()
+        assert table.column("phase") == ["knee baseline", "2x knee + chaos"]
+        retries = int(table.column("retries")[1])
+        assert retries > 0  # the chaos actually forced retries
 
 
 class TestByzantineExperiment:

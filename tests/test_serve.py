@@ -159,6 +159,110 @@ class TestProtocol:
         assert address == f"127.0.0.1:{port}"
 
 
+class TestProtocolEdgeCases:
+    def test_binary_junk_answers_err_and_keeps_the_connection(self):
+        async def go():
+            service = CounterService("central", 4, port=0)
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                writer.write(b"\x00\xff\xfe\x80 junk\n")
+                await writer.drain()
+                junk_answer = (await reader.readline()).decode(
+                    "ascii", "replace"
+                )
+                writer.write(b"PING\n")
+                await writer.drain()
+                ping_answer = (await reader.readline()).decode("ascii")
+                writer.close()
+                await writer.wait_closed()
+                return junk_answer, ping_answer
+            finally:
+                await service.stop()
+
+        junk_answer, ping_answer = asyncio.run(go())
+        assert junk_answer.startswith("ERR unknown command")
+        assert ping_answer == "PONG\n"
+
+    def test_pipelined_commands_in_one_chunk_answer_in_order(self):
+        async def go():
+            service = CounterService("central", 4, port=0)
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                writer.write(b"INC\nPING\nINC\nSTATS\n")
+                await writer.drain()
+                answers = [
+                    (await reader.readline()).decode("ascii").strip()
+                    for _ in range(4)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return answers
+            finally:
+                await service.stop()
+
+        answers = asyncio.run(go())
+        assert answers[0] == "OK 0"
+        assert answers[1] == "PONG"
+        assert answers[2] == "OK 1"
+        assert answers[3].startswith("STATS ")
+
+    def test_disconnect_mid_inc_returns_the_leased_processor(self):
+        async def go():
+            service = CounterService(
+                "static-tree", 1, port=0, time_scale=0.05
+            )
+            await service.start()
+            try:
+                _, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                writer.write(b"INC\n")
+                await writer.drain()
+                writer.close()  # walk away mid-operation
+                # the op still commits, and the single lease is free
+                # again for the next client: an in-process inc works
+                await asyncio.sleep(0.01)
+                value = await asyncio.wait_for(service.inc(), timeout=5.0)
+                return value, service.served, service.inflight
+            finally:
+                await service.stop()
+
+        value, served, inflight = asyncio.run(go())
+        assert value == 1  # the abandoned op committed first
+        assert served == 2
+        assert inflight == 0
+
+    def test_stats_field_order_is_the_wire_contract(self):
+        async def go():
+            service = CounterService("central", 4, port=0)
+            await service.start()
+            try:
+                return await _request(service, "STATS")
+            finally:
+                await service.stop()
+
+        line = asyncio.run(go())
+        keys = [pair.split("=", 1)[0] for pair in line.split()[1:]]
+        assert keys == [
+            "spec",
+            "n",
+            "served",
+            "inflight",
+            "backlog",
+            "shed",
+            "expired",
+            "deduped",
+            "rid_committed",
+            "messages",
+        ]
+
+
 class TestLoadGenerator:
     def test_run_load_counts_every_increment(self):
         async def go():
