@@ -134,6 +134,23 @@ def main() -> int:
                 "file with the 'byzantine' marker mentions it"
             )
 
+    # Sharding claims universality: CounterShardMap serializes batches
+    # per shard, so EVERY registered spec must back a shard — and that
+    # claim is only real if every spec's exact name appears in a test
+    # file carrying the `shard` pytest marker.
+    shard_tests = [
+        path
+        for path in sorted(tests_dir.glob("test_*.py"))
+        if "pytest.mark.shard" in path.read_text()
+    ]
+    for spec_name in registered_names():
+        if not any(spec_name in path.read_text() for path in shard_tests):
+            failures.append(
+                f"{spec_name}: registered but no test file with the "
+                "'shard' marker mentions it — the sharded keyspace "
+                "claims every spec can back a shard"
+            )
+
     if failures:
         print("registry completeness check FAILED:")
         for failure in failures:

@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""CI smoke test for the sharded keyspace, end to end through the CLI.
+
+Starts ``repro serve --shards`` (recording a fixture bundle) and a
+``repro chaos`` proxy in front of it, both on OS-chosen loopback ports,
+then drives a Zipf-skewed keyed workload through the *proxy* with
+``repro loadgen --keys --retries`` and asserts:
+
+* the load generator exits 0 with zero failed requests and **every
+  key exact** — each key's observed values form one consecutive run,
+  so the injected resets/truncations never double-applied a retry;
+* ``STATS`` (asked directly, past the proxy) agrees: served == OPS
+  across all shards;
+* ``SHUTDOWN`` drains the server (exit 0), which writes the fixture
+  bundle;
+* ``repro replay`` re-executes the bundle offline and re-verifies
+  every recorded increment (exit 0).
+
+Run from the repository root: ``python scripts/shard_smoke.py``
+(PYTHONPATH=src is set for the subprocesses automatically).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import select
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SPEC = "central"
+N = 4
+SHARDS = 4
+BATCH_MAX = 16
+OPS = 500
+RATE = 800.0
+KEYS = 32
+ZIPF = 1.1
+PLAN = "delay=0.001@0.2,trunc=4@0.08,reset@0.12"
+SEED = 7
+SERVE_ANNOUNCE = re.compile(
+    r"^SERVING (?P<spec>\S+) n=(?P<n>\d+) shards=(?P<shards>\d+) "
+    r"(?P<host>[\d.]+):(?P<port>\d+)$"
+)
+CHAOS_ANNOUNCE = re.compile(r"^CHAOS (?P<plan>\S+) "
+                            r"(?P<host>[\d.]+):(?P<port>\d+) -> "
+                            r"(?P<uhost>[\d.]+):(?P<uport>\d+)$")
+START_TIMEOUT_S = 30.0
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _read_announce(
+    process: subprocess.Popen, pattern: re.Pattern, tag: str
+) -> tuple[str, int]:
+    """Wait for an announce line (with a deadline) and parse it."""
+    assert process.stdout is not None
+    deadline = time.monotonic() + START_TIMEOUT_S
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"{tag} did not announce within {START_TIMEOUT_S}s"
+            )
+        ready, _, _ = select.select([process.stdout], [], [], remaining)
+        if not ready:
+            continue
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"{tag} exited before announcing (rc={process.poll()})"
+            )
+        print(f"[{tag}] {line.rstrip()}")
+        match = pattern.match(line.strip())
+        if match:
+            return match["host"], int(match["port"])
+
+
+def _ask(host: str, port: int, line: str) -> str:
+    """One request/answer round trip on a fresh direct connection."""
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(f"{line}\n".encode("ascii"))
+        answer = b""
+        while not answer.endswith(b"\n"):
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            answer += chunk
+    return answer.decode("ascii").strip()
+
+
+def main() -> int:
+    bundle = tempfile.mkdtemp(prefix="shard-smoke-")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", SPEC,
+            "--n", str(N), "--port", "0",
+            "--shards", str(SHARDS),
+            "--batch-max", str(BATCH_MAX),
+            "--max-backlog", "256",
+            "--fixture", bundle,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+        cwd=ROOT,
+    )
+    proxy = None
+    try:
+        host, port = _read_announce(server, SERVE_ANNOUNCE, "serve")
+        proxy = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "chaos",
+                "--upstream", f"{host}:{port}",
+                "--port", "0",
+                "--plan", PLAN,
+                "--seed", str(SEED),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+            cwd=ROOT,
+        )
+        chaos_host, chaos_port = _read_announce(
+            proxy, CHAOS_ANNOUNCE, "chaos"
+        )
+        loadgen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--host", chaos_host,
+                "--port", str(chaos_port),
+                "--ops", str(OPS),
+                "--rate", str(RATE),
+                "--keys", str(KEYS),
+                "--zipf", str(ZIPF),
+                "--seed", str(SEED),
+                "--retries", "8",
+                "--backoff-base-ms", "5",
+                "--backoff-max-ms", "50",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=_env(),
+            cwd=ROOT,
+        )
+        print(f"[loadgen] {loadgen.stdout.strip()}")
+        if loadgen.stderr.strip():
+            print(f"[loadgen:err] {loadgen.stderr.strip()}")
+        if loadgen.returncode != 0:
+            print(f"FAIL: loadgen exited {loadgen.returncode}")
+            return 1
+        if "err=0" not in loadgen.stdout:
+            print("FAIL: loadgen reported failed requests")
+            return 1
+        if "all exact" not in loadgen.stdout:
+            print("FAIL: per-key exactness violated under chaos")
+            return 1
+
+        # ask the server directly (past the proxy): the dedup ledger
+        # must have made every chaos-driven retry exactly-once
+        stats_line = _ask(host, port, "STATS")
+        print(f"[stats] {stats_line}")
+        fields = dict(
+            pair.split("=", 1)
+            for pair in stats_line.split()[1:]
+        )
+        if int(fields["served"]) != OPS:
+            print(f"FAIL: server served {fields['served']}, want {OPS}")
+            return 1
+        if int(fields["shards"]) != SHARDS:
+            print(f"FAIL: {fields['shards']} shards, want {SHARDS}")
+            return 1
+
+        bye = _ask(host, port, "SHUTDOWN")
+        if bye != "BYE":
+            print(f"FAIL: SHUTDOWN answered {bye!r}")
+            return 1
+        server_rc = server.wait(timeout=30)
+        if server_rc != 0:
+            print(f"FAIL: server exited {server_rc} after shutdown")
+            return 1
+
+        # the stopped server wrote the fixture bundle: re-execute the
+        # whole run offline and re-verify every recorded increment
+        replay = subprocess.run(
+            [sys.executable, "-m", "repro", "replay", bundle],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=_env(),
+            cwd=ROOT,
+        )
+        print(f"[replay] {replay.stdout.strip()}")
+        if replay.stderr.strip():
+            print(f"[replay:err] {replay.stderr.strip()}")
+        if replay.returncode != 0 or "REPLAY OK" not in replay.stdout:
+            print(f"FAIL: replay exited {replay.returncode}")
+            return 1
+    finally:
+        for process in (proxy, server):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+    print(f"OK: {OPS} keyed increments over {SHARDS} shards "
+          f"exactly-once through chaos ({PLAN}), every key exact, "
+          f"bundle replayed clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,11 @@ time) so CI and developers get one comparable artifact:
 * a ``resilience`` grid: the E26 graceful-degradation trial — 2x the
   knee rate through a fault-injecting chaos proxy with deadlines,
   bounded admission and idempotent retries, goodput and exactly-once
-  arithmetic recorded.
+  arithmetic recorded;
+* a ``sharding`` grid: the E27 trial — the same Zipf-keyed workload
+  against a single serialized counter and against a batched
+  4-shard keyspace through the chaos proxy, with the goodput ratio,
+  per-key exactness and the offline fixture-replay verdict recorded.
 
 Grids are individually selectable (``repro bench --grid messages``)
 and every report is stamped with the git SHA and an ISO-8601 UTC
@@ -487,6 +491,69 @@ def bench_resilience(ops: int = 960) -> dict:
     }
 
 
+def bench_sharding(ops: int = 320) -> dict:
+    """Sharded-keyspace grid: the E27 baseline-vs-sharded trial.
+
+    Runs the E27 trial (one serialized shard with ``batch_max=1``,
+    then 4 shards with batch combining through the chaos proxy) and
+    records the wall-clock goodput of both phases, the ratio, the
+    chaos accounting and the offline replay verdict.  Per-key
+    exactness is asserted: every key's final value equals exactly its
+    unique committed request ids, live and under replay.
+    """
+    from repro.experiments.sharding_exp import run_sharding_trial
+
+    trial = run_sharding_trial(ops=ops)
+    failures = trial.exactness_failures()
+    assert not failures, (
+        f"sharding grid: per-key exactness violated on {failures}"
+    )
+    assert trial.sharded.completed == trial.sharded.sent, (
+        f"sharding grid: lost requests under chaos "
+        f"({trial.sharded.completed}/{trial.sharded.sent})"
+    )
+    assert trial.replay_ops == trial.sharded.completed, (
+        f"sharding grid: replay verified {trial.replay_ops} ops of "
+        f"{trial.sharded.completed}"
+    )
+    baseline, sharded = trial.baseline, trial.sharded
+    return {
+        "grid": f"{trial.spec} pools of n={trial.n}, {ops} Zipf("
+        f"{trial.zipf:g})-keyed increments per phase over {trial.keys} "
+        "keys, single serialized counter vs batched shards + chaos",
+        "note": "per-key exactness asserted live and by offline "
+        "fixture replay; the ratio is the sharding+batching win over "
+        "the single-counter regime the paper's bound pins",
+        "chaos_plan": trial.chaos_plan,
+        "retry_attempts": trial.retry.attempts,
+        "baseline": {
+            "shards": 1,
+            "batch_max": 1,
+            "completed": baseline.completed,
+            "throughput_per_s": round(baseline.throughput, 1),
+            "p50_ms": round(baseline.p50 * 1000, 2),
+            "p99_ms": round(baseline.p99 * 1000, 2),
+        },
+        "sharded": {
+            "shards": trial.shards,
+            "batch_max": trial.batch_max,
+            "completed": sharded.completed,
+            "throughput_per_s": round(sharded.throughput, 1),
+            "p50_ms": round(sharded.p50 * 1000, 2),
+            "p99_ms": round(sharded.p99 * 1000, 2),
+            "retries": sharded.retries,
+            "batches": trial.sharded_stats["batches"],
+        },
+        "goodput_ratio": round(trial.goodput_ratio, 2),
+        "keys_touched": len(trial.snapshot),
+        "replay": "REPLAY OK: "
+        + trial.replay_summary.split(": ", 1)[1],
+        "proxy": {
+            key: value for key, value in trial.proxy_stats.items() if value
+        },
+    }
+
+
 GRIDS = (
     "queue",
     "messages",
@@ -499,6 +566,7 @@ GRIDS = (
     "large_n",
     "serving",
     "resilience",
+    "sharding",
 )
 
 
@@ -594,6 +662,9 @@ def build_report(grids: tuple[str, ...] = GRIDS) -> dict:
     if "resilience" in grids:
         _grid_boundary()
         report["resilience"] = bench_resilience()
+    if "sharding" in grids:
+        _grid_boundary()
+        report["sharding"] = bench_sharding()
     return report
 
 

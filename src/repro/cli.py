@@ -11,6 +11,10 @@ Subcommands::
     python -m repro quorum     quorum systems: loads + counter bottleneck
     python -m repro tree       inspect a communication tree's geometry
     python -m repro bench      measure the simulator substrate (JSON report)
+    python -m repro serve      run a counter (or keyed keyspace) over TCP
+    python -m repro loadgen    open-loop load against a running service
+    python -m repro chaos      fault-injecting TCP proxy
+    python -m repro replay     verify a keyed-service fixture bundle
 
 Counters are named by registry spec strings
 (:mod:`repro.registry`): a canonical name optionally followed by
@@ -326,6 +330,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dedup-capacity", type=int, default=4096, metavar="RIDS",
         help="request-id ledger bound for exactly-once retries",
     )
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="serve a sharded counter keyspace instead of one counter: "
+             "K independent shard pools behind 'INC <key>' / "
+             "'STATS <key>' / SPLIT / MERGE (any registered spec works "
+             "— batches serialize per shard)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=32, metavar="OPS",
+        help="keyed mode: largest window one combined shard traversal "
+             "may carry",
+    )
+    serve.add_argument(
+        "--fixture", default=None, metavar="DIR",
+        help="keyed mode: record the run and write a replayable "
+             "fixture bundle into DIR at shutdown (verify with "
+             "'repro replay DIR')",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="open-loop load against a running 'repro serve'"
@@ -393,6 +415,34 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--breaker-reset", type=float, default=1.0, metavar="SECONDS",
         help="seconds an open breaker waits before its half-open probe",
+    )
+    loadgen.add_argument(
+        "--keys", type=int, default=None, metavar="K",
+        help="keyed mode against 'repro serve --shards': draw each "
+             "increment's key from a Zipf popularity distribution over "
+             "K names and check per-key exactness after the run",
+    )
+    loadgen.add_argument(
+        "--zipf", type=float, default=1.1, metavar="SKEW",
+        help="keyed mode: Zipf skew of the key popularity (1.1 is a "
+             "realistic hot-key regime; higher = hotter head)",
+    )
+
+    replay = commands.add_parser(
+        "replay",
+        help="re-execute and verify a keyed-service fixture bundle",
+        description=(
+            "Rebuild the recorded shard map on the simulated runtime, "
+            "replay every batch and topology event at its recorded "
+            "position, and verify every request's value, the final "
+            "keyspace snapshot, the shard ranges and the per-shard "
+            "trace fingerprints.  Exit 0 iff the bundle verifies."
+        ),
+    )
+    replay.add_argument(
+        "bundle", metavar="DIR",
+        help="bundle directory written by 'repro serve --shards "
+             "--fixture DIR'",
     )
 
     chaos = commands.add_parser(
@@ -953,7 +1003,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import ResilienceConfig, serve_counter
+    from repro.serve import ResilienceConfig, serve_counter, serve_keyed_counter
 
     try:
         resilience = ResilienceConfig(
@@ -965,19 +1015,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             line_limit=args.line_limit,
             drain_timeout=args.drain_timeout,
         )
-        asyncio.run(
-            serve_counter(
-                args.spec,
-                args.n,
-                args.host,
-                args.port,
-                policy=args.policy,
-                seed=args.seed,
-                time_scale=args.time_scale,
-                resilience=resilience,
-                announce=True,
+        if args.shards is not None:
+            asyncio.run(
+                serve_keyed_counter(
+                    args.spec,
+                    args.n,
+                    args.host,
+                    args.port,
+                    shards=args.shards,
+                    batch_max=args.batch_max,
+                    policy=args.policy,
+                    seed=args.seed,
+                    time_scale=args.time_scale,
+                    resilience=resilience,
+                    fixture_dir=args.fixture,
+                    announce=True,
+                )
             )
-        )
+        else:
+            asyncio.run(
+                serve_counter(
+                    args.spec,
+                    args.n,
+                    args.host,
+                    args.port,
+                    policy=args.policy,
+                    seed=args.seed,
+                    time_scale=args.time_scale,
+                    resilience=resilience,
+                    announce=True,
+                )
+            )
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     except ReproError as error:
@@ -993,6 +1061,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         CircuitBreaker,
         RetryBudget,
         RetryPolicy,
+        run_keyed_load,
         run_load,
         run_rate_sweep,
     )
@@ -1016,6 +1085,39 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     async def go() -> int:
         final_value = -1
+        if args.keys is not None:
+            if args.rates is not None:
+                print(
+                    "error: --keys runs a single keyed load; "
+                    "drop --rates",
+                    file=sys.stderr,
+                )
+                return 2
+            run = await run_keyed_load(
+                args.host, args.port, args.ops, args.rate,
+                keys=args.keys, zipf=args.zipf,
+                process=args.process, seed=args.seed,
+                max_connections=args.max_connections,
+                retry=retry, retry_budget=retry_budget,
+                deadline=deadline, breaker=breaker,
+            )
+            print(run.summary())
+            violations = run.exactness_violations()
+            print(
+                f"keys: {run.key_population} touched, "
+                + ("all exact"
+                   if not violations
+                   else f"EXACTNESS VIOLATED on {violations}")
+            )
+            if args.shutdown:
+                reader, writer = await asyncio.open_connection(
+                    args.host, args.port
+                )
+                writer.write(b"SHUTDOWN\n")
+                await writer.drain()
+                await reader.readline()
+                writer.close()
+            return 1 if (run.errors or violations) else 0
         if args.rates is not None:
             rates = [float(rate) for rate in args.rates.split(",")]
             sweep = await run_rate_sweep(
@@ -1072,6 +1174,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.errors import ReplayMismatchError
+    from repro.shard import replay_bundle
+
+    try:
+        report = replay_bundle(args.bundle)
+    except ReplayMismatchError as error:
+        print(f"REPLAY FAILED: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -1125,6 +1243,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
+    "replay": _cmd_replay,
 }
 
 

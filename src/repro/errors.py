@@ -170,6 +170,19 @@ class CircuitOpenError(ServiceError):
     code = "CIRCUIT_OPEN"
 
 
+class ReplayMismatchError(ReproError):
+    """Raised when a fixture bundle fails offline re-verification.
+
+    :func:`repro.shard.fixture.replay_bundle` re-executes a recorded
+    keyed run on the simulated runtime and compares every per-request
+    value, every topology event, the final keyspace snapshot and the
+    per-shard trace fingerprints against the bundle.  Any divergence —
+    a corrupted record, a tampered snapshot, a non-deterministic
+    protocol — raises this error with a diagnostic pointing at the
+    offending file and line.
+    """
+
+
 class InvariantViolationError(ReproError):
     """Raised by invariant checkers when a paper lemma fails on a trace.
 

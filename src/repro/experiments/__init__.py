@@ -18,6 +18,7 @@ from repro.experiments.recovery_exp import run_e22, run_e23
 from repro.experiments.resilience_exp import run_e26
 from repro.experiments.robustness_exp import run_e18, run_e19, run_e20, run_e21
 from repro.experiments.serving_exp import run_e24
+from repro.experiments.sharding_exp import run_e27
 from repro.experiments.substrates_exp import run_e8, run_e11, run_e14, run_e15
 from repro.experiments.treecounter_exp import run_e4, run_e5, run_e9, run_e10, run_e12
 
@@ -48,6 +49,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "E24": run_e24,
     "E25": run_e25,
     "E26": run_e26,
+    "E27": run_e27,
 }
 """Experiment id → zero-argument runner with the canonical parameters."""
 
@@ -82,4 +84,5 @@ __all__ = [
     "run_e24",
     "run_e25",
     "run_e26",
+    "run_e27",
 ]

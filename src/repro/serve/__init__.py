@@ -5,28 +5,37 @@ just a message count in a simulator — run any registered counter as a
 real asyncio service and drive it with open-loop traffic, and the same
 bottleneck reappears as a saturation knee in wall-clock latency.  And
 because the Θ(k) bottleneck guarantees saturation, the service carries
-a full resilience layer for the regime beyond the knee.
+a full resilience layer for the regime beyond the knee — and a sharded
+keyed layer that amortizes the bottleneck across keys and batches.
 
 * :mod:`repro.serve.server` — :class:`CounterService`: any
   non-``sequential_only`` registered spec behind a newline-delimited TCP
   protocol (``INC`` / ``STATS`` / ``PING`` / ``SHUTDOWN``), executing on
   the :class:`~repro.runtime.AsyncioRuntime`, with per-request
   deadlines, bounded-backlog load shedding, request-id dedup
-  (exactly-once retries) and graceful drain;
+  (exactly-once retries) and graceful drain — plus
+  :class:`LineProtocolService`, the shared TCP machinery;
+* :mod:`repro.serve.keyed` — :class:`KeyedCounterService`: a whole
+  keyspace of counters (``INC <key>``, ``STATS <key>``, ``SPLIT`` /
+  ``MERGE``) over a :class:`~repro.shard.CounterShardMap` — consistent
+  hashing across shard pools, per-shard batch combining, elastic
+  resharding, and replayable fixture bundles (``repro replay``);
 * :mod:`repro.serve.resilience` — the policy objects:
   :class:`ResilienceConfig`, :class:`RetryPolicy`, :class:`RetryBudget`,
   :class:`CircuitBreaker`, :class:`DedupTable`;
 * :mod:`repro.serve.loadgen` — the open-loop client: Poisson or bursty
   arrivals at a configured offered load, per-run p50/p99 latency, rate
   sweeps with saturation-knee detection, idempotent retries with full
-  jitter, per-error-type accounting, and a circuit breaker on the
-  connection pool;
+  jitter, per-error-type accounting, a circuit breaker on the
+  connection pool, and Zipf-skewed keyed workloads
+  (:func:`run_keyed_load`);
 * :mod:`repro.serve.chaos` — :class:`ChaosProxy`: a seeded
   deterministic TCP proxy injecting resets, stalls, blackholes, delays
   and truncations between the generator and the service — the harness
-  that proves graceful degradation (experiment E26).
+  that proves graceful degradation (experiments E26 and E27).
 
-CLI entry points: ``repro serve``, ``repro loadgen``, ``repro chaos``.
+CLI entry points: ``repro serve``, ``repro loadgen``, ``repro chaos``,
+``repro replay``.
 """
 
 from repro.serve.chaos import (
@@ -35,9 +44,12 @@ from repro.serve.chaos import (
     canonical_chaos_spec,
     parse_chaos_spec,
 )
+from repro.serve.keyed import KeyedCounterService, serve_keyed_counter
 from repro.serve.loadgen import (
+    KeyedLoadResult,
     LoadResult,
     SweepResult,
+    run_keyed_load,
     run_load,
     run_rate_sweep,
 )
@@ -48,7 +60,11 @@ from repro.serve.resilience import (
     RetryBudget,
     RetryPolicy,
 )
-from repro.serve.server import CounterService, serve_counter
+from repro.serve.server import (
+    CounterService,
+    LineProtocolService,
+    serve_counter,
+)
 
 __all__ = [
     "ChaosPlan",
@@ -56,6 +72,9 @@ __all__ = [
     "CircuitBreaker",
     "CounterService",
     "DedupTable",
+    "KeyedCounterService",
+    "KeyedLoadResult",
+    "LineProtocolService",
     "LoadResult",
     "ResilienceConfig",
     "RetryBudget",
@@ -63,7 +82,9 @@ __all__ = [
     "SweepResult",
     "canonical_chaos_spec",
     "parse_chaos_spec",
+    "run_keyed_load",
     "run_load",
     "run_rate_sweep",
     "serve_counter",
+    "serve_keyed_counter",
 ]

@@ -39,9 +39,16 @@ from repro.errors import (
     ServiceStoppedError,
 )
 from repro.serve.resilience import CircuitBreaker, RetryBudget, RetryPolicy
-from repro.workloads.sequences import arrival_times
+from repro.workloads.sequences import arrival_times, zipf_keys
 
-__all__ = ["LoadResult", "SweepResult", "run_load", "run_rate_sweep"]
+__all__ = [
+    "KeyedLoadResult",
+    "LoadResult",
+    "SweepResult",
+    "run_keyed_load",
+    "run_load",
+    "run_rate_sweep",
+]
 
 
 @dataclass(slots=True)
@@ -111,6 +118,34 @@ class LoadResult:
             )
             line += f" err_types={breakdown}"
         return line
+
+
+@dataclass(slots=True)
+class KeyedLoadResult(LoadResult):
+    """A keyed load run: per-key values on top of the usual metrics.
+
+    ``key_values`` maps each key to the values its completed requests
+    observed.  Because a key's value is its private ledger count, the
+    exactness oracle is per key: when every request for key ``k``
+    completed, ``sorted(key_values[k])`` must be a contiguous run of
+    consecutive integers — each increment got a distinct consecutive
+    slot, none lost, none doubled.  Against a fresh service the run
+    starts at 0; against a service that already served the key it
+    starts at the key's prior count, which is why the check anchors at
+    the observed minimum rather than at zero.
+    """
+
+    key_population: int = 0
+    key_values: dict[str, list[int]] = field(default_factory=dict)
+
+    def exactness_violations(self) -> list[str]:
+        """Keys whose observed values are not one consecutive run."""
+        violations = []
+        for key, values in sorted(self.key_values.items()):
+            lo = min(values)
+            if sorted(values) != list(range(lo, lo + len(values))):
+                violations.append(key)
+        return violations
 
 
 @dataclass(slots=True)
@@ -244,9 +279,12 @@ async def _inc_once(
     rid: str | None = None,
     deadline: float | None = None,
     timeout: float | None = None,
+    key: str | None = None,
 ) -> int:
     """One INC round-trip over a pooled connection; returns the value.
 
+    With *key* the request is the keyed form ``INC <key> [rid]
+    [deadline_ms]`` (see :class:`~repro.serve.KeyedCounterService`).
     *timeout* bounds the round-trip on the client side (a blackholed
     connection would otherwise hang forever); on timeout the connection
     is discarded, because a late response would desynchronize the
@@ -254,7 +292,7 @@ async def _inc_once(
     """
     connection = await pool.acquire()
     reader, writer = connection
-    request = "INC"
+    request = "INC" if key is None else f"INC {key}"
     if rid is not None:
         request += f" {rid}"
         if deadline is not None:
@@ -398,6 +436,117 @@ async def run_load(
         values=values,
         error_counts=error_counts,
         retries=retries,
+    )
+
+
+async def run_keyed_load(
+    host: str,
+    port: int,
+    ops: int,
+    rate: float,
+    *,
+    keys: int = 64,
+    zipf: float = 1.1,
+    key_prefix: str = "k",
+    process: str = "poisson",
+    seed: int = 0,
+    max_connections: int = 64,
+    retry: RetryPolicy | None = None,
+    retry_budget: RetryBudget | None = None,
+    deadline: float | None = None,
+    attempt_timeout: float | None = None,
+    breaker: CircuitBreaker | None = None,
+    rid_prefix: str | None = None,
+) -> KeyedLoadResult:
+    """Drive *ops* keyed increments at offered *rate* (ops/second).
+
+    The keyed sibling of :func:`run_load`, against a
+    :class:`~repro.serve.KeyedCounterService`: each request increments
+    a key drawn from a Zipf(*zipf*) popularity distribution over *keys*
+    names (:func:`~repro.workloads.sequences.zipf_keys` — ``k00`` is
+    always the hottest).  Arrival pacing, retry/deadline/breaker
+    semantics and error accounting are identical to :func:`run_load`;
+    additionally every completed request's value is recorded per key,
+    so :meth:`KeyedLoadResult.exactness_violations` can check the
+    per-key exactly-once contract after the run.
+    """
+    arrivals = arrival_times(process, ops, rate, seed=seed)
+    request_keys = zipf_keys(
+        keys, ops, skew=zipf, seed=seed ^ 0x6B65, prefix=key_prefix
+    )
+    pool = _ConnectionPool(host, port, max_connections, breaker)
+    loop = asyncio.get_running_loop()
+    jitter_rng = random.Random(seed ^ 0x5EED)
+    if attempt_timeout is None and deadline is not None:
+        attempt_timeout = 1.5 * deadline + 0.1
+    if retry is not None and retry_budget is None:
+        retry_budget = RetryBudget(ops * (retry.attempts - 1))
+    if rid_prefix is None and retry is not None:
+        rid_prefix = f"klg{seed}"
+    latencies: list[float] = []
+    values: list[int] = []
+    key_values: dict[str, list[int]] = {}
+    error_counts: dict[str, int] = {}
+    errors = 0
+    retries = 0
+
+    async def one(index: int, offset: float) -> None:
+        nonlocal errors, retries
+        target = start + offset
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        key = request_keys[index]
+        rid = None if rid_prefix is None else f"{rid_prefix}-{index}"
+        attempts = retry.attempts if retry is not None else 1
+        for attempt in range(attempts):
+            try:
+                value = await _inc_once(
+                    pool, rid, deadline, timeout=attempt_timeout, key=key
+                )
+            except Exception as exc:
+                kind = _classify(exc)
+                can_retry = (
+                    retry is not None
+                    and attempt + 1 < attempts
+                    and kind in _RETRYABLE
+                    and (retry_budget is None or retry_budget.take())
+                )
+                if not can_retry:
+                    errors += 1
+                    error_counts[kind] = error_counts.get(kind, 0) + 1
+                    return
+                retries += 1
+                backoff = retry.delay(attempt, jitter_rng)
+                if backoff > 0:
+                    await asyncio.sleep(backoff)
+                continue
+            latencies.append(loop.time() - target)
+            values.append(value)
+            key_values.setdefault(key, []).append(value)
+            return
+
+    start = loop.time()
+    try:
+        await asyncio.gather(
+            *(one(index, offset) for index, offset in enumerate(arrivals))
+        )
+    finally:
+        await pool.close()
+    return KeyedLoadResult(
+        offered_rate=rate,
+        process=process,
+        sent=ops,
+        completed=len(values),
+        errors=errors,
+        duration=loop.time() - start,
+        final_value=max(values, default=-1) + 1,
+        latencies=latencies,
+        values=values,
+        error_counts=error_counts,
+        retries=retries,
+        key_population=keys,
+        key_values=key_values,
     )
 
 

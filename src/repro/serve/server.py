@@ -62,10 +62,170 @@ from repro.registry import RunSession, parse_spec
 from repro.serve.resilience import DedupTable, ResilienceConfig
 from repro.sim.trace import TraceLevel
 
-__all__ = ["CounterService", "serve_counter"]
+__all__ = ["CounterService", "LineProtocolService", "serve_counter"]
 
 
-class CounterService:
+class LineProtocolService:
+    """Shared machinery of the newline-delimited TCP services.
+
+    Owns the socket lifecycle (bind, graceful drain, abort-and-join on
+    stop), the bounded per-line reader, and the protocol loop with the
+    commands every service speaks — ``PING``, bare ``STATS`` and
+    ``SHUTDOWN``.  Subclasses add their own grammar by overriding
+    :meth:`_dispatch` (return ``True`` when the command was handled)
+    and hook the drain phase of :meth:`stop` via :meth:`_drain_work`.
+    :class:`CounterService` serves one counter;
+    :class:`repro.serve.keyed.KeyedCounterService` serves a sharded
+    keyspace of them.
+    """
+
+    def __init__(
+        self, host: str, port: int, config: ResilienceConfig
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.config = config
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = asyncio.Event()
+        self._draining = False
+        self._handlers: set[asyncio.Task] = set()
+        self._client_writers: set[asyncio.StreamWriter] = set()
+        self._overlong = 0
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once started."""
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the TCP server."""
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.host,
+            self.port,
+            limit=self.config.line_limit,
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        """Block until a ``SHUTDOWN`` (or :meth:`stop`) completes."""
+        await self._stopped.wait()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop serving: refuse new work, optionally drain, then halt.
+
+        With *drain* (the default), in-flight operations get up to
+        ``drain_timeout`` seconds to commit before the machinery stops;
+        without it, in-flight waiters fail immediately with
+        :class:`~repro.errors.ServiceStoppedError` instead of hanging.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drain_work(drain)
+        # abort lingering client connections so their handler tasks
+        # finish *before* the event loop tears down (no stray
+        # CancelledError noise from half-closed streams)
+        for writer in list(self._client_writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._handlers:
+            await asyncio.wait(list(self._handlers), timeout=2.0)
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` then run until shut down."""
+        await self.start()
+        await self.wait_closed()
+
+    async def _drain_work(self, drain: bool) -> None:
+        """Subclass hook: settle or fail in-flight work during stop."""
+
+    # ------------------------------------------------------------------
+    # The TCP side
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The bare ``STATS`` payload as a dict."""
+        raise NotImplementedError
+
+    async def _dispatch(
+        self, command: str, args: list[str], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle a service-specific command; ``False`` if unknown."""
+        return False
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._client_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # StreamReader's translation of LimitOverrunError:
+                    # the line never ended within the configured bound
+                    self._overlong += 1
+                    writer.write(
+                        f"ERR LINE_TOO_LONG protocol lines are capped at "
+                        f"{self.config.line_limit} bytes\n".encode("ascii")
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                parts = line.decode("ascii", "replace").split()
+                if not parts:
+                    continue
+                command = parts[0].upper()
+                if await self._dispatch(command, parts[1:], writer):
+                    pass
+                elif command == "PING":
+                    writer.write(b"PONG\n")
+                elif command == "STATS":
+                    stats = self.stats()
+                    rendered = " ".join(
+                        f"{key}={stats[key]}" for key in stats
+                    )
+                    writer.write(f"STATS {rendered}\n".encode("ascii"))
+                elif command == "SHUTDOWN":
+                    self._draining = True  # refuse new work immediately
+                    writer.write(b"BYE\n")
+                    await writer.drain()
+                    asyncio.create_task(self.stop())
+                    break
+                else:
+                    writer.write(
+                        f"ERR unknown command {command!r}\n"
+                        .encode("ascii", "replace")
+                    )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._client_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            if task is not None:
+                self._handlers.discard(task)
+
+
+class CounterService(LineProtocolService):
     """Serve one counter configuration over TCP.
 
     Args:
@@ -118,21 +278,18 @@ class CounterService:
             runtime="asyncio",
             time_scale=time_scale,
         )
-        self.host = host
-        self.port = port
-        self.config = resilience if resilience is not None else ResilienceConfig()
-        self._server: asyncio.AbstractServer | None = None
+        super().__init__(
+            host,
+            port,
+            resilience if resilience is not None else ResilienceConfig(),
+        )
         self._pump_task: asyncio.Task | None = None
         self._work = asyncio.Event()
-        self._stopped = asyncio.Event()
-        self._draining = False
         self._pid_pool: asyncio.Queue[int] = asyncio.Queue()
         for pid in self.session.counter.client_ids():
             self._pid_pool.put_nowait(pid)
         self._waiters: dict[int, asyncio.Future[int]] = {}
         self._commits: set[asyncio.Task[int]] = set()
-        self._handlers: set[asyncio.Task] = set()
-        self._client_writers: set[asyncio.StreamWriter] = set()
         self._dedup = DedupTable(self.config.dedup_capacity)
         self._op_index = 0
         self._served = 0
@@ -140,7 +297,6 @@ class CounterService:
         self._shed = 0
         self._expired = 0
         self._deduped = 0
-        self._overlong = 0
         self._install_result_hook()
 
     # ------------------------------------------------------------------
@@ -171,43 +327,16 @@ class CounterService:
         """Admitted operations waiting for a free processor."""
         return self._backlog
 
-    @property
-    def address(self) -> str:
-        """``host:port`` once started."""
-        return f"{self.host}:{self.port}"
-
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the TCP server and start the protocol pump."""
-        self._server = await asyncio.start_server(
-            self._handle_client,
-            self.host,
-            self.port,
-            limit=self.config.line_limit,
-        )
-        sockets = self._server.sockets or ()
-        if sockets:
-            self.port = sockets[0].getsockname()[1]
+        await super().start()
         self._pump_task = asyncio.create_task(self._pump())
 
-    async def wait_closed(self) -> None:
-        """Block until a ``SHUTDOWN`` (or :meth:`stop`) completes."""
-        await self._stopped.wait()
-
-    async def stop(self, *, drain: bool = True) -> None:
-        """Stop serving: refuse new work, optionally drain, then halt.
-
-        With *drain* (the default), in-flight operations get up to
-        ``drain_timeout`` seconds to commit before the pump stops;
-        without it, in-flight waiters fail immediately with
-        :class:`~repro.errors.ServiceStoppedError` instead of hanging.
-        """
-        self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+    async def _drain_work(self, drain: bool) -> None:
+        """Drain in-flight commits (optionally), then stop the pump."""
         if drain and self._commits:
             self._work.set()
             await asyncio.wait(
@@ -220,21 +349,6 @@ class CounterService:
                 await self._pump_task
             except asyncio.CancelledError:
                 pass
-        # abort lingering client connections so their handler tasks
-        # finish *before* the event loop tears down (no stray
-        # CancelledError noise from half-closed streams)
-        for writer in list(self._client_writers):
-            transport = writer.transport
-            if transport is not None:
-                transport.abort()
-        if self._handlers:
-            await asyncio.wait(list(self._handlers), timeout=2.0)
-        self._stopped.set()
-
-    async def serve_forever(self) -> None:
-        """:meth:`start` then run until shut down."""
-        await self.start()
-        await self.wait_closed()
 
     # ------------------------------------------------------------------
     # The counter side
@@ -462,68 +576,13 @@ class CounterService:
         else:
             writer.write(f"OK {value}\n".encode("ascii"))
 
-    async def _handle_client(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._handlers.add(task)
-        self._client_writers.add(writer)
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    # StreamReader's translation of LimitOverrunError:
-                    # the line never ended within the configured bound
-                    self._overlong += 1
-                    writer.write(
-                        f"ERR LINE_TOO_LONG protocol lines are capped at "
-                        f"{self.config.line_limit} bytes\n".encode("ascii")
-                    )
-                    await writer.drain()
-                    break
-                if not line:
-                    break
-                parts = line.decode("ascii", "replace").split()
-                if not parts:
-                    continue
-                command = parts[0].upper()
-                if command == "INC":
-                    await self._handle_inc(writer, parts[1:])
-                elif command == "PING":
-                    writer.write(b"PONG\n")
-                elif command == "STATS":
-                    stats = self.stats()
-                    rendered = " ".join(
-                        f"{key}={stats[key]}" for key in stats
-                    )
-                    writer.write(f"STATS {rendered}\n".encode("ascii"))
-                elif command == "SHUTDOWN":
-                    self._draining = True  # refuse new work immediately
-                    writer.write(b"BYE\n")
-                    await writer.drain()
-                    asyncio.create_task(self.stop())
-                    break
-                else:
-                    writer.write(
-                        f"ERR unknown command {command!r}\n"
-                        .encode("ascii", "replace")
-                    )
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        finally:
-            self._client_writers.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-            if task is not None:
-                self._handlers.discard(task)
+    async def _dispatch(
+        self, command: str, args: list[str], writer: asyncio.StreamWriter
+    ) -> bool:
+        if command == "INC":
+            await self._handle_inc(writer, args)
+            return True
+        return False
 
 
 async def serve_counter(

@@ -1,0 +1,62 @@
+"""Sharded multi-counter keyspaces: the millions-of-users layer.
+
+The paper proves a Θ(k) per-operation bottleneck for *one* counter;
+this package amortizes it two ways at once — **across keys** by
+consistent-hash placement onto independent protocol pools
+(:mod:`repro.shard.placement`), and **across requests** by combining a
+window of keyed increments into a single traversal per shard
+(:mod:`repro.shard.map`).  Every run can record a byte-stable fixture
+bundle that :func:`~repro.shard.fixture.replay_bundle` (the
+``repro replay`` CLI) re-executes and verifies offline
+(:mod:`repro.shard.fixture`).
+
+Quick synchronous use::
+
+    from repro.shard import CounterShardMap
+
+    keyspace = CounterShardMap("central", n=4, shards=4)
+    keyspace.inc("user:alice")           # -> 0
+    keyspace.inc("user:alice")           # -> 1
+    keyspace.apply(["a", "b", "a"])      # batched: one traversal/shard
+    keyspace.snapshot()                  # {'user:alice': 2, 'a': 2, 'b': 1}
+
+The live TCP front-end is :class:`repro.serve.KeyedCounterService`.
+"""
+
+from repro.shard.fixture import (
+    FixtureRecorder,
+    ReplayReport,
+    replay_bundle,
+    write_bundle,
+)
+from repro.shard.map import (
+    KEY_PATTERN,
+    CounterShardMap,
+    RebalancePolicy,
+    Shard,
+    ShardBatch,
+    validate_key,
+)
+from repro.shard.placement import (
+    HASH_SPACE,
+    ShardRange,
+    ShardRouter,
+    hash_key,
+)
+
+__all__ = [
+    "HASH_SPACE",
+    "KEY_PATTERN",
+    "CounterShardMap",
+    "FixtureRecorder",
+    "RebalancePolicy",
+    "ReplayReport",
+    "Shard",
+    "ShardBatch",
+    "ShardRange",
+    "ShardRouter",
+    "hash_key",
+    "replay_bundle",
+    "validate_key",
+    "write_bundle",
+]

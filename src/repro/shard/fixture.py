@@ -1,0 +1,451 @@
+"""Replayable fixture bundles: every service run verifiable offline.
+
+A keyed service run is a stream of facts — which keys were incremented,
+in which combined batches, on which shards, across which topology
+changes — and because the simulated and asyncio runtimes produce
+fingerprint-identical traces (the PR 7 seam guarantee), those facts are
+enough to re-execute the entire run deterministically after the fact.
+The bundle is the unit of that verifiability (modeled on Counter_Risk's
+fixture-replay pipeline):
+
+========================= ============================================
+File                      Contents
+========================= ============================================
+``manifest.json``         map configuration (spec, n, shards, seed,
+                          batch_max, policy) + record counts
+``requests.jsonl``        one line per keyed increment: seq, key, rid,
+                          value, shard, batch, pid — in inject order
+``events.jsonl``          topology events (split/merge/failover) with
+                          the global sequence position they occurred at
+``snapshot.json``         final keyspace values, shard ranges, op
+                          total, per-shard trace fingerprints
+========================= ============================================
+
+All files are byte-stable: sorted keys, fixed separators, no
+timestamps — writing the same run twice produces identical bytes, and
+:func:`replay_bundle` re-records the run it replays, so a replayed
+bundle can itself be re-written and compared byte-for-byte.
+
+:func:`replay_bundle` (the ``repro replay`` CLI) rebuilds the map on
+the simulated runtime, re-applies every batch at the recorded
+boundaries and every topology event at its recorded position, and
+verifies: each op's value, each event's outcome, the final snapshot,
+the shard ranges, and the per-shard fingerprints.  Any divergence
+raises :class:`~repro.errors.ReplayMismatchError` naming the offending
+file (and line, for records).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReplayMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.map import CounterShardMap
+
+__all__ = [
+    "FixtureRecorder",
+    "ReplayReport",
+    "replay_bundle",
+    "write_bundle",
+]
+
+BUNDLE_FORMAT = 1
+"""Bundle schema version written to (and required of) manifests."""
+
+_MANIFEST_KEYS = ("spec", "n", "shards", "seed", "batch_max", "policy")
+_OP_KEYS = ("seq", "key", "rid", "value", "shard", "batch", "pid")
+
+
+@dataclass(slots=True)
+class FixtureRecorder:
+    """Accumulates one run's facts as the map executes.
+
+    Attach one to :class:`~repro.shard.map.CounterShardMap`; the map
+    calls :meth:`record_config` at construction, :meth:`record_op` per
+    settled increment and :meth:`record_event` per topology change.
+    """
+
+    config: dict[str, Any] | None = None
+    ops: list[dict[str, Any]] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def record_config(self, config: dict[str, Any]) -> None:
+        self.config = dict(config)
+
+    def record_op(self, op: dict[str, Any]) -> None:
+        self.ops.append(op)
+
+    def record_event(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+def _dump_line(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _dump_doc(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, indent=2) + "\n"
+
+
+def write_bundle(path: str | Path, shard_map: "CounterShardMap") -> Path:
+    """Write *shard_map*'s recorded run as a fixture bundle at *path*.
+
+    The map must have been constructed with a
+    :class:`FixtureRecorder`.  Returns the bundle directory.  Writing
+    is byte-stable: the same run always produces identical files.
+    """
+    recorder = shard_map.recorder
+    if recorder is None or recorder.config is None:
+        raise ReplayMismatchError(
+            "the shard map was built without a FixtureRecorder; "
+            "pass recorder=FixtureRecorder() to record a bundle"
+        )
+    bundle = Path(path)
+    bundle.mkdir(parents=True, exist_ok=True)
+    manifest = dict(recorder.config)
+    manifest["format"] = BUNDLE_FORMAT
+    manifest["ops"] = len(recorder.ops)
+    manifest["events"] = len(recorder.events)
+    (bundle / "manifest.json").write_text(_dump_doc(manifest))
+    # Ops are recorded at settle time, and concurrent shards settle out
+    # of order; seqs are assigned atomically per batch, so sorting by
+    # seq restores the global inject order the replayer expects.
+    with (bundle / "requests.jsonl").open("w") as handle:
+        for op in sorted(recorder.ops, key=lambda op: op["seq"]):
+            handle.write(_dump_line(op))
+    with (bundle / "events.jsonl").open("w") as handle:
+        for event in sorted(recorder.events, key=lambda ev: ev["at_seq"]):
+            handle.write(_dump_line(event))
+    stats = shard_map.stats()
+    snapshot = {
+        "ops": shard_map.total_ops,
+        "values": shard_map.snapshot(),
+        "ranges": [
+            [r.shard_id, r.start, r.stop] for r in shard_map.router.ranges()
+        ],
+        "fingerprints": {
+            str(shard_id): fingerprint
+            for shard_id, fingerprint in shard_map.fingerprints().items()
+        },
+        "splits": stats["splits"],
+        "merges": stats["merges"],
+        "failovers": stats["failovers"],
+    }
+    (bundle / "snapshot.json").write_text(_dump_doc(snapshot))
+    return bundle
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayReport:
+    """What a successful replay verified."""
+
+    bundle: Path
+    spec: str
+    ops: int
+    batches: int
+    events: int
+    shards: int
+    keys: int
+    fingerprints_checked: int
+    shard_map: "CounterShardMap"
+
+    def summary(self) -> str:
+        """One human-readable verdict line (the CLI's output)."""
+        return (
+            f"REPLAY OK {self.bundle}: {self.ops} ops in "
+            f"{self.batches} batches over {self.shards} shards "
+            f"({self.keys} keys, {self.events} topology events, "
+            f"{self.fingerprints_checked} trace fingerprints verified)"
+        )
+
+
+def _load_doc(path: Path) -> Any:
+    if not path.is_file():
+        raise ReplayMismatchError(f"{path}: bundle file missing")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReplayMismatchError(f"{path}: not valid JSON: {exc}") from None
+
+
+def _load_records(
+    path: Path, required: tuple[str, ...]
+) -> list[tuple[int, dict[str, Any]]]:
+    if not path.is_file():
+        raise ReplayMismatchError(f"{path}: bundle file missing")
+    records: list[tuple[int, dict[str, Any]]] = []
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReplayMismatchError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            missing = [key for key in required if key not in record]
+            if missing:
+                raise ReplayMismatchError(
+                    f"{path}:{lineno}: record is missing "
+                    f"field(s) {missing}"
+                )
+            records.append((lineno, record))
+    return records
+
+
+def replay_bundle(path: str | Path) -> ReplayReport:
+    """Re-execute and verify the fixture bundle at *path*.
+
+    Rebuilds the :class:`~repro.shard.map.CounterShardMap` from the
+    manifest on the simulated runtime, replays every recorded batch at
+    its recorded boundary and every topology event at its recorded
+    sequence position, and checks each fact in the bundle against the
+    re-execution.  Returns a :class:`ReplayReport`; the replayed map
+    carries its own recorder, so the verified run can be re-written
+    with :func:`write_bundle` and compared byte-for-byte.
+
+    Raises:
+        ReplayMismatchError: any missing/corrupt file or any divergence
+            between the bundle and the re-execution, with a diagnostic
+            naming the offending file and line.
+    """
+    from repro.shard.map import CounterShardMap
+
+    bundle = Path(path)
+    manifest_path = bundle / "manifest.json"
+    manifest = _load_doc(manifest_path)
+    if manifest.get("format") != BUNDLE_FORMAT:
+        raise ReplayMismatchError(
+            f"{manifest_path}: unsupported bundle format "
+            f"{manifest.get('format')!r} (expected {BUNDLE_FORMAT})"
+        )
+    for key in _MANIFEST_KEYS:
+        if key not in manifest:
+            raise ReplayMismatchError(
+                f"{manifest_path}: manifest is missing {key!r}"
+            )
+
+    requests_path = bundle / "requests.jsonl"
+    records = _load_records(requests_path, _OP_KEYS)
+    if len(records) != manifest["ops"]:
+        raise ReplayMismatchError(
+            f"{requests_path}: {len(records)} records but the manifest "
+            f"declares {manifest['ops']}"
+        )
+    for index, (lineno, record) in enumerate(records):
+        if record["seq"] != index:
+            raise ReplayMismatchError(
+                f"{requests_path}:{lineno}: sequence gap — record has "
+                f"seq={record['seq']}, expected {index}"
+            )
+
+    events_path = bundle / "events.jsonl"
+    events = _load_records(events_path, ("kind", "at_seq"))
+    if len(events) != manifest["events"]:
+        raise ReplayMismatchError(
+            f"{events_path}: {len(events)} records but the manifest "
+            f"declares {manifest['events']}"
+        )
+
+    recorder = FixtureRecorder()
+    shard_map = CounterShardMap(
+        manifest["spec"],
+        manifest["n"],
+        shards=manifest["shards"],
+        seed=manifest["seed"],
+        batch_max=manifest["batch_max"],
+        policy=manifest["policy"],
+        runtime="sim",
+        recorder=recorder,
+    )
+
+    event_index = 0
+
+    def apply_events(up_to_seq: int | None) -> int:
+        nonlocal event_index
+        applied = 0
+        while event_index < len(events):
+            lineno, event = events[event_index]
+            if up_to_seq is not None and event["at_seq"] > up_to_seq:
+                break
+            _apply_event(shard_map, events_path, lineno, event)
+            event_index += 1
+            applied += 1
+        return applied
+
+    batches = 0
+    cursor = 0
+    while cursor < len(records):
+        lineno, first = records[cursor]
+        end = cursor
+        while (
+            end < len(records)
+            and records[end][1]["shard"] == first["shard"]
+            and records[end][1]["batch"] == first["batch"]
+        ):
+            end += 1
+        chunk = records[cursor:end]
+        apply_events(first["seq"])
+        _replay_batch(shard_map, requests_path, chunk)
+        batches += 1
+        cursor = end
+    apply_events(None)
+
+    _verify_snapshot(bundle, shard_map)
+    snapshot = _load_doc(bundle / "snapshot.json")
+    checked = sum(
+        1
+        for shard_id, recorded in snapshot.get("fingerprints", {}).items()
+        if recorded is not None
+        and shard_map.fingerprints().get(int(shard_id)) is not None
+    )
+    return ReplayReport(
+        bundle=bundle,
+        spec=shard_map.spec,
+        ops=shard_map.total_ops,
+        batches=batches,
+        events=len(events),
+        shards=shard_map.shard_count,
+        keys=len(shard_map.snapshot()),
+        fingerprints_checked=checked,
+        shard_map=shard_map,
+    )
+
+
+def _apply_event(
+    shard_map: "CounterShardMap",
+    path: Path,
+    lineno: int,
+    event: dict[str, Any],
+) -> None:
+    kind = event["kind"]
+    try:
+        if kind == "split":
+            new_id = shard_map.split(event["shard"])
+            if new_id != event["new_shard"]:
+                raise ReplayMismatchError(
+                    f"{path}:{lineno}: split of shard {event['shard']} "
+                    f"produced shard {new_id}, bundle says "
+                    f"{event['new_shard']}"
+                )
+        elif kind == "merge":
+            recorded = event.get("absorbed_fingerprint")
+            if recorded is not None:
+                actual = shard_map.shard(event["absorbed"]).fingerprint()
+                if actual is not None and actual != recorded:
+                    raise ReplayMismatchError(
+                        f"{path}:{lineno}: absorbed shard "
+                        f"{event['absorbed']}'s trace fingerprint "
+                        f"diverged from the bundle"
+                    )
+            shard_map.merge(event["survivor"], event["absorbed"])
+        elif kind == "failover":
+            pid = shard_map.failover(event["shard"])
+            if pid != event["pid"]:
+                raise ReplayMismatchError(
+                    f"{path}:{lineno}: failover on shard "
+                    f"{event['shard']} drilled pid {pid}, bundle says "
+                    f"{event['pid']}"
+                )
+        else:
+            raise ReplayMismatchError(
+                f"{path}:{lineno}: unknown event kind {kind!r}"
+            )
+    except ReplayMismatchError:
+        raise
+    except Exception as exc:
+        raise ReplayMismatchError(
+            f"{path}:{lineno}: {kind} event failed to re-apply: {exc}"
+        ) from exc
+
+
+def _replay_batch(
+    shard_map: "CounterShardMap",
+    path: Path,
+    chunk: list[tuple[int, dict[str, Any]]],
+) -> None:
+    lineno, first = chunk[0]
+    shard_id = first["shard"]
+    try:
+        batch = shard_map.begin_batch(
+            shard_id,
+            [(record["key"], record["rid"]) for _, record in chunk],
+        )
+    except Exception as exc:
+        raise ReplayMismatchError(
+            f"{path}:{lineno}: batch {first['batch']} on shard "
+            f"{shard_id} failed to re-inject: {exc}"
+        ) from exc
+    if batch.index != first["batch"]:
+        raise ReplayMismatchError(
+            f"{path}:{lineno}: replay reached batch {batch.index} on "
+            f"shard {shard_id}, bundle says {first['batch']}"
+        )
+    if batch.pid != first["pid"]:
+        raise ReplayMismatchError(
+            f"{path}:{lineno}: batch {batch.index} on shard {shard_id} "
+            f"injected from pid {batch.pid}, bundle says {first['pid']}"
+        )
+    shard_map.shard(shard_id).session.runtime.until_quiescent()
+    shard_map.settle_batch(batch)
+    for (record_lineno, record), op in zip(chunk, batch.ops):
+        if op.value != record["value"]:
+            raise ReplayMismatchError(
+                f"{path}:{record_lineno}: key {record['key']!r} "
+                f"replayed to value {op.value}, bundle says "
+                f"{record['value']}"
+            )
+
+
+def _verify_snapshot(bundle: Path, shard_map: "CounterShardMap") -> None:
+    snapshot_path = bundle / "snapshot.json"
+    snapshot = _load_doc(snapshot_path)
+    for key in ("ops", "values", "ranges", "fingerprints"):
+        if key not in snapshot:
+            raise ReplayMismatchError(
+                f"{snapshot_path}: snapshot is missing {key!r}"
+            )
+    if snapshot["ops"] != shard_map.total_ops:
+        raise ReplayMismatchError(
+            f"{snapshot_path}: bundle snapshot has {snapshot['ops']} "
+            f"ops, replay settled {shard_map.total_ops}"
+        )
+    replayed = shard_map.snapshot()
+    recorded = snapshot["values"]
+    if replayed != recorded:
+        for key in sorted(set(replayed) | set(recorded)):
+            if replayed.get(key) != recorded.get(key):
+                raise ReplayMismatchError(
+                    f"{snapshot_path}: key {key!r} replayed to "
+                    f"{replayed.get(key, 0)}, bundle says "
+                    f"{recorded.get(key, 0)}"
+                )
+    ranges = [
+        [r.shard_id, r.start, r.stop] for r in shard_map.router.ranges()
+    ]
+    if ranges != snapshot["ranges"]:
+        raise ReplayMismatchError(
+            f"{snapshot_path}: final shard ranges diverged — replay "
+            f"ended with {len(ranges)} shard(s) "
+            f"{[r[0] for r in ranges]}, bundle says "
+            f"{[r[0] for r in snapshot['ranges']]}"
+        )
+    live = shard_map.fingerprints()
+    for shard_id_text, recorded_fp in snapshot["fingerprints"].items():
+        if recorded_fp is None:
+            continue
+        actual = live.get(int(shard_id_text))
+        if actual is not None and actual != recorded_fp:
+            raise ReplayMismatchError(
+                f"{snapshot_path}: shard {shard_id_text}'s trace "
+                "fingerprint diverged from the bundle — the recorded "
+                "run and the replay executed different message "
+                "sequences"
+            )
+    shard_map.verify()

@@ -68,6 +68,26 @@ def zipf_sequence(n: int, length: int, skew: float = 1.2, seed: int = 0) -> list
     return rng.choices(range(1, n + 1), weights=weights, k=length)
 
 
+def zipf_keys(
+    keys: int,
+    length: int,
+    skew: float = 1.1,
+    seed: int = 0,
+    prefix: str = "k",
+) -> list[str]:
+    """*length* counter keys with Zipf-skewed popularity over *keys* names.
+
+    Real keyspaces are never uniform — a few keys take most of the
+    traffic.  Rank ``r`` (1-based) is drawn with weight ``1/r^skew``
+    and named ``{prefix}{r-1}`` zero-padded, so ``k00`` is always the
+    hottest key.  This is the keyed-workload generator behind
+    ``repro loadgen --keys`` and the E27 sharding experiment.
+    """
+    ranks = zipf_sequence(keys, length, skew=skew, seed=seed)
+    width = max(2, len(str(keys - 1))) if keys > 1 else 2
+    return [f"{prefix}{rank - 1:0{width}d}" for rank in ranks]
+
+
 def batched(n: int, batch_size: int) -> list[list[ProcessorId]]:
     """Split the one-shot workload into concurrent batches of *batch_size*.
 

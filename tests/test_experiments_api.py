@@ -47,7 +47,7 @@ class TestBaseTypes:
 
     def test_registry_is_complete_and_ordered(self):
         ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
-        assert ids == [f"E{i}" for i in range(1, 27)]
+        assert ids == [f"E{i}" for i in range(1, 28)]
 
 
 class TestConstructionExperiments:

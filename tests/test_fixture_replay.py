@@ -1,0 +1,210 @@
+"""Round-trip tests for fixture bundles (``repro.shard.fixture``).
+
+The bundle contract has two halves, and both get pinned here:
+
+* **byte stability** — writing the same run twice produces identical
+  bytes in all four files, and a *replayed* bundle re-written from the
+  replaying map's own recorder is byte-identical to the original (the
+  bundle is a fixed point of record → replay → record);
+* **pointed diagnostics** — corrupting any single fact (a value, a
+  sequence number, a topology outcome, the snapshot, the manifest)
+  fails replay with a :class:`~repro.errors.ReplayMismatchError` that
+  names the offending file (and line, for records), not a generic
+  assertion somewhere downstream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReplayMismatchError
+from repro.shard import (
+    CounterShardMap,
+    FixtureRecorder,
+    replay_bundle,
+    write_bundle,
+)
+
+pytestmark = pytest.mark.shard
+
+
+def _recorded_run(seed: int = 3) -> CounterShardMap:
+    """A deterministic sim run with batches on several shards plus one
+    of every topology event kind."""
+    shard_map = CounterShardMap(
+        "central[standby]",
+        4,
+        shards=2,
+        seed=seed,
+        batch_max=4,
+        recorder=FixtureRecorder(),
+    )
+    shard_map.apply([f"user:{i % 7}" for i in range(20)])
+    new_id = shard_map.split(shard_map.router.shard_ids()[0])
+    shard_map.apply([f"user:{i % 5}" for i in range(10)])
+    shard_map.failover(new_id)
+    shard_map.apply(["user:0", "user:1"])
+    survivor, absorbed = shard_map.router.shard_ids()[:2]
+    shard_map.merge(survivor, absorbed)
+    shard_map.apply([f"tail:{i}" for i in range(6)])
+    return shard_map
+
+
+def _bundle_bytes(bundle: Path) -> dict[str, bytes]:
+    return {
+        name: (bundle / name).read_bytes()
+        for name in (
+            "manifest.json",
+            "requests.jsonl",
+            "events.jsonl",
+            "snapshot.json",
+        )
+    }
+
+
+def _corrupt_line(path: Path, lineno: int, mutate) -> None:
+    """Apply *mutate* to the JSON record on 1-based *lineno*."""
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[lineno - 1])
+    mutate(record)
+    lines[lineno - 1] = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    )
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestRoundTrip:
+    def test_writing_twice_is_byte_identical(self, tmp_path):
+        shard_map = _recorded_run()
+        first = _bundle_bytes(write_bundle(tmp_path / "one", shard_map))
+        second = _bundle_bytes(write_bundle(tmp_path / "two", shard_map))
+        assert first == second
+
+    def test_replay_verifies_and_reports(self, tmp_path):
+        shard_map = _recorded_run()
+        bundle = write_bundle(tmp_path / "bundle", shard_map)
+        report = replay_bundle(bundle)
+        assert report.ops == shard_map.total_ops == 38
+        assert report.events == 3
+        assert report.shards == shard_map.shard_count
+        assert report.keys == len(shard_map.snapshot())
+        # FULL trace fixtures carry per-shard fingerprints to verify
+        assert report.fingerprints_checked == report.shards
+        summary = report.summary()
+        assert summary.startswith(f"REPLAY OK {bundle}: 38 ops in ")
+        assert "3 topology events" in summary
+
+    def test_replayed_bundle_rewrites_byte_identically(self, tmp_path):
+        # The fixed-point property: replaying a bundle and re-writing
+        # it from the replayed map's recorder reproduces every byte.
+        shard_map = _recorded_run()
+        bundle = write_bundle(tmp_path / "bundle", shard_map)
+        report = replay_bundle(bundle)
+        rewritten = write_bundle(tmp_path / "rewritten", report.shard_map)
+        assert _bundle_bytes(bundle) == _bundle_bytes(rewritten)
+
+    def test_different_seeds_produce_different_runs(self, tmp_path):
+        one = write_bundle(tmp_path / "a", _recorded_run(seed=3))
+        other = write_bundle(tmp_path / "b", _recorded_run(seed=4))
+        assert (one / "manifest.json").read_text() != (
+            other / "manifest.json"
+        ).read_text()
+
+    def test_unrecorded_map_refuses_to_write(self, tmp_path):
+        shard_map = CounterShardMap("central", 4, shards=2)
+        with pytest.raises(ReplayMismatchError, match="FixtureRecorder"):
+            write_bundle(tmp_path / "nope", shard_map)
+
+
+class TestCorruptionDiagnostics:
+    @pytest.fixture()
+    def bundle(self, tmp_path) -> Path:
+        return write_bundle(tmp_path / "bundle", _recorded_run())
+
+    def test_tampered_value_names_file_line_and_key(self, bundle):
+        path = bundle / "requests.jsonl"
+
+        def bump(record):
+            record["value"] += 1
+            self.key = record["key"]
+
+        _corrupt_line(path, 11, bump)
+        with pytest.raises(ReplayMismatchError) as excinfo:
+            replay_bundle(bundle)
+        message = str(excinfo.value)
+        assert message.startswith(f"{path}:11: key {self.key!r} ")
+        assert "replayed to value" in message
+        assert "bundle says" in message
+
+    def test_sequence_gap_is_pinpointed(self, bundle):
+        path = bundle / "requests.jsonl"
+        _corrupt_line(path, 6, lambda record: record.update(seq=99))
+        with pytest.raises(
+            ReplayMismatchError, match=r"requests\.jsonl:6: sequence gap"
+        ):
+            replay_bundle(bundle)
+
+    def test_dropped_record_contradicts_the_manifest(self, bundle):
+        path = bundle / "requests.jsonl"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(
+            ReplayMismatchError, match="manifest declares"
+        ):
+            replay_bundle(bundle)
+
+    def test_tampered_event_outcome_is_caught(self, bundle):
+        path = bundle / "events.jsonl"
+        _corrupt_line(path, 1, lambda record: record.update(new_shard=42))
+        with pytest.raises(
+            ReplayMismatchError,
+            match=r"events\.jsonl:1: split .* bundle says 42",
+        ):
+            replay_bundle(bundle)
+
+    def test_tampered_snapshot_value_is_caught(self, bundle):
+        path = bundle / "snapshot.json"
+        snapshot = json.loads(path.read_text())
+        key = sorted(snapshot["values"])[0]
+        snapshot["values"][key] += 5
+        path.write_text(json.dumps(snapshot, sort_keys=True, indent=2))
+        with pytest.raises(
+            ReplayMismatchError,
+            match=rf"snapshot\.json: key '{key}' replayed to",
+        ):
+            replay_bundle(bundle)
+
+    def test_missing_file_and_bad_json_are_named(self, bundle):
+        (bundle / "events.jsonl").unlink()
+        with pytest.raises(
+            ReplayMismatchError, match=r"events\.jsonl: bundle file missing"
+        ):
+            replay_bundle(bundle)
+
+    def test_unsupported_format_is_refused(self, bundle):
+        path = bundle / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["format"] = 99
+        path.write_text(json.dumps(manifest, sort_keys=True, indent=2))
+        with pytest.raises(
+            ReplayMismatchError, match="unsupported bundle format 99"
+        ):
+            replay_bundle(bundle)
+
+    def test_wrong_spec_fails_the_recorded_crash_drill(self, bundle):
+        # A tampered manifest spec replays on a different protocol;
+        # plain central cannot execute the recorded failover event and
+        # the diagnostic names the event that refused to re-apply.
+        path = bundle / "manifest.json"
+        manifest = json.loads(path.read_text())
+        assert manifest["spec"] == "central[standby]"
+        manifest["spec"] = "central"
+        path.write_text(json.dumps(manifest, sort_keys=True, indent=2))
+        with pytest.raises(
+            ReplayMismatchError,
+            match=r"events\.jsonl:2: failover event failed to re-apply",
+        ):
+            replay_bundle(bundle)

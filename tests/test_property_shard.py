@@ -1,0 +1,102 @@
+"""Stateful property test for :class:`repro.shard.map.CounterShardMap`.
+
+A Hypothesis rule machine drives a random interleaving of keyed
+increments, batched windows, shard splits, merges, and crash drills
+against the real map, mirroring every increment into a plain dict
+model.  After every rule the map must agree with the model exactly
+(snapshot == model, per-key ``value_of`` == model count) and its own
+conservation invariants (:meth:`CounterShardMap.verify`) must hold —
+no matter how the keyspace was resharded along the way.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.shard import CounterShardMap
+
+pytestmark = pytest.mark.shard
+
+KEYS = st.sampled_from([f"acct:{i:02d}" for i in range(12)])
+
+
+class ShardMapMachine(RuleBasedStateMachine):
+    """Random inc/split/merge/failover vs. a dict model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # central[standby] tolerates crashes, so the failover rule is
+        # exercisable; sim runtime flushes batches inline.
+        self.map = CounterShardMap(
+            "central[standby]", 4, shards=2, seed=7, batch_max=8
+        )
+        self.model: dict[str, int] = {}
+
+    @rule(key=KEYS)
+    def inc_one(self, key: str) -> None:
+        value = self.map.inc(key)
+        assert value == self.model.get(key, 0)
+        self.model[key] = self.model.get(key, 0) + 1
+
+    @rule(keys=st.lists(KEYS, min_size=1, max_size=10))
+    def inc_window(self, keys: list[str]) -> None:
+        # One flush may span several shards and several batch_max-sized
+        # traversals; values must still decompose per key, in order.
+        values = self.map.apply(keys)
+        for key, value in zip(keys, values):
+            assert value == self.model.get(key, 0)
+            self.model[key] = self.model.get(key, 0) + 1
+
+    @rule(pick=st.integers(min_value=0, max_value=31))
+    def split_some_shard(self, pick: int) -> None:
+        ids = self.map.router.shard_ids()
+        target = ids[pick % len(ids)]
+        if self.map.router.range_of(target).width < 2:
+            return  # un-splittable sliver; astronomically unlikely
+        new_id = self.map.split(target)
+        assert new_id in self.map.router.shard_ids()
+
+    @rule(pick=st.integers(min_value=0, max_value=31))
+    def merge_some_pair(self, pick: int) -> None:
+        ids = self.map.router.shard_ids()
+        if len(ids) < 2:
+            return
+        survivor = ids[pick % (len(ids) - 1)]
+        absorbed = ids[pick % (len(ids) - 1) + 1]
+        self.map.merge(survivor, absorbed)
+        assert absorbed not in self.map.router.shard_ids()
+
+    @rule(pick=st.integers(min_value=0, max_value=31))
+    def crash_drill(self, pick: int) -> None:
+        ids = self.map.router.shard_ids()
+        self.map.failover(ids[pick % len(ids)])
+
+    @invariant()
+    def map_matches_model(self) -> None:
+        assert self.map.snapshot() == {
+            key: count for key, count in self.model.items() if count
+        }
+        assert self.map.total_ops == sum(self.model.values())
+
+    @invariant()
+    def conservation_holds(self) -> None:
+        self.map.verify()
+
+    @invariant()
+    def lookups_match_model(self) -> None:
+        for key in ("acct:00", "acct:07"):
+            assert self.map.value_of(key) == self.model.get(key, 0)
+
+
+ShardMapMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+TestShardMapMachine = ShardMapMachine.TestCase

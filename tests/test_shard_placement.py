@@ -1,0 +1,183 @@
+"""Property tests for consistent-hash placement (`repro.shard.placement`).
+
+Pins the two contracts the sharded keyspace builds on — determinism
+(placement is a pure function of the topology operations applied) and
+bounded key movement (a split moves only the split shard's upper-half
+keys, a merge only the absorbed shard's keys) — plus uniform spread at
+a 10k-key population and the partition invariants under arbitrary
+split/merge histories.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.shard import HASH_SPACE, ShardRouter, hash_key
+
+pytestmark = pytest.mark.shard
+
+KEYS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.:-",
+    min_size=1,
+    max_size=24,
+)
+
+
+def assert_partition(router: ShardRouter) -> None:
+    """The ranges must tile [0, HASH_SPACE) exactly, in order."""
+    ranges = router.ranges()
+    assert ranges[0].start == 0
+    assert ranges[-1].stop == HASH_SPACE
+    for left, right in zip(ranges, ranges[1:]):
+        assert left.stop == right.start
+    assert len({r.shard_id for r in ranges}) == len(ranges)
+
+
+class TestHashKey:
+    def test_deterministic_and_pinned(self):
+        # SHA-256 based: identical across processes and interpreters.
+        assert hash_key("k00") == hash_key("k00")
+        assert hash_key("k00") == 0xB74F89FABB88284C
+        assert hash_key("") == 0xE3B0C44298FC1C14
+
+    @given(KEYS)
+    def test_in_space(self, key):
+        assert 0 <= hash_key(key) < HASH_SPACE
+
+
+class TestDeterminism:
+    @given(st.lists(KEYS, min_size=1, max_size=50), st.integers(1, 9))
+    def test_same_topology_same_placement(self, keys, shards):
+        one, two = ShardRouter(shards), ShardRouter(shards)
+        assert [one.locate(k) for k in keys] == [two.locate(k) for k in keys]
+
+    @given(st.lists(KEYS, min_size=1, max_size=30), st.integers(1, 6))
+    def test_placement_ignores_query_order(self, keys, shards):
+        router = ShardRouter(shards)
+        forward = {k: router.locate(k) for k in keys}
+        backward = {k: router.locate(k) for k in reversed(keys)}
+        assert forward == backward
+
+    @given(st.integers(1, 12))
+    def test_initial_ranges_tile_the_space(self, shards):
+        router = ShardRouter(shards)
+        assert_partition(router)
+        widths = [r.width for r in router.ranges()]
+        assert max(widths) - min(widths) <= 1
+
+    def test_replayed_history_reproduces_placement(self):
+        keys = [f"user{i}" for i in range(200)]
+
+        def run_history():
+            router = ShardRouter(4)
+            router.split(2)
+            router.split(0)
+            survivor = router.shard_ids()[0]
+            absorbed = router.shard_ids()[1]
+            router.merge(survivor, absorbed)
+            return {k: router.locate(k) for k in keys}
+
+        assert run_history() == run_history()
+
+
+class TestBoundedMovement:
+    @given(st.lists(KEYS, min_size=1, max_size=80, unique=True),
+           st.integers(1, 6), st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_split_moves_only_upper_half_of_split_shard(
+        self, keys, shards, which
+    ):
+        router = ShardRouter(shards)
+        target = router.shard_ids()[which % router.shard_count]
+        before = {k: router.locate(k) for k in keys}
+        new_range = router.split(target)
+        after = {k: router.locate(k) for k in keys}
+        moved = {k for k in keys if before[k] != after[k]}
+        for key in moved:
+            assert before[key] == target
+            assert after[key] == new_range.shard_id
+            assert hash_key(key) in new_range
+        # every key of the split shard hashing into the upper half
+        # moved — no stragglers either
+        for key in keys:
+            if before[key] == target and hash_key(key) in new_range:
+                assert key in moved
+        assert_partition(router)
+
+    @given(st.lists(KEYS, min_size=1, max_size=80, unique=True),
+           st.integers(2, 6), st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_merge_moves_only_absorbed_shard(self, keys, shards, which):
+        router = ShardRouter(shards)
+        ids = router.shard_ids()
+        survivor = ids[which % (len(ids) - 1)]
+        absorbed = ids[which % (len(ids) - 1) + 1]
+        before = {k: router.locate(k) for k in keys}
+        router.merge(survivor, absorbed)
+        after = {k: router.locate(k) for k in keys}
+        for key in keys:
+            if before[key] == absorbed:
+                assert after[key] == survivor
+            else:
+                assert after[key] == before[key]
+        assert_partition(router)
+
+    def test_split_then_merge_is_identity_for_placement(self):
+        keys = [f"k{i:03d}" for i in range(300)]
+        router = ShardRouter(3)
+        before = {k: router.locate(k) for k in keys}
+        new_range = router.split(1)
+        router.merge(1, new_range.shard_id)
+        assert {k: router.locate(k) for k in keys} == before
+
+
+class TestSpread:
+    def test_uniform_spread_at_10k_keys(self):
+        # 10k SHA-256-hashed keys over 4 equal ranges: each shard's
+        # share must be near 1/4 (binomial sd ~0.4%, bound is >10 sd).
+        router = ShardRouter(4)
+        keys = [f"key-{i}" for i in range(10_000)]
+        spread = router.spread(keys)
+        assert sum(spread.values()) == len(keys)
+        for count in spread.values():
+            assert 0.20 * len(keys) <= count <= 0.30 * len(keys), spread
+
+    def test_spread_reports_empty_shards(self):
+        router = ShardRouter(8)
+        spread = router.spread(["solo"])
+        assert sum(spread.values()) == 1
+        assert set(spread) == set(router.shard_ids())
+
+
+class TestMisuse:
+    def test_bad_initial_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+
+    def test_unknown_shard_everywhere(self):
+        router = ShardRouter(2)
+        for call in (
+            lambda: router.range_of(99),
+            lambda: router.split(99),
+            lambda: router.merge(0, 99),
+            lambda: router.neighbors(99),
+        ):
+            with pytest.raises(ConfigurationError):
+                call()
+
+    def test_merge_requires_adjacency(self):
+        router = ShardRouter(4)
+        with pytest.raises(ConfigurationError, match="not adjacent"):
+            router.merge(0, 2)
+        with pytest.raises(ConfigurationError, match="itself"):
+            router.merge(1, 1)
+
+    def test_point_outside_space_rejected(self):
+        router = ShardRouter(2)
+        with pytest.raises(ConfigurationError):
+            router.locate_point(HASH_SPACE)
+        with pytest.raises(ConfigurationError):
+            router.locate_point(-1)
